@@ -1,0 +1,74 @@
+// Groovedwall explores the MEMS-device geometry the paper's
+// introduction motivates: a microchannel whose bottom wall carries
+// longitudinal ribs, with hydrophobic solid-fluid adhesion repelling
+// the water from every surface. The dissolved air/vapor accumulates in
+// the grooves between ribs (a Cassie-state-like gas cushion), and the
+// flow over the composite surface shows enhanced apparent slip compared
+// to the flat hydrophobic wall.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"microslip"
+	"microslip/internal/lbm"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		steps = flag.Int("steps", 2000, "LBM phases")
+		ribH  = flag.Int("ribh", 3, "rib height in lattice points")
+	)
+	flag.Parse()
+
+	const nx, ny, nz = 8, 36, 16
+
+	run := func(ribbed bool) *lbm.Sim {
+		p := microslip.WaterAirChannel(nx, ny, nz)
+		p.WallForceComp = -1                // use adhesion-based hydrophobicity
+		p.WallAdhesion = []float64{0.25, 0} // repel water from every surface
+		if ribbed {
+			// Longitudinal ribs on the low-z wall: solid for z <= ribH
+			// at every third y column.
+			for y := 2; y < ny-2; y += 3 {
+				p.Obstacles = append(p.Obstacles, lbm.Obstacle{Y0: y, Y1: y, Z0: 1, Z1: *ribH})
+			}
+		}
+		s, err := microslip.NewSim(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.Run(*steps)
+		if err := s.CheckFinite(); err != nil {
+			log.Fatal(err)
+		}
+		return s
+	}
+
+	fmt.Printf("grooved hydrophobic wall, %dx%dx%d lattice, %d steps\n\n", nx, ny, nz, *steps)
+	flat := run(false)
+	ribbed := run(true)
+
+	// Gas accumulation in the grooves: air density just above the
+	// groove floor, between ribs, vs the flat-wall case.
+	gy := 3 // a groove column (ribs at y = 2, 5, 8, ...)
+	gz := 2
+	fmt.Printf("air density above the wall floor (y=%d, z=%d):\n", gy, gz)
+	fmt.Printf("  flat wall:   %.5f\n", flat.Density(1, 0, gy, gz))
+	fmt.Printf("  in a groove: %.5f\n", ribbed.Density(1, 0, gy, gz))
+
+	// Streamwise velocity above the composite surface vs the flat wall,
+	// sampled along z at mid-y.
+	fmt.Printf("\nstreamwise velocity above the bottom wall (y=%d):\n", ny/2)
+	fmt.Printf("%4s %14s %14s\n", "z", "flat", "ribbed")
+	for z := 1; z < nz-1; z++ {
+		uf, _, _ := flat.Velocity(0, ny/2, z)
+		ur, _, _ := ribbed.Velocity(0, ny/2, z)
+		fmt.Printf("%4d %14.6e %14.6e\n", z, uf, ur)
+	}
+	fmt.Println("\nthe gas cushion in the grooves lubricates the near-wall flow;")
+	fmt.Println("rib drag dominates if the ribs are too tall (try -ribh).")
+}

@@ -1,0 +1,52 @@
+// Slipchannel reproduces the paper's physics experiment (Figures 6 and
+// 7) at configurable resolution: two-component water/air flow in a
+// hydrophobic microchannel, reporting the density depletion layer and
+// the apparent-slip velocity profile, with optional CSV output and a
+// side-by-side run without wall forces for contrast.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"microslip"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		nx    = flag.Int("nx", 32, "channel length in lattice points")
+		ny    = flag.Int("ny", 48, "channel width in lattice points")
+		nz    = flag.Int("nz", 12, "channel depth in lattice points")
+		steps = flag.Int("steps", 3000, "LBM phases")
+		csv   = flag.String("csv", "", "write profiles as CSV to this file")
+	)
+	flag.Parse()
+
+	setup := microslip.PhysicsSetup{NX: *nx, NY: *ny, NZ: *nz, Steps: *steps, SampleZ: *nz / 2}
+	fmt.Printf("simulating %dx%dx%d channel (%.2f x %.2f x %.2f um) for %d phases...\n",
+		*nx, *ny, *nz,
+		float64(*nx)*5e-3, float64(*ny)*5e-3, float64(*nz)*5e-3, *steps)
+	res, err := microslip.RunSlipPhysics(setup)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Table())
+
+	// The Figure 7 contrast: near-wall normalized velocities.
+	fmt.Println("\nFigure 7 contrast (normalized streamwise velocity, near the side wall):")
+	fmt.Printf("%10s %14s %14s %10s\n", "dist (nm)", "with forces", "no forces", "delta")
+	for i := 0; i < len(res.DistanceNM) && i < 6; i++ {
+		fmt.Printf("%10.1f %14.4f %14.4f %+9.4f\n",
+			res.DistanceNM[i], res.VelForced[i], res.VelFree[i], res.VelForced[i]-res.VelFree[i])
+	}
+
+	if *csv != "" {
+		if err := os.WriteFile(*csv, []byte(res.CSV()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nfull profiles written to %s\n", *csv)
+	}
+}

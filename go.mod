@@ -1,0 +1,3 @@
+module microslip
+
+go 1.22

@@ -1,0 +1,75 @@
+// Package checkpoint persists simulation snapshots with encoding/gob.
+// The paper's full-resolution slip simulation needs hundreds of
+// thousands of phases over days; checkpointing lets runs stop, move,
+// and resume without losing progress.
+package checkpoint
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"microslip/internal/lbm"
+)
+
+// Save writes a snapshot to w.
+func Save(w io.Writer, st *lbm.State) error {
+	if st == nil {
+		return fmt.Errorf("checkpoint: nil state")
+	}
+	if err := gob.NewEncoder(w).Encode(st); err != nil {
+		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot from r.
+func Load(r io.Reader) (*lbm.State, error) {
+	var st lbm.State
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	return &st, nil
+}
+
+// SaveFile atomically writes a snapshot to path (write to a temp file
+// in the same directory, then rename), so an interrupted save never
+// corrupts the previous checkpoint.
+func SaveFile(path string, st *lbm.State) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := Save(tmp, st); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads a snapshot from path.
+func LoadFile(path string) (*lbm.State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}

@@ -1,0 +1,136 @@
+package checkpoint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"microslip/internal/lbm"
+)
+
+func TestRoundTrip(t *testing.T) {
+	p := lbm.WaterAir(6, 8, 6)
+	s, err := lbm.NewSim(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(7)
+
+	var buf bytes.Buffer
+	if err := Save(&buf, s.State()); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := lbm.FromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.StepCount() != 7 {
+		t.Errorf("restored step %d, want 7", restored.StepCount())
+	}
+	// Continuing both simulations produces identical fields.
+	s.Run(3)
+	restored.Run(3)
+	for c := 0; c < 2; c++ {
+		for x := 0; x < p.NX; x++ {
+			a, b := s.Plane(c, x), restored.Plane(c, x)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("restored run diverged at comp %d plane %d index %d", c, x, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	p := lbm.SingleFluid(4, 6, 6, 1.0, 1e-6)
+	s, err := lbm.NewSim(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(2)
+	path := filepath.Join(t.TempDir(), "ckpt.gob")
+	if err := SaveFile(path, s.State()); err != nil {
+		t.Fatal(err)
+	}
+	st, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Step != 2 {
+		t.Errorf("loaded step %d, want 2", st.Step)
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries after save, want 1", len(entries))
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Error("garbage decoded")
+	}
+	if _, err := LoadFile("/nonexistent/path"); err == nil {
+		t.Error("missing file loaded")
+	}
+	if err := Save(&bytes.Buffer{}, nil); err == nil {
+		t.Error("nil state saved")
+	}
+}
+
+func TestFromStateValidation(t *testing.T) {
+	if _, err := lbm.FromState(nil); err == nil {
+		t.Error("nil state accepted")
+	}
+	p := lbm.WaterAir(4, 6, 6)
+	s, _ := lbm.NewSim(p)
+	st := s.State()
+	st.F = st.F[:1]
+	if _, err := lbm.FromState(st); err == nil {
+		t.Error("component-count mismatch accepted")
+	}
+	st2 := s.State()
+	st2.F[0] = st2.F[0][:2]
+	if _, err := lbm.FromState(st2); err == nil {
+		t.Error("plane-count mismatch accepted")
+	}
+	st3 := s.State()
+	st3.F[0][0] = st3.F[0][0][:5]
+	if _, err := lbm.FromState(st3); err == nil {
+		t.Error("plane-size mismatch accepted")
+	}
+}
+
+func TestSaveFileErrorPaths(t *testing.T) {
+	p := lbm.SingleFluid(4, 6, 6, 1.0, 0)
+	s, _ := lbm.NewSim(p)
+	// Unwritable directory.
+	if err := SaveFile("/nonexistent-dir/x/ckpt.gob", s.State()); err == nil {
+		t.Error("save into missing directory succeeded")
+	}
+	// Relative path without a directory component exercises dirOf's
+	// "." fallback.
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd)
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveFile("plain.gob", s.State()); err != nil {
+		t.Fatalf("relative save failed: %v", err)
+	}
+	if _, err := LoadFile("plain.gob"); err != nil {
+		t.Errorf("relative load failed: %v", err)
+	}
+}

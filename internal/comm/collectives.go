@@ -1,0 +1,100 @@
+package comm
+
+import "fmt"
+
+// Collective operations built on the point-to-point primitives, shared
+// by both transports. They use reserved tags, so they compose with any
+// user traffic; like MPI collectives, every rank of the group must call
+// them in the same order.
+
+const (
+	tagBcast      = -5
+	tagReduceUp   = -6
+	tagReduceDown = -7
+)
+
+// Bcast distributes root's data to every rank: on the root the input
+// slice is returned as-is; on other ranks the received payload is
+// returned and the input is ignored.
+func Bcast(c Comm, root int, data []float64) ([]float64, error) {
+	rc, ok := c.(rawComm)
+	if !ok {
+		return nil, fmt.Errorf("comm: transport does not support collectives")
+	}
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("comm: bcast root %d out of range [0,%d)", root, c.Size())
+	}
+	if c.Rank() == root {
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			if err := rc.send(r, tagBcast, data); err != nil {
+				return nil, err
+			}
+		}
+		return data, nil
+	}
+	return rc.recv(root, tagBcast)
+}
+
+// ReduceOp combines two equal-length vectors element-wise.
+type ReduceOp func(acc, in []float64)
+
+// SumOp accumulates element-wise sums.
+func SumOp(acc, in []float64) {
+	for i := range acc {
+		acc[i] += in[i]
+	}
+}
+
+// MaxOp keeps element-wise maxima.
+func MaxOp(acc, in []float64) {
+	for i := range acc {
+		if in[i] > acc[i] {
+			acc[i] = in[i]
+		}
+	}
+}
+
+// MinOp keeps element-wise minima.
+func MinOp(acc, in []float64) {
+	for i := range acc {
+		if in[i] < acc[i] {
+			acc[i] = in[i]
+		}
+	}
+}
+
+// AllReduce combines every rank's vector with op and returns the
+// identical result on all ranks. All contributions must have the same
+// length.
+func AllReduce(c Comm, local []float64, op ReduceOp) ([]float64, error) {
+	rc, ok := c.(rawComm)
+	if !ok {
+		return nil, fmt.Errorf("comm: transport does not support collectives")
+	}
+	acc := append([]float64(nil), local...)
+	if c.Rank() == 0 {
+		for r := 1; r < c.Size(); r++ {
+			in, err := rc.recv(r, tagReduceUp)
+			if err != nil {
+				return nil, err
+			}
+			if len(in) != len(acc) {
+				return nil, fmt.Errorf("comm: reduce contribution from %d has %d values, want %d", r, len(in), len(acc))
+			}
+			op(acc, in)
+		}
+		for r := 1; r < c.Size(); r++ {
+			if err := rc.send(r, tagReduceDown, acc); err != nil {
+				return nil, err
+			}
+		}
+		return acc, nil
+	}
+	if err := rc.send(0, tagReduceUp, local); err != nil {
+		return nil, err
+	}
+	return rc.recv(0, tagReduceDown)
+}

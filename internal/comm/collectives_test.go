@@ -1,0 +1,181 @@
+package comm
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBcast(t *testing.T) {
+	for _, tr := range transports() {
+		t.Run(tr.name, func(t *testing.T) {
+			const n = 5
+			eps, shutdown, err := tr.make(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer shutdown()
+			want := []float64{3.5, -1, 7}
+			results := make([][]float64, n)
+			var wg sync.WaitGroup
+			for r := 0; r < n; r++ {
+				r := r
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					var in []float64
+					if r == 2 {
+						in = want
+					}
+					out, err := Bcast(eps[r], 2, in)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					results[r] = out
+				}()
+			}
+			wg.Wait()
+			for r := 0; r < n; r++ {
+				if len(results[r]) != len(want) {
+					t.Fatalf("rank %d got %d values", r, len(results[r]))
+				}
+				for i := range want {
+					if results[r][i] != want[i] {
+						t.Errorf("rank %d value %d = %v, want %v", r, i, results[r][i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBcastRootRange(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	if _, err := Bcast(f.Endpoint(0), 7, nil); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+}
+
+func TestAllReduce(t *testing.T) {
+	for _, tr := range transports() {
+		t.Run(tr.name, func(t *testing.T) {
+			const n = 4
+			eps, shutdown, err := tr.make(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer shutdown()
+			run := func(op ReduceOp) [][]float64 {
+				results := make([][]float64, n)
+				var wg sync.WaitGroup
+				for r := 0; r < n; r++ {
+					r := r
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						out, err := AllReduce(eps[r], []float64{float64(r), float64(-r)}, op)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						results[r] = out
+					}()
+				}
+				wg.Wait()
+				return results
+			}
+			sums := run(SumOp)
+			for r := 0; r < n; r++ {
+				if sums[r][0] != 6 || sums[r][1] != -6 {
+					t.Errorf("rank %d sum = %v, want [6 -6]", r, sums[r])
+				}
+			}
+			maxs := run(MaxOp)
+			for r := 0; r < n; r++ {
+				if maxs[r][0] != 3 || maxs[r][1] != 0 {
+					t.Errorf("rank %d max = %v, want [3 0]", r, maxs[r])
+				}
+			}
+			mins := run(MinOp)
+			for r := 0; r < n; r++ {
+				if mins[r][0] != 0 || mins[r][1] != -3 {
+					t.Errorf("rank %d min = %v, want [0 -3]", r, mins[r])
+				}
+			}
+		})
+	}
+}
+
+func TestAllReduceLengthMismatch(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	eps := f.Endpoints()
+	errs := make(chan error, 2)
+	go func() {
+		_, err := AllReduce(eps[0], []float64{1, 2}, SumOp)
+		errs <- err
+	}()
+	go func() {
+		_, err := AllReduce(eps[1], []float64{1}, SumOp)
+		errs <- err
+	}()
+	// Rank 0 must reject the mismatched contribution.
+	if err := <-errs; err == nil {
+		if err := <-errs; err == nil {
+			t.Error("length mismatch accepted by both ranks")
+		}
+	}
+	f.Close()
+}
+
+// Property: AllReduce(SumOp) equals the arithmetic sum of all ranks'
+// contributions regardless of values.
+func TestAllReduceSumProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		fab := NewFabric(n)
+		defer fab.Close()
+		vals := make([]float64, n)
+		var want float64
+		for i := range vals {
+			vals[i] = rng.NormFloat64()
+			want += vals[i]
+		}
+		results := make([]float64, n)
+		var wg sync.WaitGroup
+		ok := true
+		var mu sync.Mutex
+		for r := 0; r < n; r++ {
+			r := r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				out, err := AllReduce(fab.Endpoint(r), []float64{vals[r]}, SumOp)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil || len(out) != 1 {
+					ok = false
+					return
+				}
+				results[r] = out[0]
+			}()
+		}
+		wg.Wait()
+		if !ok {
+			return false
+		}
+		for r := 0; r < n; r++ {
+			if diff := results[r] - want; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

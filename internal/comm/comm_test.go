@@ -1,0 +1,362 @@
+package comm
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// groupMaker builds a communicator group for transport-parameterized
+// tests.
+type groupMaker struct {
+	name string
+	make func(n int) ([]Comm, func(), error)
+}
+
+func transports() []groupMaker {
+	return []groupMaker{
+		{"chan", func(n int) ([]Comm, func(), error) {
+			f := NewFabric(n)
+			return f.Endpoints(), f.Close, nil
+		}},
+		{"tcp", func(n int) ([]Comm, func(), error) {
+			return NewTCPGroup(n)
+		}},
+	}
+}
+
+func TestPointToPoint(t *testing.T) {
+	for _, tr := range transports() {
+		t.Run(tr.name, func(t *testing.T) {
+			eps, shutdown, err := tr.make(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer shutdown()
+			want := []float64{1.5, -2.25, 3}
+			done := make(chan error, 1)
+			go func() {
+				done <- eps[0].Send(1, 7, want)
+			}()
+			got, err := eps[1].Recv(0, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("got %d values, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("got[%d] = %v, want %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestSendCopiesData(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	eps := f.Endpoints()
+	data := []float64{1, 2, 3}
+	if err := eps[0].Send(1, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 99 // mutate after send
+	got, err := eps[1].Recv(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Errorf("send did not copy: got %v", got[0])
+	}
+}
+
+// Same-tag messages between a pair are non-overtaking; different tags
+// can be received out of order.
+func TestTagMatchingAndOrdering(t *testing.T) {
+	for _, tr := range transports() {
+		t.Run(tr.name, func(t *testing.T) {
+			eps, shutdown, err := tr.make(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer shutdown()
+			// Send tagA, tagB, tagA.
+			mustSend := func(tag int, v float64) {
+				if err := eps[0].Send(1, tag, []float64{v}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			mustSend(1, 10)
+			mustSend(2, 20)
+			mustSend(1, 11)
+			// Receive tag 2 first (skips over tag-1 messages), then the
+			// two tag-1 messages in send order.
+			b, _ := eps[1].Recv(0, 2)
+			a1, _ := eps[1].Recv(0, 1)
+			a2, _ := eps[1].Recv(0, 1)
+			if b[0] != 20 || a1[0] != 10 || a2[0] != 11 {
+				t.Errorf("got %v %v %v, want 20 10 11", b[0], a1[0], a2[0])
+			}
+		})
+	}
+}
+
+func TestSendRecvNeighborExchange(t *testing.T) {
+	for _, tr := range transports() {
+		t.Run(tr.name, func(t *testing.T) {
+			const n = 5
+			eps, shutdown, err := tr.make(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer shutdown()
+			// Ring shift: every rank sends its rank to the right and
+			// receives from the left, simultaneously.
+			var wg sync.WaitGroup
+			got := make([]float64, n)
+			for r := 0; r < n; r++ {
+				r := r
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					right := (r + 1) % n
+					left := (r - 1 + n) % n
+					data, err := eps[r].SendRecv(right, []float64{float64(r)}, left, 3)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					got[r] = data[0]
+				}()
+			}
+			wg.Wait()
+			for r := 0; r < n; r++ {
+				want := float64((r - 1 + n) % n)
+				if got[r] != want {
+					t.Errorf("rank %d received %v, want %v", r, got[r], want)
+				}
+			}
+		})
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	for _, tr := range transports() {
+		t.Run(tr.name, func(t *testing.T) {
+			const n = 6
+			eps, shutdown, err := tr.make(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer shutdown()
+			var mu sync.Mutex
+			arrived := 0
+			var wg sync.WaitGroup
+			for r := 0; r < n; r++ {
+				r := r
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					mu.Lock()
+					arrived++
+					mu.Unlock()
+					if err := eps[r].Barrier(); err != nil {
+						t.Error(err)
+						return
+					}
+					mu.Lock()
+					if arrived != n {
+						t.Errorf("rank %d passed barrier with only %d arrived", r, arrived)
+					}
+					mu.Unlock()
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	for _, tr := range transports() {
+		t.Run(tr.name, func(t *testing.T) {
+			const n = 4
+			eps, shutdown, err := tr.make(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer shutdown()
+			results := make([][][]float64, n)
+			var wg sync.WaitGroup
+			for r := 0; r < n; r++ {
+				r := r
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					out, err := eps[r].AllGather([]float64{float64(r), float64(r * r)})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					results[r] = out
+				}()
+			}
+			wg.Wait()
+			for r := 0; r < n; r++ {
+				for q := 0; q < n; q++ {
+					if len(results[r][q]) != 2 || results[r][q][0] != float64(q) || results[r][q][1] != float64(q*q) {
+						t.Errorf("rank %d gathered %v for rank %d", r, results[r][q], q)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestNegativeTagRejected(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	ep := f.Endpoint(0)
+	if err := ep.Send(1, -1, nil); err == nil {
+		t.Error("negative tag send accepted")
+	}
+	if _, err := ep.Recv(1, -1); err == nil {
+		t.Error("negative tag recv accepted")
+	}
+}
+
+func TestPeerRangeChecked(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	ep := f.Endpoint(0)
+	if err := ep.Send(5, 0, nil); err == nil {
+		t.Error("out-of-range send accepted")
+	}
+	if _, err := ep.Recv(-1, 0); err == nil {
+		t.Error("out-of-range recv accepted")
+	}
+}
+
+func TestClosedFabricUnblocksReceivers(t *testing.T) {
+	f := NewFabric(2)
+	ep := f.Endpoint(0)
+	done := make(chan error, 1)
+	go func() {
+		_, err := ep.Recv(1, 0)
+		done <- err
+	}()
+	f.Close()
+	if err := <-done; err != ErrClosed {
+		t.Errorf("receiver got %v, want ErrClosed", err)
+	}
+}
+
+func TestTCPSelfSend(t *testing.T) {
+	eps, shutdown, err := NewTCPGroup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	if err := eps[0].Send(0, 4, []float64{42}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := eps[0].Recv(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 42 {
+		t.Errorf("self-send got %v", got[0])
+	}
+}
+
+// Property: payload round trips exactly (bit-level) over TCP, including
+// special values produced by arithmetic on random inputs.
+func TestTCPPayloadFidelity(t *testing.T) {
+	eps, shutdown, err := NewTCPGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(1000)
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = rng.NormFloat64() * 1e10
+		}
+		if err := eps[0].Send(1, 9, data); err != nil {
+			return false
+		}
+		got, err := eps[1].Recv(0, 9)
+		if err != nil {
+			return false
+		}
+		if len(got) != n {
+			return false
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManyConcurrentMessages(t *testing.T) {
+	for _, tr := range transports() {
+		t.Run(tr.name, func(t *testing.T) {
+			const n = 4
+			const msgs = 200
+			eps, shutdown, err := tr.make(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer shutdown()
+			var wg sync.WaitGroup
+			for r := 0; r < n; r++ {
+				r := r
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for m := 0; m < msgs; m++ {
+						for q := 0; q < n; q++ {
+							if q == r {
+								continue
+							}
+							if err := eps[r].Send(q, 0, []float64{float64(m)}); err != nil {
+								t.Error(err)
+								return
+							}
+						}
+					}
+					for q := 0; q < n; q++ {
+						if q == r {
+							continue
+						}
+						for m := 0; m < msgs; m++ {
+							got, err := eps[r].Recv(q, 0)
+							if err != nil {
+								t.Error(err)
+								return
+							}
+							if got[0] != float64(m) {
+								t.Errorf("rank %d from %d msg %d: got %v", r, q, m, got[0])
+								return
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,104 @@
+package comm
+
+import (
+	"testing"
+	"time"
+)
+
+// Failure injection: transports must fail cleanly, never hang.
+
+func TestTCPCloseUnblocksReceiver(t *testing.T) {
+	eps, shutdown, err := NewTCPGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := eps[0].Recv(1, 0)
+		done <- err
+	}()
+	// Give the receiver a moment to block, then tear down the group.
+	time.Sleep(10 * time.Millisecond)
+	shutdown()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("receiver returned data after close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("receiver hung after close")
+	}
+}
+
+func TestTCPPeerDeathFailsSubsequentRecv(t *testing.T) {
+	eps, shutdown, err := NewTCPGroup(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	// Kill rank 2 only.
+	if err := eps[2].Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := eps[0].Recv(2, 0)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("recv from dead peer returned data")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("recv from dead peer hung")
+	}
+	// Traffic between surviving ranks still works.
+	if err := eps[0].Send(1, 3, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := eps[1].Recv(0, 3)
+	if err != nil || got[0] != 1 {
+		t.Errorf("survivor traffic broken: %v %v", got, err)
+	}
+}
+
+func TestTCPDoubleCloseIsSafe(t *testing.T) {
+	eps, shutdown, err := NewTCPGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[0].Close(); err != nil {
+		t.Errorf("second close errored: %v", err)
+	}
+	shutdown() // includes already-closed endpoints
+}
+
+func TestFabricSendAfterCloseErrors(t *testing.T) {
+	f := NewFabric(2)
+	f.Close()
+	if err := f.Endpoint(0).Send(1, 0, []float64{1}); err != ErrClosed {
+		t.Errorf("send after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestBarrierUnblocksOnClose(t *testing.T) {
+	f := NewFabric(3)
+	done := make(chan error, 1)
+	go func() {
+		done <- f.Endpoint(1).Barrier()
+	}()
+	time.Sleep(10 * time.Millisecond)
+	f.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("barrier succeeded with missing participants after close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("barrier hung after close")
+	}
+}

@@ -1,0 +1,88 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDefaults(t *testing.T) {
+	e, err := Read(strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Nodes != 20 || e.Phases != 600 || e.Policy != "filtered" ||
+		e.TotalPlanes != 400 || e.PlanePoints != 4000 || e.Workload.Type != "dedicated" {
+		t.Errorf("defaults wrong: %+v", e)
+	}
+	cfg, err := e.BuildConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("built config invalid: %v", err)
+	}
+}
+
+func TestWorkloads(t *testing.T) {
+	cases := []string{
+		`{"workload":{"type":"fixed-slow","slow_nodes":[3,9]}}`,
+		`{"workload":{"type":"fixed-slow","slow_count":2}}`,
+		`{"workload":{"type":"duty-cycle","node":5,"duty":0.7}}`,
+		`{"workload":{"type":"spikes","spike_seconds":2}}`,
+	}
+	for _, c := range cases {
+		e, err := Read(strings.NewReader(c))
+		if err != nil {
+			t.Errorf("%s: %v", c, err)
+			continue
+		}
+		traces, err := e.BuildTraces()
+		if err != nil {
+			t.Errorf("%s: %v", c, err)
+			continue
+		}
+		if len(traces) != e.Nodes {
+			t.Errorf("%s: %d traces for %d nodes", c, len(traces), e.Nodes)
+		}
+	}
+}
+
+func TestRejections(t *testing.T) {
+	cases := []string{
+		`{"policy":"bogus"}`,
+		`{"workload":{"type":"weird"}}`,
+		`{"workload":{"type":"duty-cycle","duty":1.5}}`,
+		`{"workload":{"type":"spikes","spike_seconds":0}}`,
+		`{"workload":{"type":"spikes","spike_seconds":99}}`,
+		`{"unknown_field": 3}`,
+		`{nonsense`,
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("%s: accepted", c)
+		}
+	}
+	e, _ := Read(strings.NewReader(`{"workload":{"type":"fixed-slow","slow_nodes":[99]}}`))
+	if _, err := e.BuildTraces(); err == nil {
+		t.Error("out-of-range slow node accepted")
+	}
+}
+
+func TestReadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "exp.json")
+	if err := os.WriteFile(path, []byte(`{"phases": 42, "policy": "global"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Phases != 42 || e.Policy != "global" {
+		t.Errorf("loaded %+v", e)
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,27 @@
+package core_test
+
+import (
+	"fmt"
+
+	"microslip/internal/core"
+)
+
+// A 3x-slow middle node sheds nearly all of its planes in one filtered
+// remapping round (over-redistribution), while its fast neighbors are
+// forbidden from feeding it.
+func ExampleConfig_DecideAll() {
+	cfg := core.DefaultConfig(4000) // 200 x 20 lattice planes
+
+	planes := []int{20, 20, 20}
+	// Predicted next-phase times: node 1 is three times slower.
+	predicted := []float64{0.4, 1.2, 0.4}
+
+	desires := cfg.DecideAll(planes, predicted)
+	transfers := cfg.Resolve(desires, planes)
+	for _, tr := range transfers {
+		fmt.Printf("move %d planes from node %d to node %d\n", tr.Planes, tr.From, tr.To)
+	}
+	// Output:
+	// move 9 planes from node 1 to node 0
+	// move 9 planes from node 1 to node 2
+}

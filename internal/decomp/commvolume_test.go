@@ -1,0 +1,97 @@
+package decomp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// For the paper's elongated microchannel (400 x 200 x 20) on 20 nodes,
+// the slice halo volume is within 2x of the best box — close enough
+// that the slice's structural advantages (2 contiguous messages, the
+// linear remapping chain) dominate. For a cubic domain the volume gap
+// blows up and the trade flips.
+func TestSliceCompetitiveForPaperGeometry(t *testing.T) {
+	nx, ny, nz, p := 400, 200, 20, 20
+	slice := SliceHaloCells(nx, ny, nz, p)
+	box := BoxHaloCells(nx, ny, nz, p)
+	if slice != 2*200*20 {
+		t.Errorf("slice halo = %d, want 8000", slice)
+	}
+	if float64(slice) > 2*float64(box) {
+		t.Errorf("slice halo %d more than 2x the best box %d; geometry argument broken", slice, box)
+	}
+	// The slice costs only 2 messages; the best box needs 4.
+	ms, mb, _ := Messages(nx, ny, nz, p)
+	if ms != 2 || mb <= ms {
+		t.Errorf("messages slice %d box %d; slice should send fewer", ms, mb)
+	}
+	rep := DecompositionReport(nx, ny, nz, p)
+	if !strings.Contains(rep, "1-D slice") || !strings.Contains(rep, "remapping") {
+		t.Errorf("report incomplete:\n%s", rep)
+	}
+	// The cubic contrast: the same rank count on 128^3 makes slices
+	// ~3x worse than the paper-geometry ratio.
+	ratioPaper := float64(slice) / float64(box)
+	ratioCube := float64(SliceHaloCells(128, 128, 128, 20)) / float64(BoxHaloCells(128, 128, 128, 20))
+	if ratioCube <= ratioPaper {
+		t.Errorf("cubic domain ratio %.2f <= paper geometry ratio %.2f", ratioCube, ratioPaper)
+	}
+}
+
+// For a cubic domain at high rank counts, higher-dimensional
+// decompositions win — the standard result the paper's geometry
+// argument sidesteps.
+func TestCubeWinsForCubicDomain(t *testing.T) {
+	nx, ny, nz, p := 128, 128, 128, 64
+	slice := SliceHaloCells(nx, ny, nz, p)
+	cube := CubeHaloCells(nx, ny, nz, p)
+	if cube >= slice {
+		t.Errorf("cube halo %d >= slice %d for a cubic domain", cube, slice)
+	}
+}
+
+func TestGrid2DFactorization(t *testing.T) {
+	px, py := Grid2D(400, 200, 20, 20)
+	if px*py != 20 {
+		t.Fatalf("Grid2D factors %dx%d != 20", px, py)
+	}
+	// The volume-optimal box for the elongated channel is 5x4 (5,200
+	// halo cells), not 20x1: raw volume alone does not pick slices.
+	if px != 5 || py != 4 {
+		t.Errorf("Grid2D = %dx%d; expected the 5x4 volume optimum", px, py)
+	}
+}
+
+// Property: halo sizes are positive and the best 3-D decomposition is
+// never worse than the best 2-D one, which is never worse than the
+// slice (they are supersets of each other's search spaces).
+func TestDecompositionHierarchy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nx := 16 + rng.Intn(200)
+		ny := 16 + rng.Intn(200)
+		nz := 16 + rng.Intn(64)
+		p := 2 + rng.Intn(14)
+		if nx < p {
+			return true // slice infeasible; skip
+		}
+		slice := SliceHaloCells(nx, ny, nz, p)
+		box := BoxHaloCells(nx, ny, nz, p)
+		cube := CubeHaloCells(nx, ny, nz, p)
+		return cube <= box && box <= slice && cube > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSliceHaloPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for infeasible slice")
+		}
+	}()
+	SliceHaloCells(4, 10, 10, 8)
+}

@@ -1,0 +1,28 @@
+package decomp_test
+
+import (
+	"fmt"
+
+	"microslip/internal/decomp"
+)
+
+// Slice decomposition of the paper's 400-plane lattice over 4 ranks,
+// then a remapping round shifting planes toward the faster neighbors.
+func ExamplePartition_Apply() {
+	part := decomp.Even(400, 4)
+	fmt.Println("initial:", part.Counts())
+
+	next, err := part.Apply([]decomp.Transfer{
+		{From: 1, To: 0, Planes: 40},
+		{From: 1, To: 2, Planes: 45},
+	}, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("after:  ", next.Counts())
+	fmt.Println("plane 120 now belongs to rank", next.Owner(120))
+	// Output:
+	// initial: [100 100 100 100]
+	// after:   [140 15 145 100]
+	// plane 120 now belongs to rank 0
+}

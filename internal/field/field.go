@@ -1,0 +1,112 @@
+// Package field provides flat-array storage for three-dimensional scalar
+// fields and distribution-function fields, plus x-plane (slab) views used
+// by the slice domain decomposition.
+//
+// Layout: index (x, y, z) maps to ((x*NY)+y)*NZ + z, so a fixed-x plane is
+// one contiguous block of NY*NZ values. Distribution fields append the
+// velocity index as the fastest dimension. Contiguous x-planes make halo
+// exchange and lattice-point migration simple copies.
+package field
+
+import "fmt"
+
+// Scalar3D is a dense NX x NY x NZ field of float64.
+type Scalar3D struct {
+	NX, NY, NZ int
+	Data       []float64
+}
+
+// NewScalar3D allocates a zeroed scalar field.
+func NewScalar3D(nx, ny, nz int) *Scalar3D {
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		panic(fmt.Sprintf("field: invalid dimensions %dx%dx%d", nx, ny, nz))
+	}
+	return &Scalar3D{NX: nx, NY: ny, NZ: nz, Data: make([]float64, nx*ny*nz)}
+}
+
+// Idx returns the flat index of (x, y, z).
+func (s *Scalar3D) Idx(x, y, z int) int { return (x*s.NY+y)*s.NZ + z }
+
+// At returns the value at (x, y, z).
+func (s *Scalar3D) At(x, y, z int) float64 { return s.Data[(x*s.NY+y)*s.NZ+z] }
+
+// Set stores v at (x, y, z).
+func (s *Scalar3D) Set(x, y, z int, v float64) { s.Data[(x*s.NY+y)*s.NZ+z] = v }
+
+// PlaneSize returns the number of values in one fixed-x plane.
+func (s *Scalar3D) PlaneSize() int { return s.NY * s.NZ }
+
+// Plane returns the contiguous slice backing the fixed-x plane at x.
+func (s *Scalar3D) Plane(x int) []float64 {
+	p := s.PlaneSize()
+	return s.Data[x*p : (x+1)*p]
+}
+
+// Fill sets every value to v.
+func (s *Scalar3D) Fill(v float64) {
+	for i := range s.Data {
+		s.Data[i] = v
+	}
+}
+
+// Clone returns a deep copy.
+func (s *Scalar3D) Clone() *Scalar3D {
+	c := NewScalar3D(s.NX, s.NY, s.NZ)
+	copy(c.Data, s.Data)
+	return c
+}
+
+// Dist3D is a dense NX x NY x NZ x Q distribution-function field.
+type Dist3D struct {
+	NX, NY, NZ, Q int
+	Data          []float64
+}
+
+// NewDist3D allocates a zeroed distribution field with Q velocities.
+func NewDist3D(nx, ny, nz, q int) *Dist3D {
+	if nx <= 0 || ny <= 0 || nz <= 0 || q <= 0 {
+		panic(fmt.Sprintf("field: invalid dimensions %dx%dx%dx%d", nx, ny, nz, q))
+	}
+	return &Dist3D{NX: nx, NY: ny, NZ: nz, Q: q, Data: make([]float64, nx*ny*nz*q)}
+}
+
+// Idx returns the flat index of population i at (x, y, z).
+func (f *Dist3D) Idx(x, y, z, i int) int { return (((x*f.NY)+y)*f.NZ+z)*f.Q + i }
+
+// At returns population i at (x, y, z).
+func (f *Dist3D) At(x, y, z, i int) float64 { return f.Data[(((x*f.NY)+y)*f.NZ+z)*f.Q+i] }
+
+// Set stores population i at (x, y, z).
+func (f *Dist3D) Set(x, y, z, i int, v float64) { f.Data[(((x*f.NY)+y)*f.NZ+z)*f.Q+i] = v }
+
+// Cell returns the contiguous Q-slice of populations at (x, y, z).
+func (f *Dist3D) Cell(x, y, z int) []float64 {
+	base := (((x*f.NY)+y)*f.NZ + z) * f.Q
+	return f.Data[base : base+f.Q]
+}
+
+// PlaneSize returns the number of values in one fixed-x plane (NY*NZ*Q).
+func (f *Dist3D) PlaneSize() int { return f.NY * f.NZ * f.Q }
+
+// Plane returns the contiguous slice backing the fixed-x plane at x.
+func (f *Dist3D) Plane(x int) []float64 {
+	p := f.PlaneSize()
+	return f.Data[x*p : (x+1)*p]
+}
+
+// Clone returns a deep copy.
+func (f *Dist3D) Clone() *Dist3D {
+	c := NewDist3D(f.NX, f.NY, f.NZ, f.Q)
+	copy(c.Data, f.Data)
+	return c
+}
+
+// TotalMass returns the sum of all populations (the total mass when the
+// molecular mass is 1).
+func (f *Dist3D) TotalMass() float64 {
+	var m float64
+	for _, v := range f.Data {
+		m += v
+	}
+	return m
+}

@@ -1,0 +1,97 @@
+package field
+
+import "fmt"
+
+// Slab stores the x-planes a worker currently owns, one independently
+// allocated plane per lattice x-index. Because each plane is its own
+// slice, migrating a plane between neighbouring workers is a slice
+// handoff (or a single contiguous network write), which is exactly the
+// unit of transfer used by the dynamic remapping schemes: the minimal
+// migration is one 2-D plane (Section 3.4 of the paper).
+//
+// A Slab covers the global x-range [Start, Start+len(Planes)). Ghost
+// planes received from neighbours are held separately by the runner.
+type Slab struct {
+	NY, NZ, Q int // Q == 1 for scalar slabs
+	Start     int // global x index of Planes[0]
+	Planes    [][]float64
+}
+
+// NewSlab allocates a slab covering global x-range [start, start+count).
+func NewSlab(ny, nz, q, start, count int) *Slab {
+	if ny <= 0 || nz <= 0 || q <= 0 || count < 0 {
+		panic(fmt.Sprintf("field: invalid slab %dx%dx%d count %d", ny, nz, q, count))
+	}
+	s := &Slab{NY: ny, NZ: nz, Q: q, Start: start, Planes: make([][]float64, count)}
+	for i := range s.Planes {
+		s.Planes[i] = make([]float64, ny*nz*q)
+	}
+	return s
+}
+
+// PlaneSize returns the number of float64 values in one plane.
+func (s *Slab) PlaneSize() int { return s.NY * s.NZ * s.Q }
+
+// Count returns the number of planes currently owned.
+func (s *Slab) Count() int { return len(s.Planes) }
+
+// End returns the exclusive global end index Start+Count().
+func (s *Slab) End() int { return s.Start + len(s.Planes) }
+
+// Plane returns the plane at global x index gx.
+func (s *Slab) Plane(gx int) []float64 {
+	return s.Planes[gx-s.Start]
+}
+
+// At returns value (y, z, i) within the plane at global x index gx.
+func (s *Slab) At(gx, y, z, i int) float64 {
+	return s.Planes[gx-s.Start][(y*s.NZ+z)*s.Q+i]
+}
+
+// Set stores value (y, z, i) within the plane at global x index gx.
+func (s *Slab) Set(gx, y, z, i int, v float64) {
+	s.Planes[gx-s.Start][(y*s.NZ+z)*s.Q+i] = v
+}
+
+// PopLeft removes and returns the n leftmost planes; Start advances by n.
+func (s *Slab) PopLeft(n int) [][]float64 {
+	if n < 0 || n > len(s.Planes) {
+		panic(fmt.Sprintf("field: PopLeft(%d) from slab of %d planes", n, len(s.Planes)))
+	}
+	out := s.Planes[:n:n]
+	s.Planes = s.Planes[n:]
+	s.Start += n
+	return out
+}
+
+// PopRight removes and returns the n rightmost planes (in ascending x order).
+func (s *Slab) PopRight(n int) [][]float64 {
+	if n < 0 || n > len(s.Planes) {
+		panic(fmt.Sprintf("field: PopRight(%d) from slab of %d planes", n, len(s.Planes)))
+	}
+	k := len(s.Planes) - n
+	out := s.Planes[k:len(s.Planes):len(s.Planes)]
+	s.Planes = s.Planes[:k]
+	return out
+}
+
+// PushLeft prepends planes (in ascending x order); Start retreats.
+func (s *Slab) PushLeft(planes [][]float64) {
+	for _, p := range planes {
+		if len(p) != s.PlaneSize() {
+			panic(fmt.Sprintf("field: PushLeft plane size %d, want %d", len(p), s.PlaneSize()))
+		}
+	}
+	s.Planes = append(append(make([][]float64, 0, len(planes)+len(s.Planes)), planes...), s.Planes...)
+	s.Start -= len(planes)
+}
+
+// PushRight appends planes (in ascending x order).
+func (s *Slab) PushRight(planes [][]float64) {
+	for _, p := range planes {
+		if len(p) != s.PlaneSize() {
+			panic(fmt.Sprintf("field: PushRight plane size %d, want %d", len(p), s.PlaneSize()))
+		}
+	}
+	s.Planes = append(s.Planes, planes...)
+}

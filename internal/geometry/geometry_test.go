@@ -1,0 +1,128 @@
+package geometry
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestChannelSolidLayers(t *testing.T) {
+	c := NewChannel(10, 6, 5)
+	for y := 0; y < 6; y++ {
+		for z := 0; z < 5; z++ {
+			want := y == 0 || y == 5 || z == 0 || z == 4
+			if c.IsSolid(y, z) != want {
+				t.Errorf("IsSolid(%d,%d) = %v, want %v", y, z, c.IsSolid(y, z), want)
+			}
+		}
+	}
+	if c.FluidCount() != 4*3 {
+		t.Errorf("FluidCount = %d, want 12", c.FluidCount())
+	}
+}
+
+func TestNewChannelPanicsWhenTooThin(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for NZ < 3")
+		}
+	}()
+	NewChannel(10, 6, 2)
+}
+
+func TestWallDistances(t *testing.T) {
+	c := NewChannel(4, 8, 8)
+	d, in := c.WallDistanceY(1)
+	if d != 0.5 || in != 1 {
+		t.Errorf("WallDistanceY(1) = %v,%d, want 0.5,+1", d, in)
+	}
+	d, in = c.WallDistanceY(6)
+	if d != 0.5 || in != -1 {
+		t.Errorf("WallDistanceY(6) = %v,%d, want 0.5,-1", d, in)
+	}
+	// Symmetric pair equidistant from both walls.
+	d3, _ := c.WallDistanceY(3)
+	d4, _ := c.WallDistanceY(4)
+	if d3 != d4 {
+		t.Errorf("symmetric distances differ: %v vs %v", d3, d4)
+	}
+}
+
+func TestWallForceProfileSymmetry(t *testing.T) {
+	c := NewChannel(4, 10, 8)
+	p := NewWallForceProfile(c, 0.2, 2.0)
+	// Antisymmetric in y about the centerline, antisymmetric in z.
+	for y := 1; y < 9; y++ {
+		for z := 1; z < 7; z++ {
+			fy, fz := p.At(y, z)
+			fyM, fzM := p.At(9-y, z)
+			if math.Abs(fy+fyM) > 1e-14 {
+				t.Errorf("Fy not antisymmetric at y=%d z=%d: %v vs %v", y, z, fy, fyM)
+			}
+			_, fzZM := p.At(y, 7-z)
+			if math.Abs(fz+fzZM) > 1e-14 {
+				t.Errorf("Fz not antisymmetric at y=%d z=%d", y, z)
+			}
+			_ = fzM
+		}
+	}
+	// Near the low-y wall the force points inward (+y) and dominates.
+	fy, _ := p.At(1, 4)
+	if fy <= 0 {
+		t.Errorf("Fy near low wall = %v, want > 0", fy)
+	}
+	// Force decays monotonically away from the wall in the near-wall half.
+	prev := math.Inf(1)
+	for y := 1; y <= 4; y++ {
+		fy, _ := p.At(y, 4)
+		if fy >= prev {
+			t.Errorf("wall force not decaying at y=%d: %v >= %v", y, fy, prev)
+		}
+		prev = fy
+	}
+	// Solid nodes carry no force.
+	fy, fz := p.At(0, 4)
+	if fy != 0 || fz != 0 {
+		t.Errorf("solid node force = %v,%v, want 0,0", fy, fz)
+	}
+}
+
+// Property: wall force magnitude equals amp*(exp(-dLow/l)-exp(-dHigh/l))
+// for any fluid node.
+func TestWallForceFormula(t *testing.T) {
+	c := NewChannel(4, 16, 8)
+	amp, decay := 0.2, 2.0
+	p := NewWallForceProfile(c, amp, decay)
+	f := func(yRaw, zRaw uint8) bool {
+		y := 1 + int(yRaw)%(c.NY-2)
+		z := 1 + int(zRaw)%(c.NZ-2)
+		fy, _ := p.At(y, z)
+		dLow := float64(y) - 0.5
+		dHigh := float64(c.NY-1) - 0.5 - float64(y)
+		want := amp * (math.Exp(-dLow/decay) - math.Exp(-dHigh/decay))
+		return math.Abs(fy-want) < 1e-14
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaskStamping(t *testing.T) {
+	c := NewChannel(4, 8, 8)
+	m := NewMask(c)
+	if m.FluidCount() != c.FluidCount() {
+		t.Fatalf("fresh mask fluid count %d != channel %d", m.FluidCount(), c.FluidCount())
+	}
+	m.StampRect(3, 4, 3, 4)
+	if !m.IsSolid(3, 3) || !m.IsSolid(4, 4) {
+		t.Error("StampRect did not mark interior solid")
+	}
+	if m.FluidCount() != c.FluidCount()-4 {
+		t.Errorf("FluidCount after stamp = %d, want %d", m.FluidCount(), c.FluidCount()-4)
+	}
+	// Clamping: out-of-range rect must not panic.
+	m.StampRect(-5, 100, -5, 100)
+	if m.FluidCount() != 0 {
+		t.Errorf("full stamp left %d fluid nodes", m.FluidCount())
+	}
+}

@@ -1,0 +1,100 @@
+// Package lattice defines the discrete velocity sets used by the lattice
+// Boltzmann kernels: the three-dimensional D3Q19 stencil used for the
+// microchannel simulation (Figure 1 of the paper) and a two-dimensional
+// D2Q9 stencil used for fast validation runs and tests.
+//
+// Conventions shared by both stencils:
+//
+//   - direction 0 is the rest velocity;
+//   - Opposite[i] gives the direction with e_opp = -e_i (bounce-back);
+//   - the weights satisfy the usual isotropy identities with lattice
+//     sound speed c_s^2 = 1/3 (verified by property tests).
+package lattice
+
+// Q19 is the number of discrete velocities in the D3Q19 stencil.
+const Q19 = 19
+
+// Q9 is the number of discrete velocities in the D2Q9 stencil.
+const Q9 = 9
+
+// CS2 is the squared lattice sound speed c_s^2 shared by D3Q19 and D2Q9.
+const CS2 = 1.0 / 3.0
+
+// D3Q19 velocity components. Direction groups:
+//
+//	0      : rest
+//	1..6   : face neighbours (weight 1/18)
+//	7..18  : edge neighbours (weight 1/36)
+//
+// The set of directions with Ex > 0 ({1,7,9,11,13}) is the data a node
+// must send to its right (+x) neighbour under slice decomposition, and
+// Ex < 0 ({2,8,10,12,14}) goes to the left neighbour, exactly as in
+// Section 2.2 of the paper.
+var (
+	Ex = [Q19]int{0, 1, -1, 0, 0, 0, 0, 1, -1, 1, -1, 1, -1, 1, -1, 0, 0, 0, 0}
+	Ey = [Q19]int{0, 0, 0, 1, -1, 0, 0, 1, -1, -1, 1, 0, 0, 0, 0, 1, -1, 1, -1}
+	Ez = [Q19]int{0, 0, 0, 0, 0, 1, -1, 0, 0, 0, 0, 1, -1, -1, 1, 1, -1, -1, 1}
+)
+
+// W holds the D3Q19 quadrature weights.
+var W = [Q19]float64{
+	1.0 / 3.0,
+	1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0, 1.0 / 18.0,
+	1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0,
+	1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0,
+}
+
+// Opposite maps each D3Q19 direction to its reverse.
+var Opposite = [Q19]int{0, 2, 1, 4, 3, 6, 5, 8, 7, 10, 9, 12, 11, 14, 13, 16, 15, 18, 17}
+
+// RightGoing lists the D3Q19 directions with Ex > 0; these populations
+// cross the +x subdomain boundary during streaming.
+var RightGoing = [5]int{1, 7, 9, 11, 13}
+
+// LeftGoing lists the D3Q19 directions with Ex < 0.
+var LeftGoing = [5]int{2, 8, 10, 12, 14}
+
+// D2Q9 velocity components (directions 0 rest, 1..4 axis, 5..8 diagonal).
+var (
+	Ex9 = [Q9]int{0, 1, -1, 0, 0, 1, -1, 1, -1}
+	Ey9 = [Q9]int{0, 0, 0, 1, -1, 1, -1, -1, 1}
+)
+
+// W9 holds the D2Q9 quadrature weights.
+var W9 = [Q9]float64{
+	4.0 / 9.0,
+	1.0 / 9.0, 1.0 / 9.0, 1.0 / 9.0, 1.0 / 9.0,
+	1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0, 1.0 / 36.0,
+}
+
+// Opposite9 maps each D2Q9 direction to its reverse.
+var Opposite9 = [Q9]int{0, 2, 1, 4, 3, 6, 5, 8, 7}
+
+// Equilibrium computes the D3Q19 BGK equilibrium distribution for density
+// rho and velocity (ux, uy, uz), writing the Q19 populations into feq.
+//
+//	f_i^eq = w_i rho [1 + 3 e.u + 9/2 (e.u)^2 - 3/2 u.u]
+func Equilibrium(rho, ux, uy, uz float64, feq *[Q19]float64) {
+	usq := 1.5 * (ux*ux + uy*uy + uz*uz)
+	for i := 0; i < Q19; i++ {
+		eu := float64(Ex[i])*ux + float64(Ey[i])*uy + float64(Ez[i])*uz
+		feq[i] = W[i] * rho * (1 + 3*eu + 4.5*eu*eu - usq)
+	}
+}
+
+// Equilibrium9 computes the D2Q9 BGK equilibrium distribution.
+func Equilibrium9(rho, ux, uy float64, feq *[Q9]float64) {
+	usq := 1.5 * (ux*ux + uy*uy)
+	for i := 0; i < Q9; i++ {
+		eu := float64(Ex9[i])*ux + float64(Ey9[i])*uy
+		feq[i] = W9[i] * rho * (1 + 3*eu + 4.5*eu*eu - usq)
+	}
+}
+
+// Viscosity returns the dimensionless kinematic viscosity implied by the
+// BGK relaxation time tau: nu = c_s^2 (tau - 1/2).
+func Viscosity(tau float64) float64 { return CS2 * (tau - 0.5) }
+
+// TauForViscosity returns the relaxation time that yields kinematic
+// viscosity nu: tau = nu/c_s^2 + 1/2.
+func TauForViscosity(nu float64) float64 { return nu/CS2 + 0.5 }

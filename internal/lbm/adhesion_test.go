@@ -1,0 +1,98 @@
+package lbm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWallAdhesionValidation(t *testing.T) {
+	p := WaterAir(6, 10, 8)
+	p.WallAdhesion = []float64{0.1}
+	if err := p.Validate(); err == nil {
+		t.Error("wrong-length adhesion accepted")
+	}
+	p.WallAdhesion = []float64{0.1, 0}
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid adhesion rejected: %v", err)
+	}
+}
+
+// Adhesion-based hydrophobicity: repulsive solid-fluid interaction on
+// the water alone depletes it near the walls, like the paper's explicit
+// wall force but without a hand-tuned decay profile.
+func TestAdhesionDepletesWater(t *testing.T) {
+	p := WaterAir(4, 24, 10)
+	p.WallForceComp = -1 // disable the explicit wall force
+	p.WallAdhesion = []float64{0.3, 0}
+	s, err := NewSim(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(800)
+	if err := s.CheckFinite(); err != nil {
+		t.Fatal(err)
+	}
+	wall := s.Density(0, 0, 1, p.NZ/2)
+	bulk := s.Density(0, 0, p.NY/2, p.NZ/2)
+	if wall >= 0.97*bulk {
+		t.Errorf("adhesion produced no depletion: wall %.4f vs bulk %.4f", wall, bulk)
+	}
+}
+
+// Negative adhesion wets the surface: density rises at the wall.
+func TestNegativeAdhesionWetsWall(t *testing.T) {
+	p := SingleFluid(4, 20, 10, 1.0, 0)
+	p.WallAdhesion = []float64{-0.15}
+	s, err := NewSim(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(500)
+	if err := s.CheckFinite(); err != nil {
+		t.Fatal(err)
+	}
+	wall := s.Density(0, 0, 1, p.NZ/2)
+	bulk := s.Density(0, 0, p.NY/2, p.NZ/2)
+	if wall <= 1.02*bulk {
+		t.Errorf("wetting adhesion gave wall %.4f vs bulk %.4f", wall, bulk)
+	}
+}
+
+func TestAdhesionConservesMass(t *testing.T) {
+	p := WaterAir(4, 16, 8)
+	p.WallAdhesion = []float64{0.05, -0.02}
+	s, err := NewSim(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := [2]float64{s.TotalMass(0), s.TotalMass(1)}
+	s.Run(50)
+	for c := 0; c < 2; c++ {
+		if m := s.TotalMass(c); math.Abs(m-m0[c]) > 1e-9*m0[c] {
+			t.Errorf("component %d mass %v -> %v", c, m0[c], m)
+		}
+	}
+}
+
+// The adhesion force acts on obstacle surfaces too (the precomputed
+// direction sums come from the full mask).
+func TestAdhesionActsOnObstacles(t *testing.T) {
+	p := SingleFluid(4, 20, 10, 1.0, 0)
+	p.Obstacles = []Obstacle{{Y0: 9, Y1: 10, Z0: 4, Z1: 5}}
+	p.WallAdhesion = []float64{0.3}
+	s, err := NewSim(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(400)
+	if err := s.CheckFinite(); err != nil {
+		t.Fatal(err)
+	}
+	// The fluid node right next to the obstacle is depleted relative to
+	// one far from any solid.
+	near := s.Density(0, 0, 8, 4)
+	far := s.Density(0, 0, 5, 7)
+	if near >= 0.98*far {
+		t.Errorf("no depletion at obstacle surface: near %.4f vs far %.4f", near, far)
+	}
+}

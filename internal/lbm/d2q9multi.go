@@ -1,0 +1,301 @@
+package lbm
+
+import (
+	"fmt"
+	"math"
+
+	"microslip/internal/lattice"
+)
+
+// Params2D configures the two-dimensional multicomponent solver: a
+// channel periodic in x with bounce-back walls bounding y. It is the
+// D2Q9 analogue of the 3-D model — same S-C coupling, hydrophobic wall
+// force, and body-force driving — and exists for cheap parameter
+// sweeps (e.g. slip vs wall-force amplitude) where the third dimension
+// adds cost but no physics.
+type Params2D struct {
+	NX, NY     int
+	Components []Component
+	G          [][]float64
+	// WallForceAmp/Decay/Comp mirror the 3-D parameters; the force acts
+	// along y from both walls.
+	WallForceAmp   float64
+	WallForceDecay float64
+	WallForceComp  int
+	BodyForce      [2]float64
+	RhoMin         float64
+}
+
+// WaterAir2D returns the 2-D analogue of the paper's water/air setup.
+func WaterAir2D(nx, ny int) *Params2D {
+	return &Params2D{
+		NX: nx, NY: ny,
+		Components: []Component{
+			{Name: "water", Tau: 1.0, Mass: 1.0, InitDensity: 1.0},
+			{Name: "air", Tau: 1.0, Mass: 1.0, InitDensity: 0.05},
+		},
+		G:              [][]float64{{0, 0.3}, {0.3, 0}},
+		WallForceAmp:   0.2,
+		WallForceDecay: 2.0,
+		WallForceComp:  0,
+		BodyForce:      [2]float64{1e-5, 0},
+		RhoMin:         1e-12,
+	}
+}
+
+// Validate checks the 2-D parameters.
+func (p *Params2D) Validate() error {
+	if p.NX < 1 || p.NY < 3 {
+		return fmt.Errorf("lbm: 2-D domain %dx%d too small", p.NX, p.NY)
+	}
+	if len(p.Components) == 0 {
+		return fmt.Errorf("lbm: no components")
+	}
+	for i, c := range p.Components {
+		if c.Tau <= 0.5 || c.Mass <= 0 || c.InitDensity < 0 {
+			return fmt.Errorf("lbm: component %d invalid (tau %v, mass %v, density %v)",
+				i, c.Tau, c.Mass, c.InitDensity)
+		}
+	}
+	if len(p.G) != len(p.Components) {
+		return fmt.Errorf("lbm: G has %d rows for %d components", len(p.G), len(p.Components))
+	}
+	for i, row := range p.G {
+		if len(row) != len(p.Components) {
+			return fmt.Errorf("lbm: G row %d has %d entries", i, len(row))
+		}
+		for j := range row {
+			if p.G[i][j] != p.G[j][i] {
+				return fmt.Errorf("lbm: G not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	if p.WallForceComp >= len(p.Components) {
+		return fmt.Errorf("lbm: wall force component %d out of range", p.WallForceComp)
+	}
+	if p.WallForceComp >= 0 && p.WallForceDecay <= 0 {
+		return fmt.Errorf("lbm: wall force decay %v", p.WallForceDecay)
+	}
+	return nil
+}
+
+// SimMulti2D is the sequential 2-D multicomponent solver.
+type SimMulti2D struct {
+	P *Params2D
+
+	f, fPost [][]float64 // per component, (x*NY+y)*Q9+i
+	n        [][]float64 // per component, x*NY+y
+	wallFy   []float64   // per y
+	step     int
+}
+
+// NewSimMulti2D allocates and initializes a uniform mixture at rest.
+func NewSimMulti2D(p *Params2D) (*SimMulti2D, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	nc := len(p.Components)
+	s := &SimMulti2D{P: p,
+		f:      make([][]float64, nc),
+		fPost:  make([][]float64, nc),
+		n:      make([][]float64, nc),
+		wallFy: make([]float64, p.NY),
+	}
+	var feq [lattice.Q9]float64
+	for c := 0; c < nc; c++ {
+		s.f[c] = make([]float64, p.NX*p.NY*lattice.Q9)
+		s.fPost[c] = make([]float64, p.NX*p.NY*lattice.Q9)
+		s.n[c] = make([]float64, p.NX*p.NY)
+		lattice.Equilibrium9(p.Components[c].InitDensity, 0, 0, &feq)
+		for x := 0; x < p.NX; x++ {
+			for y := 1; y < p.NY-1; y++ {
+				copy(s.f[c][s.base(x, y):s.base(x, y)+lattice.Q9], feq[:])
+			}
+		}
+	}
+	if p.WallForceComp >= 0 {
+		for y := 1; y < p.NY-1; y++ {
+			dLow := float64(y) - 0.5
+			dHigh := float64(p.NY-1) - 0.5 - float64(y)
+			s.wallFy[y] = p.WallForceAmp *
+				(math.Exp(-dLow/p.WallForceDecay) - math.Exp(-dHigh/p.WallForceDecay))
+		}
+	}
+	return s, nil
+}
+
+func (s *SimMulti2D) base(x, y int) int { return (x*s.P.NY + y) * lattice.Q9 }
+
+func (s *SimMulti2D) solid(y int) bool { return y == 0 || y == s.P.NY-1 }
+
+// Step advances one phase: densities, S-C forces + collision, then
+// streaming with bounce-back.
+func (s *SimMulti2D) Step() {
+	p := s.P
+	nc := len(p.Components)
+	// Densities.
+	for c := 0; c < nc; c++ {
+		for x := 0; x < p.NX; x++ {
+			for y := 1; y < p.NY-1; y++ {
+				b := s.base(x, y)
+				var sum float64
+				for i := 0; i < lattice.Q9; i++ {
+					sum += s.f[c][b+i]
+				}
+				s.n[c][x*p.NY+y] = sum
+			}
+		}
+	}
+	var feq [lattice.Q9]float64
+	grads := make([][2]float64, nc)
+	mom := make([][2]float64, nc)
+	nHere := make([]float64, nc)
+	for x := 0; x < p.NX; x++ {
+		for y := 1; y < p.NY-1; y++ {
+			b := s.base(x, y)
+			var num [2]float64
+			var den float64
+			for c := 0; c < nc; c++ {
+				var px, py float64
+				for i := 1; i < lattice.Q9; i++ {
+					v := s.f[c][b+i]
+					px += v * float64(lattice.Ex9[i])
+					py += v * float64(lattice.Ey9[i])
+				}
+				mom[c] = [2]float64{px, py}
+				nHere[c] = s.n[c][x*p.NY+y]
+				mt := p.Components[c].Mass / p.Components[c].Tau
+				num[0] += mt * px
+				num[1] += mt * py
+				den += mt * nHere[c]
+
+				var g [2]float64
+				for i := 1; i < lattice.Q9; i++ {
+					sy := y + lattice.Ey9[i]
+					if s.solid(sy) {
+						continue
+					}
+					sx := (x + lattice.Ex9[i] + p.NX) % p.NX
+					w := lattice.W9[i] * s.n[c][sx*p.NY+sy]
+					g[0] += w * float64(lattice.Ex9[i])
+					g[1] += w * float64(lattice.Ey9[i])
+				}
+				grads[c] = g
+			}
+			var ux, uy float64
+			if den > p.RhoMin {
+				ux, uy = num[0]/den, num[1]/den
+			}
+			for c := 0; c < nc; c++ {
+				comp := p.Components[c]
+				rho := comp.Mass * nHere[c]
+				var fx, fy float64
+				for c2 := 0; c2 < nc; c2++ {
+					gcc := p.G[c][c2] * p.Components[c2].Mass
+					if gcc == 0 {
+						continue
+					}
+					fx -= rho * gcc * grads[c2][0]
+					fy -= rho * gcc * grads[c2][1]
+				}
+				if c == p.WallForceComp {
+					fy += rho * s.wallFy[y]
+				}
+				fx += rho * p.BodyForce[0]
+				fy += rho * p.BodyForce[1]
+				ueqx, ueqy := ux, uy
+				if rho > p.RhoMin {
+					sc := comp.Tau / rho
+					ueqx += sc * fx
+					ueqy += sc * fy
+				}
+				lattice.Equilibrium9(nHere[c], ueqx, ueqy, &feq)
+				it := 1 / comp.Tau
+				for i := 0; i < lattice.Q9; i++ {
+					v := s.f[c][b+i]
+					s.fPost[c][b+i] = v - (v-feq[i])*it
+				}
+			}
+		}
+	}
+	// Streaming with bounce-back.
+	for c := 0; c < nc; c++ {
+		for x := 0; x < p.NX; x++ {
+			for y := 1; y < p.NY-1; y++ {
+				b := s.base(x, y)
+				for i := 0; i < lattice.Q9; i++ {
+					sy := y - lattice.Ey9[i]
+					if s.solid(sy) {
+						s.f[c][b+i] = s.fPost[c][b+lattice.Opposite9[i]]
+						continue
+					}
+					sx := (x - lattice.Ex9[i] + p.NX) % p.NX
+					s.f[c][b+i] = s.fPost[c][s.base(sx, sy)+i]
+				}
+			}
+		}
+	}
+	s.step++
+}
+
+// Run advances n steps.
+func (s *SimMulti2D) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// StepCount returns the completed steps.
+func (s *SimMulti2D) StepCount() int { return s.step }
+
+// Density returns component c's mass density at (x, y).
+func (s *SimMulti2D) Density(c, x, y int) float64 {
+	b := s.base(x, y)
+	var sum float64
+	for i := 0; i < lattice.Q9; i++ {
+		sum += s.f[c][b+i]
+	}
+	return sum * s.P.Components[c].Mass
+}
+
+// Ux returns the barycentric streamwise velocity at (x, y).
+func (s *SimMulti2D) Ux(x, y int) float64 {
+	if s.solid(y) {
+		return 0
+	}
+	b := s.base(x, y)
+	var m, px float64
+	for c := range s.P.Components {
+		mass := s.P.Components[c].Mass
+		for i := 0; i < lattice.Q9; i++ {
+			v := s.f[c][b+i] * mass
+			m += v
+			px += v * float64(lattice.Ex9[i])
+		}
+	}
+	if m <= s.P.RhoMin {
+		return 0
+	}
+	return px / m
+}
+
+// TotalMass returns component c's total mass.
+func (s *SimMulti2D) TotalMass(c int) float64 {
+	var m float64
+	for _, v := range s.f[c] {
+		m += v
+	}
+	return m * s.P.Components[c].Mass
+}
+
+// CheckFinite fails fast on numerical blow-up.
+func (s *SimMulti2D) CheckFinite() error {
+	for c := range s.f {
+		for i, v := range s.f[c] {
+			if v != v {
+				return fmt.Errorf("lbm: NaN in 2-D component %d index %d at step %d", c, i, s.step)
+			}
+		}
+	}
+	return nil
+}

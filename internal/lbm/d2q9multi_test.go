@@ -1,0 +1,112 @@
+package lbm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParams2DValidate(t *testing.T) {
+	if err := WaterAir2D(16, 24).Validate(); err != nil {
+		t.Fatalf("default 2-D params invalid: %v", err)
+	}
+	cases := []func(*Params2D){
+		func(p *Params2D) { p.NY = 2 },
+		func(p *Params2D) { p.Components = nil },
+		func(p *Params2D) { p.Components[0].Tau = 0.4 },
+		func(p *Params2D) { p.G = p.G[:1] },
+		func(p *Params2D) { p.G[0][1] = 9 },
+		func(p *Params2D) { p.WallForceComp = 4 },
+		func(p *Params2D) { p.WallForceDecay = 0 },
+	}
+	for i, mutate := range cases {
+		p := WaterAir2D(16, 24)
+		mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestMulti2DMassConservation(t *testing.T) {
+	s, err := NewSimMulti2D(WaterAir2D(12, 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := [2]float64{s.TotalMass(0), s.TotalMass(1)}
+	s.Run(50)
+	for c := 0; c < 2; c++ {
+		if m := s.TotalMass(c); math.Abs(m-m0[c]) > 1e-9*m0[c] {
+			t.Errorf("2-D component %d mass %v -> %v", c, m0[c], m)
+		}
+	}
+	if err := s.CheckFinite(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The 2-D model shows the same slip physics as the 3-D one: water
+// depletion, air enrichment, and apparent slip versus the force-free
+// run.
+func TestMulti2DSlipEmerges(t *testing.T) {
+	run := func(withForce bool) *SimMulti2D {
+		p := WaterAir2D(8, 48)
+		if !withForce {
+			p.WallForceComp = -1
+		}
+		s, err := NewSimMulti2D(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(2500)
+		if err := s.CheckFinite(); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	forced := run(true)
+	free := run(false)
+	yc := forced.P.NY / 2
+	if w, b := forced.Density(0, 0, 1), forced.Density(0, 0, yc); w >= 0.95*b {
+		t.Errorf("no 2-D water depletion: wall %.4f bulk %.4f", w, b)
+	}
+	if a, b := forced.Density(1, 0, 1), forced.Density(1, 0, yc); a <= 1.05*b {
+		t.Errorf("no 2-D air enrichment: wall %.5f bulk %.5f", a, b)
+	}
+	uf := forced.Ux(0, 1) / forced.Ux(0, yc)
+	u0 := free.Ux(0, 1) / free.Ux(0, yc)
+	if uf <= u0 {
+		t.Errorf("no 2-D slip: %.4f (forced) vs %.4f (free)", uf, u0)
+	}
+}
+
+// Single-component 2-D multicomponent solver reduces to the plain D2Q9
+// Poiseuille solution.
+func TestMulti2DReducesToPoiseuille(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs thousands of steps")
+	}
+	const ny, gx = 31, 1e-6
+	p := &Params2D{
+		NX: 4, NY: ny,
+		Components:    []Component{{Name: "fluid", Tau: 0.8, Mass: 1, InitDensity: 1}},
+		G:             [][]float64{{0}},
+		WallForceComp: -1,
+		BodyForce:     [2]float64{gx, 0},
+		RhoMin:        1e-12,
+	}
+	s, err := NewSimMulti2D(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(10000)
+	var num, den float64
+	for y := 1; y < ny-1; y++ {
+		got := s.Ux(0, y) + 0.5*gx // half-force correction
+		want := PoiseuilleExact(ny, 0.8, gx, y)
+		num += (got - want) * (got - want)
+		den += want * want
+	}
+	if rel := math.Sqrt(num / den); rel > 0.01 {
+		t.Errorf("2-D multicomponent Poiseuille error %.4f > 1%%", rel)
+	}
+}

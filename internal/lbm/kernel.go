@@ -1,0 +1,385 @@
+package lbm
+
+import (
+	"microslip/internal/geometry"
+	"microslip/internal/lattice"
+)
+
+// Kernel evaluates the S-C LBM update on single x-planes. A plane stores
+// distribution values at (y*NZ+z)*Q19+i and scalar values at y*NZ+z.
+// Both the sequential and the parallel solvers are thin drivers around
+// these three methods, so they produce identical results:
+//
+//	Densities -> (exchange n halos) -> Collide -> (exchange f halos) -> Stream
+type Kernel struct {
+	NY, NZ, NComp int
+
+	tau, invTau, mass []float64
+	g                 [][]float64
+	body              [3]float64
+	wallComp          int
+	wallFy, wallFz    []float64 // per y*NZ+z; nil when disabled
+	solid             []bool    // per y*NZ+z
+	adhesion          []float64 // per component; nil when disabled
+	adhY, adhZ        []float64 // sum_i w_i s(x+e_i) e_i per y*NZ+z
+	rhoMin            float64
+}
+
+// NewKernel builds the plane kernel for p. It panics on invalid
+// parameters; callers should Validate first for a recoverable error.
+func NewKernel(p *Params) *Kernel {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	ch := p.Channel()
+	mask := p.Mask()
+	k := &Kernel{
+		NY: p.NY, NZ: p.NZ, NComp: p.NComp(),
+		tau:      make([]float64, p.NComp()),
+		invTau:   make([]float64, p.NComp()),
+		mass:     make([]float64, p.NComp()),
+		g:        p.G,
+		body:     p.BodyForce,
+		wallComp: p.WallForceComp,
+		rhoMin:   p.RhoMin,
+	}
+	if k.rhoMin == 0 {
+		k.rhoMin = 1e-12
+	}
+	for c, comp := range p.Components {
+		k.tau[c] = comp.Tau
+		k.invTau[c] = 1 / comp.Tau
+		k.mass[c] = comp.Mass
+	}
+	k.solid = make([]bool, p.NY*p.NZ)
+	for y := 0; y < p.NY; y++ {
+		for z := 0; z < p.NZ; z++ {
+			k.solid[y*p.NZ+z] = mask.IsSolid(y, z)
+		}
+	}
+	if p.WallForceComp >= 0 {
+		prof := geometry.NewWallForceProfile(ch, p.WallForceAmp, p.WallForceDecay)
+		k.wallFy, k.wallFz = prof.Fy, prof.Fz
+	}
+	if hasAdhesion(p.WallAdhesion) {
+		k.adhesion = append([]float64(nil), p.WallAdhesion...)
+		// The solid mask is x-independent, so the +x/-x direction pairs
+		// cancel and the adhesion direction sum reduces to per-(y,z)
+		// y and z components, precomputed once.
+		k.adhY = make([]float64, p.NY*p.NZ)
+		k.adhZ = make([]float64, p.NY*p.NZ)
+		for y := 1; y < p.NY-1; y++ {
+			for z := 1; z < p.NZ-1; z++ {
+				cell := y*p.NZ + z
+				if k.solid[cell] {
+					continue
+				}
+				var sy, sz float64
+				for i := 1; i < lattice.Q19; i++ {
+					if k.solid[(y+lattice.Ey[i])*p.NZ+z+lattice.Ez[i]] {
+						sy += lattice.W[i] * float64(lattice.Ey[i])
+						sz += lattice.W[i] * float64(lattice.Ez[i])
+					}
+				}
+				k.adhY[cell] = sy
+				k.adhZ[cell] = sz
+			}
+		}
+	}
+	return k
+}
+
+func hasAdhesion(a []float64) bool {
+	for _, v := range a {
+		if v != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// PlaneCells returns the number of cells in one x-plane.
+func (k *Kernel) PlaneCells() int { return k.NY * k.NZ }
+
+// PlaneLen returns the float64 length of one distribution plane.
+func (k *Kernel) PlaneLen() int { return k.NY * k.NZ * lattice.Q19 }
+
+// Solid reports whether cell (y, z) is solid.
+func (k *Kernel) Solid(y, z int) bool { return k.solid[y*k.NZ+z] }
+
+// Densities computes per-component number densities for one plane:
+// n[c][cell] = sum_i f[c][cell*Q+i]. Solid cells yield zero because
+// their populations are kept at zero.
+func (k *Kernel) Densities(f [][]float64, n [][]float64) {
+	cells := k.PlaneCells()
+	for c := 0; c < k.NComp; c++ {
+		fc, nc := f[c], n[c]
+		for cell := 0; cell < cells; cell++ {
+			base := cell * lattice.Q19
+			var s float64
+			for i := 0; i < lattice.Q19; i++ {
+				s += fc[base+i]
+			}
+			nc[cell] = s
+		}
+	}
+}
+
+// Collide performs force evaluation and BGK collision for the plane at
+// x, writing post-collision populations into out. nL, nC, nR are the
+// number-density planes at x-1, x, x+1 (periodic in x); fC the current
+// distribution plane. out must not alias fC.
+//
+// The force on component sigma is the S-C interaction force
+//
+//	F_sigma = -psi_sigma(x) sum_sigma' g_ss' sum_i w_i psi_sigma'(x+e_i) e_i
+//
+// with psi = rho, plus the hydrophobic wall force (an acceleration field
+// times the local density, applied to the water component only) and the
+// driving body force. Forces shift the equilibrium velocity by
+// tau_sigma F_sigma / rho_sigma about the common velocity u'.
+func (k *Kernel) Collide(nL, nC, nR, fC, out [][]float64) {
+	nz, ncomp := k.NZ, k.NComp
+	var psiGrad [3]float64 // sum_i w_i psi(x+e_i) e_i per component
+	mom := make([][3]float64, ncomp)
+	nHere := make([]float64, ncomp)
+	grads := make([][3]float64, ncomp)
+	var feq [lattice.Q19]float64
+
+	for y := 1; y < k.NY-1; y++ {
+		for z := 1; z < nz-1; z++ {
+			cell := y*nz + z
+			if k.solid[cell] {
+				for c := 0; c < ncomp; c++ {
+					base := cell * lattice.Q19
+					oc := out[c]
+					for i := 0; i < lattice.Q19; i++ {
+						oc[base+i] = 0
+					}
+				}
+				continue
+			}
+
+			// Per-component density, momentum, and psi-gradient sums.
+			var num [3]float64
+			var den float64
+			for c := 0; c < ncomp; c++ {
+				fc := fC[c]
+				base := cell * lattice.Q19
+				var px, py, pz float64
+				for i := 1; i < lattice.Q19; i++ {
+					v := fc[base+i]
+					px += v * float64(lattice.Ex[i])
+					py += v * float64(lattice.Ey[i])
+					pz += v * float64(lattice.Ez[i])
+				}
+				mom[c] = [3]float64{px, py, pz}
+				nHere[c] = nC[c][cell]
+				mt := k.mass[c] * k.invTau[c]
+				num[0] += mt * px
+				num[1] += mt * py
+				num[2] += mt * pz
+				den += mt * nHere[c]
+
+				// psi gradient: neighbours within the plane and in the
+				// adjacent planes; solid neighbours contribute psi = 0.
+				psiGrad = [3]float64{}
+				for i := 1; i < lattice.Q19; i++ {
+					sy := y + lattice.Ey[i]
+					sz := z + lattice.Ez[i]
+					scell := sy*nz + sz
+					if k.solid[scell] {
+						continue
+					}
+					var nv float64
+					switch lattice.Ex[i] {
+					case -1:
+						nv = nL[c][scell]
+					case 0:
+						nv = nC[c][scell]
+					default:
+						nv = nR[c][scell]
+					}
+					w := lattice.W[i] * nv
+					psiGrad[0] += w * float64(lattice.Ex[i])
+					psiGrad[1] += w * float64(lattice.Ey[i])
+					psiGrad[2] += w * float64(lattice.Ez[i])
+				}
+				grads[c] = psiGrad
+			}
+
+			var ux, uy, uz float64
+			if den > k.rhoMin {
+				ux, uy, uz = num[0]/den, num[1]/den, num[2]/den
+			}
+
+			for c := 0; c < ncomp; c++ {
+				rho := k.mass[c] * nHere[c]
+				// S-C interaction force (force density).
+				var fx, fy, fz float64
+				for c2 := 0; c2 < ncomp; c2++ {
+					gcc := k.g[c][c2] * k.mass[c2]
+					if gcc == 0 {
+						continue
+					}
+					fx -= rho * gcc * grads[c2][0]
+					fy -= rho * gcc * grads[c2][1]
+					fz -= rho * gcc * grads[c2][2]
+				}
+				// Hydrophobic wall force: acceleration profile times the
+				// local density, on the water component only.
+				if c == k.wallComp && k.wallFy != nil {
+					fy += rho * k.wallFy[cell]
+					fz += rho * k.wallFz[cell]
+				}
+				// Solid-fluid adhesion (Martys-Chen): positive repels
+				// the component from all solid surfaces.
+				if k.adhesion != nil && k.adhesion[c] != 0 {
+					fy -= k.adhesion[c] * rho * k.adhY[cell]
+					fz -= k.adhesion[c] * rho * k.adhZ[cell]
+				}
+				// Driving body force.
+				fx += rho * k.body[0]
+				fy += rho * k.body[1]
+				fz += rho * k.body[2]
+
+				ueqx, ueqy, ueqz := ux, uy, uz
+				if rho > k.rhoMin {
+					s := k.tau[c] / rho
+					ueqx += s * fx
+					ueqy += s * fy
+					ueqz += s * fz
+				}
+				lattice.Equilibrium(nHere[c], ueqx, ueqy, ueqz, &feq)
+				fc, oc := fC[c], out[c]
+				base := cell * lattice.Q19
+				it := k.invTau[c]
+				for i := 0; i < lattice.Q19; i++ {
+					v := fc[base+i]
+					oc[base+i] = v - (v-feq[i])*it
+				}
+			}
+		}
+	}
+	// Boundary rows (y = 0, NY-1 and z = 0, NZ-1) are solid; keep zero.
+	k.zeroSolidBoundary(out)
+}
+
+func (k *Kernel) zeroSolidBoundary(out [][]float64) {
+	nz := k.NZ
+	for c := 0; c < k.NComp; c++ {
+		oc := out[c]
+		for z := 0; z < nz; z++ {
+			zeroCell(oc, (0*nz+z)*lattice.Q19)
+			zeroCell(oc, ((k.NY-1)*nz+z)*lattice.Q19)
+		}
+		for y := 0; y < k.NY; y++ {
+			zeroCell(oc, (y*nz+0)*lattice.Q19)
+			zeroCell(oc, (y*nz+nz-1)*lattice.Q19)
+		}
+	}
+}
+
+func zeroCell(p []float64, base int) {
+	for i := 0; i < lattice.Q19; i++ {
+		p[base+i] = 0
+	}
+}
+
+// Stream performs pull streaming with full-way bounce-back for the plane
+// at x: out[c] receives populations arriving at x from the post-collision
+// planes fL (x-1), fC (x), fR (x+1). A population whose source cell is
+// solid is replaced by the reflected population at the destination cell
+// (bounce-back), which places the no-slip plane halfway into the wall
+// layer. out must not alias fL, fC or fR.
+func (k *Kernel) Stream(fL, fC, fR, out [][]float64) {
+	nz := k.NZ
+	for c := 0; c < k.NComp; c++ {
+		fl, fc, fr, oc := fL[c], fC[c], fR[c], out[c]
+		for y := 1; y < k.NY-1; y++ {
+			for z := 1; z < nz-1; z++ {
+				cell := y*nz + z
+				base := cell * lattice.Q19
+				if k.solid[cell] {
+					for i := 0; i < lattice.Q19; i++ {
+						oc[base+i] = 0
+					}
+					continue
+				}
+				oc[base] = fc[base] // rest population
+				for i := 1; i < lattice.Q19; i++ {
+					sy := y - lattice.Ey[i]
+					sz := z - lattice.Ez[i]
+					scell := sy*nz + sz
+					if k.solid[scell] {
+						oc[base+i] = fc[base+lattice.Opposite[i]]
+						continue
+					}
+					sbase := scell * lattice.Q19
+					switch lattice.Ex[i] {
+					case 1:
+						oc[base+i] = fl[sbase+i]
+					case 0:
+						oc[base+i] = fc[sbase+i]
+					default:
+						oc[base+i] = fr[sbase+i]
+					}
+				}
+			}
+		}
+		for z := 0; z < nz; z++ {
+			zeroCell(oc, (0*nz+z)*lattice.Q19)
+			zeroCell(oc, ((k.NY-1)*nz+z)*lattice.Q19)
+		}
+		for y := 0; y < k.NY; y++ {
+			zeroCell(oc, (y*nz+0)*lattice.Q19)
+			zeroCell(oc, (y*nz+nz-1)*lattice.Q19)
+		}
+	}
+}
+
+// InitEquilibrium fills one distribution plane with the rest-state
+// equilibrium of uniform number density n0 on fluid cells, zero on
+// solids.
+func (k *Kernel) InitEquilibrium(plane []float64, n0 float64) {
+	var feq [lattice.Q19]float64
+	lattice.Equilibrium(n0, 0, 0, 0, &feq)
+	nz := k.NZ
+	for y := 0; y < k.NY; y++ {
+		for z := 0; z < nz; z++ {
+			cell := y*nz + z
+			base := cell * lattice.Q19
+			if k.solid[cell] {
+				zeroCell(plane, base)
+				continue
+			}
+			copy(plane[base:base+lattice.Q19], feq[:])
+		}
+	}
+}
+
+// CellVelocity returns the barycentric velocity at cell (y, z) of plane
+// f planes (per component), i.e. total momentum over total mass density,
+// without the half-force correction (adequate for profile output).
+func (k *Kernel) CellVelocity(f [][]float64, y, z int) (ux, uy, uz float64) {
+	cell := y*k.NZ + z
+	if k.solid[cell] {
+		return 0, 0, 0
+	}
+	base := cell * lattice.Q19
+	var px, py, pz, m float64
+	for c := 0; c < k.NComp; c++ {
+		fc := f[c]
+		for i := 0; i < lattice.Q19; i++ {
+			v := fc[base+i] * k.mass[c]
+			m += v
+			px += v * float64(lattice.Ex[i])
+			py += v * float64(lattice.Ey[i])
+			pz += v * float64(lattice.Ez[i])
+		}
+	}
+	if m <= k.rhoMin {
+		return 0, 0, 0
+	}
+	return px / m, py / m, pz / m
+}

@@ -1,0 +1,100 @@
+package lbm
+
+import (
+	"runtime"
+	"sync"
+)
+
+// SetWorkers sets the number of goroutines used to update planes within
+// a step; n <= 1 means serial. Plane updates are independent given the
+// previous phase's data, so parallel and serial stepping produce
+// identical results bit for bit. This is intra-node parallelism, the
+// complement of the inter-node decomposition in package parlbm.
+func (s *Sim) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.workers = n
+}
+
+// AutoWorkers sets the worker count to the number of CPUs, capped by
+// the plane count.
+func (s *Sim) AutoWorkers() {
+	n := runtime.GOMAXPROCS(0)
+	if n > s.P.NX {
+		n = s.P.NX
+	}
+	s.SetWorkers(n)
+}
+
+// Workers returns the configured worker count.
+func (s *Sim) Workers() int {
+	if s.workers < 1 {
+		return 1
+	}
+	return s.workers
+}
+
+// forEachPlane runs fn(x) for every plane, in parallel when workers > 1.
+// fn must only write to plane x of its output fields.
+func (s *Sim) forEachPlane(fn func(x int)) {
+	w := s.Workers()
+	if w <= 1 {
+		for x := 0; x < s.P.NX; x++ {
+			fn(x)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (s.P.NX + w - 1) / w
+	for lo := 0; lo < s.P.NX; lo += chunk {
+		hi := lo + chunk
+		if hi > s.P.NX {
+			hi = s.P.NX
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for x := lo; x < hi; x++ {
+				fn(x)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// StepParallel is Step with the configured intra-node parallelism. Sim
+// keeps Step itself strictly serial so the reference behaviour stays
+// trivially auditable; drivers that want speed call this instead.
+func (s *Sim) StepParallel() {
+	p := s.P
+	nc := p.NComp()
+	planes := func(store [][][]float64, x int) [][]float64 {
+		out := make([][]float64, nc)
+		for c := 0; c < nc; c++ {
+			out[c] = store[c][x]
+		}
+		return out
+	}
+	s.forEachPlane(func(x int) {
+		s.K.Densities(planes(s.f, x), planes(s.n, x))
+	})
+	s.forEachPlane(func(x int) {
+		l := (x - 1 + p.NX) % p.NX
+		r := (x + 1) % p.NX
+		s.K.Collide(planes(s.n, l), planes(s.n, x), planes(s.n, r), planes(s.f, x), planes(s.fPost, x))
+	})
+	s.forEachPlane(func(x int) {
+		l := (x - 1 + p.NX) % p.NX
+		r := (x + 1) % p.NX
+		s.K.Stream(planes(s.fPost, l), planes(s.fPost, x), planes(s.fPost, r), planes(s.f, x))
+	})
+	s.step++
+}
+
+// RunParallelSteps advances n steps with StepParallel.
+func (s *Sim) RunParallelSteps(n int) {
+	for i := 0; i < n; i++ {
+		s.StepParallel()
+	}
+}

@@ -1,0 +1,61 @@
+package lbm
+
+import (
+	"runtime"
+	"testing"
+)
+
+// Intra-node parallel stepping must match serial stepping bit for bit.
+func TestStepParallelMatchesStep(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := WaterAir(12, 10, 6)
+		serial, err := NewSim(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := NewSim(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par.SetWorkers(workers)
+		for step := 0; step < 6; step++ {
+			serial.Step()
+			par.StepParallel()
+		}
+		for c := 0; c < 2; c++ {
+			for x := 0; x < p.NX; x++ {
+				a, b := serial.Plane(c, x), par.Plane(c, x)
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("workers=%d: diverged at comp %d plane %d index %d: %v != %v",
+							workers, c, x, i, a[i], b[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWorkersConfiguration(t *testing.T) {
+	p := WaterAir(8, 8, 6)
+	s, err := NewSim(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Workers() != 1 {
+		t.Errorf("default workers %d, want 1", s.Workers())
+	}
+	s.SetWorkers(0)
+	if s.Workers() != 1 {
+		t.Errorf("SetWorkers(0) gave %d", s.Workers())
+	}
+	s.AutoWorkers()
+	w := s.Workers()
+	if w < 1 || w > runtime.GOMAXPROCS(0) || w > p.NX {
+		t.Errorf("AutoWorkers gave %d (GOMAXPROCS %d, NX %d)", w, runtime.GOMAXPROCS(0), p.NX)
+	}
+	s.RunParallelSteps(3)
+	if s.StepCount() != 3 {
+		t.Errorf("step count %d after RunParallelSteps(3)", s.StepCount())
+	}
+}

@@ -1,0 +1,173 @@
+package lbm
+
+import (
+	"fmt"
+
+	"microslip/internal/lattice"
+)
+
+// Sim is the sequential multicomponent LBM solver. It keeps per-x-plane
+// storage (the same layout the parallel workers use) and is the
+// reference implementation the parallel solver is tested against.
+type Sim struct {
+	P *Params
+	K *Kernel
+
+	// f[c][x] is the current distribution plane of component c at x;
+	// fPost holds post-collision values during a step.
+	f, fPost [][][]float64
+	n        [][][]float64 // number-density planes n[c][x]
+	step     int
+	workers  int // intra-node parallelism for StepParallel
+}
+
+// NewSim allocates and initializes a sequential simulation: a uniform
+// water/air mixture at rest (the paper's initial condition).
+func NewSim(p *Params) (*Sim, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	k := NewKernel(p)
+	s := &Sim{P: p, K: k}
+	nc := p.NComp()
+	s.f = make([][][]float64, nc)
+	s.fPost = make([][][]float64, nc)
+	s.n = make([][][]float64, nc)
+	for c := 0; c < nc; c++ {
+		s.f[c] = make([][]float64, p.NX)
+		s.fPost[c] = make([][]float64, p.NX)
+		s.n[c] = make([][]float64, p.NX)
+		for x := 0; x < p.NX; x++ {
+			s.f[c][x] = make([]float64, k.PlaneLen())
+			s.fPost[c][x] = make([]float64, k.PlaneLen())
+			s.n[c][x] = make([]float64, k.PlaneCells())
+			k.InitEquilibrium(s.f[c][x], p.Components[c].InitDensity)
+		}
+	}
+	return s, nil
+}
+
+// Step advances the simulation by one LBM phase: density computation,
+// force evaluation + collision, then streaming with bounce-back.
+func (s *Sim) Step() {
+	p := s.P
+	nc := p.NComp()
+	fAt := func(x int) [][]float64 {
+		planes := make([][]float64, nc)
+		for c := 0; c < nc; c++ {
+			planes[c] = s.f[c][x]
+		}
+		return planes
+	}
+	postAt := func(x int) [][]float64 {
+		planes := make([][]float64, nc)
+		for c := 0; c < nc; c++ {
+			planes[c] = s.fPost[c][x]
+		}
+		return planes
+	}
+	nAt := func(x int) [][]float64 {
+		planes := make([][]float64, nc)
+		for c := 0; c < nc; c++ {
+			planes[c] = s.n[c][x]
+		}
+		return planes
+	}
+
+	for x := 0; x < p.NX; x++ {
+		s.K.Densities(fAt(x), nAt(x))
+	}
+	for x := 0; x < p.NX; x++ {
+		l := (x - 1 + p.NX) % p.NX
+		r := (x + 1) % p.NX
+		s.K.Collide(nAt(l), nAt(x), nAt(r), fAt(x), postAt(x))
+	}
+	for x := 0; x < p.NX; x++ {
+		l := (x - 1 + p.NX) % p.NX
+		r := (x + 1) % p.NX
+		s.K.Stream(postAt(l), postAt(x), postAt(r), fAt(x))
+	}
+	s.step++
+}
+
+// Run advances n steps.
+func (s *Sim) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// StepCount returns the number of completed steps.
+func (s *Sim) StepCount() int { return s.step }
+
+// Plane returns the current distribution plane of component c at x.
+func (s *Sim) Plane(c, x int) []float64 { return s.f[c][x] }
+
+// Density returns the mass density of component c at (x, y, z).
+func (s *Sim) Density(c, x, y, z int) float64 {
+	base := (y*s.P.NZ + z) * lattice.Q19
+	var sum float64
+	plane := s.f[c][x]
+	for i := 0; i < lattice.Q19; i++ {
+		sum += plane[base+i]
+	}
+	return sum * s.P.Components[c].Mass
+}
+
+// Velocity returns the barycentric velocity at (x, y, z).
+func (s *Sim) Velocity(x, y, z int) (ux, uy, uz float64) {
+	nc := s.P.NComp()
+	planes := make([][]float64, nc)
+	for c := 0; c < nc; c++ {
+		planes[c] = s.f[c][x]
+	}
+	return s.K.CellVelocity(planes, y, z)
+}
+
+// TotalMass returns the total mass of component c over the domain.
+func (s *Sim) TotalMass(c int) float64 {
+	var m float64
+	for x := 0; x < s.P.NX; x++ {
+		for _, v := range s.f[c][x] {
+			m += v
+		}
+	}
+	return m * s.P.Components[c].Mass
+}
+
+// DensityProfileY returns component c's density along y at fixed (x, z),
+// one value per lattice row including the wall layers.
+func (s *Sim) DensityProfileY(c, x, z int) []float64 {
+	out := make([]float64, s.P.NY)
+	for y := 0; y < s.P.NY; y++ {
+		out[y] = s.Density(c, x, y, z)
+	}
+	return out
+}
+
+// VelocityProfileY returns the streamwise velocity u_x along y at fixed
+// (x, z).
+func (s *Sim) VelocityProfileY(x, z int) []float64 {
+	out := make([]float64, s.P.NY)
+	for y := 0; y < s.P.NY; y++ {
+		ux, _, _ := s.Velocity(x, y, z)
+		out[y] = ux
+	}
+	return out
+}
+
+// CheckFinite returns an error naming the first non-finite population it
+// finds; long-running drivers call this periodically to fail fast on
+// numerical blow-up.
+func (s *Sim) CheckFinite() error {
+	for c := range s.f {
+		for x, plane := range s.f[c] {
+			for idx, v := range plane {
+				if v != v { // NaN
+					return fmt.Errorf("lbm: NaN in component %d plane %d index %d at step %d", c, x, idx, s.step)
+				}
+			}
+		}
+	}
+	return nil
+}

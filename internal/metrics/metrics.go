@@ -1,0 +1,49 @@
+// Package metrics computes the performance figures the paper reports:
+// speedup, the normalized efficiency of Section 4.2.1, and slowdown
+// ratios relative to a dedicated run.
+package metrics
+
+import "fmt"
+
+// Speedup is sequential time over parallel time.
+func Speedup(sequential, parallel float64) float64 {
+	if parallel <= 0 {
+		panic(fmt.Sprintf("metrics: non-positive parallel time %v", parallel))
+	}
+	return sequential / parallel
+}
+
+// Efficiency is speedup over the node count.
+func Efficiency(speedup float64, p int) float64 {
+	if p < 1 {
+		panic(fmt.Sprintf("metrics: invalid node count %d", p))
+	}
+	return speedup / float64(p)
+}
+
+// NormalizedEfficiency is the paper's utilization metric for a
+// non-dedicated cluster: speedup / (P - load*m), where m nodes each
+// lose `load` of their CPU to a background job (the paper uses
+// speedup/(20 - 0.7m) for 70% background jobs).
+func NormalizedEfficiency(speedup float64, p, slowNodes int, load float64) float64 {
+	cap := float64(p) - load*float64(slowNodes)
+	if cap <= 0 {
+		panic(fmt.Sprintf("metrics: non-positive effective capacity %v", cap))
+	}
+	return speedup / cap
+}
+
+// SlowdownRatio is the fractional execution-time increase over the
+// dedicated baseline (Table 1 reports it in percent).
+func SlowdownRatio(t, dedicated float64) float64 {
+	if dedicated <= 0 {
+		panic(fmt.Sprintf("metrics: non-positive dedicated time %v", dedicated))
+	}
+	return (t - dedicated) / dedicated
+}
+
+// OverheadPercent is SlowdownRatio expressed in percent, the right-hand
+// axis of Figure 3.
+func OverheadPercent(t, dedicated float64) float64 {
+	return 100 * SlowdownRatio(t, dedicated)
+}

@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(100, 5); got != 20 {
+		t.Errorf("Speedup = %v, want 20", got)
+	}
+}
+
+func TestNormalizedEfficiency(t *testing.T) {
+	// Paper's example: 20 nodes, m slow at 70%: speedup/(20-0.7m).
+	got := NormalizedEfficiency(13, 20, 5, 0.7)
+	want := 13.0 / 16.5
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("NormalizedEfficiency = %v, want %v", got, want)
+	}
+	// No slow nodes reduces to plain efficiency.
+	if NormalizedEfficiency(19, 20, 0, 0.7) != Efficiency(19, 20) {
+		t.Error("m=0 does not reduce to plain efficiency")
+	}
+}
+
+func TestSlowdownRatio(t *testing.T) {
+	if got := SlowdownRatio(717, 251); math.Abs(got-1.8566) > 1e-3 {
+		t.Errorf("SlowdownRatio(717, 251) = %v, want ~1.856 (paper's 185.6%%)", got)
+	}
+	if got := OverheadPercent(313, 251); math.Abs(got-24.7) > 0.1 {
+		t.Errorf("OverheadPercent(313, 251) = %v, want ~24.7", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"speedup":    func() { Speedup(1, 0) },
+		"efficiency": func() { Efficiency(1, 0) },
+		"normeff":    func() { NormalizedEfficiency(1, 2, 3, 1) },
+		"slowdown":   func() { SlowdownRatio(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: identities between the metrics hold for random inputs.
+func TestMetricIdentities(t *testing.T) {
+	f := func(seqRaw, parRaw float64) bool {
+		seq := 1 + math.Abs(math.Mod(seqRaw, 1e4))
+		par := 0.1 + math.Abs(math.Mod(parRaw, 1e3))
+		s := Speedup(seq, par)
+		if math.Abs(Efficiency(s, 10)-s/10) > 1e-12 {
+			return false
+		}
+		// Slowdown of the baseline against itself is zero.
+		return SlowdownRatio(par, par) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,291 @@
+// Package parlbm is the domain-decomposed parallel LBM solver: the
+// distributed counterpart of the paper's Figure 2 pseudo-code. Each
+// rank owns a contiguous slab of x-planes, exchanges number-density and
+// distribution-function halos with its ring neighbors every phase, and
+// every REMAPPING_INTERVAL phases runs the distributed remapping
+// protocol: load-index exchange with chain neighbors, local decisions
+// (package core), pairwise conflict resolution, and lattice-plane
+// migration.
+//
+// The kernels are shared with the sequential solver (package lbm), so a
+// parallel run reproduces the sequential result bit-for-bit — including
+// runs whose partition changes mid-flight.
+package parlbm
+
+import (
+	"fmt"
+	"time"
+
+	"microslip/internal/balance"
+	"microslip/internal/comm"
+	"microslip/internal/decomp"
+	"microslip/internal/field"
+	"microslip/internal/lbm"
+	"microslip/internal/predict"
+	"microslip/internal/profile"
+)
+
+// Message tags.
+const (
+	tagDensityHalo = 1
+	tagDistHalo    = 2
+	tagLoadInfo    = 3
+	tagDesire      = 4
+	tagPlanesLeft  = 5
+	tagPlanesRight = 6
+	tagGather      = 7
+)
+
+// Options configures a parallel run.
+type Options struct {
+	// Phases is the number of LBM phases to execute.
+	Phases int
+	// Policy is the remapping scheme; nil means no remapping.
+	Policy balance.Policy
+	// PhaseTime, when non-nil, replaces wall-clock measurement of the
+	// compute section with a synthetic value (seconds); it makes
+	// remapping tests deterministic and lets a single machine emulate
+	// heterogeneous node speeds.
+	PhaseTime func(rank, planes, phase int) float64
+	// Throttle, when non-nil, is invoked after each phase's compute
+	// section and may block (sleep or burn CPU) to emulate a slow node
+	// in real wall-clock time; the blocked time counts toward the
+	// rank's measured phase time, so the remapping machinery reacts to
+	// it exactly as it would to genuine contention.
+	Throttle func(rank, planes, phase int)
+}
+
+// Result is one rank's outcome.
+type Result struct {
+	// Rank that produced this result.
+	Rank int
+	// Final holds the gathered full distribution fields per component
+	// on rank 0; nil on other ranks.
+	Final []*field.Dist3D
+	// Breakdown is the rank's wall-clock time split.
+	Breakdown profile.Breakdown
+	// FinalStart and FinalCount describe the rank's slab at the end.
+	FinalStart, FinalCount int
+	// PlanesSent counts planes this rank migrated away.
+	PlanesSent int
+}
+
+// worker is the per-rank state.
+type worker struct {
+	p     *lbm.Params
+	k     *lbm.Kernel
+	c     comm.Comm
+	opts  Options
+	rank  int
+	size  int
+	f     []*field.Slab // per component, Q = 19
+	n     []*field.Slab // per component, Q = 1
+	fPost []*field.Slab
+	pred  predict.Predictor
+	res   *Result
+}
+
+// RunRank executes the phases for one rank. All ranks of the group must
+// call it with identical parameters and options.
+func RunRank(p *lbm.Params, c comm.Comm, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Phases < 1 {
+		return nil, fmt.Errorf("parlbm: phases %d < 1", opts.Phases)
+	}
+	if p.NX < c.Size() {
+		return nil, fmt.Errorf("parlbm: %d planes cannot cover %d ranks", p.NX, c.Size())
+	}
+	w := &worker{
+		p: p, k: lbm.NewKernel(p), c: c, opts: opts,
+		rank: c.Rank(), size: c.Size(),
+		res: &Result{Rank: c.Rank()},
+	}
+	hk := 1
+	if opts.Policy != nil {
+		hk = opts.Policy.HistoryK()
+	}
+	w.pred = predict.NewHarmonicMean(hk)
+
+	part := decomp.Even(p.NX, w.size)
+	start, end := part.Range(w.rank)
+	nc := p.NComp()
+	w.f = make([]*field.Slab, nc)
+	w.n = make([]*field.Slab, nc)
+	w.fPost = make([]*field.Slab, nc)
+	for comp := 0; comp < nc; comp++ {
+		w.f[comp] = field.NewSlab(p.NY, p.NZ, 19, start, end-start)
+		w.fPost[comp] = field.NewSlab(p.NY, p.NZ, 19, start, end-start)
+		w.n[comp] = field.NewSlab(p.NY, p.NZ, 1, start, end-start)
+		for gx := start; gx < end; gx++ {
+			w.k.InitEquilibrium(w.f[comp].Plane(gx), p.Components[comp].InitDensity)
+		}
+	}
+
+	interval := 0
+	if opts.Policy != nil {
+		interval = opts.Policy.Interval()
+	}
+	for phase := 0; phase < opts.Phases; phase++ {
+		if err := w.phase(phase); err != nil {
+			return nil, fmt.Errorf("parlbm: rank %d phase %d: %w", w.rank, phase, err)
+		}
+		if interval > 0 && (phase+1)%interval == 0 && phase+1 < opts.Phases {
+			if err := w.remap(); err != nil {
+				return nil, fmt.Errorf("parlbm: rank %d remap after phase %d: %w", w.rank, phase, err)
+			}
+		}
+	}
+	if err := w.gather(); err != nil {
+		return nil, fmt.Errorf("parlbm: rank %d gather: %w", w.rank, err)
+	}
+	w.res.FinalStart = w.f[0].Start
+	w.res.FinalCount = w.f[0].Count()
+	return w.res, nil
+}
+
+// neighbors returns the ring neighbors for halo exchange (the domain is
+// periodic along x).
+func (w *worker) neighbors() (left, right int) {
+	return (w.rank - 1 + w.size) % w.size, (w.rank + 1) % w.size
+}
+
+// packPlanes concatenates the given global-x plane of every component
+// of the slabs.
+func packPlanes(slabs []*field.Slab, gx int) []float64 {
+	sz := slabs[0].PlaneSize()
+	out := make([]float64, 0, sz*len(slabs))
+	for _, s := range slabs {
+		out = append(out, s.Plane(gx)...)
+	}
+	return out
+}
+
+// exchangeHalos sends the boundary planes of slabs to both neighbors
+// and returns the received ghost planes, unpacked per component:
+// ghostL corresponds to global x start-1, ghostR to end.
+func (w *worker) exchangeHalos(slabs []*field.Slab, tag int) (ghostL, ghostR [][]float64, err error) {
+	nc := len(slabs)
+	sz := slabs[0].PlaneSize()
+	start, end := slabs[0].Start, slabs[0].End()
+	if w.size == 1 {
+		// Periodic wrap within a single rank.
+		l := make([][]float64, nc)
+		r := make([][]float64, nc)
+		for c := 0; c < nc; c++ {
+			l[c] = slabs[c].Plane(end - 1)
+			r[c] = slabs[c].Plane(start)
+		}
+		return l, r, nil
+	}
+	left, right := w.neighbors()
+	if err := w.c.Send(left, tag, packPlanes(slabs, start)); err != nil {
+		return nil, nil, err
+	}
+	if err := w.c.Send(right, tag, packPlanes(slabs, end-1)); err != nil {
+		return nil, nil, err
+	}
+	fromL, err := w.c.Recv(left, tag)
+	if err != nil {
+		return nil, nil, err
+	}
+	fromR, err := w.c.Recv(right, tag)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(fromL) != nc*sz || len(fromR) != nc*sz {
+		return nil, nil, fmt.Errorf("halo size %d/%d, want %d", len(fromL), len(fromR), nc*sz)
+	}
+	ghostL = make([][]float64, nc)
+	ghostR = make([][]float64, nc)
+	for c := 0; c < nc; c++ {
+		ghostL[c] = fromL[c*sz : (c+1)*sz]
+		ghostR[c] = fromR[c*sz : (c+1)*sz]
+	}
+	return ghostL, ghostR, nil
+}
+
+// phase runs one LBM phase: densities, density-halo exchange, collide,
+// distribution-halo exchange, stream.
+func (w *worker) phase(phase int) error {
+	start, end := w.f[0].Start, w.f[0].End()
+	planes := end - start
+
+	tComp := time.Now()
+	// Densities for owned planes.
+	fAt := func(gx int) [][]float64 { return planesAt(w.f, gx) }
+	nAt := func(gx int) [][]float64 { return planesAt(w.n, gx) }
+	postAt := func(gx int) [][]float64 { return planesAt(w.fPost, gx) }
+	for gx := start; gx < end; gx++ {
+		w.k.Densities(fAt(gx), nAt(gx))
+	}
+	compDur := time.Since(tComp).Seconds()
+
+	tComm := time.Now()
+	nGhostL, nGhostR, err := w.exchangeHalos(w.n, tagDensityHalo)
+	if err != nil {
+		return err
+	}
+	commDur := time.Since(tComm).Seconds()
+
+	tComp = time.Now()
+	for gx := start; gx < end; gx++ {
+		nL := nAtOrGhost(w.n, gx-1, start, end, nGhostL, nGhostR)
+		nR := nAtOrGhost(w.n, gx+1, start, end, nGhostL, nGhostR)
+		w.k.Collide(nL, nAt(gx), nR, fAt(gx), postAt(gx))
+	}
+	compDur += time.Since(tComp).Seconds()
+
+	tComm = time.Now()
+	fGhostL, fGhostR, err := w.exchangeHalos(w.fPost, tagDistHalo)
+	if err != nil {
+		return err
+	}
+	commDur += time.Since(tComm).Seconds()
+
+	tComp = time.Now()
+	for gx := start; gx < end; gx++ {
+		fL := nAtOrGhost(w.fPost, gx-1, start, end, fGhostL, fGhostR)
+		fR := nAtOrGhost(w.fPost, gx+1, start, end, fGhostL, fGhostR)
+		w.k.Stream(fL, postAt(gx), fR, fAt(gx))
+	}
+	if w.opts.Throttle != nil {
+		w.opts.Throttle(w.rank, planes, phase)
+	}
+	compDur += time.Since(tComp).Seconds()
+
+	w.res.Breakdown.Computation += compDur
+	w.res.Breakdown.Communication += commDur
+
+	measured := compDur
+	if w.opts.PhaseTime != nil {
+		measured = w.opts.PhaseTime(w.rank, planes, phase)
+	}
+	if planes > 0 {
+		w.pred.Observe(measured / float64(planes))
+	}
+	return nil
+}
+
+// planesAt returns the per-component plane slices at global x.
+func planesAt(slabs []*field.Slab, gx int) [][]float64 {
+	out := make([][]float64, len(slabs))
+	for c, s := range slabs {
+		out[c] = s.Plane(gx)
+	}
+	return out
+}
+
+// nAtOrGhost resolves the per-component planes at gx, using the ghost
+// planes when gx falls outside the owned range [start, end).
+func nAtOrGhost(slabs []*field.Slab, gx, start, end int, ghostL, ghostR [][]float64) [][]float64 {
+	switch {
+	case gx < start:
+		return ghostL
+	case gx >= end:
+		return ghostR
+	default:
+		return planesAt(slabs, gx)
+	}
+}

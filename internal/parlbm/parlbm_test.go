@@ -1,0 +1,429 @@
+package parlbm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"microslip/internal/balance"
+	"microslip/internal/core"
+	"microslip/internal/decomp"
+	"microslip/internal/field"
+	"microslip/internal/lbm"
+)
+
+// sequentialReference runs the sequential solver and returns the full
+// per-component distribution fields.
+func sequentialReference(t *testing.T, p *lbm.Params, phases int) []*field.Dist3D {
+	t.Helper()
+	s, err := lbm.NewSim(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(phases)
+	out := make([]*field.Dist3D, p.NComp())
+	for c := 0; c < p.NComp(); c++ {
+		out[c] = field.NewDist3D(p.NX, p.NY, p.NZ, 19)
+		for x := 0; x < p.NX; x++ {
+			copy(out[c].Plane(x), s.Plane(c, x))
+		}
+	}
+	return out
+}
+
+func assertFieldsEqual(t *testing.T, want, got []*field.Dist3D, context string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d components vs %d", context, len(got), len(want))
+	}
+	for c := range want {
+		for i, v := range want[c].Data {
+			if got[c].Data[i] != v {
+				t.Fatalf("%s: component %d diverges at flat index %d: %v != %v",
+					context, c, i, got[c].Data[i], v)
+			}
+		}
+	}
+}
+
+// The parallel solver must reproduce the sequential solver bit-for-bit
+// across rank counts that divide the domain evenly and ones that don't.
+func TestParallelMatchesSequential(t *testing.T) {
+	p := lbm.WaterAir(12, 10, 6)
+	const phases = 9
+	want := sequentialReference(t, p, phases)
+	for _, ranks := range []int{1, 2, 3, 5} {
+		got, _, err := RunParallel(p, ranks, Options{Phases: phases})
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		assertFieldsEqual(t, want, got, "chan transport")
+	}
+}
+
+func TestParallelMatchesSequentialOverTCP(t *testing.T) {
+	p := lbm.WaterAir(8, 8, 6)
+	const phases = 5
+	want := sequentialReference(t, p, phases)
+	got, _, err := RunParallelTCP(p, 4, Options{Phases: phases})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFieldsEqual(t, want, got, "tcp transport")
+}
+
+// slowRankTime builds a synthetic PhaseTime that makes one rank look
+// three times slower per plane — driving the remapping machinery
+// deterministically.
+func slowRankTime(slowRank int) func(rank, planes, phase int) float64 {
+	const perPlane = 0.01
+	return func(rank, planes, phase int) float64 {
+		t := perPlane * float64(planes)
+		if rank == slowRank {
+			t *= 3
+		}
+		return t
+	}
+}
+
+// Live plane migration must not change the physics: a run whose
+// partition shifts mid-flight still reproduces the sequential result
+// exactly. This is the core correctness property of dynamic remapping.
+func TestFilteredRemappingPreservesPhysics(t *testing.T) {
+	p := lbm.WaterAir(16, 8, 6)
+	const phases = 12
+	want := sequentialReference(t, p, phases)
+
+	pol := balance.NewFiltered(p.NY * p.NZ)
+	pol.Cfg.Interval = 3
+	pol.Cfg.HistoryK = 2
+	got, results, err := RunParallel(p, 4, Options{
+		Phases:    phases,
+		Policy:    pol,
+		PhaseTime: slowRankTime(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFieldsEqual(t, want, got, "filtered remapping")
+
+	// The slow rank must actually have shed planes.
+	if results[1].FinalCount >= 4 {
+		t.Errorf("slow rank still owns %d planes; remapping never fired", results[1].FinalCount)
+	}
+	moved := 0
+	for _, r := range results {
+		moved += r.PlanesSent
+	}
+	if moved == 0 {
+		t.Error("no planes migrated")
+	}
+	// Partition stays a contiguous cover of [0, NX).
+	covered := 0
+	for _, r := range results {
+		covered += r.FinalCount
+	}
+	if covered != p.NX {
+		t.Errorf("final partition covers %d planes, want %d", covered, p.NX)
+	}
+}
+
+func TestConservativeRemappingPreservesPhysics(t *testing.T) {
+	p := lbm.WaterAir(16, 8, 6)
+	const phases = 10
+	want := sequentialReference(t, p, phases)
+	pol := balance.NewConservative(p.NY * p.NZ)
+	pol.Cfg.Interval = 4
+	pol.Cfg.HistoryK = 2
+	got, _, err := RunParallel(p, 4, Options{
+		Phases:    phases,
+		Policy:    pol,
+		PhaseTime: slowRankTime(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFieldsEqual(t, want, got, "conservative remapping")
+}
+
+func TestGlobalRemappingPreservesPhysics(t *testing.T) {
+	p := lbm.WaterAir(16, 8, 6)
+	const phases = 10
+	want := sequentialReference(t, p, phases)
+	pol := balance.NewGlobal(p.NY * p.NZ)
+	pol.Interval_ = 4
+	pol.HistoryK_ = 2
+	got, results, err := RunParallel(p, 4, Options{
+		Phases:    phases,
+		Policy:    pol,
+		PhaseTime: slowRankTime(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFieldsEqual(t, want, got, "global remapping")
+	if results[1].FinalCount >= 4 {
+		t.Errorf("global remapping left the slow rank with %d planes", results[1].FinalCount)
+	}
+}
+
+func TestRemappingWithSlowEdgeRank(t *testing.T) {
+	// The chain's end ranks have one neighbor; draining must still work.
+	p := lbm.WaterAir(16, 8, 6)
+	const phases = 12
+	want := sequentialReference(t, p, phases)
+	pol := balance.NewFiltered(p.NY * p.NZ)
+	pol.Cfg.Interval = 3
+	pol.Cfg.HistoryK = 2
+	got, results, err := RunParallel(p, 4, Options{
+		Phases:    phases,
+		Policy:    pol,
+		PhaseTime: slowRankTime(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFieldsEqual(t, want, got, "edge-rank remapping")
+	if results[0].FinalCount >= 4 {
+		t.Errorf("slow edge rank still owns %d planes", results[0].FinalCount)
+	}
+}
+
+func TestOrderTransfers(t *testing.T) {
+	// A relay: rank 1 must receive before it can forward.
+	ts := []decomp.Transfer{
+		{From: 1, To: 2, Planes: 3},
+		{From: 0, To: 1, Planes: 3},
+	}
+	ordered, err := orderTransfers(ts, []int{5, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ordered[0].From != 0 {
+		t.Errorf("relay not reordered: %+v", ordered)
+	}
+	// An infeasible plan errors out.
+	if _, err := orderTransfers([]decomp.Transfer{{From: 0, To: 1, Planes: 9}}, []int{5, 5}); err == nil {
+		t.Error("infeasible plan accepted")
+	}
+}
+
+func TestRunRankValidation(t *testing.T) {
+	p := lbm.WaterAir(4, 8, 6)
+	if _, _, err := RunParallel(p, 2, Options{Phases: 0}); err == nil {
+		t.Error("zero phases accepted")
+	}
+	if _, _, err := RunParallel(p, 8, Options{Phases: 1}); err == nil {
+		t.Error("more ranks than planes accepted")
+	}
+	bad := lbm.WaterAir(4, 8, 6)
+	bad.Components[0].Tau = 0.1
+	if _, _, err := RunParallel(bad, 2, Options{Phases: 1}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+// Mass conservation holds across migration: the gathered field carries
+// exactly the initial mass.
+func TestParallelMassConservation(t *testing.T) {
+	p := lbm.WaterAir(16, 8, 6)
+	pol := balance.NewFiltered(p.NY * p.NZ)
+	pol.Cfg.Interval = 2
+	pol.Cfg.HistoryK = 2
+	got, _, err := RunParallel(p, 4, Options{
+		Phases:    11,
+		Policy:    pol,
+		PhaseTime: slowRankTime(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fluid := p.NX * (p.NY - 2) * (p.NZ - 2)
+	for c, comp := range p.Components {
+		want := comp.InitDensity * float64(fluid)
+		gotMass := got[c].TotalMass()
+		if diff := gotMass - want; diff > 1e-9*want || diff < -1e-9*want {
+			t.Errorf("component %d mass %v, want %v", c, gotMass, want)
+		}
+	}
+}
+
+// DecideNode desires are already budget-capped, so the pairwise netting
+// the distributed protocol performs matches core.Resolve exactly.
+func TestPairwiseNettingMatchesResolve(t *testing.T) {
+	cfg := core.DefaultConfig(100)
+	planes := []int{10, 30, 5, 25}
+	times := []float64{1.0, 0.5, 2.0, 0.5}
+	desires := cfg.DecideAll(planes, times)
+	want := cfg.Resolve(desires, planes)
+
+	// Pairwise netting as each rank computes it.
+	var got []decomp.Transfer
+	for b := 0; b < len(planes)-1; b++ {
+		net := desires[b].ToRight - desires[b+1].ToLeft
+		switch {
+		case net > 0:
+			got = append(got, decomp.Transfer{From: b, To: b + 1, Planes: net})
+		case net < 0:
+			got = append(got, decomp.Transfer{From: b + 1, To: b, Planes: -net})
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("pairwise netting %+v, Resolve %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("transfer %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// Property: for random cluster states, the distributed pairwise netting
+// always equals the centralized Resolve when desires come from
+// DecideNode (they are budget-capped at the source).
+func TestPairwiseNettingMatchesResolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := core.DefaultConfig(100)
+		if rng.Intn(2) == 0 {
+			cfg = core.ConservativeConfig(100)
+		}
+		p := 2 + rng.Intn(10)
+		planes := make([]int, p)
+		times := make([]float64, p)
+		for i := range planes {
+			planes[i] = 1 + rng.Intn(40)
+			times[i] = 0.05 + rng.Float64()*2
+		}
+		desires := cfg.DecideAll(planes, times)
+		want := cfg.Resolve(desires, planes)
+		var got []decomp.Transfer
+		for b := 0; b < p-1; b++ {
+			net := desires[b].ToRight - desires[b+1].ToLeft
+			switch {
+			case net > 0:
+				got = append(got, decomp.Transfer{From: b, To: b + 1, Planes: net})
+			case net < 0:
+				got = append(got, decomp.Transfer{From: b + 1, To: b, Planes: -net})
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Remapping over the TCP transport: the heaviest integration path
+// (real sockets + live migration) still matches the sequential solver
+// exactly.
+func TestFilteredRemappingOverTCP(t *testing.T) {
+	p := lbm.WaterAir(12, 8, 6)
+	const phases = 8
+	want := sequentialReference(t, p, phases)
+	pol := balance.NewFiltered(p.NY * p.NZ)
+	pol.Cfg.Interval = 3
+	pol.Cfg.HistoryK = 2
+	got, results, err := RunParallelTCP(p, 3, Options{
+		Phases:    phases,
+		Policy:    pol,
+		PhaseTime: slowRankTime(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFieldsEqual(t, want, got, "tcp remapping")
+	if results[1].FinalCount >= 4 {
+		t.Errorf("slow rank kept %d planes over TCP", results[1].FinalCount)
+	}
+}
+
+// Stress: the paper's full 20-rank decomposition with aggressive
+// remapping and several emulated slow ranks still reproduces the
+// sequential result exactly.
+func TestTwentyRankStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("20-rank run")
+	}
+	p := lbm.WaterAir(40, 8, 6)
+	const phases = 10
+	want := sequentialReference(t, p, phases)
+	pol := balance.NewFiltered(p.NY * p.NZ)
+	pol.Cfg.Interval = 2
+	pol.Cfg.HistoryK = 2
+	slow := map[int]bool{3: true, 10: true, 17: true}
+	got, results, err := RunParallel(p, 20, Options{
+		Phases: phases,
+		Policy: pol,
+		PhaseTime: func(rank, planes, phase int) float64 {
+			v := 0.01 * float64(planes)
+			if slow[rank] {
+				v *= 3
+			}
+			return v
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFieldsEqual(t, want, got, "20-rank stress")
+	covered := 0
+	for _, r := range results {
+		covered += r.FinalCount
+		if r.FinalCount < 1 {
+			t.Errorf("rank %d ended with %d planes", r.Rank, r.FinalCount)
+		}
+	}
+	if covered != p.NX {
+		t.Errorf("partition covers %d of %d planes", covered, p.NX)
+	}
+	for r := range slow {
+		if results[r].FinalCount > 2 {
+			t.Errorf("slow rank %d kept %d planes", r, results[r].FinalCount)
+		}
+	}
+}
+
+// Throttle makes a rank genuinely slow in wall-clock time; the
+// remapping machinery must recover real elapsed time (the liveremap
+// example, as a coarse-grained assertion).
+func TestThrottleRecoveredByRemapping(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock timing test")
+	}
+	p := lbm.WaterAir(16, 8, 6)
+	const phases = 40
+	throttle := func(rank, planes, phase int) {
+		if rank == 1 {
+			time.Sleep(time.Duration(planes) * 2 * time.Millisecond)
+		}
+	}
+	run := func(pol balance.Policy) time.Duration {
+		start := time.Now()
+		_, _, err := RunParallel(p, 4, Options{Phases: phases, Policy: pol, Throttle: throttle})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	fpol := balance.NewFiltered(p.NY * p.NZ)
+	fpol.Cfg.Interval = 4
+	fpol.Cfg.HistoryK = 2
+	none := run(nil)
+	filt := run(fpol)
+	// The throttled rank starts with 4 planes (8 ms/phase). Draining it
+	// should cut total time roughly in half; assert a loose 25% gain to
+	// stay robust under scheduler noise.
+	if filt.Seconds() > 0.75*none.Seconds() {
+		t.Errorf("filtered %.3fs vs none %.3fs; real-time recovery too small", filt.Seconds(), none.Seconds())
+	}
+}

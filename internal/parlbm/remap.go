@@ -1,0 +1,412 @@
+package parlbm
+
+import (
+	"fmt"
+	"time"
+
+	"microslip/internal/balance"
+	"microslip/internal/comm"
+	"microslip/internal/core"
+	"microslip/internal/decomp"
+	"microslip/internal/field"
+	"microslip/internal/lbm"
+)
+
+// remap runs one distributed remapping round (lines 19-32 of the
+// paper's pseudo-code): load-index exchange, decision, conflict
+// resolution, and plane migration.
+func (w *worker) remap() error {
+	t0 := time.Now()
+	defer func() {
+		w.res.Breakdown.Remapping += time.Since(t0).Seconds()
+	}()
+
+	switch pol := w.opts.Policy.(type) {
+	case nil, balance.NoRemap:
+		return nil
+	case balance.Filtered:
+		return w.remapLocal(pol.Cfg)
+	case balance.Conservative:
+		return w.remapLocal(pol.Cfg)
+	default:
+		if pol.Global() {
+			return w.remapGlobal(pol)
+		}
+		return fmt.Errorf("policy %q has no distributed implementation", pol.Name())
+	}
+}
+
+// remapLocal is the distributed filtered/conservative protocol. Note
+// the remapping topology is the *chain* (no wraparound): planes only
+// move across subdomain boundaries, and ranks 0 and P-1 have one chain
+// neighbor even though halo exchange is a ring.
+func (w *worker) remapLocal(cfg core.Config) error {
+	planes := w.f[0].Count()
+	predicted := w.pred.Predict() * float64(planes)
+	hasLeft := w.rank > 0
+	hasRight := w.rank < w.size-1
+	info := []float64{float64(planes), predicted}
+
+	// Round 1: exchange (plane count, predicted time) with chain
+	// neighbors.
+	if hasLeft {
+		if err := w.c.Send(w.rank-1, tagLoadInfo, info); err != nil {
+			return err
+		}
+	}
+	if hasRight {
+		if err := w.c.Send(w.rank+1, tagLoadInfo, info); err != nil {
+			return err
+		}
+	}
+	win := core.Window{
+		HasLeft: hasLeft, HasRight: hasRight,
+		Points: planes * cfg.PlanePoints, Time: predicted,
+	}
+	if hasLeft {
+		data, err := w.c.Recv(w.rank-1, tagLoadInfo)
+		if err != nil {
+			return err
+		}
+		win.PointsLeft = int(data[0]) * cfg.PlanePoints
+		win.TimeLeft = data[1]
+	}
+	if hasRight {
+		data, err := w.c.Recv(w.rank+1, tagLoadInfo)
+		if err != nil {
+			return err
+		}
+		win.PointsRight = int(data[0]) * cfg.PlanePoints
+		win.TimeRight = data[1]
+	}
+
+	// Decide (pure shared logic) and exchange desires for conflict
+	// resolution. DecideNode desires are already budget-capped, so the
+	// per-boundary net is final.
+	myL, myR := cfg.DecideNode(win)
+	desire := []float64{float64(myL), float64(myR)}
+	var leftDesire, rightDesire core.Desire
+	if hasLeft {
+		if err := w.c.Send(w.rank-1, tagDesire, desire); err != nil {
+			return err
+		}
+	}
+	if hasRight {
+		if err := w.c.Send(w.rank+1, tagDesire, desire); err != nil {
+			return err
+		}
+	}
+	if hasLeft {
+		d, err := w.c.Recv(w.rank-1, tagDesire)
+		if err != nil {
+			return err
+		}
+		leftDesire = core.Desire{ToLeft: int(d[0]), ToRight: int(d[1])}
+	}
+	if hasRight {
+		d, err := w.c.Recv(w.rank+1, tagDesire)
+		if err != nil {
+			return err
+		}
+		rightDesire = core.Desire{ToLeft: int(d[0]), ToRight: int(d[1])}
+	}
+
+	// Net flow on each of my boundaries (positive = rightward), agreed
+	// by both sides from the same two desires.
+	if hasLeft {
+		// Positive = rightward = the left neighbor ships planes to me.
+		net := leftDesire.ToRight - myL
+		if err := w.moveBoundary(w.rank-1, net); err != nil {
+			return err
+		}
+	}
+	if hasRight {
+		net := myR - rightDesire.ToLeft
+		if err := w.moveBoundary(w.rank+1, net); err != nil {
+			return err
+		}
+	}
+	w.rebuildScratch()
+	return nil
+}
+
+// moveBoundary transfers |net| planes across the boundary between this
+// rank and neighbor: net > 0 means planes flow rightward (toward the
+// higher rank), net < 0 leftward.
+func (w *worker) moveBoundary(neighbor, net int) error {
+	if net == 0 {
+		return nil
+	}
+	rightward := net > 0
+	count := net
+	if count < 0 {
+		count = -count
+	}
+	sending := (rightward && neighbor == w.rank+1) || (!rightward && neighbor == w.rank-1)
+	tag := tagPlanesRight
+	if !rightward {
+		tag = tagPlanesLeft
+	}
+	if sending {
+		var planes [][]float64
+		if rightward {
+			planes = popPlanes(w.f, false, count)
+		} else {
+			planes = popPlanes(w.f, true, count)
+		}
+		msg := flattenPlanes(planes)
+		w.res.PlanesSent += count
+		return w.c.Send(neighbor, tag, msg)
+	}
+	msg, err := w.c.Recv(neighbor, tag)
+	if err != nil {
+		return err
+	}
+	planes, err := unflattenPlanes(msg, len(w.f), w.f[0].PlaneSize(), count)
+	if err != nil {
+		return err
+	}
+	pushPlanes(w.f, planes, rightward)
+	return nil
+}
+
+// popPlanes removes count planes from the left or right end of every
+// component slab and returns them interleaved per plane: for each
+// global x (ascending), the per-component planes.
+func popPlanes(slabs []*field.Slab, fromLeft bool, count int) [][]float64 {
+	nc := len(slabs)
+	out := make([][]float64, 0, count*nc)
+	perComp := make([][][]float64, nc)
+	for c, s := range slabs {
+		if fromLeft {
+			perComp[c] = s.PopLeft(count)
+		} else {
+			perComp[c] = s.PopRight(count)
+		}
+	}
+	for i := 0; i < count; i++ {
+		for c := 0; c < nc; c++ {
+			out = append(out, perComp[c][i])
+		}
+	}
+	return out
+}
+
+// pushPlanes attaches received planes: rightward flow arrives at the
+// receiver's left edge, leftward flow at its right edge.
+func pushPlanes(slabs []*field.Slab, planes [][]float64, rightward bool) {
+	nc := len(slabs)
+	count := len(planes) / nc
+	for c := 0; c < nc; c++ {
+		comp := make([][]float64, count)
+		for i := 0; i < count; i++ {
+			comp[i] = planes[i*nc+c]
+		}
+		if rightward {
+			slabs[c].PushLeft(comp)
+		} else {
+			slabs[c].PushRight(comp)
+		}
+	}
+}
+
+func flattenPlanes(planes [][]float64) []float64 {
+	if len(planes) == 0 {
+		return nil
+	}
+	out := make([]float64, 0, len(planes)*len(planes[0]))
+	for _, p := range planes {
+		out = append(out, p...)
+	}
+	return out
+}
+
+func unflattenPlanes(msg []float64, nc, planeSize, count int) ([][]float64, error) {
+	if len(msg) != nc*planeSize*count {
+		return nil, fmt.Errorf("parlbm: plane transfer size %d, want %d", len(msg), nc*planeSize*count)
+	}
+	out := make([][]float64, count*nc)
+	for i := range out {
+		out[i] = msg[i*planeSize : (i+1)*planeSize]
+	}
+	return out, nil
+}
+
+// rebuildScratch reallocates the post-collision and density slabs to
+// the (possibly changed) owned range; their contents are recomputed
+// every phase.
+func (w *worker) rebuildScratch() {
+	start, count := w.f[0].Start, w.f[0].Count()
+	for c := range w.fPost {
+		w.fPost[c] = field.NewSlab(w.p.NY, w.p.NZ, 19, start, count)
+		w.n[c] = field.NewSlab(w.p.NY, w.p.NZ, 1, start, count)
+	}
+}
+
+// remapGlobal is the distributed global scheme: allgather the load
+// indices, compute the identical transfer list everywhere, and execute
+// the transfers involving this rank in a feasibility order shared by
+// all ranks.
+func (w *worker) remapGlobal(pol balance.Policy) error {
+	planes := w.f[0].Count()
+	predicted := w.pred.Predict() * float64(planes)
+	all, err := w.c.AllGather([]float64{float64(planes), predicted})
+	if err != nil {
+		return err
+	}
+	planesAll := make([]int, w.size)
+	predAll := make([]float64, w.size)
+	for r, data := range all {
+		if len(data) != 2 {
+			return fmt.Errorf("parlbm: load gather from %d has %d values", r, len(data))
+		}
+		planesAll[r] = int(data[0])
+		predAll[r] = data[1]
+	}
+	ts := pol.Round(planesAll, predAll)
+	ordered, err := orderTransfers(ts, planesAll)
+	if err != nil {
+		return err
+	}
+	for _, tr := range ordered {
+		if tr.From != w.rank && tr.To != w.rank {
+			continue
+		}
+		net := tr.Planes
+		if tr.To < tr.From {
+			net = -net
+		}
+		neighbor := tr.From
+		if tr.From == w.rank {
+			neighbor = tr.To
+		}
+		if err := w.moveBoundary(neighbor, net); err != nil {
+			return err
+		}
+	}
+	w.rebuildScratch()
+	return nil
+}
+
+// orderTransfers sequences transfers so every sender owns the planes it
+// ships at execution time (a plane relayed across several ranks must
+// arrive before it departs). The greedy fixpoint is deterministic, so
+// all ranks derive the same order.
+func orderTransfers(ts []decomp.Transfer, counts []int) ([]decomp.Transfer, error) {
+	remaining := append([]decomp.Transfer(nil), ts...)
+	have := append([]int(nil), counts...)
+	var ordered []decomp.Transfer
+	for len(remaining) > 0 {
+		progressed := false
+		rest := remaining[:0]
+		for _, tr := range remaining {
+			if have[tr.From] >= tr.Planes {
+				have[tr.From] -= tr.Planes
+				have[tr.To] += tr.Planes
+				ordered = append(ordered, tr)
+				progressed = true
+			} else {
+				rest = append(rest, tr)
+			}
+		}
+		remaining = rest
+		if !progressed {
+			return nil, fmt.Errorf("parlbm: transfer plan not executable: %+v with counts %v", remaining, counts)
+		}
+	}
+	return ordered, nil
+}
+
+// gather sends every rank's slab to rank 0, which reconstructs the full
+// per-component distribution fields. Message layout: [start, count,
+// planes...] with each plane's components concatenated.
+func (w *worker) gather() error {
+	nc := w.p.NComp()
+	sz := w.f[0].PlaneSize()
+	if w.rank != 0 {
+		start, count := w.f[0].Start, w.f[0].Count()
+		msg := make([]float64, 0, 2+count*nc*sz)
+		msg = append(msg, float64(start), float64(count))
+		for gx := start; gx < start+count; gx++ {
+			for c := 0; c < nc; c++ {
+				msg = append(msg, w.f[c].Plane(gx)...)
+			}
+		}
+		return w.c.Send(0, tagGather, msg)
+	}
+	final := make([]*field.Dist3D, nc)
+	for c := 0; c < nc; c++ {
+		final[c] = field.NewDist3D(w.p.NX, w.p.NY, w.p.NZ, 19)
+	}
+	place := func(gx int, c int, data []float64) {
+		copy(final[c].Plane(gx), data)
+	}
+	for gx := w.f[0].Start; gx < w.f[0].End(); gx++ {
+		for c := 0; c < nc; c++ {
+			place(gx, c, w.f[c].Plane(gx))
+		}
+	}
+	for r := 1; r < w.size; r++ {
+		msg, err := w.c.Recv(r, tagGather)
+		if err != nil {
+			return err
+		}
+		if len(msg) < 2 {
+			return fmt.Errorf("parlbm: short gather message from %d", r)
+		}
+		start, count := int(msg[0]), int(msg[1])
+		if len(msg) != 2+count*nc*sz || start < 0 || start+count > w.p.NX {
+			return fmt.Errorf("parlbm: bad gather from %d: start %d count %d len %d", r, start, count, len(msg))
+		}
+		off := 2
+		for gx := start; gx < start+count; gx++ {
+			for c := 0; c < nc; c++ {
+				place(gx, c, msg[off:off+sz])
+				off += sz
+			}
+		}
+	}
+	w.res.Final = final
+	return nil
+}
+
+// RunParallel runs a full parallel simulation over an in-process
+// communicator group and returns the gathered fields (from rank 0) and
+// every rank's result.
+func RunParallel(p *lbm.Params, ranks int, opts Options) ([]*field.Dist3D, []*Result, error) {
+	fabric := comm.NewFabric(ranks)
+	defer fabric.Close()
+	return runGroup(p, fabric.Endpoints(), opts)
+}
+
+// RunParallelTCP is RunParallel over TCP loopback.
+func RunParallelTCP(p *lbm.Params, ranks int, opts Options) ([]*field.Dist3D, []*Result, error) {
+	eps, shutdown, err := comm.NewTCPGroup(ranks)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer shutdown()
+	return runGroup(p, eps, opts)
+}
+
+func runGroup(p *lbm.Params, eps []comm.Comm, opts Options) ([]*field.Dist3D, []*Result, error) {
+	ranks := len(eps)
+	results := make([]*Result, ranks)
+	errs := make([]error, ranks)
+	done := make(chan int, ranks)
+	for r := 0; r < ranks; r++ {
+		go func(r int) {
+			results[r], errs[r] = RunRank(p, eps[r], opts)
+			done <- r
+		}(r)
+	}
+	for i := 0; i < ranks; i++ {
+		<-done
+	}
+	for r, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("parlbm: rank %d failed: %w", r, err)
+		}
+	}
+	return results[0].Final, results, nil
+}

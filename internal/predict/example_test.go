@@ -1,0 +1,26 @@
+package predict_test
+
+import (
+	"fmt"
+
+	"microslip/internal/predict"
+)
+
+// One transient spike among ten phases barely moves the harmonic mean —
+// the property that makes the paper's remapping "lazy" — while the
+// last-value predictor overreacts by a factor of 25.
+func ExampleHarmonicMean() {
+	h := predict.NewHarmonicMean(10)
+	l := predict.NewLastValue()
+	for i := 0; i < 9; i++ {
+		h.Observe(0.4)
+		l.Observe(0.4)
+	}
+	h.Observe(10.0) // a 25x load spike in the most recent phase
+	l.Observe(10.0)
+	fmt.Printf("harmonic:   %.2f s\n", h.Predict())
+	fmt.Printf("last-value: %.2f s\n", l.Predict())
+	// Output:
+	// harmonic:   0.44 s
+	// last-value: 10.00 s
+}

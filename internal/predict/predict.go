@@ -1,0 +1,190 @@
+// Package predict implements the per-node phase-time predictors used to
+// drive remapping decisions. The paper's choice (Section 3.4) is the
+// harmonic average of the last K sampled phase times, which a single
+// transient spike barely moves — the "lazy" property that prevents
+// migration oscillation. Alternative predictors from the load-prediction
+// literature (last-value, arithmetic mean, exponential smoothing,
+// tendency-based) are provided for the ablation benchmarks.
+package predict
+
+import "fmt"
+
+// Predictor forecasts the next phase's execution time on a node from
+// the times observed so far. Predict returns 0 until the first
+// observation.
+type Predictor interface {
+	Name() string
+	Observe(t float64)
+	Predict() float64
+	Reset()
+}
+
+// window is a fixed-size ring of the most recent observations.
+type window struct {
+	buf  []float64
+	n    int // valid entries
+	next int // ring head
+}
+
+func newWindow(k int) *window {
+	if k < 1 {
+		panic(fmt.Sprintf("predict: window size %d", k))
+	}
+	return &window{buf: make([]float64, k)}
+}
+
+func (w *window) push(v float64) {
+	w.buf[w.next] = v
+	w.next = (w.next + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+}
+
+func (w *window) reset() { w.n, w.next = 0, 0 }
+
+// values returns the valid entries, oldest first.
+func (w *window) values() []float64 {
+	out := make([]float64, 0, w.n)
+	start := (w.next - w.n + len(w.buf)) % len(w.buf)
+	for i := 0; i < w.n; i++ {
+		out = append(out, w.buf[(start+i)%len(w.buf)])
+	}
+	return out
+}
+
+// HarmonicMean is the paper's predictor: K / sum(1/t_i) over the last K
+// phases. Because the reciprocal of a large spike is tiny, one slow
+// phase among K fast ones barely raises the prediction, so no migration
+// is triggered "unless this machine is really slow for the last K
+// phases" (the paper uses K = 10).
+type HarmonicMean struct{ w *window }
+
+// NewHarmonicMean creates the predictor with window K.
+func NewHarmonicMean(k int) *HarmonicMean { return &HarmonicMean{w: newWindow(k)} }
+
+func (h *HarmonicMean) Name() string      { return "harmonic" }
+func (h *HarmonicMean) Observe(t float64) { h.w.push(t) }
+func (h *HarmonicMean) Reset()            { h.w.reset() }
+
+func (h *HarmonicMean) Predict() float64 {
+	if h.w.n == 0 {
+		return 0
+	}
+	var inv float64
+	for _, t := range h.w.values() {
+		if t <= 0 {
+			continue
+		}
+		inv += 1 / t
+	}
+	if inv == 0 {
+		return 0
+	}
+	return float64(h.w.n) / inv
+}
+
+// LastValue predicts the most recent observation; the literature's
+// "future load is closest to the most recent data" model, prone to
+// migration oscillation under rapidly changing sharing patterns.
+type LastValue struct{ last float64 }
+
+// NewLastValue creates the predictor.
+func NewLastValue() *LastValue { return &LastValue{} }
+
+func (l *LastValue) Name() string      { return "last" }
+func (l *LastValue) Observe(t float64) { l.last = t }
+func (l *LastValue) Predict() float64  { return l.last }
+func (l *LastValue) Reset()            { l.last = 0 }
+
+// ArithmeticMean averages the last K observations.
+type ArithmeticMean struct{ w *window }
+
+// NewArithmeticMean creates the predictor with window K.
+func NewArithmeticMean(k int) *ArithmeticMean { return &ArithmeticMean{w: newWindow(k)} }
+
+func (a *ArithmeticMean) Name() string      { return "mean" }
+func (a *ArithmeticMean) Observe(t float64) { a.w.push(t) }
+func (a *ArithmeticMean) Reset()            { a.w.reset() }
+
+func (a *ArithmeticMean) Predict() float64 {
+	if a.w.n == 0 {
+		return 0
+	}
+	var s float64
+	for _, t := range a.w.values() {
+		s += t
+	}
+	return s / float64(a.w.n)
+}
+
+// ExpSmoothing is exponentially weighted smoothing with factor alpha in
+// (0, 1]: higher alpha weights recent data more (the tendency of [46]
+// to emphasize fresh samples).
+type ExpSmoothing struct {
+	alpha float64
+	val   float64
+	seen  bool
+}
+
+// NewExpSmoothing creates the predictor.
+func NewExpSmoothing(alpha float64) *ExpSmoothing {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("predict: alpha %v out of (0,1]", alpha))
+	}
+	return &ExpSmoothing{alpha: alpha}
+}
+
+func (e *ExpSmoothing) Name() string { return "expsmooth" }
+
+func (e *ExpSmoothing) Observe(t float64) {
+	if !e.seen {
+		e.val, e.seen = t, true
+		return
+	}
+	e.val = e.alpha*t + (1-e.alpha)*e.val
+}
+
+func (e *ExpSmoothing) Predict() float64 {
+	if !e.seen {
+		return 0
+	}
+	return e.val
+}
+
+func (e *ExpSmoothing) Reset() { e.val, e.seen = 0, false }
+
+// Tendency extrapolates the recent trend: last value plus the mean
+// increment over the window (a homeostatic/tendency-based model in the
+// spirit of Yang, Foster and Schopf). Predictions are clamped to be
+// positive.
+type Tendency struct{ w *window }
+
+// NewTendency creates the predictor with window K.
+func NewTendency(k int) *Tendency {
+	if k < 2 {
+		panic("predict: tendency window must be >= 2")
+	}
+	return &Tendency{w: newWindow(k)}
+}
+
+func (td *Tendency) Name() string      { return "tendency" }
+func (td *Tendency) Observe(t float64) { td.w.push(t) }
+func (td *Tendency) Reset()            { td.w.reset() }
+
+func (td *Tendency) Predict() float64 {
+	vs := td.w.values()
+	if len(vs) == 0 {
+		return 0
+	}
+	last := vs[len(vs)-1]
+	if len(vs) == 1 {
+		return last
+	}
+	incr := (vs[len(vs)-1] - vs[0]) / float64(len(vs)-1)
+	p := last + incr
+	if p <= 0 {
+		p = last
+	}
+	return p
+}

@@ -1,0 +1,81 @@
+// Package profile records the per-node execution-time breakdown the
+// paper reports in Figure 9: time spent computing, communicating
+// (including synchronization waits), and remapping (decision exchange
+// plus lattice-plane migration).
+package profile
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Breakdown is one node's accumulated time split, in seconds.
+type Breakdown struct {
+	Computation   float64
+	Communication float64
+	Remapping     float64
+}
+
+// Total returns the node's total accounted time.
+func (b Breakdown) Total() float64 {
+	return b.Computation + b.Communication + b.Remapping
+}
+
+// Add accumulates another breakdown.
+func (b *Breakdown) Add(o Breakdown) {
+	b.Computation += o.Computation
+	b.Communication += o.Communication
+	b.Remapping += o.Remapping
+}
+
+// Profile collects breakdowns for all nodes of a run.
+type Profile struct {
+	Nodes []Breakdown
+}
+
+// New creates a profile for p nodes.
+func New(p int) *Profile {
+	return &Profile{Nodes: make([]Breakdown, p)}
+}
+
+// AddComputation charges t seconds of compute to node i.
+func (p *Profile) AddComputation(i int, t float64) { p.Nodes[i].Computation += t }
+
+// AddCommunication charges t seconds of communication/wait to node i.
+func (p *Profile) AddCommunication(i int, t float64) { p.Nodes[i].Communication += t }
+
+// AddRemapping charges t seconds of remapping work to node i.
+func (p *Profile) AddRemapping(i int, t float64) { p.Nodes[i].Remapping += t }
+
+// MaxTotal returns the largest per-node total (the run's makespan when
+// nodes are phase-synchronized).
+func (p *Profile) MaxTotal() float64 {
+	var m float64
+	for _, b := range p.Nodes {
+		if t := b.Total(); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Sum returns the cluster-wide aggregate breakdown.
+func (p *Profile) Sum() Breakdown {
+	var s Breakdown
+	for _, b := range p.Nodes {
+		s.Add(b)
+	}
+	return s
+}
+
+// String renders the per-node stacked columns as an ASCII table, the
+// textual analogue of Figure 9.
+func (p *Profile) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%4s %12s %14s %10s %10s\n", "node", "comp (s)", "comm (s)", "remap (s)", "total (s)")
+	for i, b := range p.Nodes {
+		fmt.Fprintf(&sb, "%4d %12.2f %14.2f %10.2f %10.2f\n",
+			i, b.Computation, b.Communication, b.Remapping, b.Total())
+	}
+	return sb.String()
+}

@@ -1,0 +1,69 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperChannelDims(t *testing.T) {
+	ch := DefaultChannel()
+	if ch.Points() != 400*200*20 {
+		t.Fatalf("Points = %d, want 1.6e6", ch.Points())
+	}
+	lx, ly, lz := ch.PhysicalDims()
+	if math.Abs(lx-2.0e-6) > 1e-15 || math.Abs(ly-1.0e-6) > 1e-15 || math.Abs(lz-0.1e-6) > 1e-15 {
+		t.Errorf("dims = %v %v %v, want 2um x 1um x 0.1um", lx, ly, lz)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	ch := DefaultChannel().Scaled(2)
+	if ch.NX != 200 || ch.NY != 100 || ch.NZ != 20 {
+		t.Errorf("Scaled(2) = %+v", ch)
+	}
+	tiny := DefaultChannel().Scaled(1000)
+	if tiny.NX < 4 || tiny.NY < 4 {
+		t.Errorf("Scaled floor violated: %+v", tiny)
+	}
+}
+
+func TestConverterRoundTrips(t *testing.T) {
+	c := NewConverter(5e-9, 1e-11, 1000)
+	f := func(v float64) bool {
+		v = math.Mod(v, 1e6)
+		return math.Abs(c.LatticeLength(c.Length(v))-v) < 1e-9*(1+math.Abs(v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Velocity scale: dx/dt = 500 m/s lattice speed.
+	if got := c.Velocity(0.01); math.Abs(got-5.0) > 1e-12 {
+		t.Errorf("Velocity(0.01) = %v, want 5", got)
+	}
+	if got := c.Viscosity(1.0 / 6.0); math.Abs(got-(5e-9*5e-9/1e-11)/6) > 1e-18 {
+		t.Errorf("Viscosity = %v", got)
+	}
+	if got := c.Time(100); math.Abs(got-1e-9) > 1e-20 {
+		t.Errorf("Time(100) = %v, want 1ns", got)
+	}
+	if got := c.Density(0.5); got != 500 {
+		t.Errorf("Density(0.5) = %v, want 500", got)
+	}
+	if got := c.Force(1); math.Abs(got-5e-9/1e-22) > 1 {
+		t.Errorf("Force(1) = %v", got)
+	}
+}
+
+func TestNewConverterPanics(t *testing.T) {
+	for _, bad := range [][3]float64{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}, {-1, 1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewConverter(%v) did not panic", bad)
+				}
+			}()
+			NewConverter(bad[0], bad[1], bad[2])
+		}()
+	}
+}

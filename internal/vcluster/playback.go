@@ -1,0 +1,87 @@
+package vcluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// TracesFromCSV loads per-node busy-interval schedules from CSV rows of
+// the form
+//
+//	node,start_s,end_s,speed
+//
+// (header line optional, '#' comments ignored), so recorded load traces
+// from a real shared cluster can drive the simulator. Nodes without
+// rows run at full speed.
+func TracesFromCSV(r io.Reader, p int) ([]SpeedTrace, error) {
+	perNode := make([][]Interval, p)
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("vcluster: line %d: %d fields, want 4 (node,start,end,speed)", line, len(fields))
+		}
+		if line == 1 && strings.EqualFold(strings.TrimSpace(fields[0]), "node") {
+			continue // header
+		}
+		node, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+		if err != nil {
+			return nil, fmt.Errorf("vcluster: line %d: node: %w", line, err)
+		}
+		if node < 0 || node >= p {
+			return nil, fmt.Errorf("vcluster: line %d: node %d out of [0,%d)", line, node, p)
+		}
+		vals := make([]float64, 3)
+		for i, f := range fields[1:] {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("vcluster: line %d field %d: %w", line, i+2, err)
+			}
+			vals[i] = v
+		}
+		start, end, speed := vals[0], vals[1], vals[2]
+		if end <= start {
+			return nil, fmt.Errorf("vcluster: line %d: empty interval [%v,%v)", line, start, end)
+		}
+		if speed <= 0 || speed > 1 {
+			return nil, fmt.Errorf("vcluster: line %d: speed %v out of (0,1]", line, speed)
+		}
+		perNode[node] = append(perNode[node], Interval{Start: start, End: end, Speed: speed})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("vcluster: %w", err)
+	}
+	out := make([]SpeedTrace, p)
+	for i := range out {
+		if len(perNode[i]) == 0 {
+			out[i] = Constant(1)
+			continue
+		}
+		// NewSchedule validates ordering/overlap and panics on bad
+		// input; convert to an error for file data.
+		var sched *Schedule
+		err := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("vcluster: node %d: %v", i, r)
+				}
+			}()
+			sched = NewSchedule(perNode[i])
+			return nil
+		}()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sched
+	}
+	return out, nil
+}

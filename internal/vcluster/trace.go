@@ -1,0 +1,175 @@
+// Package vcluster is a discrete-event simulator of the paper's
+// non-dedicated 20-node cluster. Each virtual node executes LBM phases
+// whose compute cost is proportional to its lattice planes; competing
+// background jobs reduce a node's effective speed according to a
+// calibrated contention model; neighbor synchronization per phase
+// reproduces the ripple effect of Section 3.1. The remapping policies
+// observe exactly what they would on a real cluster — per-phase compute
+// times — so their behaviour carries over, while experiments stay
+// deterministic and laptop-fast.
+package vcluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SpeedTrace yields a node's effective speed share (0, 1] as a function
+// of virtual time.
+type SpeedTrace interface {
+	// SpeedAt returns the effective speed at time t.
+	SpeedAt(t float64) float64
+	// NextChange returns the earliest time strictly greater than t at
+	// which the speed may change, or +Inf if it never changes again.
+	NextChange(t float64) float64
+}
+
+// Constant is a time-invariant speed.
+type Constant float64
+
+// SpeedAt implements SpeedTrace.
+func (c Constant) SpeedAt(float64) float64 { return float64(c) }
+
+// NextChange implements SpeedTrace.
+func (c Constant) NextChange(float64) float64 { return math.Inf(1) }
+
+// DutyCycle models the Figure 3 disturbance: a competing job busy for
+// Busy seconds at the start of every Period, during which the node runs
+// at BusySpeed; otherwise at full speed.
+type DutyCycle struct {
+	Period, Busy, BusySpeed float64
+}
+
+// SpeedAt implements SpeedTrace.
+func (d DutyCycle) SpeedAt(t float64) float64 {
+	if d.Busy <= 0 {
+		return 1
+	}
+	if d.Busy >= d.Period {
+		return d.BusySpeed
+	}
+	k := math.Floor(t / d.Period)
+	if t-k*d.Period < d.Busy {
+		return d.BusySpeed
+	}
+	return 1
+}
+
+// NextChange implements SpeedTrace. It guarantees a result strictly
+// greater than t: rounding in t - k*Period can otherwise make the busy
+// boundary appear not-yet-reached when t already sits exactly on it,
+// which would stall WorkDuration.
+func (d DutyCycle) NextChange(t float64) float64 {
+	if d.Busy <= 0 || d.Busy >= d.Period {
+		return math.Inf(1)
+	}
+	k := math.Floor(t / d.Period)
+	phase := t - k*d.Period
+	if phase < d.Busy {
+		if next := k*d.Period + d.Busy; next > t {
+			return next
+		}
+	}
+	return (k + 1) * d.Period
+}
+
+// Interval is one busy window of a Schedule.
+type Interval struct {
+	Start, End, Speed float64
+}
+
+// Schedule is a piecewise speed trace built from non-overlapping busy
+// intervals (full speed elsewhere); used for the transient-spike
+// workload where a random node is disturbed every ten seconds.
+type Schedule struct {
+	intervals []Interval // sorted by Start
+}
+
+// NewSchedule sorts and validates the intervals.
+func NewSchedule(intervals []Interval) *Schedule {
+	iv := append([]Interval(nil), intervals...)
+	sort.Slice(iv, func(a, b int) bool { return iv[a].Start < iv[b].Start })
+	for i, v := range iv {
+		if v.End <= v.Start {
+			panic(fmt.Sprintf("vcluster: interval %d empty: [%v,%v)", i, v.Start, v.End))
+		}
+		if v.Speed <= 0 || v.Speed > 1 {
+			panic(fmt.Sprintf("vcluster: interval %d speed %v out of (0,1]", i, v.Speed))
+		}
+		if i > 0 && v.Start < iv[i-1].End {
+			panic(fmt.Sprintf("vcluster: intervals %d and %d overlap", i-1, i))
+		}
+	}
+	return &Schedule{intervals: iv}
+}
+
+// SpeedAt implements SpeedTrace.
+func (s *Schedule) SpeedAt(t float64) float64 {
+	// Find the last interval with Start <= t.
+	i := sort.Search(len(s.intervals), func(k int) bool { return s.intervals[k].Start > t }) - 1
+	if i >= 0 && t < s.intervals[i].End {
+		return s.intervals[i].Speed
+	}
+	return 1
+}
+
+// NextChange implements SpeedTrace.
+func (s *Schedule) NextChange(t float64) float64 {
+	i := sort.Search(len(s.intervals), func(k int) bool { return s.intervals[k].Start > t }) - 1
+	if i >= 0 && t < s.intervals[i].End {
+		return s.intervals[i].End
+	}
+	if i+1 < len(s.intervals) {
+		return s.intervals[i+1].Start
+	}
+	return math.Inf(1)
+}
+
+// WorkDuration returns the wall time a node with the given trace needs,
+// starting at time start, to complete `work` seconds of full-speed CPU
+// work.
+func WorkDuration(tr SpeedTrace, start, work float64) float64 {
+	if work <= 0 {
+		return 0
+	}
+	t := start
+	remaining := work
+	for remaining > 1e-15 {
+		next := tr.NextChange(t)
+		if next <= t {
+			// Defensive: a trace must make strict progress; nudge by
+			// one ulp rather than spin.
+			next = math.Nextafter(t, math.Inf(1))
+		}
+		// Sample the speed inside the open interval (t, next): exactly
+		// at t a piecewise boundary can be misclassified by one ulp,
+		// which would apply the wrong speed to the whole interval.
+		s := tr.SpeedAt(t)
+		if !math.IsInf(next, 1) {
+			s = tr.SpeedAt(t + (next-t)/2)
+		}
+		if s <= 0 {
+			if math.IsInf(next, 1) {
+				panic("vcluster: trace stalls forever at zero speed")
+			}
+			t = next
+			continue
+		}
+		if math.IsInf(next, 1) {
+			t += remaining / s
+			remaining = 0
+			break
+		}
+		span := next - t
+		can := span * s
+		if can >= remaining {
+			t += remaining / s
+			remaining = 0
+		} else {
+			remaining -= can
+			t = next
+		}
+	}
+	return t - start
+}

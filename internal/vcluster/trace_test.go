@@ -1,0 +1,222 @@
+package vcluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstantTrace(t *testing.T) {
+	c := Constant(0.5)
+	if c.SpeedAt(0) != 0.5 || c.SpeedAt(1e9) != 0.5 {
+		t.Error("Constant speed varies")
+	}
+	if !math.IsInf(c.NextChange(0), 1) {
+		t.Error("Constant has a change point")
+	}
+}
+
+func TestDutyCycleTrace(t *testing.T) {
+	d := DutyCycle{Period: 10, Busy: 4, BusySpeed: 0.5}
+	cases := map[float64]float64{0: 0.5, 3.9: 0.5, 4.0: 1, 9.9: 1, 10: 0.5, 13.9: 0.5, 14: 1}
+	for tm, want := range cases {
+		if got := d.SpeedAt(tm); got != want {
+			t.Errorf("SpeedAt(%v) = %v, want %v", tm, got, want)
+		}
+	}
+	if got := d.NextChange(1); got != 4 {
+		t.Errorf("NextChange(1) = %v, want 4", got)
+	}
+	if got := d.NextChange(5); got != 10 {
+		t.Errorf("NextChange(5) = %v, want 10", got)
+	}
+	if got := d.NextChange(12); got != 14 {
+		t.Errorf("NextChange(12) = %v, want 14", got)
+	}
+}
+
+func TestScheduleTrace(t *testing.T) {
+	s := NewSchedule([]Interval{
+		{Start: 10, End: 12, Speed: 0.5},
+		{Start: 30, End: 31, Speed: 0.25},
+	})
+	cases := map[float64]float64{0: 1, 10: 0.5, 11.9: 0.5, 12: 1, 30.5: 0.25, 31: 1}
+	for tm, want := range cases {
+		if got := s.SpeedAt(tm); got != want {
+			t.Errorf("SpeedAt(%v) = %v, want %v", tm, got, want)
+		}
+	}
+	if got := s.NextChange(0); got != 10 {
+		t.Errorf("NextChange(0) = %v, want 10", got)
+	}
+	if got := s.NextChange(10.5); got != 12 {
+		t.Errorf("NextChange(10.5) = %v, want 12", got)
+	}
+	if got := s.NextChange(31); !math.IsInf(got, 1) {
+		t.Errorf("NextChange(31) = %v, want +Inf", got)
+	}
+}
+
+func TestScheduleRejectsOverlap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("overlapping intervals accepted")
+		}
+	}()
+	NewSchedule([]Interval{{Start: 0, End: 5, Speed: 0.5}, {Start: 4, End: 6, Speed: 0.5}})
+}
+
+func TestWorkDurationConstant(t *testing.T) {
+	if got := WorkDuration(Constant(1), 100, 2.5); got != 2.5 {
+		t.Errorf("full speed: %v, want 2.5", got)
+	}
+	if got := WorkDuration(Constant(0.5), 0, 1); got != 2 {
+		t.Errorf("half speed: %v, want 2", got)
+	}
+	if got := WorkDuration(Constant(1), 0, 0); got != 0 {
+		t.Errorf("zero work: %v", got)
+	}
+}
+
+func TestWorkDurationAcrossBoundary(t *testing.T) {
+	// Busy [0,4) at 0.5: starting at 3 with 1.0 work: 1s busy does 0.5
+	// work, remaining 0.5 at full speed takes 0.5 -> total 1.5.
+	d := DutyCycle{Period: 10, Busy: 4, BusySpeed: 0.5}
+	if got := WorkDuration(d, 3, 1.0); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("boundary crossing: %v, want 1.5", got)
+	}
+	// Work spanning several periods.
+	got := WorkDuration(d, 0, 16.0)
+	// Each 10s period delivers 4*0.5 + 6*1 = 8 work: 16 work = 20 s.
+	if math.Abs(got-20) > 1e-9 {
+		t.Errorf("multi-period: %v, want 20", got)
+	}
+}
+
+// Property: WorkDuration is additive — doing w1 then w2 from the
+// intermediate time equals doing w1+w2 at once.
+func TestWorkDurationAdditive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := DutyCycle{Period: 10, Busy: 1 + 8*rng.Float64(), BusySpeed: 0.2 + 0.7*rng.Float64()}
+		start := rng.Float64() * 30
+		w1 := rng.Float64() * 5
+		w2 := rng.Float64() * 5
+		d1 := WorkDuration(d, start, w1)
+		d2 := WorkDuration(d, start+d1, w2)
+		dAll := WorkDuration(d, start, w1+w2)
+		return math.Abs((d1+d2)-dAll) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: duration is at least work (speed <= 1) and at most
+// work/minSpeed.
+func TestWorkDurationBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		minSpeed := 0.2 + 0.5*rng.Float64()
+		d := DutyCycle{Period: 10, Busy: rng.Float64() * 10, BusySpeed: minSpeed}
+		w := rng.Float64() * 20
+		got := WorkDuration(d, rng.Float64()*50, w)
+		return got >= w-1e-9 && got <= w/minSpeed+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContentionShare(t *testing.T) {
+	if got := ContentionShare(0); got != 1 {
+		t.Errorf("share(0) = %v", got)
+	}
+	if got := ContentionShare(0.3); got != 0.5 {
+		t.Errorf("share(0.3) = %v, want 0.5 (fair-share plateau)", got)
+	}
+	if got := ContentionShare(0.6); got != 0.5 {
+		t.Errorf("share(0.6) = %v, want 0.5", got)
+	}
+	if got := ContentionShare(1); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Errorf("share(1) = %v, want 1/3", got)
+	}
+	// Monotone non-increasing.
+	prev := 2.0
+	for d := 0.0; d <= 1.0; d += 0.01 {
+		s := ContentionShare(d)
+		if s > prev+1e-12 {
+			t.Fatalf("share not monotone at %v", d)
+		}
+		prev = s
+	}
+}
+
+func TestWorkloadConstructors(t *testing.T) {
+	tr := FixedSlowNodes(10, []int{3, 7})
+	if tr[3].SpeedAt(0) >= 1 || tr[7].SpeedAt(5) >= 1 || tr[0].SpeedAt(0) != 1 {
+		t.Error("FixedSlowNodes speeds wrong")
+	}
+	tr = DutyCycleNode(5, 2, 0.5)
+	if tr[2].SpeedAt(1) != 0.5 || tr[2].SpeedAt(6) != 1 {
+		t.Error("DutyCycleNode trace wrong")
+	}
+	if tr := DutyCycleNode(5, 2, 0); tr[2].SpeedAt(0) != 1 {
+		t.Error("zero duty should be dedicated")
+	}
+	for name, fn := range map[string]func(){
+		"slow index":  func() { FixedSlowNodes(4, []int{9}) },
+		"duty range":  func() { DutyCycleNode(4, 0, 1.5) },
+		"spike range": func() { TransientSpikes(4, 0, 100, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSpreadSlowNodes(t *testing.T) {
+	if got := SpreadSlowNodes(20, 1); got[0] != 10 {
+		t.Errorf("1 slow node at %d, want center 10", got[0])
+	}
+	got := SpreadSlowNodes(20, 2)
+	if got[0] != 5 || got[1] != 15 {
+		t.Errorf("2 slow nodes at %v, want [5 15]", got)
+	}
+	got = SpreadSlowNodes(20, 5)
+	for i := 1; i < len(got); i++ {
+		if got[i]-got[i-1] < 3 {
+			t.Errorf("slow nodes too close: %v", got)
+		}
+	}
+}
+
+func TestTransientSpikesOneNodePerWindow(t *testing.T) {
+	traces := TransientSpikes(10, 2, 100, 7)
+	for w := 0; w < 10; w++ {
+		busy := 0
+		for _, tr := range traces {
+			if tr.SpeedAt(float64(w)*DisturbancePeriod+0.5) < 1 {
+				busy++
+			}
+		}
+		if busy != 1 {
+			t.Errorf("window %d has %d busy nodes, want 1", w, busy)
+		}
+	}
+	// Deterministic for equal seeds.
+	again := TransientSpikes(10, 2, 100, 7)
+	for i := range traces {
+		for tm := 0.0; tm < 100; tm += 0.7 {
+			if traces[i].SpeedAt(tm) != again[i].SpeedAt(tm) {
+				t.Fatal("TransientSpikes not deterministic")
+			}
+		}
+	}
+}
