@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: check build vet test race chaos bench fuzz
+
+# The CI gate: compile everything, vet, run the full suite, then the
+# race detector in short mode (the -short guard trims the long chaos
+# and physics soaks so the race pass stays around a minute).
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# The full chaos suite under the race detector (several minutes): every
+# seeded fault schedule against the distributed pipeline.
+chaos:
+	$(GO) test -race -run 'Chaos|Masks|Fault' ./internal/experiments/ ./internal/parlbm/ ./internal/comm/
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# Coverage-guided fuzzing beyond the committed seed corpora.
+fuzz:
+	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/config/
+	$(GO) test -fuzz FuzzPolicyRound -fuzztime 30s ./internal/balance/

@@ -284,12 +284,24 @@ func BenchmarkCommTCPExchange(b *testing.B) {
 	})
 }
 
+// BenchmarkCommReliableExchange measures the halo exchange through the
+// resilience wrapper with no faults. Compare allocs/op against
+// BenchmarkCommChanExchange: the framing layer reuses its send buffer,
+// so the fault-free hot path must not add allocations.
+func BenchmarkCommReliableExchange(b *testing.B) {
+	benchCommExchange(b, func() ([]comm.Comm, func(), error) {
+		f := comm.NewFabric(2)
+		return comm.WithResilienceAll(f.Endpoints(), comm.DefaultResilience()), f.Close, nil
+	})
+}
+
 func benchCommExchange(b *testing.B, mk func() ([]comm.Comm, func(), error)) {
 	eps, shutdown, err := mk()
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer shutdown()
+	b.ReportAllocs()
 	plane := make([]float64, 200*20*19*2) // paper-sized halo: both components
 	b.SetBytes(int64(len(plane) * 8 * 2))
 	done := make(chan error, 1)

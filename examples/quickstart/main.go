@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -16,8 +17,16 @@ func main() {
 	// A reduced-scale channel: 16 x 40 x 10 lattice points at 5 nm
 	// spacing (the paper runs 400 x 200 x 20). The near-wall physics —
 	// set by the wall-force decay length, not the channel size — is the
-	// same.
-	setup := microslip.PhysicsSetup{NX: 16, NY: 40, NZ: 10, Steps: 1200, SampleZ: 5}
+	// same. The flags exist so smoke tests can shrink the run further.
+	var (
+		nx    = flag.Int("nx", 16, "lattice points along the channel")
+		ny    = flag.Int("ny", 40, "lattice points across the width")
+		nz    = flag.Int("nz", 10, "lattice points across the depth")
+		steps = flag.Int("steps", 1200, "LBM phases to run")
+	)
+	flag.Parse()
+
+	setup := microslip.PhysicsSetup{NX: *nx, NY: *ny, NZ: *nz, Steps: *steps, SampleZ: *nz / 2}
 	res, err := microslip.RunSlipPhysics(setup)
 	if err != nil {
 		log.Fatal(err)

@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"runtime"
 	"testing"
 	"time"
 )
@@ -60,6 +61,54 @@ func TestTCPPeerDeathFailsSubsequentRecv(t *testing.T) {
 	got, err := eps[1].Recv(0, 3)
 	if err != nil || got[0] != 1 {
 		t.Errorf("survivor traffic broken: %v %v", got, err)
+	}
+}
+
+// A teardown racing a mid-SendRecv receive must surface an error to the
+// blocked caller and reap every transport goroutine: Close waits for
+// the readLoops, so repeated create/communicate/close cycles leave the
+// goroutine count flat.
+func TestTCPCloseMidSendRecvReapsGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for iter := 0; iter < 5; iter++ {
+		eps, shutdown, err := NewTCPGroup(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() {
+			// Send succeeds, then the receive blocks: the classic
+			// mid-SendRecv teardown window.
+			_, err := eps[0].SendRecv(1, []float64{1}, 2, 4)
+			done <- err
+		}()
+		// Drain the send so the peer is past it, then tear down.
+		if _, err := eps[1].Recv(0, 4); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+		shutdown()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatal("mid-SendRecv teardown returned data, want error")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("mid-SendRecv teardown hung")
+		}
+	}
+	// The readLoop goroutines must all be gone; allow brief scheduler
+	// lag before declaring a leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d at start", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 

@@ -1,0 +1,461 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// This file adds the resilience layer: a Comm wrapper that makes every
+// operation survive the transient faults a non-dedicated cluster
+// exhibits (detected frame loss, link-level corruption, duplicated or
+// reordered delivery, endpoints that go down and come back).
+//
+// Mechanism: each message is framed with a per-(peer, tag) sequence
+// number and a checksum. The sender retries transient errors with
+// exponential backoff; the receiver enforces a per-attempt deadline,
+// discards corrupt frames, drops duplicates, and stashes out-of-order
+// frames until their turn. Barrier and AllGather are reimplemented on
+// top of the reliable point-to-point ops (using reserved high tags), so
+// collectives enjoy the same protection through any transport.
+//
+// The layer is strictly opt-in: unwrapped transports carry no framing,
+// and the fault-free solver hot path is unchanged.
+
+// MaxUserTag bounds application tags: the resilience layer reserves
+// tags >= MaxUserTag for its internal collectives.
+const MaxUserTag = 1 << 30
+
+// Reserved reliable-collective tags (>= MaxUserTag).
+const (
+	tagRBarrierArrive  = MaxUserTag + iota // worker -> root
+	tagRBarrierRelease                     // root -> worker
+	tagRGatherUp                           // worker contribution
+	tagRGatherDown                         // root redistribution
+)
+
+// Resilience configures the retry/timeout behaviour of a reliable
+// communicator.
+type Resilience struct {
+	// MaxRetries is the number of additional attempts after the first
+	// for one operation (send or receive) before its error escapes.
+	MaxRetries int
+	// BaseBackoff is the sleep before the first retry; it doubles per
+	// retry up to MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff.
+	MaxBackoff time.Duration
+	// OpTimeout is the per-attempt receive deadline. Zero disables
+	// deadlines (receives block, as the raw transports do). It only
+	// takes effect when the wrapped transport (or wrapper chain)
+	// supports DeadlineRecver.
+	OpTimeout time.Duration
+	// Sleep replaces time.Sleep between retries; tests inject a no-op
+	// to keep chaos runs fast. Nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// DefaultResilience returns conservative production defaults: 8
+// retries, 1 ms base backoff capped at 100 ms, 2 s per-attempt receive
+// deadline.
+func DefaultResilience() Resilience {
+	return Resilience{
+		MaxRetries:  8,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  100 * time.Millisecond,
+		OpTimeout:   2 * time.Second,
+	}
+}
+
+// Validate checks the configuration.
+func (r Resilience) Validate() error {
+	if r.MaxRetries < 0 {
+		return fmt.Errorf("comm: MaxRetries %d must be >= 0", r.MaxRetries)
+	}
+	if r.BaseBackoff < 0 || r.MaxBackoff < 0 || r.OpTimeout < 0 {
+		return fmt.Errorf("comm: negative resilience durations (base %v, max %v, timeout %v)",
+			r.BaseBackoff, r.MaxBackoff, r.OpTimeout)
+	}
+	if r.MaxBackoff > 0 && r.BaseBackoff > r.MaxBackoff {
+		return fmt.Errorf("comm: BaseBackoff %v exceeds MaxBackoff %v", r.BaseBackoff, r.MaxBackoff)
+	}
+	return nil
+}
+
+func (r Resilience) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if r.Sleep != nil {
+		r.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+func (r Resilience) nextBackoff(d time.Duration) time.Duration {
+	d *= 2
+	if r.MaxBackoff > 0 && d > r.MaxBackoff {
+		d = r.MaxBackoff
+	}
+	return d
+}
+
+// Stats is a snapshot of a reliable endpoint's counters.
+type Stats struct {
+	// Sends and Recvs count completed reliable operations.
+	Sends, Recvs int64
+	// Retries counts retried attempts (send and receive combined).
+	Retries int64
+	// Timeouts counts expired per-attempt receive deadlines.
+	Timeouts int64
+	// Duplicates counts frames discarded because their sequence number
+	// was already consumed.
+	Duplicates int64
+	// Reordered counts frames that arrived ahead of their turn and were
+	// stashed.
+	Reordered int64
+	// Corrupt counts frames discarded on checksum mismatch.
+	Corrupt int64
+}
+
+// Add accumulates another snapshot.
+func (s *Stats) Add(o Stats) {
+	s.Sends += o.Sends
+	s.Recvs += o.Recvs
+	s.Retries += o.Retries
+	s.Timeouts += o.Timeouts
+	s.Duplicates += o.Duplicates
+	s.Reordered += o.Reordered
+	s.Corrupt += o.Corrupt
+}
+
+// Recovered is the total number of fault events the endpoint masked.
+func (s Stats) Recovered() int64 {
+	return s.Retries + s.Duplicates + s.Reordered + s.Corrupt
+}
+
+type statsCells struct {
+	sends, recvs, retries, timeouts, duplicates, reordered, corrupt atomic.Int64
+}
+
+func (c *statsCells) snapshot() Stats {
+	return Stats{
+		Sends:      c.sends.Load(),
+		Recvs:      c.recvs.Load(),
+		Retries:    c.retries.Load(),
+		Timeouts:   c.timeouts.Load(),
+		Duplicates: c.duplicates.Load(),
+		Reordered:  c.reordered.Load(),
+		Corrupt:    c.corrupt.Load(),
+	}
+}
+
+type peerTag struct{ peer, tag int }
+
+// ReliableComm is the resilience wrapper around a Comm. Like the raw
+// endpoints it is owned by one rank goroutine; only Stats is safe to
+// call concurrently.
+type ReliableComm struct {
+	inner Comm
+	res   Resilience
+	cells statsCells
+
+	sendSeq map[peerTag]uint64
+	recvSeq map[peerTag]uint64
+	stash   map[peerTag]map[uint64][]float64
+
+	// sendBuf is the reusable outbound frame: every transport copies
+	// (or serializes) the payload before Send returns, so the framing
+	// adds no per-operation allocation on the fault-free hot path.
+	sendBuf []float64
+}
+
+// WithResilience wraps inner with the retry/timeout/framing layer.
+// Both ends of every link must be wrapped (the framing is part of the
+// wire payload).
+func WithResilience(inner Comm, r Resilience) *ReliableComm {
+	if err := r.Validate(); err != nil {
+		panic(err)
+	}
+	return &ReliableComm{
+		inner:   inner,
+		res:     r,
+		sendSeq: make(map[peerTag]uint64),
+		recvSeq: make(map[peerTag]uint64),
+		stash:   make(map[peerTag]map[uint64][]float64),
+	}
+}
+
+// WithResilienceAll wraps every endpoint of a group.
+func WithResilienceAll(eps []Comm, r Resilience) []Comm {
+	out := make([]Comm, len(eps))
+	for i, ep := range eps {
+		out[i] = WithResilience(ep, r)
+	}
+	return out
+}
+
+// Stats returns a snapshot of the endpoint's counters. Safe to call
+// from any goroutine.
+func (c *ReliableComm) Stats() Stats { return c.cells.snapshot() }
+
+// Inner returns the wrapped communicator.
+func (c *ReliableComm) Inner() Comm { return c.inner }
+
+func (c *ReliableComm) Rank() int { return c.inner.Rank() }
+func (c *ReliableComm) Size() int { return c.inner.Size() }
+
+func (c *ReliableComm) Close() error { return c.inner.Close() }
+
+// Drain forwards to the wrapped endpoint when it buffers outbound
+// traffic (e.g. a fault injector holding reordered frames).
+func (c *ReliableComm) Drain() {
+	if d, ok := c.inner.(Drainer); ok {
+		d.Drain()
+	}
+}
+
+// --- framing ---
+
+// checksum mixes the sequence number, tag, and payload bits into 32
+// bits (so float64(uint32) round-trips exactly). FNV-style but one
+// multiply per 64-bit word with a shift-xor diffusion step, keeping
+// the framing cost a small fraction of the halo-exchange copy.
+func checksum(seq uint64, tag int, payload []float64) uint32 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		h = (h ^ v) * prime64
+		h ^= h >> 29
+	}
+	mix(seq)
+	mix(uint64(int64(tag)))
+	for _, f := range payload {
+		mix(math.Float64bits(f))
+	}
+	return uint32(h ^ h>>32)
+}
+
+// encodeFrame prepends [seq, checksum] to the payload.
+func encodeFrame(seq uint64, tag int, payload []float64) []float64 {
+	frame := make([]float64, 2+len(payload))
+	frame[0] = float64(seq)
+	frame[1] = float64(checksum(seq, tag, payload))
+	copy(frame[2:], payload)
+	return frame
+}
+
+// frameInto is encodeFrame into the endpoint's reusable buffer. Safe
+// because transports never retain the outbound slice past Send.
+func (c *ReliableComm) frameInto(seq uint64, tag int, payload []float64) []float64 {
+	n := 2 + len(payload)
+	if cap(c.sendBuf) < n {
+		c.sendBuf = make([]float64, n)
+	}
+	frame := c.sendBuf[:n]
+	frame[0] = float64(seq)
+	frame[1] = float64(checksum(seq, tag, payload))
+	copy(frame[2:], payload)
+	return frame
+}
+
+// decodeFrame validates a received frame; ok is false on any sign of
+// corruption (bad length, non-integral sequence, checksum mismatch).
+func decodeFrame(frame []float64, tag int) (seq uint64, payload []float64, ok bool) {
+	if len(frame) < 2 {
+		return 0, nil, false
+	}
+	f0 := frame[0]
+	if !(f0 >= 0 && f0 == math.Trunc(f0) && f0 < 1<<53) {
+		return 0, nil, false
+	}
+	seq = uint64(f0)
+	payload = frame[2:]
+	if frame[1] != float64(checksum(seq, tag, payload)) {
+		return 0, nil, false
+	}
+	return seq, payload, true
+}
+
+// --- point-to-point ---
+
+func (c *ReliableComm) Send(to, tag int, data []float64) error {
+	if tag < 0 || tag >= MaxUserTag {
+		return fmt.Errorf("comm: user tag %d out of [0,%d)", tag, MaxUserTag)
+	}
+	return c.sendReliable(to, tag, data)
+}
+
+func (c *ReliableComm) sendReliable(to, tag int, data []float64) error {
+	key := peerTag{to, tag}
+	seq := c.sendSeq[key]
+	c.sendSeq[key] = seq + 1
+	frame := c.frameInto(seq, tag, data)
+	backoff := c.res.BaseBackoff
+	for attempt := 0; ; attempt++ {
+		err := c.inner.Send(to, tag, frame)
+		if err == nil {
+			c.cells.sends.Add(1)
+			return nil
+		}
+		if !IsTransient(err) || attempt >= c.res.MaxRetries {
+			return fmt.Errorf("comm: send to %d tag %d failed after %d attempts: %w",
+				to, tag, attempt+1, err)
+		}
+		c.cells.retries.Add(1)
+		c.res.sleep(backoff)
+		backoff = c.res.nextBackoff(backoff)
+	}
+}
+
+func (c *ReliableComm) Recv(from, tag int) ([]float64, error) {
+	if tag < 0 || tag >= MaxUserTag {
+		return nil, fmt.Errorf("comm: user tag %d out of [0,%d)", tag, MaxUserTag)
+	}
+	return c.recvReliable(from, tag)
+}
+
+func (c *ReliableComm) recvReliable(from, tag int) ([]float64, error) {
+	key := peerTag{from, tag}
+	want := c.recvSeq[key]
+	if pend := c.stash[key]; pend != nil {
+		if payload, ok := pend[want]; ok {
+			delete(pend, want)
+			c.recvSeq[key] = want + 1
+			c.cells.recvs.Add(1)
+			return payload, nil
+		}
+	}
+	backoff := c.res.BaseBackoff
+	attempt := 0
+	for {
+		frame, err := RecvDeadline(c.inner, from, tag, c.res.OpTimeout)
+		if err != nil {
+			isTimeout := errTimeout(err)
+			if isTimeout {
+				c.cells.timeouts.Add(1)
+			}
+			if !IsTransient(err) || attempt >= c.res.MaxRetries {
+				return nil, fmt.Errorf("comm: recv from %d tag %d failed after %d attempts: %w",
+					from, tag, attempt+1, err)
+			}
+			attempt++
+			c.cells.retries.Add(1)
+			if !isTimeout {
+				// A timeout already consumed its waiting budget; other
+				// transient failures back off before retrying.
+				c.res.sleep(backoff)
+				backoff = c.res.nextBackoff(backoff)
+			}
+			continue
+		}
+		seq, payload, ok := decodeFrame(frame, tag)
+		if !ok {
+			// A corrupt frame consumes an attempt: its retransmission
+			// (the sender saw a transient link error) is on the way.
+			c.cells.corrupt.Add(1)
+			if attempt >= c.res.MaxRetries {
+				return nil, fmt.Errorf("comm: recv from %d tag %d: frame corrupt after %d attempts: %w",
+					from, tag, attempt+1, ErrTransient)
+			}
+			attempt++
+			continue
+		}
+		switch {
+		case seq < want:
+			c.cells.duplicates.Add(1)
+		case seq > want:
+			c.cells.reordered.Add(1)
+			pend := c.stash[key]
+			if pend == nil {
+				pend = make(map[uint64][]float64)
+				c.stash[key] = pend
+			}
+			pend[seq] = payload
+		default:
+			c.recvSeq[key] = want + 1
+			c.cells.recvs.Add(1)
+			return payload, nil
+		}
+	}
+}
+
+func errTimeout(err error) bool { return errors.Is(err, ErrTimeout) }
+
+func (c *ReliableComm) SendRecv(to int, send []float64, from, tag int) ([]float64, error) {
+	if err := c.Send(to, tag, send); err != nil {
+		return nil, err
+	}
+	return c.Recv(from, tag)
+}
+
+// --- collectives over the reliable point-to-point ops ---
+
+// Barrier is the flat coordinator barrier of the raw transports, but
+// every message goes through the reliable framing, so it tolerates the
+// same faults as point-to-point traffic.
+func (c *ReliableComm) Barrier() error {
+	if c.Size() == 1 {
+		return nil
+	}
+	if c.Rank() == 0 {
+		for r := 1; r < c.Size(); r++ {
+			if _, err := c.recvReliable(r, tagRBarrierArrive); err != nil {
+				return err
+			}
+		}
+		for r := 1; r < c.Size(); r++ {
+			if err := c.sendReliable(r, tagRBarrierRelease, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.sendReliable(0, tagRBarrierArrive, nil); err != nil {
+		return err
+	}
+	_, err := c.recvReliable(0, tagRBarrierRelease)
+	return err
+}
+
+// AllGather mirrors the raw transports' gather-through-root shape over
+// the reliable ops.
+func (c *ReliableComm) AllGather(local []float64) ([][]float64, error) {
+	size := c.Size()
+	out := make([][]float64, size)
+	if c.Rank() == 0 {
+		out[0] = append([]float64(nil), local...)
+		for r := 1; r < size; r++ {
+			data, err := c.recvReliable(r, tagRGatherUp)
+			if err != nil {
+				return nil, err
+			}
+			out[r] = data
+		}
+		for r := 1; r < size; r++ {
+			for q := 0; q < size; q++ {
+				if err := c.sendReliable(r, tagRGatherDown, out[q]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+	}
+	if err := c.sendReliable(0, tagRGatherUp, local); err != nil {
+		return nil, err
+	}
+	for q := 0; q < size; q++ {
+		data, err := c.recvReliable(0, tagRGatherDown)
+		if err != nil {
+			return nil, err
+		}
+		out[q] = data
+	}
+	return out, nil
+}

@@ -1,0 +1,351 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// flakyComm wraps a Comm and fails operations according to a script,
+// exercising the retry machinery without the faultinject package (which
+// lives above this one).
+type flakyComm struct {
+	Comm
+	sendFails   int  // fail this many sends with ErrTransient
+	recvFails   int  // fail this many recvs with ErrTransient
+	hardFail    bool // fail with a permanent error instead
+	sendsSeen   int
+	deadlineOps int
+}
+
+func (f *flakyComm) Send(to, tag int, data []float64) error {
+	f.sendsSeen++
+	if f.sendFails > 0 {
+		f.sendFails--
+		if f.hardFail {
+			return errors.New("permanent wreck")
+		}
+		return fmt.Errorf("flaky send: %w", ErrTransient)
+	}
+	return f.Comm.Send(to, tag, data)
+}
+
+func (f *flakyComm) RecvDeadline(from, tag int, timeout time.Duration) ([]float64, error) {
+	f.deadlineOps++
+	if f.recvFails > 0 {
+		f.recvFails--
+		return nil, fmt.Errorf("flaky recv: %w", ErrTransient)
+	}
+	return RecvDeadline(f.Comm, from, tag, timeout)
+}
+
+func noSleep(time.Duration) {}
+
+func testResilience() Resilience {
+	return Resilience{
+		MaxRetries:  6,
+		BaseBackoff: time.Microsecond,
+		MaxBackoff:  10 * time.Microsecond,
+		OpTimeout:   200 * time.Millisecond,
+		Sleep:       noSleep,
+	}
+}
+
+func reliablePair(t *testing.T) (a, b *ReliableComm, fa, fb *flakyComm, done func()) {
+	t.Helper()
+	f := NewFabric(2)
+	fa = &flakyComm{Comm: f.Endpoint(0)}
+	fb = &flakyComm{Comm: f.Endpoint(1)}
+	return WithResilience(fa, testResilience()), WithResilience(fb, testResilience()), fa, fb, f.Close
+}
+
+func TestReliableRoundTrip(t *testing.T) {
+	a, b, _, _, done := reliablePair(t)
+	defer done()
+	want := []float64{1, 2, 3.5}
+	if err := a.Send(1, 7, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv(0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || got[0] != 1 || got[2] != 3.5 {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	s := a.Stats()
+	if s.Sends != 1 || s.Retries != 0 {
+		t.Errorf("sender stats %+v", s)
+	}
+}
+
+func TestReliableSendRetriesTransient(t *testing.T) {
+	a, b, fa, _, done := reliablePair(t)
+	defer done()
+	fa.sendFails = 3
+	if err := a.Send(1, 1, []float64{42}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv(0, 1)
+	if err != nil || got[0] != 42 {
+		t.Fatalf("recv %v %v", got, err)
+	}
+	if s := a.Stats(); s.Retries != 3 {
+		t.Errorf("retries %d, want 3", s.Retries)
+	}
+}
+
+func TestReliableSendGivesUpAfterMaxRetries(t *testing.T) {
+	a, _, fa, _, done := reliablePair(t)
+	defer done()
+	fa.sendFails = 100
+	err := a.Send(1, 1, []float64{1})
+	if err == nil || !IsTransient(err) {
+		t.Fatalf("want escalated transient error, got %v", err)
+	}
+}
+
+func TestReliablePermanentErrorNotRetried(t *testing.T) {
+	a, _, fa, _, done := reliablePair(t)
+	defer done()
+	fa.sendFails = 1
+	fa.hardFail = true
+	if err := a.Send(1, 1, []float64{1}); err == nil || IsTransient(err) {
+		t.Fatalf("want permanent error, got %v", err)
+	}
+	if fa.sendsSeen != 1 {
+		t.Errorf("permanent error was retried %d times", fa.sendsSeen-1)
+	}
+}
+
+func TestReliableRecvTimesOut(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	r := testResilience()
+	r.MaxRetries = 1
+	r.OpTimeout = 5 * time.Millisecond
+	a := WithResilience(f.Endpoint(0), r)
+	start := time.Now()
+	_, err := a.Recv(1, 3)
+	if err == nil || !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want timeout, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("timeout took %v", elapsed)
+	}
+	if s := a.Stats(); s.Timeouts != 2 {
+		t.Errorf("timeouts %d, want 2 (initial + one retry)", s.Timeouts)
+	}
+}
+
+func TestReliableDropsDuplicates(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	inner0 := f.Endpoint(0)
+	a := WithResilience(inner0, testResilience())
+	b := WithResilience(f.Endpoint(1), testResilience())
+	// Send each frame twice at the transport level.
+	send := func(v float64) {
+		if err := a.Send(1, 2, []float64{v}); err != nil {
+			t.Fatal(err)
+		}
+		// Replay the same frame below the reliable layer.
+		frame := encodeFrame(uint64(v), 2, []float64{v})
+		if err := inner0.Send(1, 2, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(0)
+	send(1)
+	for i := 0; i < 2; i++ {
+		got, err := b.Recv(0, 2)
+		if err != nil || got[0] != float64(i) {
+			t.Fatalf("recv %d: %v %v", i, got, err)
+		}
+	}
+	// The duplicate of the second frame is still queued (nothing has
+	// read past it); only the first frame's replay has been skipped.
+	if s := b.Stats(); s.Duplicates != 1 {
+		t.Errorf("duplicates %d, want 1", s.Duplicates)
+	}
+}
+
+func TestReliableReordersOutOfOrderFrames(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	inner0 := f.Endpoint(0)
+	b := WithResilience(f.Endpoint(1), testResilience())
+	// Hand-craft frames with sequence numbers delivered 1, 0, 2.
+	for _, seq := range []uint64{1, 0, 2} {
+		frame := encodeFrame(seq, 4, []float64{float64(seq) * 10})
+		if err := inner0.Send(1, 4, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for want := 0; want < 3; want++ {
+		got, err := b.Recv(0, 4)
+		if err != nil || got[0] != float64(want)*10 {
+			t.Fatalf("recv %d: %v %v", want, got, err)
+		}
+	}
+	if s := b.Stats(); s.Reordered != 1 {
+		t.Errorf("reordered %d, want 1", s.Reordered)
+	}
+}
+
+func TestReliableDiscardsCorruptThenAcceptsRetransmission(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	inner0 := f.Endpoint(0)
+	b := WithResilience(f.Endpoint(1), testResilience())
+	good := encodeFrame(0, 5, []float64{123})
+	bad := append([]float64(nil), good...)
+	bad[2] = -99 // flip a payload value; checksum now mismatches
+	if err := inner0.Send(1, 5, bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := inner0.Send(1, 5, good); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv(0, 5)
+	if err != nil || got[0] != 123 {
+		t.Fatalf("recv %v %v", got, err)
+	}
+	if s := b.Stats(); s.Corrupt != 1 {
+		t.Errorf("corrupt %d, want 1", s.Corrupt)
+	}
+}
+
+func TestReliableCollectives(t *testing.T) {
+	for _, n := range []int{1, 2, 5} {
+		f := NewFabric(n)
+		eps := WithResilienceAll(f.Endpoints(), testResilience())
+		errs := make(chan error, n)
+		gathered := make([][][]float64, n)
+		for r := 0; r < n; r++ {
+			go func(r int) {
+				if err := eps[r].Barrier(); err != nil {
+					errs <- err
+					return
+				}
+				all, err := eps[r].AllGather([]float64{float64(r)})
+				gathered[r] = all
+				errs <- err
+			}(r)
+		}
+		for i := 0; i < n; i++ {
+			if err := <-errs; err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+		}
+		for r := 0; r < n; r++ {
+			for q := 0; q < n; q++ {
+				if len(gathered[r][q]) != 1 || gathered[r][q][0] != float64(q) {
+					t.Fatalf("n=%d rank %d slot %d: %v", n, r, q, gathered[r][q])
+				}
+			}
+		}
+		f.Close()
+	}
+}
+
+func TestReliableRejectsReservedTags(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	a := WithResilience(f.Endpoint(0), testResilience())
+	if err := a.Send(1, MaxUserTag, nil); err == nil {
+		t.Error("send with reserved tag accepted")
+	}
+	if _, err := a.Recv(1, -1); err == nil {
+		t.Error("recv with negative tag accepted")
+	}
+}
+
+func TestReliableOverTCP(t *testing.T) {
+	eps, shutdown, err := NewTCPGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	a := WithResilience(eps[0], testResilience())
+	b := WithResilience(eps[1], testResilience())
+	done := make(chan error, 1)
+	go func() {
+		got, err := b.SendRecv(0, []float64{2}, 0, 9)
+		if err == nil && got[0] != 1 {
+			err = fmt.Errorf("got %v", got)
+		}
+		done <- err
+	}()
+	got, err := a.SendRecv(1, []float64{1}, 1, 9)
+	if err != nil || got[0] != 2 {
+		t.Fatalf("sendrecv %v %v", got, err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvDeadlineFallsBackWithoutCapability(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	// A bare Comm hidden behind a wrapper without RecvDeadline.
+	type opaque struct{ Comm }
+	ep := opaque{f.Endpoint(1)}
+	if err := f.Endpoint(0).Send(1, 0, []float64{7}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := RecvDeadline(ep, 0, 0, time.Millisecond)
+	if err != nil || got[0] != 7 {
+		t.Fatalf("fallback recv: %v %v", got, err)
+	}
+}
+
+func TestMailboxTakeDeadline(t *testing.T) {
+	m := newMailbox()
+	if _, err := m.takeDeadline(0, time.Now().Add(2*time.Millisecond)); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	m.put(0, []float64{1})
+	got, err := m.takeDeadline(0, time.Now().Add(time.Second))
+	if err != nil || got[0] != 1 {
+		t.Fatalf("take: %v %v", got, err)
+	}
+	m.close()
+	if _, err := m.takeDeadline(0, time.Now().Add(time.Second)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+// The fault-free hot path must not allocate beyond what the raw
+// transport already does: the frame goes out through the endpoint's
+// reusable buffer and the deadline fast path arms no timer.
+func TestReliableFaultFreeAllocsMatchRaw(t *testing.T) {
+	payload := make([]float64, 4096)
+
+	rawFab := NewFabric(2)
+	defer rawFab.Close()
+	raws := rawFab.Endpoints()
+	relFab := NewFabric(2)
+	defer relFab.Close()
+	rels := WithResilienceAll(relFab.Endpoints(), DefaultResilience())
+
+	roundtrip := func(eps []Comm) func() {
+		return func() {
+			if err := eps[0].Send(1, 3, payload); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eps[1].Recv(0, 3); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	roundtrip(raws)() // warm both queues and the frame buffer
+	roundtrip(rels)()
+	raw := testing.AllocsPerRun(100, roundtrip(raws))
+	rel := testing.AllocsPerRun(100, roundtrip(rels))
+	if rel > raw {
+		t.Errorf("reliable fault-free roundtrip allocates %.1f/run, raw transport %.1f/run", rel, raw)
+	}
+}

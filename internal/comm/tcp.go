@@ -8,6 +8,7 @@ import (
 	"math"
 	"net"
 	"sync"
+	"time"
 )
 
 // tcpComm is one rank's endpoint over real TCP connections (loopback or
@@ -21,6 +22,7 @@ type tcpComm struct {
 	inbox      []*mailbox // indexed by sender rank
 	selfBox    *mailbox
 	closeOnce  sync.Once
+	readers    sync.WaitGroup // live readLoop goroutines
 }
 
 type tcpPeer struct {
@@ -85,6 +87,23 @@ func (c *tcpComm) recv(from, tag int) ([]float64, error) {
 	return c.inbox[from].take(tag)
 }
 
+func (c *tcpComm) RecvDeadline(from, tag int, timeout time.Duration) ([]float64, error) {
+	if tag < 0 {
+		return nil, fmt.Errorf("comm: user tag %d must be >= 0", tag)
+	}
+	if from < 0 || from >= c.size {
+		return nil, fmt.Errorf("comm: peer rank %d out of range [0,%d)", from, c.size)
+	}
+	if timeout <= 0 {
+		return c.recv(from, tag)
+	}
+	deadline := time.Now().Add(timeout)
+	if from == c.rank {
+		return c.selfBox.takeDeadline(tag, deadline)
+	}
+	return c.inbox[from].takeDeadline(tag, deadline)
+}
+
 func (c *tcpComm) SendRecv(to int, send []float64, from, tag int) ([]float64, error) {
 	if err := c.Send(to, tag, send); err != nil {
 		return nil, err
@@ -100,11 +119,16 @@ func (c *tcpComm) AllGather(local []float64) ([][]float64, error) {
 
 func (c *tcpComm) Close() error {
 	c.closeOnce.Do(func() {
+		// Closing the connections unblocks every readLoop stuck in a
+		// read; wait for them so no goroutine outlives the endpoint and
+		// a teardown mid-SendRecv cannot race a late frame against the
+		// mailbox shutdown below.
 		for _, p := range c.peers {
 			if p != nil {
 				p.conn.Close()
 			}
 		}
+		c.readers.Wait()
 		for _, b := range c.inbox {
 			if b != nil {
 				b.close()
@@ -113,6 +137,16 @@ func (c *tcpComm) Close() error {
 		c.selfBox.close()
 	})
 	return nil
+}
+
+// startReadLoop spawns readLoop registered with the readers group, so
+// Close can wait for it.
+func (c *tcpComm) startReadLoop(from int, r io.Reader) {
+	c.readers.Add(1)
+	go func() {
+		defer c.readers.Done()
+		c.readLoop(from, r)
+	}()
 }
 
 // readLoop demultiplexes frames from peer `from` into the inbox.
@@ -187,6 +221,21 @@ func NewTCPGroup(n int) ([]Comm, func(), error) {
 
 	var wg sync.WaitGroup
 	errs := make(chan error, 2*n*n)
+	// abort tears down the listeners on the first setup error, so
+	// accept goroutines still blocked in Accept fail fast instead of
+	// hanging wg.Wait forever.
+	var abortOnce sync.Once
+	abort := func() {
+		abortOnce.Do(func() {
+			for _, ln := range listeners {
+				ln.Close()
+			}
+		})
+	}
+	fail := func(err error) {
+		errs <- err
+		abort()
+	}
 	// Accept side: rank r accepts connections from all higher ranks.
 	for r := 0; r < n; r++ {
 		r := r
@@ -196,22 +245,22 @@ func NewTCPGroup(n int) ([]Comm, func(), error) {
 			for q := r + 1; q < n; q++ {
 				conn, err := listeners[r].Accept()
 				if err != nil {
-					errs <- err
+					fail(err)
 					return
 				}
 				// Handshake: the dialer announces its rank.
 				var buf [8]byte
 				if _, err := io.ReadFull(conn, buf[:]); err != nil {
-					errs <- err
+					fail(err)
 					return
 				}
 				peer := int(int64(binary.LittleEndian.Uint64(buf[:])))
 				if peer <= r || peer >= n {
-					errs <- fmt.Errorf("comm: bad handshake rank %d at rank %d", peer, r)
+					fail(fmt.Errorf("comm: bad handshake rank %d at rank %d", peer, r))
 					return
 				}
 				comms[r].peers[peer] = &tcpPeer{conn: conn, w: bufio.NewWriterSize(conn, 1<<16)}
-				go comms[r].readLoop(peer, conn)
+				comms[r].startReadLoop(peer, conn)
 			}
 		}()
 	}
@@ -224,24 +273,22 @@ func NewTCPGroup(n int) ([]Comm, func(), error) {
 			for r := 0; r < q; r++ {
 				conn, err := net.Dial("tcp", listeners[r].Addr().String())
 				if err != nil {
-					errs <- err
+					fail(err)
 					return
 				}
 				var buf [8]byte
 				binary.LittleEndian.PutUint64(buf[:], uint64(int64(q)))
 				if _, err := conn.Write(buf[:]); err != nil {
-					errs <- err
+					fail(err)
 					return
 				}
 				comms[q].peers[r] = &tcpPeer{conn: conn, w: bufio.NewWriterSize(conn, 1<<16)}
-				go comms[q].readLoop(r, conn)
+				comms[q].startReadLoop(r, conn)
 			}
 		}()
 	}
 	wg.Wait()
-	for _, ln := range listeners {
-		ln.Close()
-	}
+	abort()
 	select {
 	case err := <-errs:
 		for _, c := range comms {

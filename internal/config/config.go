@@ -7,9 +7,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"time"
 
 	"microslip/internal/balance"
+	"microslip/internal/comm"
 	"microslip/internal/vcluster"
 )
 
@@ -32,15 +35,58 @@ type Workload struct {
 	HorizonSeconds float64 `json:"horizon_seconds,omitempty"`
 }
 
+// Resilience exposes the comm retry/deadline knobs declaratively.
+// Durations are integral microseconds/milliseconds so configurations
+// stay plain JSON numbers; zero knobs inherit comm.DefaultResilience.
+type Resilience struct {
+	// Enabled turns the resilience layer on for distributed runs.
+	Enabled bool `json:"enabled"`
+	// MaxRetries caps retry attempts per operation.
+	MaxRetries int `json:"max_retries,omitempty"`
+	// BaseBackoffUS is the first retry backoff, in microseconds; it
+	// doubles per attempt up to MaxBackoffUS.
+	BaseBackoffUS int `json:"base_backoff_us,omitempty"`
+	// MaxBackoffUS caps the backoff, in microseconds.
+	MaxBackoffUS int `json:"max_backoff_us,omitempty"`
+	// OpTimeoutMS is the per-receive deadline, in milliseconds.
+	OpTimeoutMS int `json:"op_timeout_ms,omitempty"`
+}
+
+// Build maps the declarative knobs onto a validated comm.Resilience.
+func (r Resilience) Build() (comm.Resilience, error) {
+	res := comm.DefaultResilience()
+	if r.MaxRetries != 0 {
+		res.MaxRetries = r.MaxRetries
+	}
+	if r.BaseBackoffUS != 0 {
+		res.BaseBackoff = time.Duration(r.BaseBackoffUS) * time.Microsecond
+	}
+	if r.MaxBackoffUS != 0 {
+		res.MaxBackoff = time.Duration(r.MaxBackoffUS) * time.Microsecond
+	}
+	if r.OpTimeoutMS != 0 {
+		res.OpTimeout = time.Duration(r.OpTimeoutMS) * time.Millisecond
+	}
+	if err := res.Validate(); err != nil {
+		return comm.Resilience{}, fmt.Errorf("config: %w", err)
+	}
+	return res, nil
+}
+
 // Experiment is one clustersim run.
 type Experiment struct {
-	Nodes       int      `json:"nodes"`
-	Phases      int      `json:"phases"`
-	Policy      string   `json:"policy"`
-	Workload    Workload `json:"workload"`
-	TotalPlanes int      `json:"total_planes,omitempty"` // default 400
-	PlanePoints int      `json:"plane_points,omitempty"` // default 4000
-	Seed        int64    `json:"seed,omitempty"`
+	Nodes       int        `json:"nodes"`
+	Phases      int        `json:"phases"`
+	Policy      string     `json:"policy"`
+	Workload    Workload   `json:"workload"`
+	TotalPlanes int        `json:"total_planes,omitempty"` // default 400
+	PlanePoints int        `json:"plane_points,omitempty"` // default 4000
+	Seed        int64      `json:"seed,omitempty"`
+	Resilience  Resilience `json:"resilience,omitempty"`
+	// ExchangeFailureRate injects simulated halo-exchange wire loss
+	// into vcluster runs; each lost exchange is retried and charged to
+	// the phase. Must be in [0, 1).
+	ExchangeFailureRate float64 `json:"exchange_failure_rate,omitempty"`
 }
 
 // Default fills unset fields with the paper's values.
@@ -68,26 +114,81 @@ func (e *Experiment) Default() {
 	}
 }
 
-// Validate checks the configuration after defaulting.
+// MaxNodes bounds the simulated cluster size a configuration may
+// request; it keeps hostile or corrupted inputs from demanding
+// absurd allocations.
+const MaxNodes = 4096
+
+// MaxHorizonSeconds bounds the spike-schedule horizon for the same
+// reason (the schedule holds one entry per DisturbancePeriod).
+const MaxHorizonSeconds = 1e6
+
+// Validate checks the configuration after defaulting. An experiment
+// that validates is guaranteed to build: BuildPolicy, BuildTraces,
+// BuildConfig and BuildResilience cannot fail or panic afterwards
+// (FuzzRead enforces exactly this).
 func (e *Experiment) Validate() error {
 	if e.Nodes < 1 || e.Phases < 1 {
 		return fmt.Errorf("config: nodes %d / phases %d must be positive", e.Nodes, e.Phases)
 	}
+	if e.Nodes > MaxNodes {
+		return fmt.Errorf("config: nodes %d exceeds limit %d", e.Nodes, MaxNodes)
+	}
+	if e.TotalPlanes < e.Nodes {
+		return fmt.Errorf("config: %d planes cannot cover %d nodes", e.TotalPlanes, e.Nodes)
+	}
+	if e.PlanePoints < 1 {
+		return fmt.Errorf("config: plane_points %d must be positive", e.PlanePoints)
+	}
 	if _, err := balance.ByName(e.Policy, e.PlanePoints); err != nil {
 		return err
 	}
-	switch e.Workload.Type {
-	case "dedicated", "fixed-slow", "duty-cycle", "spikes":
+	if math.IsNaN(e.ExchangeFailureRate) || e.ExchangeFailureRate < 0 || e.ExchangeFailureRate >= 1 {
+		return fmt.Errorf("config: exchange_failure_rate %v outside [0, 1)", e.ExchangeFailureRate)
+	}
+	w := e.Workload
+	switch w.Type {
+	case "dedicated":
+	case "fixed-slow":
+		for _, n := range w.SlowNodes {
+			if n < 0 || n >= e.Nodes {
+				return fmt.Errorf("config: slow node %d out of range [0,%d)", n, e.Nodes)
+			}
+		}
+		if len(w.SlowNodes) == 0 && (w.SlowCount < 0 || w.SlowCount > e.Nodes) {
+			return fmt.Errorf("config: slow_count %d out of [0,%d]", w.SlowCount, e.Nodes)
+		}
+	case "duty-cycle":
+		if w.Node < 0 || w.Node >= e.Nodes {
+			return fmt.Errorf("config: node %d out of range [0,%d)", w.Node, e.Nodes)
+		}
+		if math.IsNaN(w.Duty) || w.Duty < 0 || w.Duty > 1 {
+			return fmt.Errorf("config: duty %v out of [0,1]", w.Duty)
+		}
+	case "spikes":
+		if math.IsNaN(w.SpikeSeconds) || w.SpikeSeconds <= 0 || w.SpikeSeconds > vcluster.DisturbancePeriod {
+			return fmt.Errorf("config: spike length %v out of (0,%v]", w.SpikeSeconds, vcluster.DisturbancePeriod)
+		}
+		if math.IsNaN(w.HorizonSeconds) || w.HorizonSeconds < 0 || w.HorizonSeconds > MaxHorizonSeconds {
+			return fmt.Errorf("config: horizon %v out of [0,%v]", w.HorizonSeconds, MaxHorizonSeconds)
+		}
 	default:
-		return fmt.Errorf("config: unknown workload type %q", e.Workload.Type)
+		return fmt.Errorf("config: unknown workload type %q", w.Type)
 	}
-	if e.Workload.Type == "duty-cycle" && (e.Workload.Duty < 0 || e.Workload.Duty > 1) {
-		return fmt.Errorf("config: duty %v out of [0,1]", e.Workload.Duty)
-	}
-	if e.Workload.Type == "spikes" && (e.Workload.SpikeSeconds <= 0 || e.Workload.SpikeSeconds > vcluster.DisturbancePeriod) {
-		return fmt.Errorf("config: spike length %v out of (0,%v]", e.Workload.SpikeSeconds, vcluster.DisturbancePeriod)
+	if _, err := e.Resilience.Build(); err != nil {
+		return err
 	}
 	return nil
+}
+
+// BuildResilience returns the run's comm resilience settings and
+// whether the layer is enabled at all.
+func (e *Experiment) BuildResilience() (comm.Resilience, bool, error) {
+	res, err := e.Resilience.Build()
+	if err != nil {
+		return comm.Resilience{}, false, err
+	}
+	return res, e.Resilience.Enabled, nil
 }
 
 // BuildPolicy constructs the remapping policy.
@@ -141,6 +242,7 @@ func (e *Experiment) BuildConfig() (vcluster.Config, error) {
 	cfg.TotalPlanes = e.TotalPlanes
 	cfg.PlanePoints = e.PlanePoints
 	cfg.Seed = e.Seed
+	cfg.ExchangeFailureRate = e.ExchangeFailureRate
 	return cfg, nil
 }
 

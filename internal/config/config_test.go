@@ -5,7 +5,48 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"microslip/internal/comm"
 )
+
+func TestResilienceKnobs(t *testing.T) {
+	e, err := Read(strings.NewReader(`{"resilience": {
+		"enabled": true, "max_retries": 3,
+		"base_backoff_us": 250, "max_backoff_us": 5000, "op_timeout_ms": 40}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, enabled, err := e.BuildResilience()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enabled {
+		t.Error("resilience should be enabled")
+	}
+	if res.MaxRetries != 3 || res.BaseBackoff != 250*time.Microsecond ||
+		res.MaxBackoff != 5*time.Millisecond || res.OpTimeout != 40*time.Millisecond {
+		t.Errorf("built %+v", res)
+	}
+
+	// Unset knobs inherit the comm defaults; disabled by default.
+	e, err = Read(strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, enabled, err = e.BuildResilience()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enabled {
+		t.Error("resilience should default to disabled")
+	}
+	def := comm.DefaultResilience()
+	if res.MaxRetries != def.MaxRetries || res.BaseBackoff != def.BaseBackoff ||
+		res.MaxBackoff != def.MaxBackoff || res.OpTimeout != def.OpTimeout {
+		t.Errorf("default knobs %+v, want %+v", res, def)
+	}
+}
 
 func TestDefaults(t *testing.T) {
 	e, err := Read(strings.NewReader(`{}`))
@@ -58,15 +99,22 @@ func TestRejections(t *testing.T) {
 		`{"workload":{"type":"spikes","spike_seconds":99}}`,
 		`{"unknown_field": 3}`,
 		`{nonsense`,
+		`{"nodes":3,"workload":{"type":"fixed-slow","slow_nodes":[99]}}`,
+		`{"workload":{"type":"fixed-slow","slow_count":-2}}`,
+		`{"nodes":4,"workload":{"type":"duty-cycle","node":7}}`,
+		`{"nodes":99999}`,
+		`{"total_planes":5,"nodes":20}`,
+		`{"plane_points":-1}`,
+		`{"resilience":{"max_retries":-1}}`,
+		`{"resilience":{"base_backoff_us":500,"max_backoff_us":10}}`,
+		`{"exchange_failure_rate":1.5}`,
+		`{"exchange_failure_rate":-0.2}`,
+		`{"exchange_failure_rate":1}`,
 	}
 	for _, c := range cases {
 		if _, err := Read(strings.NewReader(c)); err == nil {
 			t.Errorf("%s: accepted", c)
 		}
-	}
-	e, _ := Read(strings.NewReader(`{"workload":{"type":"fixed-slow","slow_nodes":[99]}}`))
-	if _, err := e.BuildTraces(); err == nil {
-		t.Error("out-of-range slow node accepted")
 	}
 }
 

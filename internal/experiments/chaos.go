@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"time"
+
+	"microslip/internal/balance"
+	"microslip/internal/comm"
+	"microslip/internal/faultinject"
+	"microslip/internal/lbm"
+	"microslip/internal/metrics"
+	"microslip/internal/parlbm"
+	"microslip/internal/profile"
+)
+
+// Chaos harness: the full parallel pipeline — halo exchange plus
+// filtered dynamic remapping — run under seeded fault schedules, with
+// physics and algorithm invariants checked after every phase. It is the
+// degradation-path experiment the paper's non-dedicated-cluster story
+// implies but never instruments: when the network misbehaves, the
+// solver must stay *correct*, and the resilience layer must mask every
+// scheduled fault so the run stays bit-identical to a fault-free one.
+
+// ChaosSetup configures a chaos sweep.
+type ChaosSetup struct {
+	// NX, NY, NZ is the (reduced) lattice.
+	NX, NY, NZ int
+	// Phases per run.
+	Phases int
+	// Ranks in the communicator group.
+	Ranks int
+	// Seeds are the fault-schedule seeds, one run per seed.
+	Seeds []int64
+	// Resilience configures the masking layer for every run.
+	Resilience comm.Resilience
+}
+
+// DefaultChaos returns a setup that exercises halo exchange and two
+// remapping rounds per run in well under a minute.
+func DefaultChaos() ChaosSetup {
+	return ChaosSetup{
+		NX: 12, NY: 8, NZ: 6,
+		Phases: 24,
+		Ranks:  4,
+		Seeds:  []int64{1, 2, 3, 4, 5},
+		Resilience: comm.Resilience{
+			MaxRetries:  12,
+			BaseBackoff: 50 * time.Microsecond,
+			MaxBackoff:  2 * time.Millisecond,
+			OpTimeout:   250 * time.Millisecond,
+		},
+	}
+}
+
+// ChaosRun is one seeded run's outcome.
+type ChaosRun struct {
+	Seed int64
+	// Injected tallies the faults the schedule actually fired.
+	Injected faultinject.Counters
+	// Comm aggregates every rank's resilience counters.
+	Comm profile.CommStats
+	// PhasesChecked counts the phases whose cluster-wide invariants
+	// (mass conservation, lattice-plane conservation) were verified.
+	PhasesChecked int
+	// BitIdentical reports whether the gathered fields matched the
+	// sequential reference exactly.
+	BitIdentical bool
+	// PlanesMoved counts planes migrated by remapping during the run.
+	PlanesMoved int
+}
+
+// ChaosResult is the sweep outcome.
+type ChaosResult struct {
+	Setup ChaosSetup
+	Runs  []ChaosRun
+}
+
+// TotalInjected sums fault events over all runs.
+func (r *ChaosResult) TotalInjected() int64 {
+	var n int64
+	for _, run := range r.Runs {
+		n += run.Injected.Total()
+	}
+	return n
+}
+
+// MaskingEfficiency is the fraction of runs that stayed
+// fault-transparent (bit-identical to the sequential reference).
+func (r *ChaosResult) MaskingEfficiency() float64 {
+	var ok int64
+	for _, run := range r.Runs {
+		if run.BitIdentical {
+			ok++
+		}
+	}
+	return metrics.MaskingEfficiency(ok, int64(len(r.Runs)))
+}
+
+// String renders the sweep as a table.
+func (r *ChaosResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%6s %8s %8s %9s %8s %7s %10s\n",
+		"seed", "faults", "retries", "timeouts", "repairs", "moved", "identical")
+	for _, run := range r.Runs {
+		repairs := run.Comm.Duplicates + run.Comm.Reordered + run.Comm.Corrupt
+		fmt.Fprintf(&sb, "%6d %8d %8d %9d %8d %7d %10v\n",
+			run.Seed, run.Injected.Total(), run.Comm.Retries, run.Comm.Timeouts,
+			repairs, run.PlanesMoved, run.BitIdentical)
+	}
+	return sb.String()
+}
+
+// invariantTracker aggregates per-rank post-phase reports and checks
+// the cluster-wide invariants once every rank has reported a phase:
+// the partition must still tile the lattice exactly (sum of plane
+// counts == NX — no plane lost or duplicated by remapping), and each
+// component's global mass must stay at its initial value.
+type invariantTracker struct {
+	mu       sync.Mutex
+	size, nx int
+	baseline []float64 // per-component mass, set at first complete phase
+	pending  map[int]*phaseAgg
+	checked  int
+	firstErr error
+}
+
+type phaseAgg struct {
+	ranks  int
+	planes int
+	mass   []float64
+}
+
+func newInvariantTracker(size, nx int) *invariantTracker {
+	return &invariantTracker{size: size, nx: nx, pending: map[int]*phaseAgg{}}
+}
+
+// hook is the parlbm PostPhase callback.
+func (tr *invariantTracker) hook(rank, phase, planes int, mass []float64) error {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.firstErr != nil {
+		return tr.firstErr
+	}
+	agg := tr.pending[phase]
+	if agg == nil {
+		agg = &phaseAgg{mass: make([]float64, len(mass))}
+		tr.pending[phase] = agg
+	}
+	agg.ranks++
+	agg.planes += planes
+	for c, m := range mass {
+		agg.mass[c] += m
+	}
+	if agg.ranks < tr.size {
+		return nil
+	}
+	delete(tr.pending, phase)
+	if agg.planes != tr.nx {
+		tr.firstErr = fmt.Errorf("phase %d: partition covers %d planes, want %d", phase, agg.planes, tr.nx)
+		return tr.firstErr
+	}
+	if tr.baseline == nil {
+		tr.baseline = agg.mass
+	} else {
+		for c, m := range agg.mass {
+			ref := tr.baseline[c]
+			if math.Abs(m-ref) > 1e-9*math.Max(1, math.Abs(ref)) {
+				tr.firstErr = fmt.Errorf("phase %d: component %d mass drifted %v -> %v", phase, c, ref, m)
+				return tr.firstErr
+			}
+		}
+	}
+	tr.checked++
+	return nil
+}
+
+// RunChaos executes the sweep: for every seed, the parallel pipeline
+// runs under that seed's fault schedule behind the resilience layer,
+// invariants are checked after every phase, and the gathered result is
+// compared bit for bit against the sequential reference.
+func RunChaos(setup ChaosSetup) (*ChaosResult, error) {
+	if setup.Ranks < 2 {
+		return nil, fmt.Errorf("chaos: need >= 2 ranks, got %d", setup.Ranks)
+	}
+	if setup.NX < setup.Ranks {
+		return nil, fmt.Errorf("chaos: %d planes cannot cover %d ranks", setup.NX, setup.Ranks)
+	}
+	p := lbm.WaterAir(setup.NX, setup.NY, setup.NZ)
+	ref, err := lbm.NewSim(p)
+	if err != nil {
+		return nil, err
+	}
+	ref.Run(setup.Phases)
+
+	// Filtered remapping on the reduced lattice: plane granularity is
+	// NY*NZ points, and a synthetic slow rank guarantees migrations.
+	pol := balance.NewFiltered(setup.NY * setup.NZ)
+	pol.Cfg.Interval = 10
+	pol.Cfg.MinKeepPlanes = 1
+	pol.Cfg.ThresholdPoints = setup.NY * setup.NZ
+
+	res := &ChaosResult{Setup: setup}
+	for _, seed := range setup.Seeds {
+		run, err := runChaosOnce(p, setup, pol, ref, seed)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: seed %d: %w", seed, err)
+		}
+		res.Runs = append(res.Runs, *run)
+	}
+	return res, nil
+}
+
+func runChaosOnce(p *lbm.Params, setup ChaosSetup, pol balance.Policy, ref *lbm.Sim, seed int64) (*ChaosRun, error) {
+	fabric := comm.NewFabric(setup.Ranks)
+	defer fabric.Close()
+	sched := faultinject.ChaosSchedule(seed, setup.Ranks, setup.Phases)
+	inj := faultinject.Wrap(fabric.Endpoints(), sched)
+	eps := comm.WithResilienceAll(inj.Endpoints(), setup.Resilience)
+
+	tracker := newInvariantTracker(setup.Ranks, setup.NX)
+	opts := parlbm.Options{
+		Phases: setup.Phases,
+		Policy: pol,
+		// Rank 0 reports double cost per plane, so the remapping
+		// machinery must act (and its protocol runs under fire).
+		PhaseTime: func(rank, planes, phase int) float64 {
+			t := float64(planes)
+			if rank == 0 {
+				t *= 2
+			}
+			return t
+		},
+		PhaseHook: inj.SetPhase,
+		PostPhase: tracker.hook,
+	}
+	final, results, err := parlbm.RunOnEndpoints(p, eps, opts)
+	if err != nil {
+		return nil, err
+	}
+	if tracker.firstErr != nil {
+		return nil, tracker.firstErr
+	}
+
+	run := &ChaosRun{Seed: seed, Injected: inj.Counters(), PhasesChecked: tracker.checked}
+	for _, r := range results {
+		run.Comm.Add(r.Comm)
+		run.PlanesMoved += r.PlanesSent
+	}
+	run.BitIdentical = true
+	for c := 0; c < p.NComp() && run.BitIdentical; c++ {
+		for x := 0; x < p.NX && run.BitIdentical; x++ {
+			want := ref.Plane(c, x)
+			got := final[c].Plane(x)
+			for i := range want {
+				if got[i] != want[i] {
+					run.BitIdentical = false
+					break
+				}
+			}
+		}
+	}
+	return run, nil
+}

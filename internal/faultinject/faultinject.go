@@ -1,0 +1,409 @@
+// Package faultinject perturbs a comm.Comm group with deterministic,
+// schedule-driven faults: dropped, delayed, duplicated, reordered, or
+// corrupted messages, and endpoints that go down and come back. It is
+// the chaos half of the resilience stack — the paper's non-dedicated
+// cluster distilled into a reproducible test fixture.
+//
+// The injector models a transport with link-level fault *detection*
+// (the TCP story): a dropped or corrupted frame surfaces to the sender
+// as an error wrapping comm.ErrTransient, so a retrying sender can mask
+// it. Duplication, reordering, and delay are silent — masking those is
+// the receiver's job (comm.WithResilience's sequence framing). Stack
+// the layers as
+//
+//	reliable := comm.WithResilience(injector.Endpoint(r), res)
+//
+// and a fault schedule the resilience settings can absorb yields
+// bit-identical results to a fault-free run.
+//
+// Determinism: every endpoint owns a rand.Rand seeded from
+// Schedule.Seed and its rank, and each endpoint is (like the raw
+// transports) driven by a single rank goroutine, so a given (schedule,
+// program) pair always injects the same faults.
+package faultinject
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"microslip/internal/comm"
+)
+
+// Action is a fault kind.
+type Action int
+
+const (
+	// Drop discards an outgoing message; the sender sees a transient
+	// error (detected loss), so retries mask it.
+	Drop Action = iota
+	// Delay sleeps before delivering an outgoing message.
+	Delay
+	// Duplicate delivers an outgoing message twice.
+	Duplicate
+	// Reorder holds an outgoing message back until the endpoint's next
+	// operation, letting a later message overtake it.
+	Reorder
+	// Corrupt delivers a bit-flipped copy and reports a transient error
+	// to the sender (link-level checksum detection), so the retried
+	// clean copy follows the garbage one.
+	Corrupt
+	// Kill takes the endpoint down: every operation fails with a
+	// transient error while the rule has firings left, then the
+	// endpoint revives.
+	Kill
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	case Duplicate:
+		return "duplicate"
+	case Reorder:
+		return "reorder"
+	case Corrupt:
+		return "corrupt"
+	case Kill:
+		return "kill"
+	}
+	return fmt.Sprintf("action(%d)", int(a))
+}
+
+// Any matches every rank, peer, or tag in a Rule scope field.
+const Any = -1
+
+// Rule scopes one fault to (rank, peer, tag, phase window) with an
+// optional probability and firing budget.
+type Rule struct {
+	// Action is the fault to inject.
+	Action Action
+	// Rank matches the endpoint issuing the operation (Any = all).
+	Rank int
+	// Peer matches the other side of the operation (Any = all).
+	Peer int
+	// Tag matches the message tag (Any = all). Kill rules ignore Tag.
+	Tag int
+	// PhaseFrom/PhaseTo bound the phases the rule is live in, as the
+	// half-open window [PhaseFrom, PhaseTo); PhaseTo = 0 means no upper
+	// bound.
+	PhaseFrom, PhaseTo int
+	// Prob fires the rule with this probability per matching operation;
+	// <= 0 or >= 1 means always.
+	Prob float64
+	// Count caps the total firings per endpoint; 0 = unlimited. Kill
+	// rules should set it (or a phase window the run can leave), or a
+	// rank stalls retrying forever.
+	Count int
+	// Sleep is the Delay action's duration (default 200us).
+	Sleep time.Duration
+}
+
+func (r Rule) matches(rank, peer, tag, phase int) bool {
+	if r.Rank != Any && r.Rank != rank {
+		return false
+	}
+	if r.Peer != Any && r.Peer != peer {
+		return false
+	}
+	if r.Tag != Any && r.Tag != tag && r.Action != Kill {
+		return false
+	}
+	if phase < r.PhaseFrom {
+		return false
+	}
+	if r.PhaseTo > 0 && phase >= r.PhaseTo {
+		return false
+	}
+	return true
+}
+
+// Schedule is a seeded fault plan.
+type Schedule struct {
+	Seed  int64
+	Rules []Rule
+}
+
+// Counters tallies injected faults by action, across all endpoints.
+type Counters struct {
+	Drops, Delays, Duplicates, Reorders, Corrupts, Kills int64
+}
+
+// Total is the number of injected fault events.
+func (c Counters) Total() int64 {
+	return c.Drops + c.Delays + c.Duplicates + c.Reorders + c.Corrupts + c.Kills
+}
+
+type counterCells struct {
+	drops, delays, duplicates, reorders, corrupts, kills atomic.Int64
+}
+
+// Injector owns the wrapped endpoints of one group.
+type Injector struct {
+	sched Schedule
+	eps   []*Endpoint
+	cells counterCells
+}
+
+// Wrap builds an injector over a communicator group. The returned
+// endpoints replace the originals; drive per-rank fault phases with
+// SetPhase.
+func Wrap(eps []comm.Comm, sched Schedule) *Injector {
+	in := &Injector{sched: sched, eps: make([]*Endpoint, len(eps))}
+	for i, ep := range eps {
+		rules := make([]ruleState, len(sched.Rules))
+		for j, r := range sched.Rules {
+			rules[j] = ruleState{Rule: r}
+		}
+		in.eps[i] = &Endpoint{
+			inner: ep,
+			inj:   in,
+			rng:   rand.New(rand.NewSource(sched.Seed*1000003 + int64(ep.Rank()))),
+			rules: rules,
+		}
+	}
+	return in
+}
+
+// Endpoint returns rank r's fault-injecting endpoint.
+func (in *Injector) Endpoint(r int) *Endpoint { return in.eps[r] }
+
+// Endpoints returns all wrapped endpoints as a Comm slice.
+func (in *Injector) Endpoints() []comm.Comm {
+	out := make([]comm.Comm, len(in.eps))
+	for i, e := range in.eps {
+		out[i] = e
+	}
+	return out
+}
+
+// SetPhase advances rank's fault phase. Call it from the rank's own
+// goroutine (e.g. a parlbm PhaseHook).
+func (in *Injector) SetPhase(rank, phase int) { in.eps[rank].SetPhase(phase) }
+
+// Counters returns the injected-fault tallies. Safe to call anytime.
+func (in *Injector) Counters() Counters {
+	return Counters{
+		Drops:      in.cells.drops.Load(),
+		Delays:     in.cells.delays.Load(),
+		Duplicates: in.cells.duplicates.Load(),
+		Reorders:   in.cells.reorders.Load(),
+		Corrupts:   in.cells.corrupts.Load(),
+		Kills:      in.cells.kills.Load(),
+	}
+}
+
+func (in *Injector) count(a Action) {
+	switch a {
+	case Drop:
+		in.cells.drops.Add(1)
+	case Delay:
+		in.cells.delays.Add(1)
+	case Duplicate:
+		in.cells.duplicates.Add(1)
+	case Reorder:
+		in.cells.reorders.Add(1)
+	case Corrupt:
+		in.cells.corrupts.Add(1)
+	case Kill:
+		in.cells.kills.Add(1)
+	}
+}
+
+type ruleState struct {
+	Rule
+	fired int
+}
+
+// spent reports whether the rule's firing budget is exhausted.
+func (rs *ruleState) spent() bool { return rs.Count > 0 && rs.fired >= rs.Count }
+
+type heldMsg struct {
+	to, tag int
+	data    []float64
+}
+
+// Endpoint is one rank's fault-injecting Comm. Owned by a single
+// goroutine, like the transports it wraps.
+type Endpoint struct {
+	inner comm.Comm
+	inj   *Injector
+	rng   *rand.Rand
+	rules []ruleState
+	phase int
+	held  []heldMsg // reordered messages awaiting release
+}
+
+var _ comm.Comm = (*Endpoint)(nil)
+var _ comm.DeadlineRecver = (*Endpoint)(nil)
+
+// SetPhase advances this endpoint's fault phase and releases any held
+// (reordered) messages so they cannot leak across phases.
+func (e *Endpoint) SetPhase(phase int) {
+	e.flushHeld()
+	e.phase = phase
+}
+
+// Phase returns the endpoint's current fault phase.
+func (e *Endpoint) Phase() int { return e.phase }
+
+func (e *Endpoint) Rank() int { return e.inner.Rank() }
+func (e *Endpoint) Size() int { return e.inner.Size() }
+
+// pick returns the first live matching rule for the operation and
+// consumes its firing (budget and probability), or nil.
+func (e *Endpoint) pick(peer, tag int, sendSide bool) *ruleState {
+	for i := range e.rules {
+		rs := &e.rules[i]
+		if rs.spent() || !rs.matches(e.Rank(), peer, tag, e.phase) {
+			continue
+		}
+		// Recv-side faults: only Kill and Delay make sense on a
+		// receive; message-mangling actions are send-side.
+		if !sendSide && rs.Action != Kill && rs.Action != Delay {
+			continue
+		}
+		if rs.Prob > 0 && rs.Prob < 1 && e.rng.Float64() >= rs.Prob {
+			continue
+		}
+		rs.fired++
+		e.inj.count(rs.Action)
+		return rs
+	}
+	return nil
+}
+
+func (e *Endpoint) flushHeld() {
+	for len(e.held) > 0 {
+		m := e.held[0]
+		e.held = e.held[1:]
+		// Delivery failures of a held frame surface nowhere; the
+		// resilience layer's receive deadline catches the loss. Held
+		// frames only exist under an active Reorder rule, which chaos
+		// schedules pair with retry budgets.
+		_ = e.inner.Send(m.to, m.tag, m.data)
+	}
+}
+
+func transientf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, comm.ErrTransient)...)
+}
+
+// Send applies send-side fault rules, then forwards to the transport.
+func (e *Endpoint) Send(to, tag int, data []float64) error {
+	rs := e.pick(to, tag, true)
+	if rs == nil {
+		err := e.inner.Send(to, tag, data)
+		e.flushHeld()
+		return err
+	}
+	switch rs.Action {
+	case Kill:
+		return transientf("faultinject: rank %d down (phase %d)", e.Rank(), e.phase)
+	case Drop:
+		return transientf("faultinject: dropped send %d->%d tag %d", e.Rank(), to, tag)
+	case Delay:
+		d := rs.Sleep
+		if d <= 0 {
+			d = 200 * time.Microsecond
+		}
+		time.Sleep(d)
+		return e.inner.Send(to, tag, data)
+	case Duplicate:
+		if err := e.inner.Send(to, tag, data); err != nil {
+			return err
+		}
+		return e.inner.Send(to, tag, data)
+	case Reorder:
+		cp := append([]float64(nil), data...)
+		e.held = append(e.held, heldMsg{to: to, tag: tag, data: cp})
+		return nil
+	case Corrupt:
+		cp := append([]float64(nil), data...)
+		if len(cp) > 0 {
+			i := e.rng.Intn(len(cp))
+			cp[i] = math.Float64frombits(math.Float64bits(cp[i]) ^ 0xDEADBEEF)
+		}
+		if err := e.inner.Send(to, tag, cp); err != nil {
+			return err
+		}
+		return transientf("faultinject: corrupted send %d->%d tag %d", e.Rank(), to, tag)
+	}
+	return e.inner.Send(to, tag, data)
+}
+
+// Recv applies recv-side fault rules (Kill, Delay), releases held
+// messages for liveness, and forwards.
+func (e *Endpoint) Recv(from, tag int) ([]float64, error) {
+	e.flushHeld()
+	if rs := e.pick(from, tag, false); rs != nil {
+		switch rs.Action {
+		case Kill:
+			return nil, transientf("faultinject: rank %d down (phase %d)", e.Rank(), e.phase)
+		case Delay:
+			d := rs.Sleep
+			if d <= 0 {
+				d = 200 * time.Microsecond
+			}
+			time.Sleep(d)
+		}
+	}
+	return e.inner.Recv(from, tag)
+}
+
+// RecvDeadline forwards the deadline capability with the same fault
+// checks as Recv.
+func (e *Endpoint) RecvDeadline(from, tag int, timeout time.Duration) ([]float64, error) {
+	e.flushHeld()
+	if rs := e.pick(from, tag, false); rs != nil {
+		switch rs.Action {
+		case Kill:
+			return nil, transientf("faultinject: rank %d down (phase %d)", e.Rank(), e.phase)
+		case Delay:
+			d := rs.Sleep
+			if d <= 0 {
+				d = 200 * time.Microsecond
+			}
+			time.Sleep(d)
+		}
+	}
+	return comm.RecvDeadline(e.inner, from, tag, timeout)
+}
+
+func (e *Endpoint) SendRecv(to int, send []float64, from, tag int) ([]float64, error) {
+	if err := e.Send(to, tag, send); err != nil {
+		return nil, err
+	}
+	return e.Recv(from, tag)
+}
+
+// Barrier releases held messages and delegates; collective traffic is
+// injected only when a resilience wrapper above re-expresses the
+// collective as point-to-point sends (comm.WithResilience does).
+func (e *Endpoint) Barrier() error {
+	e.flushHeld()
+	return e.inner.Barrier()
+}
+
+// AllGather releases held messages and delegates (see Barrier).
+func (e *Endpoint) AllGather(local []float64) ([][]float64, error) {
+	e.flushHeld()
+	return e.inner.AllGather(local)
+}
+
+// Drain releases held (reordered) messages. Group runners call it from
+// the rank's own goroutine after the rank's final operation: a frame
+// held back from a terminal send has no later operation to flush it,
+// and without the drain its receiver would wait forever.
+func (e *Endpoint) Drain() { e.flushHeld() }
+
+// Close releases held messages and closes the wrapped endpoint.
+func (e *Endpoint) Close() error {
+	e.flushHeld()
+	return e.inner.Close()
+}

@@ -1,0 +1,272 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"microslip/internal/comm"
+)
+
+func pair(t *testing.T, sched Schedule) (*Injector, []comm.Comm, func()) {
+	t.Helper()
+	f := comm.NewFabric(2)
+	in := Wrap(f.Endpoints(), sched)
+	return in, in.Endpoints(), f.Close
+}
+
+func TestDropSurfacesTransientError(t *testing.T) {
+	in, eps, done := pair(t, Schedule{Rules: []Rule{
+		{Action: Drop, Rank: 0, Peer: Any, Tag: Any, Count: 1},
+	}})
+	defer done()
+	err := eps[0].Send(1, 3, []float64{1})
+	if err == nil || !comm.IsTransient(err) {
+		t.Fatalf("dropped send: %v, want transient error", err)
+	}
+	// Budget spent: the retry goes through.
+	if err := eps[0].Send(1, 3, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := eps[1].Recv(0, 3)
+	if err != nil || got[0] != 1 {
+		t.Fatalf("recv %v %v", got, err)
+	}
+	if c := in.Counters(); c.Drops != 1 || c.Total() != 1 {
+		t.Errorf("counters %+v", c)
+	}
+}
+
+func TestDuplicateDeliversTwice(t *testing.T) {
+	_, eps, done := pair(t, Schedule{Rules: []Rule{
+		{Action: Duplicate, Rank: 0, Peer: Any, Tag: Any, Count: 1},
+	}})
+	defer done()
+	if err := eps[0].Send(1, 0, []float64{7}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		got, err := eps[1].Recv(0, 0)
+		if err != nil || got[0] != 7 {
+			t.Fatalf("copy %d: %v %v", i, got, err)
+		}
+	}
+}
+
+func TestReorderSwapsWithNextSend(t *testing.T) {
+	_, eps, done := pair(t, Schedule{Rules: []Rule{
+		{Action: Reorder, Rank: 0, Peer: Any, Tag: Any, Count: 1},
+	}})
+	defer done()
+	if err := eps[0].Send(1, 0, []float64{1}); err != nil { // held
+		t.Fatal(err)
+	}
+	if err := eps[0].Send(1, 0, []float64{2}); err != nil { // overtakes
+		t.Fatal(err)
+	}
+	first, _ := eps[1].Recv(0, 0)
+	second, _ := eps[1].Recv(0, 0)
+	if first[0] != 2 || second[0] != 1 {
+		t.Fatalf("order %v then %v, want 2 then 1", first, second)
+	}
+}
+
+func TestReorderFlushedOnRecvForLiveness(t *testing.T) {
+	_, eps, done := pair(t, Schedule{Rules: []Rule{
+		{Action: Reorder, Rank: 0, Peer: Any, Tag: Any, Count: 1},
+	}})
+	defer done()
+	if err := eps[0].Send(1, 0, []float64{5}); err != nil { // held
+		t.Fatal(err)
+	}
+	// Peer answers only after it gets the message; rank 0's next recv
+	// must first release the held frame or both sides hang.
+	go func() {
+		if got, err := eps[1].Recv(0, 0); err == nil {
+			eps[1].Send(0, 1, got)
+		}
+	}()
+	got, err := eps[0].Recv(1, 1)
+	if err != nil || got[0] != 5 {
+		t.Fatalf("recv %v %v", got, err)
+	}
+}
+
+func TestCorruptDeliversGarbageAndReportsTransient(t *testing.T) {
+	_, eps, done := pair(t, Schedule{Rules: []Rule{
+		{Action: Corrupt, Rank: 0, Peer: Any, Tag: Any, Count: 1},
+	}})
+	defer done()
+	err := eps[0].Send(1, 0, []float64{1, 2, 3})
+	if err == nil || !comm.IsTransient(err) {
+		t.Fatalf("corrupted send: %v, want transient error", err)
+	}
+	got, err := eps[1].Recv(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := got[0] == 1 && got[1] == 2 && got[2] == 3
+	if same {
+		t.Error("corrupted frame arrived intact")
+	}
+}
+
+func TestKillTakesEndpointDownThenRevives(t *testing.T) {
+	_, eps, done := pair(t, Schedule{Rules: []Rule{
+		{Action: Kill, Rank: 1, Peer: Any, Tag: Any, Count: 2},
+	}})
+	defer done()
+	for i := 0; i < 2; i++ {
+		if err := eps[1].Send(0, 0, nil); err == nil || !comm.IsTransient(err) {
+			t.Fatalf("op %d on killed endpoint: %v", i, err)
+		}
+	}
+	// Budget exhausted: revived.
+	if err := eps[1].Send(0, 0, []float64{9}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := eps[0].Recv(1, 0); err != nil || got[0] != 9 {
+		t.Fatalf("recv after revive %v %v", got, err)
+	}
+}
+
+func TestPhaseWindowScoping(t *testing.T) {
+	in, eps, done := pair(t, Schedule{Rules: []Rule{
+		{Action: Drop, Rank: 0, Peer: Any, Tag: Any, PhaseFrom: 2, PhaseTo: 3},
+	}})
+	defer done()
+	send := func() error { return eps[0].Send(1, 0, nil) }
+	if err := send(); err != nil { // phase 0: rule dormant
+		t.Fatal(err)
+	}
+	in.SetPhase(0, 2)
+	if err := send(); err == nil { // phase 2: live
+		t.Fatal("rule did not fire inside its phase window")
+	}
+	in.SetPhase(0, 3)
+	if err := send(); err != nil { // phase 3: expired
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() (Counters, []error) {
+		f := comm.NewFabric(2)
+		defer f.Close()
+		in := Wrap(f.Endpoints(), Schedule{Seed: 42, Rules: []Rule{
+			{Action: Drop, Rank: 0, Peer: Any, Tag: Any, Prob: 0.5},
+		}})
+		eps := in.Endpoints()
+		errs := make([]error, 20)
+		for i := range errs {
+			errs[i] = eps[0].Send(1, 0, nil)
+		}
+		return in.Counters(), errs
+	}
+	c1, e1 := run()
+	c2, e2 := run()
+	if c1 != c2 {
+		t.Fatalf("counters diverge: %+v vs %+v", c1, c2)
+	}
+	for i := range e1 {
+		if (e1[i] == nil) != (e2[i] == nil) {
+			t.Fatalf("op %d outcome diverges: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+}
+
+func TestDelayOnlySlowsDelivery(t *testing.T) {
+	_, eps, done := pair(t, Schedule{Rules: []Rule{
+		{Action: Delay, Rank: 0, Peer: Any, Tag: Any, Count: 1, Sleep: time.Millisecond},
+	}})
+	defer done()
+	start := time.Now()
+	if err := eps[0].Send(1, 0, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Error("delay rule did not sleep")
+	}
+	if got, err := eps[1].Recv(0, 0); err != nil || got[0] != 1 {
+		t.Fatalf("recv %v %v", got, err)
+	}
+}
+
+func TestMaskingUnderResilience(t *testing.T) {
+	// One of each recoverable fault; the resilience layer must deliver
+	// everything intact and in order.
+	sched := Schedule{Seed: 7, Rules: []Rule{
+		{Action: Drop, Rank: 0, Peer: Any, Tag: Any, Count: 2},
+		{Action: Duplicate, Rank: 0, Peer: Any, Tag: Any, Count: 2},
+		{Action: Corrupt, Rank: 0, Peer: Any, Tag: Any, Count: 2},
+		{Action: Reorder, Rank: 0, Peer: Any, Tag: Any, Count: 2},
+		{Action: Kill, Rank: 0, Peer: Any, Tag: Any, Count: 1},
+	}}
+	f := comm.NewFabric(2)
+	defer f.Close()
+	in := Wrap(f.Endpoints(), sched)
+	res := comm.Resilience{
+		MaxRetries:  10,
+		BaseBackoff: time.Microsecond,
+		MaxBackoff:  10 * time.Microsecond,
+		OpTimeout:   100 * time.Millisecond,
+		Sleep:       func(time.Duration) {},
+	}
+	a := comm.WithResilience(in.Endpoint(0), res)
+	b := comm.WithResilience(in.Endpoint(1), res)
+	const n = 30
+	errs := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			got, err := b.Recv(0, 1)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(got) != 1 || got[0] != float64(i) {
+				errs <- errors.New("payload mangled or out of order")
+				return
+			}
+		}
+		errs <- nil
+	}()
+	for i := 0; i < n; i++ {
+		if err := a.Send(1, 1, []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	if c := in.Counters(); c.Total() == 0 {
+		t.Error("no faults injected")
+	}
+	if s := a.Stats(); s.Retries == 0 {
+		t.Error("sender never retried despite drop/corrupt/kill faults")
+	}
+}
+
+func TestChaosScheduleIsSeededAndBounded(t *testing.T) {
+	s1 := ChaosSchedule(3, 4, 50)
+	s2 := ChaosSchedule(3, 4, 50)
+	if len(s1.Rules) != len(s2.Rules) {
+		t.Fatal("schedule not deterministic")
+	}
+	for i := range s1.Rules {
+		if s1.Rules[i] != s2.Rules[i] {
+			t.Fatalf("rule %d diverges: %+v vs %+v", i, s1.Rules[i], s2.Rules[i])
+		}
+		if s1.Rules[i].Count <= 0 {
+			t.Errorf("rule %d has unbounded firing budget", i)
+		}
+	}
+	seen := map[Action]bool{}
+	for _, r := range s1.Rules {
+		seen[r.Action] = true
+	}
+	for _, a := range []Action{Drop, Delay, Duplicate, Reorder, Corrupt, Kill} {
+		if !seen[a] {
+			t.Errorf("schedule missing action %v", a)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package faultinject
+
+import (
+	"math/rand"
+	"time"
+)
+
+// ChaosSchedule builds a randomized-but-seeded fault plan for a group
+// of the given size running the given number of phases. Every rule is
+// budget-bounded (Count > 0) and the mix covers all six actions, so the
+// schedule is survivable by a resilience layer with a moderate retry
+// budget: the harness asserts a chaos run still reproduces the
+// fault-free result bit for bit.
+func ChaosSchedule(seed int64, ranks, phases int) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	actions := []Action{Drop, Delay, Duplicate, Reorder, Corrupt, Kill}
+	n := 6 + rng.Intn(5)
+	rules := make([]Rule, 0, n)
+	for i := 0; i < n; i++ {
+		act := actions[i%len(actions)] // every action appears
+		from := rng.Intn(phases)
+		width := 1 + rng.Intn(phases)
+		r := Rule{
+			Action:    act,
+			Rank:      rng.Intn(ranks),
+			Peer:      Any,
+			Tag:       Any,
+			PhaseFrom: from,
+			PhaseTo:   from + width,
+			Prob:      0.3 + 0.6*rng.Float64(),
+			Count:     1 + rng.Intn(4),
+		}
+		if act == Delay {
+			r.Sleep = time.Duration(50+rng.Intn(300)) * time.Microsecond
+		}
+		if act == Kill {
+			// A down endpoint costs one retry per faulted op; keep the
+			// outage shorter than any sane retry budget.
+			r.Count = 1 + rng.Intn(2)
+		}
+		rules = append(rules, r)
+	}
+	return Schedule{Seed: seed, Rules: rules}
+}

@@ -47,3 +47,40 @@ func SlowdownRatio(t, dedicated float64) float64 {
 func OverheadPercent(t, dedicated float64) float64 {
 	return 100 * SlowdownRatio(t, dedicated)
 }
+
+// RetryRate is the number of resilience-layer retries per completed
+// communication operation; 0 on a healthy run, and the first quantity
+// to watch when a non-dedicated cluster degrades.
+func RetryRate(retries, ops int64) float64 {
+	if ops <= 0 {
+		if retries > 0 {
+			panic(fmt.Sprintf("metrics: %d retries with no completed ops", retries))
+		}
+		return 0
+	}
+	return float64(retries) / float64(ops)
+}
+
+// TimeoutRate is expired receive deadlines per completed operation.
+func TimeoutRate(timeouts, ops int64) float64 {
+	if ops <= 0 {
+		if timeouts > 0 {
+			panic(fmt.Sprintf("metrics: %d timeouts with no completed ops", timeouts))
+		}
+		return 0
+	}
+	return float64(timeouts) / float64(ops)
+}
+
+// MaskingEfficiency is the fraction of injected (or observed) fault
+// events the resilience layer absorbed without surfacing an error: 1.0
+// means the run was fault-transparent.
+func MaskingEfficiency(masked, faults int64) float64 {
+	if faults <= 0 {
+		return 1
+	}
+	if masked < 0 || masked > faults {
+		panic(fmt.Sprintf("metrics: masked %d out of %d faults", masked, faults))
+	}
+	return float64(masked) / float64(faults)
+}

@@ -1,0 +1,144 @@
+package parlbm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"microslip/internal/comm"
+	"microslip/internal/faultinject"
+	"microslip/internal/lbm"
+)
+
+func chaosResilience() comm.Resilience {
+	return comm.Resilience{
+		MaxRetries:  12,
+		BaseBackoff: 50 * time.Microsecond,
+		MaxBackoff:  2 * time.Millisecond,
+		OpTimeout:   250 * time.Millisecond,
+	}
+}
+
+// Targeted fault rules against the solver's own message tags: the
+// resilience layer must mask all of them and the run must stay
+// bit-identical to the sequential reference.
+func TestRunMasksTargetedFaults(t *testing.T) {
+	p := lbm.WaterAir(8, 6, 4)
+	const phases, ranks = 6, 3
+	want := sequentialReference(t, p, phases)
+
+	cases := []struct {
+		name  string
+		rules []faultinject.Rule
+		// silent marks faults masked without any resilience-layer event
+		// (the terminal-gather reorder is delivered by the post-run
+		// drain before the receiver's first deadline expires).
+		silent bool
+	}{
+		{name: "drop density halos", rules: []faultinject.Rule{
+			{Action: faultinject.Drop, Rank: 1, Peer: faultinject.Any, Tag: tagDensityHalo, Prob: 0.5, Count: 4},
+		}},
+		{name: "corrupt dist halos", rules: []faultinject.Rule{
+			{Action: faultinject.Corrupt, Rank: faultinject.Any, Peer: faultinject.Any, Tag: tagDistHalo, Prob: 0.3, Count: 5},
+		}},
+		{name: "duplicate halos", rules: []faultinject.Rule{
+			// Mid-run traffic, so the receiver actually reads (and
+			// discards) the stale copies on later receives.
+			{Action: faultinject.Duplicate, Rank: faultinject.Any, Peer: faultinject.Any, Tag: tagDensityHalo, PhaseTo: 4, Prob: 1, Count: 2},
+		}},
+		{name: "reorder terminal gather", silent: true, rules: []faultinject.Rule{
+			// Held by the injector past the sender's last operation;
+			// only the post-run drain delivers it.
+			{Action: faultinject.Reorder, Rank: 2, Peer: 0, Tag: tagGather, Prob: 1, Count: 1},
+		}},
+		{name: "transient rank death", rules: []faultinject.Rule{
+			{Action: faultinject.Kill, Rank: 1, Peer: faultinject.Any, Tag: faultinject.Any, PhaseFrom: 2, Prob: 1, Count: 2},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fabric := comm.NewFabric(ranks)
+			defer fabric.Close()
+			inj := faultinject.Wrap(fabric.Endpoints(), faultinject.Schedule{Seed: 42, Rules: tc.rules})
+			eps := comm.WithResilienceAll(inj.Endpoints(), chaosResilience())
+			got, results, err := RunOnEndpoints(p, eps, Options{
+				Phases:    phases,
+				PhaseHook: inj.SetPhase,
+			})
+			if err != nil {
+				t.Fatalf("run under %q: %v", tc.name, err)
+			}
+			if inj.Counters().Total() == 0 {
+				t.Fatalf("%q injected nothing", tc.name)
+			}
+			assertFieldsEqual(t, want, got, tc.name)
+			var recovered int64
+			for _, r := range results {
+				recovered += r.Comm.Recovered()
+			}
+			if !tc.silent && recovered == 0 {
+				t.Errorf("%q: faults injected but no resilience events recorded", tc.name)
+			}
+		})
+	}
+}
+
+// Result.Comm must stay zero on a fault-free raw-transport run and
+// populate under a resilience wrapper.
+func TestResultCommStats(t *testing.T) {
+	p := lbm.WaterAir(6, 4, 4)
+	_, results, err := RunParallel(p, 2, Options{Phases: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Comm.Recovered() != 0 || r.Comm.Timeouts != 0 {
+			t.Errorf("rank %d: raw run has comm stats %+v", r.Rank, r.Comm)
+		}
+	}
+
+	fabric := comm.NewFabric(2)
+	defer fabric.Close()
+	inj := faultinject.Wrap(fabric.Endpoints(), faultinject.Schedule{Seed: 7, Rules: []faultinject.Rule{
+		{Action: faultinject.Drop, Rank: faultinject.Any, Peer: faultinject.Any, Tag: faultinject.Any, Prob: 1, Count: 3},
+	}})
+	_, results, err = RunOnEndpoints(p, comm.WithResilienceAll(inj.Endpoints(), chaosResilience()), Options{Phases: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var retries int64
+	for _, r := range results {
+		retries += r.Comm.Retries
+	}
+	if retries == 0 {
+		t.Error("resilient run with forced drops recorded no retries")
+	}
+}
+
+// PostPhase errors must abort the run with a rank/phase-attributed
+// error.
+func TestPostPhaseErrorAborts(t *testing.T) {
+	p := lbm.WaterAir(6, 4, 4)
+	wantErr := errors.New("mass budget blown")
+	_, _, err := RunParallel(p, 2, Options{
+		Phases: 3,
+		PostPhase: func(rank, phase, planes int, mass []float64) error {
+			if rank == 1 && phase == 1 {
+				return wantErr
+			}
+			return nil
+		},
+	})
+	if err == nil {
+		t.Fatal("expected run to abort")
+	}
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("error chain %v does not wrap the invariant error", err)
+	}
+	for _, frag := range []string{"rank 1", "phase 1", "invariant check"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q lacks %q attribution", err, frag)
+		}
+	}
+}

@@ -53,6 +53,16 @@ type Options struct {
 	// rank's measured phase time, so the remapping machinery reacts to
 	// it exactly as it would to genuine contention.
 	Throttle func(rank, planes, phase int)
+	// PhaseHook, when non-nil, runs at the start of every phase in the
+	// rank's own goroutine. The chaos harness uses it to advance a
+	// fault injector's per-rank phase clock.
+	PhaseHook func(rank, phase int)
+	// PostPhase, when non-nil, runs after every phase with the rank's
+	// current plane count and per-component local mass; a non-nil
+	// return aborts the run. It is the invariant-checking hook of the
+	// chaos harness (global mass conservation, lattice-plane
+	// conservation) and costs nothing when unset.
+	PostPhase func(rank, phase, planes int, mass []float64) error
 }
 
 // Result is one rank's outcome.
@@ -68,6 +78,9 @@ type Result struct {
 	FinalStart, FinalCount int
 	// PlanesSent counts planes this rank migrated away.
 	PlanesSent int
+	// Comm holds the rank's resilience-layer counters when the run used
+	// a comm.WithResilience endpoint; zero otherwise.
+	Comm profile.CommStats
 }
 
 // worker is the per-rank state.
@@ -142,6 +155,13 @@ func RunRank(p *lbm.Params, c comm.Comm, opts Options) (*Result, error) {
 	}
 	w.res.FinalStart = w.f[0].Start
 	w.res.FinalCount = w.f[0].Count()
+	if sc, ok := c.(interface{ Stats() comm.Stats }); ok {
+		s := sc.Stats()
+		w.res.Comm = profile.CommStats{
+			Retries: s.Retries, Timeouts: s.Timeouts,
+			Duplicates: s.Duplicates, Reordered: s.Reordered, Corrupt: s.Corrupt,
+		}
+	}
 	return w.res, nil
 }
 
@@ -209,6 +229,9 @@ func (w *worker) exchangeHalos(slabs []*field.Slab, tag int) (ghostL, ghostR [][
 // phase runs one LBM phase: densities, density-halo exchange, collide,
 // distribution-halo exchange, stream.
 func (w *worker) phase(phase int) error {
+	if w.opts.PhaseHook != nil {
+		w.opts.PhaseHook(w.rank, phase)
+	}
 	start, end := w.f[0].Start, w.f[0].End()
 	planes := end - start
 
@@ -264,6 +287,22 @@ func (w *worker) phase(phase int) error {
 	}
 	if planes > 0 {
 		w.pred.Observe(measured / float64(planes))
+	}
+	if w.opts.PostPhase != nil {
+		nc := len(w.f)
+		mass := make([]float64, nc)
+		for c := 0; c < nc; c++ {
+			var sum float64
+			for _, plane := range w.f[c].Planes {
+				for _, v := range plane {
+					sum += v
+				}
+			}
+			mass[c] = sum * w.p.Components[c].Mass
+		}
+		if err := w.opts.PostPhase(w.rank, phase, planes, mass); err != nil {
+			return fmt.Errorf("invariant check: %w", err)
+		}
 	}
 	return nil
 }

@@ -376,7 +376,16 @@ func (w *worker) gather() error {
 func RunParallel(p *lbm.Params, ranks int, opts Options) ([]*field.Dist3D, []*Result, error) {
 	fabric := comm.NewFabric(ranks)
 	defer fabric.Close()
-	return runGroup(p, fabric.Endpoints(), opts)
+	return runGroup(p, fabric.Endpoints(), opts, fabric.Close)
+}
+
+// RunParallelReliable is RunParallel with every endpoint wrapped in the
+// comm resilience layer (retry, backoff, per-op deadlines, sequence
+// framing); each rank's Result.Comm reports the layer's counters.
+func RunParallelReliable(p *lbm.Params, ranks int, opts Options, res comm.Resilience) ([]*field.Dist3D, []*Result, error) {
+	fabric := comm.NewFabric(ranks)
+	defer fabric.Close()
+	return runGroup(p, comm.WithResilienceAll(fabric.Endpoints(), res), opts, fabric.Close)
 }
 
 // RunParallelTCP is RunParallel over TCP loopback.
@@ -386,10 +395,29 @@ func RunParallelTCP(p *lbm.Params, ranks int, opts Options) ([]*field.Dist3D, []
 		return nil, nil, err
 	}
 	defer shutdown()
-	return runGroup(p, eps, opts)
+	return runGroup(p, eps, opts, shutdown)
 }
 
-func runGroup(p *lbm.Params, eps []comm.Comm, opts Options) ([]*field.Dist3D, []*Result, error) {
+// RunOnEndpoints runs a full parallel simulation over caller-provided
+// endpoints — one goroutine per rank — and returns the gathered fields
+// (from rank 0) and every rank's result. It is the entry point for
+// harnesses that stack wrappers (fault injection, resilience) between
+// the solver and the transport.
+//
+// Abort liveness is the caller's concern: when one rank fails mid-run,
+// peers blocked in a receive are only guaranteed to unblock if the
+// endpoints carry per-op deadlines (comm.WithResilience does).
+func RunOnEndpoints(p *lbm.Params, eps []comm.Comm, opts Options) ([]*field.Dist3D, []*Result, error) {
+	return runGroup(p, eps, opts, nil)
+}
+
+// runGroup drives one goroutine per rank. abort, when non-nil, is the
+// group-level transport teardown (close every mailbox / connection); it
+// runs once, on the first rank failure, so peers blocked on the failed
+// rank's traffic fail fast instead of hanging. It must be safe to call
+// concurrently with endpoint use and again afterwards (both transports'
+// teardowns are).
+func runGroup(p *lbm.Params, eps []comm.Comm, opts Options, abort func()) ([]*field.Dist3D, []*Result, error) {
 	ranks := len(eps)
 	results := make([]*Result, ranks)
 	errs := make([]error, ranks)
@@ -397,16 +425,29 @@ func runGroup(p *lbm.Params, eps []comm.Comm, opts Options) ([]*field.Dist3D, []
 	for r := 0; r < ranks; r++ {
 		go func(r int) {
 			results[r], errs[r] = RunRank(p, eps[r], opts)
+			// A wrapper may still hold outbound frames (a fault injector's
+			// reordered messages); release them from the owning goroutine
+			// so peers blocked on this rank's terminal sends can finish.
+			if d, ok := eps[r].(comm.Drainer); ok {
+				d.Drain()
+			}
 			done <- r
 		}(r)
 	}
+	// Report the chronologically first failure: later ones are usually
+	// teardown casualties (ErrClosed) of the abort below.
+	first := -1
 	for i := 0; i < ranks; i++ {
-		<-done
-	}
-	for r, err := range errs {
-		if err != nil {
-			return nil, nil, fmt.Errorf("parlbm: rank %d failed: %w", r, err)
+		r := <-done
+		if errs[r] != nil && first < 0 {
+			first = r
+			if abort != nil {
+				abort()
+			}
 		}
+	}
+	if first >= 0 {
+		return nil, nil, fmt.Errorf("parlbm: rank %d failed: %w", first, errs[first])
 	}
 	return results[0].Final, results, nil
 }

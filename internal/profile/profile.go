@@ -28,14 +28,56 @@ func (b *Breakdown) Add(o Breakdown) {
 	b.Remapping += o.Remapping
 }
 
+// CommStats counts the resilience-layer events of one node: how often
+// the communication substrate retried, timed out, or repaired perturbed
+// traffic. Zero everywhere on a healthy dedicated cluster.
+type CommStats struct {
+	// Retries counts retried send/receive attempts.
+	Retries int64
+	// Timeouts counts expired per-op receive deadlines.
+	Timeouts int64
+	// Duplicates, Reordered and Corrupt count frames the receive path
+	// repaired (discarded duplicate, stashed out-of-order, discarded
+	// corrupt).
+	Duplicates, Reordered, Corrupt int64
+}
+
+// Add accumulates another node's counters.
+func (s *CommStats) Add(o CommStats) {
+	s.Retries += o.Retries
+	s.Timeouts += o.Timeouts
+	s.Duplicates += o.Duplicates
+	s.Reordered += o.Reordered
+	s.Corrupt += o.Corrupt
+}
+
+// Recovered is the total number of masked fault events.
+func (s CommStats) Recovered() int64 {
+	return s.Retries + s.Duplicates + s.Reordered + s.Corrupt
+}
+
 // Profile collects breakdowns for all nodes of a run.
 type Profile struct {
 	Nodes []Breakdown
+	// Comm holds the per-node resilience counters, indexed like Nodes.
+	Comm []CommStats
 }
 
 // New creates a profile for p nodes.
 func New(p int) *Profile {
-	return &Profile{Nodes: make([]Breakdown, p)}
+	return &Profile{Nodes: make([]Breakdown, p), Comm: make([]CommStats, p)}
+}
+
+// AddCommStats accumulates resilience counters for node i.
+func (p *Profile) AddCommStats(i int, s CommStats) { p.Comm[i].Add(s) }
+
+// SumComm returns the cluster-wide aggregate resilience counters.
+func (p *Profile) SumComm() CommStats {
+	var s CommStats
+	for _, c := range p.Comm {
+		s.Add(c)
+	}
+	return s
 }
 
 // AddComputation charges t seconds of compute to node i.

@@ -1,0 +1,96 @@
+package vcluster
+
+import (
+	"math"
+	"testing"
+
+	"microslip/internal/balance"
+)
+
+// A zero failure rate must be a strict no-op: same makespan, same
+// profile, no retry events.
+func TestExchangeFailureZeroRateIsNoop(t *testing.T) {
+	base := mustRun(t, DefaultConfig(balance.NoRemap{}, Dedicated(8), 60))
+	cfg := DefaultConfig(balance.NoRemap{}, Dedicated(8), 60)
+	cfg.ExchangeFailureRate = 0
+	got := mustRun(t, cfg)
+	if got.TotalTime != base.TotalTime {
+		t.Errorf("zero rate changed makespan %v -> %v", base.TotalTime, got.TotalTime)
+	}
+	if got.ExchangeRetries != 0 {
+		t.Errorf("zero rate recorded %d retries", got.ExchangeRetries)
+	}
+}
+
+// A lossy wire must fire retries, stretch the makespan, and charge the
+// stretch to communication (not computation).
+func TestExchangeFailureStretchesRun(t *testing.T) {
+	base := mustRun(t, DefaultConfig(balance.NoRemap{}, Dedicated(8), 120))
+	cfg := DefaultConfig(balance.NoRemap{}, Dedicated(8), 120)
+	cfg.ExchangeFailureRate = 0.2
+	lossy := mustRun(t, cfg)
+	if lossy.ExchangeRetries == 0 {
+		t.Fatal("20% loss rate fired no retries")
+	}
+	if lossy.TotalTime <= base.TotalTime {
+		t.Errorf("lossy run %.3f s not slower than clean %.3f s", lossy.TotalTime, base.TotalTime)
+	}
+	var baseComp, lossyComp, baseComm, lossyComm float64
+	for i := 0; i < 8; i++ {
+		baseComp += base.Profile.Nodes[i].Computation
+		lossyComp += lossy.Profile.Nodes[i].Computation
+		baseComm += base.Profile.Nodes[i].Communication
+		lossyComm += lossy.Profile.Nodes[i].Communication
+	}
+	if math.Abs(lossyComp-baseComp) > 1e-9*baseComp {
+		t.Errorf("loss changed computation time %v -> %v", baseComp, lossyComp)
+	}
+	if lossyComm <= baseComm {
+		t.Errorf("loss did not grow communication time: %v -> %v", baseComm, lossyComm)
+	}
+}
+
+// The retry draw is a pure function of (seed, node, phase): reruns are
+// bit-identical, and changing the seed moves the retry pattern.
+func TestExchangeFailureDeterminism(t *testing.T) {
+	run := func(seed int64) *Result {
+		cfg := DefaultConfig(balance.NoRemap{}, FixedSlowNodes(6, []int{2}), 80)
+		cfg.Seed = seed
+		cfg.ExchangeFailureRate = 0.15
+		return mustRun(t, cfg)
+	}
+	a, b := run(3), run(3)
+	if a.TotalTime != b.TotalTime || a.ExchangeRetries != b.ExchangeRetries {
+		t.Errorf("same seed diverged: %.6f/%d vs %.6f/%d",
+			a.TotalTime, a.ExchangeRetries, b.TotalTime, b.ExchangeRetries)
+	}
+	c := run(4)
+	if a.TotalTime == c.TotalTime && a.ExchangeRetries == c.ExchangeRetries {
+		t.Error("different seeds produced identical lossy runs")
+	}
+}
+
+// Retry counts follow the configured geometric rate closely enough to
+// trust the knob: expected retries per exchange is rate/(1-rate).
+func TestExchangeFailureRateCalibration(t *testing.T) {
+	const rate = 0.25
+	cfg := DefaultConfig(balance.NoRemap{}, Dedicated(10), 400)
+	cfg.ExchangeFailureRate = rate
+	res := mustRun(t, cfg)
+	exchanges := 10 * 400
+	got := float64(res.ExchangeRetries) / float64(exchanges)
+	want := rate / (1 - rate)
+	if got < want*0.7 || got > want*1.3 {
+		t.Errorf("retries per exchange %.3f, want ~%.3f", got, want)
+	}
+}
+
+func TestExchangeFailureRateValidation(t *testing.T) {
+	for _, rate := range []float64{-0.1, 1, 1.5, math.NaN()} {
+		cfg := DefaultConfig(balance.NoRemap{}, Dedicated(4), 10)
+		cfg.ExchangeFailureRate = rate
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("rate %v accepted", rate)
+		}
+	}
+}

@@ -45,6 +45,14 @@ type Config struct {
 	JitterBase, JitterContended float64
 	// Seed drives the jitter hash.
 	Seed int64
+	// ExchangeFailureRate is the per-node per-phase probability that a
+	// halo exchange is lost on the wire and must be retried. Each
+	// retry re-charges the wire round trip plus the repack work at the
+	// node's contended speed, so a lossy interconnect stretches the
+	// communication share of every phase. The retry count is drawn
+	// geometrically from the jitter hash, so runs stay deterministic
+	// per Seed. Must be in [0, 1); zero disables.
+	ExchangeFailureRate float64
 	// NewPredictor constructs each node's phase-time predictor; nil
 	// means the paper's harmonic mean over the policy's HistoryK
 	// window. Used by the predictor-ablation experiments.
@@ -94,6 +102,9 @@ func (c *Config) Validate() error {
 	if c.WakeDelay < 0 || c.JitterBase < 0 || c.JitterContended < 0 {
 		return fmt.Errorf("vcluster: negative noise parameters")
 	}
+	if math.IsNaN(c.ExchangeFailureRate) || c.ExchangeFailureRate < 0 || c.ExchangeFailureRate >= 1 {
+		return fmt.Errorf("vcluster: ExchangeFailureRate %v outside [0, 1)", c.ExchangeFailureRate)
+	}
 	return c.Costs.Validate()
 }
 
@@ -112,6 +123,9 @@ type Result struct {
 	PlanesMoved int
 	// RemapRounds counts rounds in which at least one transfer fired.
 	RemapRounds int
+	// ExchangeRetries counts halo exchanges re-sent because of
+	// simulated wire loss (Config.ExchangeFailureRate).
+	ExchangeRetries int
 	// Timeline is the per-phase makespan record; nil unless
 	// Config.RecordTimeline was set.
 	Timeline *Timeline
@@ -130,6 +144,21 @@ func jitterU(seed int64, node, phase int) float64 {
 	x *= 0x94D049BB133111EB
 	x ^= x >> 31
 	return float64(x>>11)/float64(1<<53)*2 - 1
+}
+
+// exchangeRetries draws how many times (seed, node, phase)'s halo
+// exchange fails before succeeding: geometric with parameter rate,
+// inverted from one uniform hash draw so the count is deterministic
+// and provably finite for rate < 1.
+func exchangeRetries(seed int64, node, phase int, rate float64) int {
+	if rate <= 0 {
+		return 0
+	}
+	u := (jitterU(seed^0x5EED, node, phase) + 1) / 2
+	if u < 0x1p-53 {
+		u = 0x1p-53
+	}
+	return int(math.Log(u) / math.Log(rate))
 }
 
 // contention returns how contended a speed is, normalized so the
@@ -203,6 +232,12 @@ func Run(cfg Config) (*Result, error) {
 				if c := contention(cfg.Traces[i].SpeedAt(arrive)); c > 0 {
 					end += cfg.WakeDelay * c
 				}
+			}
+			// Lossy wire: every retry re-charges the round trip plus
+			// the repack at the node's contended speed.
+			for k := exchangeRetries(cfg.Seed, i, phase, cfg.ExchangeFailureRate); k > 0; k-- {
+				end += 2*costs.ExchangeWire + WorkDuration(cfg.Traces[i], end, 2*costs.MsgHandlingWork)
+				res.ExchangeRetries++
 			}
 			newClock := end
 			prof.AddComputation(i, compDur[i])
