@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race chaos bench fuzz
+.PHONY: check build vet test race chaos chaos-kill bench fuzz
 
 # The CI gate: compile everything, vet, run the full suite, then the
 # race detector in short mode (the -short guard trims the long chaos
@@ -23,6 +23,12 @@ race:
 # seeded fault schedule against the distributed pipeline.
 chaos:
 	$(GO) test -race -run 'Chaos|Masks|Fault' ./internal/experiments/ ./internal/parlbm/ ./internal/comm/
+
+# The permanent-death recovery sweep under the race detector: seeded
+# rank kills after committed checkpoints, shrink-to-survivors recovery,
+# bit-identical final fields.
+chaos-kill:
+	$(GO) test -race -run 'KillChaos|Recoverable' -v ./internal/experiments/ ./internal/parlbm/
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...

@@ -96,6 +96,10 @@ func main() {
 		fmt.Printf("exchange retries %10d (wire loss rate %g)\n",
 			res.ExchangeRetries, cfg.ExchangeFailureRate)
 	}
+	if res.Deaths > 0 {
+		fmt.Printf("node deaths      %10d survived (%d phases replayed, %.1f s recovery)\n",
+			res.Deaths, res.ReplayedPhases, res.RecoveryTime)
+	}
 	fmt.Printf("final planes     %v\n", res.FinalPartition.Counts())
 	if *profileF {
 		fmt.Println()

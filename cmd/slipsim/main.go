@@ -7,6 +7,8 @@
 //
 //	slipsim [-nx 32] [-ny 48] [-nz 12] [-steps 3000] [-csv out.csv]
 //	        [-checkpoint state.gob] [-resume state.gob]
+//	slipsim -checkpoint-dir ckpt -checkpoint-interval 500 -ranks 4
+//	slipsim -resume-dir ckpt -steps 1000
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"microslip/internal/checkpoint"
 	"microslip/internal/experiments"
 	"microslip/internal/lbm"
+	"microslip/internal/parlbm"
 )
 
 func main() {
@@ -32,8 +35,19 @@ func main() {
 		csvPath  = flag.String("csv", "", "write full profiles as CSV to this file")
 		ckptPath = flag.String("checkpoint", "", "write the final wall-force state to this file (runs one additional simulation)")
 		resume   = flag.String("resume", "", "resume the wall-force run from a checkpoint file")
+		ckptDir  = flag.String("checkpoint-dir", "", "run a distributed water/air simulation with coordinated checkpoints in this directory")
+		ckptInt  = flag.Int("checkpoint-interval", 500, "phases between coordinated checkpoints (-checkpoint-dir/-resume-dir)")
+		resumeD  = flag.String("resume-dir", "", "resume a distributed run from the latest committed coordinated checkpoint in this directory")
+		ranks    = flag.Int("ranks", 4, "simulated ranks for the distributed run (-checkpoint-dir/-resume-dir)")
 	)
 	flag.Parse()
+
+	if *ckptDir != "" || *resumeD != "" {
+		if err := runDistributed(*ckptDir, *resumeD, *nx, *ny, *nz, *steps, *ranks, *ckptInt); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *resume != "" {
 		if err := runResumed(*resume, *steps, *ckptPath); err != nil {
@@ -67,6 +81,55 @@ func main() {
 		}
 		fmt.Printf("checkpoint written to %s\n", *ckptPath)
 	}
+}
+
+// runDistributed runs the water/air simulation across simulated ranks
+// with coordinated checkpointing. With -resume-dir it restores the
+// latest committed checkpoint (the manifest carries the lattice
+// parameters, so no geometry flags are needed) and runs -steps more
+// phases; new checkpoints land in -checkpoint-dir, defaulting to the
+// resume directory.
+func runDistributed(ckptDir, resumeDir string, nx, ny, nz, steps, ranks, interval int) error {
+	p := lbm.WaterAir(nx, ny, nz)
+	phases := steps
+	var snap *checkpoint.RunSnapshot
+	if resumeDir != "" {
+		var err error
+		snap, err = checkpoint.LatestRun(resumeDir)
+		if err != nil {
+			return err
+		}
+		if snap.Params == nil {
+			return fmt.Errorf("checkpoint in %s carries no lattice parameters", resumeDir)
+		}
+		p = snap.Params
+		phases = snap.Phase + steps
+		fmt.Printf("resumed %dx%dx%d from committed phase %d in %s; running %d more phases\n",
+			p.NX, p.NY, p.NZ, snap.Phase, resumeDir, steps)
+		if ckptDir == "" {
+			ckptDir = resumeDir
+		}
+	}
+	fields, results, err := parlbm.RunParallel(p, ranks, parlbm.Options{
+		Phases:     phases,
+		Checkpoint: &parlbm.CheckpointSpec{Dir: ckptDir, Interval: interval, Snapshot: snap},
+	})
+	if err != nil {
+		return err
+	}
+	written := 0
+	for _, r := range results {
+		if r.Rank == 0 {
+			written = r.Checkpoints
+		}
+	}
+	fmt.Printf("ran %d ranks to phase %d; %d coordinated checkpoints written to %s\n",
+		ranks, phases, written, ckptDir)
+	fmt.Printf("total water mass %.6g\n", fields[0].TotalMass())
+	if m, err := checkpoint.LatestCommitted(ckptDir); err == nil {
+		fmt.Printf("latest committed checkpoint: phase %d (resume with -resume-dir %s)\n", m.Phase, ckptDir)
+	}
+	return nil
 }
 
 func runResumed(path string, steps int, ckptPath string) error {

@@ -1,48 +1,150 @@
-// Package checkpoint persists simulation snapshots with encoding/gob.
-// The paper's full-resolution slip simulation needs hundreds of
-// thousands of phases over days; checkpointing lets runs stop, move,
-// and resume without losing progress.
+// Package checkpoint persists simulation snapshots. The paper's
+// full-resolution slip simulation needs hundreds of thousands of phases
+// over days; checkpointing lets runs stop, move, and resume without
+// losing progress, and — together with the coordinated per-rank format
+// in rank.go — lets a parallel run that loses a rank restart from the
+// last committed phase on the survivors.
+//
+// Container format (version 1): every file this package writes is
+//
+//	magic "MSCK" | version uint16 (big endian) | gob payload | crc32 (IEEE, big endian)
+//
+// The trailing CRC32 covers the payload, so Load rejects truncated or
+// bit-flipped files with a typed ErrCorrupt instead of surfacing a raw
+// gob decode error, and an unknown version fails with ErrVersion rather
+// than garbage.
 package checkpoint
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"microslip/internal/lbm"
 )
 
-// Save writes a snapshot to w.
-func Save(w io.Writer, st *lbm.State) error {
-	if st == nil {
-		return fmt.Errorf("checkpoint: nil state")
-	}
-	if err := gob.NewEncoder(w).Encode(st); err != nil {
+// ErrCorrupt marks a checkpoint file that failed structural validation:
+// bad magic, truncation, or a CRC32 mismatch over the payload.
+var ErrCorrupt = errors.New("checkpoint: corrupt or truncated")
+
+// ErrVersion marks a checkpoint written by an unknown format version.
+var ErrVersion = errors.New("checkpoint: unsupported version")
+
+var magic = [4]byte{'M', 'S', 'C', 'K'}
+
+// Version is the current container format version.
+const Version = 1
+
+// writeContainer frames a gob-encoded value with the magic/version
+// header and CRC32 trailer.
+func writeContainer(w io.Writer, v any) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
 		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	var hdr [6]byte
+	copy(hdr[:4], magic[:])
+	binary.BigEndian.PutUint16(hdr[4:], Version)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("checkpoint: write header: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("checkpoint: write payload: %w", err)
+	}
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload.Bytes()))
+	if _, err := w.Write(crc[:]); err != nil {
+		return fmt.Errorf("checkpoint: write checksum: %w", err)
 	}
 	return nil
 }
 
-// Load reads a snapshot from r.
+// readContainer validates the frame and gob-decodes the payload into v.
+func readContainer(r io.Reader, v any) error {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("checkpoint: read: %w", err)
+	}
+	if len(raw) < 10 { // header + empty payload + crc
+		return fmt.Errorf("checkpoint: %d-byte file: %w", len(raw), ErrCorrupt)
+	}
+	if !bytes.Equal(raw[:4], magic[:]) {
+		return fmt.Errorf("checkpoint: bad magic %q: %w", raw[:4], ErrCorrupt)
+	}
+	if v := binary.BigEndian.Uint16(raw[4:6]); v != Version {
+		return fmt.Errorf("checkpoint: version %d, want %d: %w", v, Version, ErrVersion)
+	}
+	payload := raw[6 : len(raw)-4]
+	want := binary.BigEndian.Uint32(raw[len(raw)-4:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return fmt.Errorf("checkpoint: crc 0x%08x, want 0x%08x: %w", got, want, ErrCorrupt)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return fmt.Errorf("checkpoint: decode: %w (%v)", ErrCorrupt, err)
+	}
+	return nil
+}
+
+// Save writes a snapshot container to w.
+func Save(w io.Writer, st *lbm.State) error {
+	if st == nil {
+		return fmt.Errorf("checkpoint: nil state")
+	}
+	return writeContainer(w, st)
+}
+
+// Load reads and validates a snapshot from r. Corrupted or truncated
+// input fails with an error wrapping ErrCorrupt; a format from a newer
+// writer fails with ErrVersion.
 func Load(r io.Reader) (*lbm.State, error) {
 	var st lbm.State
-	if err := gob.NewDecoder(r).Decode(&st); err != nil {
-		return nil, fmt.Errorf("checkpoint: decode: %w", err)
+	if err := readContainer(r, &st); err != nil {
+		return nil, err
 	}
 	return &st, nil
 }
 
-// SaveFile atomically writes a snapshot to path (write to a temp file
-// in the same directory, then rename), so an interrupted save never
-// corrupts the previous checkpoint.
-func SaveFile(path string, st *lbm.State) error {
-	tmp, err := os.CreateTemp(dirOf(path), ".checkpoint-*")
+// tempPrefix returns the temp-file prefix used for atomic saves of the
+// given final base name. Embedding the base name keeps concurrent saves
+// of *different* files in one directory (per-rank checkpoints) from
+// sweeping each other's live temp files.
+func tempPrefix(base string) string { return ".checkpoint-" + base + "-" }
+
+// removeStaleTemps deletes leftover temp files from crashed saves of
+// this path. Only the saver of a given path touches its temps, so this
+// is safe under concurrent per-rank saves into a shared directory.
+func removeStaleTemps(dir, base string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), tempPrefix(base)) {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// saveFileAtomic writes any container value to path via a temp file in
+// the same directory plus rename, so an interrupted save never corrupts
+// the previous checkpoint; stale temp files from earlier crashes are
+// cleaned up first.
+func saveFileAtomic(path string, v any) error {
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	removeStaleTemps(dir, base)
+	tmp, err := os.CreateTemp(dir, tempPrefix(base)+"*")
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	if err := Save(tmp, st); err != nil {
+	if err := writeContainer(tmp, v); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -55,6 +157,16 @@ func SaveFile(path string, st *lbm.State) error {
 	return nil
 }
 
+// SaveFile atomically writes a snapshot to path (temp file in the same
+// directory, then rename) and removes stale temp files a crashed
+// earlier save may have left behind.
+func SaveFile(path string, st *lbm.State) error {
+	if st == nil {
+		return fmt.Errorf("checkpoint: nil state")
+	}
+	return saveFileAtomic(path, st)
+}
+
 // LoadFile reads a snapshot from path.
 func LoadFile(path string) (*lbm.State, error) {
 	f, err := os.Open(path)
@@ -63,13 +175,4 @@ func LoadFile(path string) (*lbm.State, error) {
 	}
 	defer f.Close()
 	return Load(f)
-}
-
-func dirOf(path string) string {
-	for i := len(path) - 1; i >= 0; i-- {
-		if path[i] == '/' {
-			return path[:i]
-		}
-	}
-	return "."
 }

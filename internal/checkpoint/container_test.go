@@ -1,0 +1,205 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"microslip/internal/lbm"
+)
+
+// saveBytes returns a valid container for a small simulation state.
+func saveBytes(t *testing.T) []byte {
+	t.Helper()
+	p := lbm.SingleFluid(4, 6, 6, 1.0, 1e-6)
+	s, err := lbm.NewSim(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(2)
+	var buf bytes.Buffer
+	if err := Save(&buf, s.State()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestContainerHeader(t *testing.T) {
+	raw := saveBytes(t)
+	if !bytes.Equal(raw[:4], []byte("MSCK")) {
+		t.Fatalf("magic = %q, want MSCK", raw[:4])
+	}
+	if raw[4] != 0 || raw[5] != Version {
+		t.Fatalf("version bytes = %d %d, want 0 %d", raw[4], raw[5], Version)
+	}
+}
+
+func TestLoadRejectsCorruptionWithTypedError(t *testing.T) {
+	raw := saveBytes(t)
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   error
+	}{
+		{"empty", func(b []byte) []byte { return nil }, ErrCorrupt},
+		{"short", func(b []byte) []byte { return b[:5] }, ErrCorrupt},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, ErrCorrupt},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)/2] }, ErrCorrupt},
+		{"truncated crc", func(b []byte) []byte { return b[:len(b)-2] }, ErrCorrupt},
+		{"flipped payload bit", func(b []byte) []byte { b[len(b)/2] ^= 0x40; return b }, ErrCorrupt},
+		{"flipped crc", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }, ErrCorrupt},
+		{"future version", func(b []byte) []byte { b[5] = Version + 1; return b }, ErrVersion},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cp := append([]byte(nil), raw...)
+			_, err := Load(bytes.NewReader(tc.mutate(cp)))
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Load = %v, want errors.Is(%v)", err, tc.want)
+			}
+			// The two typed errors are distinguishable.
+			other := ErrVersion
+			if tc.want == ErrVersion {
+				other = ErrCorrupt
+			}
+			if errors.Is(err, other) {
+				t.Fatalf("Load error %v matches both typed errors", err)
+			}
+		})
+	}
+}
+
+// TestCrashBetweenWriteAndRename simulates a saver that died after
+// writing its temp file but before the rename: the previous checkpoint
+// must still load, and the next SaveFile must clean the stale temp up.
+func TestCrashBetweenWriteAndRename(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.ckpt")
+	p := lbm.SingleFluid(4, 6, 6, 1.0, 1e-6)
+	s, err := lbm.NewSim(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(1)
+	if err := SaveFile(path, s.State()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The "crash": a leftover temp file with this path's prefix, halfway
+	// through a newer save.
+	stale := filepath.Join(dir, tempPrefix("state.ckpt")+"123456")
+	if err := os.WriteFile(stale, []byte("partial write, never renamed"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The previous checkpoint is untouched by the crash.
+	st, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("checkpoint unreadable after simulated crash: %v", err)
+	}
+	if st.Step != 1 {
+		t.Fatalf("loaded step %d, want 1", st.Step)
+	}
+
+	// The next save sweeps the stale temp and leaves exactly one file.
+	s.Run(1)
+	if err := SaveFile(path, s.State()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale temp %s survived the next SaveFile", filepath.Base(stale))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Errorf("directory holds %v after save, want just the checkpoint", names)
+	}
+	if st, err := LoadFile(path); err != nil || st.Step != 2 {
+		t.Errorf("final checkpoint load = step %d, err %v; want step 2", st.Step, err)
+	}
+}
+
+// TestStaleTempCleanupIsScopedPerBase: concurrent per-rank saves share
+// a directory, so cleaning up one file's stale temps must not sweep
+// another file's.
+func TestStaleTempCleanupIsScopedPerBase(t *testing.T) {
+	dir := t.TempDir()
+	otherTemp := filepath.Join(dir, tempPrefix("rank-0001.ckpt")+"777")
+	if err := os.WriteFile(otherTemp, []byte("another rank's in-flight save"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p := lbm.SingleFluid(4, 6, 6, 1.0, 1e-6)
+	s, _ := lbm.NewSim(p)
+	if err := SaveFile(filepath.Join(dir, "rank-0000.ckpt"), s.State()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(otherTemp); err != nil {
+		t.Fatalf("rank 0's save swept rank 1's live temp file: %v", err)
+	}
+}
+
+// TestResumeDeterminism is the satellite acceptance: running N phases
+// straight must be bit-identical to running N/2, checkpointing to disk,
+// loading, and running the rest — over several grids.
+func TestResumeDeterminism(t *testing.T) {
+	grids := []struct {
+		name   string
+		params *lbm.Params
+		phases int
+	}{
+		{"water-air-6x8x6", lbm.WaterAir(6, 8, 6), 8},
+		{"water-air-9x4x4", lbm.WaterAir(9, 4, 4), 10},
+		{"single-fluid-5x6x6", lbm.SingleFluid(5, 6, 6, 1.0, 1e-6), 6},
+	}
+	for _, g := range grids {
+		t.Run(g.name, func(t *testing.T) {
+			straight, err := lbm.NewSim(g.params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			straight.Run(g.phases)
+
+			half, err := lbm.NewSim(g.params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			half.Run(g.phases / 2)
+			path := filepath.Join(t.TempDir(), "half.ckpt")
+			if err := SaveFile(path, half.State()); err != nil {
+				t.Fatal(err)
+			}
+			st, err := LoadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resumed, err := lbm.FromState(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resumed.Run(g.phases - g.phases/2)
+
+			if resumed.StepCount() != straight.StepCount() {
+				t.Fatalf("resumed steps %d, straight %d", resumed.StepCount(), straight.StepCount())
+			}
+			for c := 0; c < g.params.NComp(); c++ {
+				for x := 0; x < g.params.NX; x++ {
+					a, b := straight.Plane(c, x), resumed.Plane(c, x)
+					for i := range a {
+						if a[i] != b[i] {
+							t.Fatalf("resumed run diverged at comp %d plane %d index %d: %v != %v", c, x, i, b[i], a[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}

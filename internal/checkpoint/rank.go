@@ -1,0 +1,319 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"microslip/internal/lbm"
+)
+
+// Coordinated distributed checkpoints: every rank of a parallel run
+// persists its slab at the same phase boundary into a shared directory,
+//
+//	dir/
+//	  phase-00000010/
+//	    rank-0000.ckpt   (RankState container)
+//	    rank-0001.ckpt
+//	    COMMIT           (Manifest container)
+//	  phase-00000020/...
+//
+// with two-phase commit semantics: the COMMIT manifest is written —
+// atomically, by one coordinator rank — only after every rank's file is
+// durably in place, and restore only ever reads a phase directory whose
+// COMMIT validates. A crash or rank death mid-save leaves an
+// uncommitted directory that restore ignores and Prune later removes,
+// so a set of per-rank files is only ever restored as one consistent
+// phase.
+
+// CommitName is the commit-marker file name inside a phase directory.
+const CommitName = "COMMIT"
+
+// RankState is one rank's slab snapshot at a phase boundary.
+type RankState struct {
+	// Phase is the number of completed phases.
+	Phase int
+	// Rank is the writer's rank slot in the group.
+	Rank int
+	// Start is the global x index of Planes[c][0]; the rank owned
+	// [Start, Start+len(Planes[c])) — its remap ownership at the
+	// boundary.
+	Start int
+	// Planes[c][i] is component c's distribution plane at global x
+	// Start+i (length NY*NZ*19).
+	Planes [][][]float64
+	// Density[c][i] is component c's number-density plane at Start+i
+	// (length NY*NZ); recomputed every phase but persisted so a snapshot
+	// is a complete picture of the rank at the boundary.
+	Density [][][]float64
+}
+
+// Count returns the number of planes in the snapshot.
+func (rs *RankState) Count() int {
+	if len(rs.Planes) == 0 {
+		return 0
+	}
+	return len(rs.Planes[0])
+}
+
+// RankRange records one rank's ownership in a committed manifest.
+type RankRange struct {
+	Rank, Start, Count int
+}
+
+// Manifest is the commit record of one coordinated checkpoint: which
+// rank files make up the phase and the ownership map that must tile
+// [0, NX) exactly.
+type Manifest struct {
+	// Phase is the number of completed phases.
+	Phase int
+	// NX, NComp, PlaneSize describe the lattice so restore validates
+	// shape before reading any plane data.
+	NX, NComp, PlaneSize int
+	// Params, when non-nil, carries the run parameters so a checkpoint
+	// directory is self-describing (cmd/slipsim -resume-dir).
+	Params *lbm.Params
+	// Ranks lists the per-rank files and their plane ranges.
+	Ranks []RankRange
+}
+
+// Validate checks that the manifest's ownership map tiles the lattice.
+func (m *Manifest) Validate() error {
+	if m.Phase < 0 || m.NX < 1 || m.NComp < 1 || m.PlaneSize < 1 {
+		return fmt.Errorf("checkpoint: manifest phase %d lattice %dx%d planes %d invalid", m.Phase, m.NX, m.NComp, m.PlaneSize)
+	}
+	ranges := append([]RankRange(nil), m.Ranks...)
+	sort.Slice(ranges, func(i, j int) bool { return ranges[i].Start < ranges[j].Start })
+	pos := 0
+	for _, r := range ranges {
+		if r.Start != pos || r.Count < 1 {
+			return fmt.Errorf("checkpoint: manifest ranges do not tile [0,%d): rank %d owns [%d,%d)", m.NX, r.Rank, r.Start, r.Start+r.Count)
+		}
+		pos += r.Count
+	}
+	if pos != m.NX {
+		return fmt.Errorf("checkpoint: manifest ranges cover %d of %d planes", pos, m.NX)
+	}
+	return nil
+}
+
+// PhaseDir returns the directory holding the coordinated checkpoint of
+// the given phase.
+func PhaseDir(dir string, phase int) string {
+	return filepath.Join(dir, fmt.Sprintf("phase-%08d", phase))
+}
+
+// rankFile returns the per-rank file name.
+func rankFile(rank int) string { return fmt.Sprintf("rank-%04d.ckpt", rank) }
+
+// SaveRank atomically writes one rank's snapshot into the phase
+// directory under dir, creating it as needed. It is safe for all ranks
+// of a group to call concurrently.
+func SaveRank(dir string, rs *RankState) error {
+	if rs == nil || len(rs.Planes) == 0 {
+		return fmt.Errorf("checkpoint: empty rank state")
+	}
+	pd := PhaseDir(dir, rs.Phase)
+	if err := os.MkdirAll(pd, 0o755); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return saveFileAtomic(filepath.Join(pd, rankFile(rs.Rank)), rs)
+}
+
+// LoadRank reads one rank's snapshot from the phase directory.
+func LoadRank(dir string, phase, rank int) (*RankState, error) {
+	f, err := os.Open(filepath.Join(PhaseDir(dir, phase), rankFile(rank)))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	var rs RankState
+	if err := readContainer(f, &rs); err != nil {
+		return nil, err
+	}
+	return &rs, nil
+}
+
+// Commit atomically writes the commit marker for the manifest's phase.
+// The coordinator must call it only after every rank file named by the
+// manifest is in place (the runner synchronizes with a collective).
+func Commit(dir string, m *Manifest) error {
+	if m == nil {
+		return fmt.Errorf("checkpoint: nil manifest")
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	return saveFileAtomic(filepath.Join(PhaseDir(dir, m.Phase), CommitName), m)
+}
+
+// ErrNoCheckpoint is returned by LatestCommitted when the directory
+// holds no committed phase.
+var ErrNoCheckpoint = errors.New("checkpoint: no committed checkpoint")
+
+// LatestCommitted scans dir for the newest phase directory whose COMMIT
+// marker validates, skipping uncommitted or corrupt sets.
+func LatestCommitted(dir string) (*Manifest, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNoCheckpoint
+		}
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() && len(e.Name()) > 6 && e.Name()[:6] == "phase-" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	for _, name := range names {
+		f, err := os.Open(filepath.Join(dir, name, CommitName))
+		if err != nil {
+			continue // uncommitted set: a crash mid-save, or in progress
+		}
+		var m Manifest
+		err = readContainer(f, &m)
+		f.Close()
+		if err != nil || m.Validate() != nil {
+			continue // corrupt marker: never restore this set
+		}
+		return &m, nil
+	}
+	return nil, ErrNoCheckpoint
+}
+
+// RunSnapshot is a fully assembled coordinated checkpoint: every plane
+// of every component at one committed phase, addressable by global x.
+type RunSnapshot struct {
+	// Phase is the number of completed phases.
+	Phase int
+	// NX, NComp, PlaneSize mirror the manifest.
+	NX, NComp, PlaneSize int
+	// Params carries the manifest's run parameters (may be nil).
+	Params *lbm.Params
+
+	planes  [][][]float64 // [comp][gx][]
+	density [][][]float64 // [comp][gx][]; entries may be nil on old files
+}
+
+// Plane returns component c's distribution plane at global x.
+func (s *RunSnapshot) Plane(c, gx int) []float64 { return s.planes[c][gx] }
+
+// DensityPlane returns component c's number-density plane at global x,
+// or nil when the writer did not persist densities.
+func (s *RunSnapshot) DensityPlane(c, gx int) []float64 { return s.density[c][gx] }
+
+// LoadRun assembles the snapshot named by a committed manifest,
+// validating every rank file's shape and coverage against it.
+func LoadRun(dir string, m *Manifest) (*RunSnapshot, error) {
+	if m == nil {
+		return nil, fmt.Errorf("checkpoint: nil manifest")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	snap := &RunSnapshot{
+		Phase: m.Phase, NX: m.NX, NComp: m.NComp, PlaneSize: m.PlaneSize,
+		Params:  m.Params,
+		planes:  make([][][]float64, m.NComp),
+		density: make([][][]float64, m.NComp),
+	}
+	for c := 0; c < m.NComp; c++ {
+		snap.planes[c] = make([][]float64, m.NX)
+		snap.density[c] = make([][]float64, m.NX)
+	}
+	for _, rr := range m.Ranks {
+		rs, err := LoadRank(dir, m.Phase, rr.Rank)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: phase %d rank %d: %w", m.Phase, rr.Rank, err)
+		}
+		if rs.Phase != m.Phase || rs.Start != rr.Start || rs.Count() != rr.Count || len(rs.Planes) != m.NComp {
+			return nil, fmt.Errorf("checkpoint: phase %d rank %d file disagrees with manifest: %w", m.Phase, rr.Rank, ErrCorrupt)
+		}
+		for c := 0; c < m.NComp; c++ {
+			if len(rs.Planes[c]) != rr.Count {
+				return nil, fmt.Errorf("checkpoint: phase %d rank %d component %d has %d planes, want %d: %w",
+					m.Phase, rr.Rank, c, len(rs.Planes[c]), rr.Count, ErrCorrupt)
+			}
+			for i, pl := range rs.Planes[c] {
+				if len(pl) != m.PlaneSize {
+					return nil, fmt.Errorf("checkpoint: phase %d rank %d plane %d has %d values, want %d: %w",
+						m.Phase, rr.Rank, rr.Start+i, len(pl), m.PlaneSize, ErrCorrupt)
+				}
+				snap.planes[c][rr.Start+i] = pl
+			}
+			if len(rs.Density) == m.NComp {
+				for i, pl := range rs.Density[c] {
+					if i < rr.Count {
+						snap.density[c][rr.Start+i] = pl
+					}
+				}
+			}
+		}
+	}
+	// The manifest tiles [0, NX), so every plane is populated.
+	return snap, nil
+}
+
+// LatestRun loads the newest committed snapshot under dir, or
+// ErrNoCheckpoint.
+func LatestRun(dir string) (*RunSnapshot, error) {
+	m, err := LatestCommitted(dir)
+	if err != nil {
+		return nil, err
+	}
+	return LoadRun(dir, m)
+}
+
+// Prune keeps the newest `keep` committed phase directories and removes
+// older ones, along with uncommitted directories older than the newest
+// committed phase (stale partials from crashed or killed attempts).
+// Uncommitted directories at or beyond the newest committed phase are
+// left alone: they may be a checkpoint in progress.
+func Prune(dir string, keep int) error {
+	if keep < 1 {
+		keep = 1
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	type phaseEnt struct {
+		name      string
+		committed bool
+	}
+	var phases []phaseEnt
+	for _, e := range entries {
+		if !e.IsDir() || len(e.Name()) <= 6 || e.Name()[:6] != "phase-" {
+			continue
+		}
+		_, err := os.Stat(filepath.Join(dir, e.Name(), CommitName))
+		phases = append(phases, phaseEnt{name: e.Name(), committed: err == nil})
+	}
+	sort.Slice(phases, func(i, j int) bool { return phases[i].name > phases[j].name })
+	newestCommitted := ""
+	committedSeen := 0
+	for _, ph := range phases {
+		if !ph.committed {
+			if newestCommitted != "" && ph.name < newestCommitted {
+				os.RemoveAll(filepath.Join(dir, ph.name))
+			}
+			continue
+		}
+		if newestCommitted == "" {
+			newestCommitted = ph.name
+		}
+		committedSeen++
+		if committedSeen > keep {
+			os.RemoveAll(filepath.Join(dir, ph.name))
+		}
+	}
+	return nil
+}

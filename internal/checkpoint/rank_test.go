@@ -1,0 +1,217 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// makeRankState builds a rank snapshot with recognizable plane values:
+// plane gx of component c holds c*1000+gx everywhere.
+func makeRankState(phase, rank, start, count, ncomp, planeSize int) *RankState {
+	rs := &RankState{
+		Phase: phase, Rank: rank, Start: start,
+		Planes:  make([][][]float64, ncomp),
+		Density: make([][][]float64, ncomp),
+	}
+	for c := 0; c < ncomp; c++ {
+		rs.Planes[c] = make([][]float64, count)
+		rs.Density[c] = make([][]float64, count)
+		for i := 0; i < count; i++ {
+			pl := make([]float64, planeSize)
+			for j := range pl {
+				pl[j] = float64(c*1000 + start + i)
+			}
+			rs.Planes[c][i] = pl
+			rs.Density[c][i] = []float64{float64(start + i)}
+		}
+	}
+	return rs
+}
+
+// writeSet persists one full coordinated checkpoint and commits it.
+func writeSet(t *testing.T, dir string, phase, nx, ranks, ncomp, planeSize int) *Manifest {
+	t.Helper()
+	m := &Manifest{Phase: phase, NX: nx, NComp: ncomp, PlaneSize: planeSize}
+	per := nx / ranks
+	for r := 0; r < ranks; r++ {
+		start := r * per
+		count := per
+		if r == ranks-1 {
+			count = nx - start
+		}
+		if err := SaveRank(dir, makeRankState(phase, r, start, count, ncomp, planeSize)); err != nil {
+			t.Fatal(err)
+		}
+		m.Ranks = append(m.Ranks, RankRange{Rank: r, Start: start, Count: count})
+	}
+	if err := Commit(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCoordinatedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	writeSet(t, dir, 10, 7, 3, 2, 4)
+
+	m, err := LatestCommitted(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Phase != 10 || m.NX != 7 {
+		t.Fatalf("manifest phase %d nx %d, want 10/7", m.Phase, m.NX)
+	}
+	snap, err := LoadRun(dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 2; c++ {
+		for gx := 0; gx < 7; gx++ {
+			pl := snap.Plane(c, gx)
+			if len(pl) != 4 || pl[0] != float64(c*1000+gx) {
+				t.Fatalf("snapshot plane (%d,%d) = %v", c, gx, pl)
+			}
+			if d := snap.DensityPlane(c, gx); len(d) != 1 || d[0] != float64(gx) {
+				t.Fatalf("snapshot density (%d,%d) = %v", c, gx, d)
+			}
+		}
+	}
+}
+
+// TestUncommittedSetIsInvisible: without its COMMIT marker a phase
+// directory must never be restored — that is the two-phase commit
+// guarantee a mid-checkpoint rank death relies on.
+func TestUncommittedSetIsInvisible(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LatestCommitted(dir); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty dir: %v, want ErrNoCheckpoint", err)
+	}
+	writeSet(t, dir, 5, 6, 2, 1, 3)
+	// A newer but uncommitted set: two of three ranks saved, then died.
+	if err := SaveRank(dir, makeRankState(10, 0, 0, 3, 1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveRank(dir, makeRankState(10, 1, 3, 3, 1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LatestCommitted(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Phase != 5 {
+		t.Fatalf("latest committed phase %d, want 5 (phase 10 has no COMMIT)", m.Phase)
+	}
+}
+
+func TestCorruptCommitMarkerIsSkipped(t *testing.T) {
+	dir := t.TempDir()
+	writeSet(t, dir, 5, 6, 2, 1, 3)
+	writeSet(t, dir, 10, 6, 2, 1, 3)
+	// Flip a bit in phase 10's COMMIT: restore must fall back to 5.
+	marker := filepath.Join(PhaseDir(dir, 10), CommitName)
+	raw, err := os.ReadFile(marker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x10
+	if err := os.WriteFile(marker, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LatestCommitted(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Phase != 5 {
+		t.Fatalf("latest committed phase %d, want 5", m.Phase)
+	}
+}
+
+func TestLoadRunRejectsManifestMismatch(t *testing.T) {
+	dir := t.TempDir()
+	m := writeSet(t, dir, 5, 6, 2, 1, 3)
+
+	// Rank file vanished.
+	gone := *m
+	gone.Ranks = append([]RankRange(nil), m.Ranks...)
+	if err := os.Remove(filepath.Join(PhaseDir(dir, 5), rankFile(1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRun(dir, &gone); err == nil {
+		t.Fatal("LoadRun succeeded with a missing rank file")
+	}
+
+	// Rank file disagrees with the manifest's range.
+	if err := SaveRank(dir, makeRankState(5, 1, 3, 2, 1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRun(dir, m); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("LoadRun = %v, want ErrCorrupt for range mismatch", err)
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	good := &Manifest{Phase: 1, NX: 6, NComp: 1, PlaneSize: 2,
+		Ranks: []RankRange{{Rank: 0, Start: 0, Count: 3}, {Rank: 1, Start: 3, Count: 3}}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid manifest rejected: %v", err)
+	}
+	bad := []*Manifest{
+		{Phase: 1, NX: 6, NComp: 1, PlaneSize: 2,
+			Ranks: []RankRange{{Rank: 0, Start: 0, Count: 3}}}, // hole at the end
+		{Phase: 1, NX: 6, NComp: 1, PlaneSize: 2,
+			Ranks: []RankRange{{Rank: 0, Start: 0, Count: 3}, {Rank: 1, Start: 4, Count: 2}}}, // gap
+		{Phase: 1, NX: 6, NComp: 1, PlaneSize: 2,
+			Ranks: []RankRange{{Rank: 0, Start: 0, Count: 4}, {Rank: 1, Start: 3, Count: 3}}}, // overlap
+		{Phase: -1, NX: 6, NComp: 1, PlaneSize: 2,
+			Ranks: []RankRange{{Rank: 0, Start: 0, Count: 6}}}, // negative phase
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad manifest %d accepted", i)
+		}
+	}
+}
+
+func TestPrune(t *testing.T) {
+	dir := t.TempDir()
+	writeSet(t, dir, 5, 6, 2, 1, 3)
+	writeSet(t, dir, 10, 6, 2, 1, 3)
+	writeSet(t, dir, 15, 6, 2, 1, 3)
+	// An old uncommitted partial (a killed attempt's leftovers) and a
+	// newer in-progress one.
+	if err := SaveRank(dir, makeRankState(7, 0, 0, 6, 1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveRank(dir, makeRankState(20, 0, 0, 6, 1, 3)); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := Prune(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	exists := func(phase int) bool {
+		_, err := os.Stat(PhaseDir(dir, phase))
+		return err == nil
+	}
+	if exists(5) {
+		t.Error("committed phase 5 not pruned with keep=2")
+	}
+	if !exists(10) || !exists(15) {
+		t.Error("newest two committed phases pruned")
+	}
+	if exists(7) {
+		t.Error("stale uncommitted phase 7 not removed")
+	}
+	if !exists(20) {
+		t.Error("in-progress phase 20 (newer than newest commit) removed")
+	}
+	if m, err := LatestCommitted(dir); err != nil || m.Phase != 15 {
+		t.Errorf("after prune: latest = %v, %v; want phase 15", m, err)
+	}
+	// Prune of a missing directory is a no-op, not an error.
+	if err := Prune(filepath.Join(dir, "nope"), 1); err != nil {
+		t.Errorf("Prune(missing) = %v", err)
+	}
+}

@@ -1,0 +1,295 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file adds the failure-detector layer: a per-group liveness board
+// (Health) fed by heartbeats, and a Comm wrapper (WithHeartbeat) that
+// turns a receive timeout from a silent peer into a typed, permanent
+// ErrPeerDead instead of a retryable ErrTimeout.
+//
+// Heartbeats come from two sources:
+//
+//   - piggybacked: every operation an endpoint performs beats its own
+//     liveness cell, so a rank exchanging halos is trivially alive and
+//     the steady-state hot path pays one atomic store — no allocation,
+//     no extra traffic;
+//   - an idle prober: a per-rank goroutine (Health.StartProber) that
+//     beats on a timer while the rank computes between exchanges, and
+//     stops when the rank's run function returns — a dead process stops
+//     heartbeating, which is exactly the silence the detector reads.
+//
+// Classification is timeout-based: a peer whose last beat is older than
+// DeadAfter is declared permanently dead. The resilience layer treats
+// ErrPeerDead as non-transient, so the verdict escapes the retry loop
+// immediately and recovery machinery (parlbm.RunRecoverable) can shrink
+// the group onto the survivors. A false positive — a live rank starved
+// past DeadAfter — costs one spurious recovery round, never a wrong
+// result: the recovery protocol restarts every survivor from the last
+// committed checkpoint regardless.
+
+// ErrPeerDead marks a peer declared permanently dead by the failure
+// detector (or by its own fault injector's permanent-kill rule). It is
+// NOT transient: retrying cannot mask a dead rank, only membership
+// recovery can.
+var ErrPeerDead = errors.New("comm: peer permanently dead")
+
+// DeadRankError is a dead-rank claim naming the rank. It wraps
+// ErrPeerDead so errors.Is(err, ErrPeerDead) holds anywhere in a chain.
+type DeadRankError struct {
+	// Rank is the dead endpoint's rank in the group that observed the
+	// death.
+	Rank int
+}
+
+func (e *DeadRankError) Error() string {
+	return fmt.Sprintf("comm: rank %d permanently dead", e.Rank)
+}
+
+func (e *DeadRankError) Unwrap() error { return ErrPeerDead }
+
+// DeadRanks collects every dead-rank claim in an error tree (following
+// both single Unwrap chains and errors.Join lists), deduplicated and
+// sorted. It is the evidence a membership agreement unions.
+func DeadRanks(err error) []int {
+	seen := map[int]bool{}
+	var walk func(error)
+	walk = func(err error) {
+		if err == nil {
+			return
+		}
+		if dre, ok := err.(*DeadRankError); ok {
+			seen[dre.Rank] = true
+		}
+		switch x := err.(type) {
+		case interface{ Unwrap() error }:
+			walk(x.Unwrap())
+		case interface{ Unwrap() []error }:
+			for _, e := range x.Unwrap() {
+				walk(e)
+			}
+		}
+	}
+	walk(err)
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// HeartbeatOptions configures the failure detector.
+type HeartbeatOptions struct {
+	// Interval is the idle prober's beat period.
+	Interval time.Duration
+	// DeadAfter is the silence threshold: a peer whose last beat is
+	// older than this is declared permanently dead. It should be several
+	// Intervals plus the longest expected compute stall.
+	DeadAfter time.Duration
+}
+
+// DefaultHeartbeat returns conservative production defaults: beat every
+// 50 ms, declare death after 2 s of silence.
+func DefaultHeartbeat() HeartbeatOptions {
+	return HeartbeatOptions{Interval: 50 * time.Millisecond, DeadAfter: 2 * time.Second}
+}
+
+// Validate checks the options.
+func (o HeartbeatOptions) Validate() error {
+	if o.Interval <= 0 || o.DeadAfter <= 0 {
+		return fmt.Errorf("comm: heartbeat interval %v / dead-after %v must be positive", o.Interval, o.DeadAfter)
+	}
+	if o.DeadAfter < 2*o.Interval {
+		return fmt.Errorf("comm: dead-after %v below 2x heartbeat interval %v invites false positives", o.DeadAfter, o.Interval)
+	}
+	return nil
+}
+
+// Health is one group's shared liveness board: a last-beat timestamp
+// per rank. It stands in for the heartbeat side-channel of a real
+// cluster; all methods are safe for concurrent use.
+type Health struct {
+	opts  HeartbeatOptions
+	epoch time.Time
+	cells []atomic.Int64 // nanoseconds since epoch of the rank's last beat
+}
+
+// NewHealth creates a liveness board for n ranks with every rank
+// considered freshly alive.
+func NewHealth(n int, opts HeartbeatOptions) (*Health, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("comm: health board for %d ranks", n)
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &Health{opts: opts, epoch: time.Now(), cells: make([]atomic.Int64, n)}, nil
+}
+
+// Options returns the board's detector configuration.
+func (h *Health) Options() HeartbeatOptions { return h.opts }
+
+// Beat records that rank is alive now.
+func (h *Health) Beat(rank int) {
+	h.cells[rank].Store(int64(time.Since(h.epoch)))
+}
+
+// SinceBeat returns how long rank has been silent.
+func (h *Health) SinceBeat(rank int) time.Duration {
+	return time.Since(h.epoch) - time.Duration(h.cells[rank].Load())
+}
+
+// Alive reports whether rank has beaten within DeadAfter.
+func (h *Health) Alive(rank int) bool {
+	return h.SinceBeat(rank) <= h.opts.DeadAfter
+}
+
+// StartProber starts rank's idle heartbeat goroutine and returns its
+// idempotent stop function. The owner of the rank's lifecycle (a group
+// runner) must call stop when the rank's run function returns — alive
+// or dead — so heartbeats faithfully track the rank's life.
+func (h *Health) StartProber(rank int) (stop func()) {
+	h.Beat(rank)
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(h.opts.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				h.Beat(rank)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// Classify upgrades a timeout from a silent peer into a permanent
+// DeadRankError; any other error passes through unchanged.
+func (h *Health) Classify(from int, err error) error {
+	if err == nil || !errors.Is(err, ErrTimeout) {
+		return err
+	}
+	if !h.Alive(from) {
+		return fmt.Errorf("comm: rank %d silent for %v: %w", from, h.SinceBeat(from).Round(time.Millisecond), &DeadRankError{Rank: from})
+	}
+	return err
+}
+
+// MonitoredComm is the failure-detector wrapper around a Comm. Stack it
+// below the resilience layer:
+//
+//	reliable := comm.WithResilience(comm.WithHeartbeat(ep, health), res)
+//
+// so every per-attempt receive deadline consults the board: timeouts
+// from live peers stay transient (the resilience layer keeps retrying),
+// timeouts from silent peers surface as ErrPeerDead and escape at once.
+type MonitoredComm struct {
+	inner  Comm
+	health *Health
+	rank   int
+}
+
+var _ Comm = (*MonitoredComm)(nil)
+var _ DeadlineRecver = (*MonitoredComm)(nil)
+
+// WithHeartbeat wraps inner with the failure detector backed by h.
+func WithHeartbeat(inner Comm, h *Health) *MonitoredComm {
+	return &MonitoredComm{inner: inner, health: h, rank: inner.Rank()}
+}
+
+// WithHeartbeatAll wraps every endpoint of a group with the same board.
+func WithHeartbeatAll(eps []Comm, h *Health) []Comm {
+	out := make([]Comm, len(eps))
+	for i, ep := range eps {
+		out[i] = WithHeartbeat(ep, h)
+	}
+	return out
+}
+
+// Health returns the board the endpoint reports to.
+func (c *MonitoredComm) Health() *Health { return c.health }
+
+func (c *MonitoredComm) Rank() int { return c.rank }
+func (c *MonitoredComm) Size() int { return c.inner.Size() }
+
+func (c *MonitoredComm) Send(to, tag int, data []float64) error {
+	c.health.Beat(c.rank)
+	return c.inner.Send(to, tag, data)
+}
+
+// Recv blocks like the transport's Recv but, when the transport carries
+// per-op deadlines, wakes every DeadAfter to consult the board — so
+// even an unwrapped (resilience-free) receive cannot hang on a dead
+// peer forever.
+func (c *MonitoredComm) Recv(from, tag int) ([]float64, error) {
+	c.health.Beat(c.rank)
+	dr, ok := c.inner.(DeadlineRecver)
+	if !ok {
+		return c.inner.Recv(from, tag)
+	}
+	for {
+		data, err := dr.RecvDeadline(from, tag, c.health.opts.DeadAfter)
+		if err == nil || !errors.Is(err, ErrTimeout) {
+			return data, err
+		}
+		if err := c.health.Classify(from, err); !errors.Is(err, ErrTimeout) {
+			return nil, err
+		}
+		c.health.Beat(c.rank)
+	}
+}
+
+// RecvDeadline forwards the deadline receive and classifies timeouts
+// against the board.
+func (c *MonitoredComm) RecvDeadline(from, tag int, timeout time.Duration) ([]float64, error) {
+	c.health.Beat(c.rank)
+	data, err := RecvDeadline(c.inner, from, tag, timeout)
+	if err != nil {
+		return nil, c.health.Classify(from, err)
+	}
+	return data, nil
+}
+
+func (c *MonitoredComm) SendRecv(to int, send []float64, from, tag int) ([]float64, error) {
+	if err := c.Send(to, tag, send); err != nil {
+		return nil, err
+	}
+	return c.Recv(from, tag)
+}
+
+// Barrier and AllGather delegate to the transport; when the stack runs
+// under comm.WithResilience (the supported configuration), collectives
+// are re-expressed as reliable point-to-point receives and therefore
+// classified like any other deadline receive.
+func (c *MonitoredComm) Barrier() error {
+	c.health.Beat(c.rank)
+	return c.inner.Barrier()
+}
+
+func (c *MonitoredComm) AllGather(local []float64) ([][]float64, error) {
+	c.health.Beat(c.rank)
+	return c.inner.AllGather(local)
+}
+
+// Drain forwards to a buffering wrapped endpoint.
+func (c *MonitoredComm) Drain() {
+	if d, ok := c.inner.(Drainer); ok {
+		d.Drain()
+	}
+}
+
+func (c *MonitoredComm) Close() error { return c.inner.Close() }

@@ -1,0 +1,267 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func testHeartbeat() HeartbeatOptions {
+	return HeartbeatOptions{Interval: 2 * time.Millisecond, DeadAfter: 25 * time.Millisecond}
+}
+
+func TestHeartbeatOptionsValidate(t *testing.T) {
+	if err := DefaultHeartbeat().Validate(); err != nil {
+		t.Fatalf("default options invalid: %v", err)
+	}
+	bad := []HeartbeatOptions{
+		{Interval: 0, DeadAfter: time.Second},
+		{Interval: time.Second, DeadAfter: 0},
+		{Interval: 10 * time.Millisecond, DeadAfter: 15 * time.Millisecond}, // < 2x interval
+	}
+	for _, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted invalid options", o)
+		}
+	}
+}
+
+func TestDeadRankErrorWrapsErrPeerDead(t *testing.T) {
+	err := fmt.Errorf("context: %w", &DeadRankError{Rank: 3})
+	if !errors.Is(err, ErrPeerDead) {
+		t.Fatalf("errors.Is(err, ErrPeerDead) = false for %v", err)
+	}
+	if IsTransient(err) {
+		t.Fatalf("dead-rank error must not be transient")
+	}
+}
+
+func TestDeadRanksWalksJoinedTrees(t *testing.T) {
+	err := errors.Join(
+		fmt.Errorf("rank 0 failed: %w", &DeadRankError{Rank: 2}),
+		fmt.Errorf("rank 1 failed: %w", errors.Join(
+			fmt.Errorf("halo: %w", &DeadRankError{Rank: 2}),
+			fmt.Errorf("gather: %w", &DeadRankError{Rank: 3}),
+		)),
+		errors.New("rank 3 failed: unrelated"),
+	)
+	got := DeadRanks(err)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("DeadRanks = %v, want [2 3]", got)
+	}
+	if DeadRanks(nil) != nil {
+		t.Fatalf("DeadRanks(nil) != nil")
+	}
+	if got := DeadRanks(errors.New("no deaths here")); len(got) != 0 {
+		t.Fatalf("DeadRanks(plain) = %v, want empty", got)
+	}
+}
+
+func TestProberKeepsRankAliveUntilStopped(t *testing.T) {
+	h, err := NewHealth(2, testHeartbeat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := h.StartProber(1)
+	time.Sleep(2 * h.Options().DeadAfter)
+	if !h.Alive(1) {
+		t.Fatalf("rank 1 declared dead while its prober runs")
+	}
+	stop()
+	stop() // idempotent
+	time.Sleep(2 * h.Options().DeadAfter)
+	if h.Alive(1) {
+		t.Fatalf("rank 1 still alive %v after its prober stopped", h.SinceBeat(1))
+	}
+}
+
+// TestMonitoredRecvDetectsSilentPeer is the core detection path: a
+// receive from a peer that has stopped heartbeating must come back as a
+// permanent DeadRankError naming the peer, not as a retryable timeout.
+func TestMonitoredRecvDetectsSilentPeer(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	h, err := NewHealth(2, testHeartbeat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep0 := WithHeartbeat(f.Endpoint(0), h)
+	// Rank 1 beat once at board creation, then fell silent (no prober,
+	// no operations): the dead process.
+	time.Sleep(2 * h.Options().DeadAfter)
+
+	_, err = ep0.RecvDeadline(1, 7, time.Millisecond)
+	var dre *DeadRankError
+	if !errors.As(err, &dre) || dre.Rank != 1 {
+		t.Fatalf("RecvDeadline = %v, want DeadRankError{Rank: 1}", err)
+	}
+	if !errors.Is(err, ErrPeerDead) {
+		t.Fatalf("verdict does not wrap ErrPeerDead: %v", err)
+	}
+
+	// The blocking Recv self-protects the same way instead of hanging.
+	_, err = ep0.Recv(1, 7)
+	if !errors.As(err, &dre) || dre.Rank != 1 {
+		t.Fatalf("Recv = %v, want DeadRankError{Rank: 1}", err)
+	}
+}
+
+// TestMonitoredTimeoutFromLivePeerStaysTransient: a slow-but-beating
+// peer must yield retryable timeouts, never a death verdict.
+func TestMonitoredTimeoutFromLivePeerStaysTransient(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	h, err := NewHealth(2, testHeartbeat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep0 := WithHeartbeat(f.Endpoint(0), h)
+	stop := h.StartProber(1) // rank 1 is alive, just not sending
+	defer stop()
+
+	_, err = ep0.RecvDeadline(1, 7, 2*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("RecvDeadline = %v, want timeout", err)
+	}
+	if errors.Is(err, ErrPeerDead) {
+		t.Fatalf("live peer declared dead: %v", err)
+	}
+}
+
+// TestMonitoredUnderResilienceEscalatesDeath: stacked as used in
+// production (heartbeat below resilience), the retry loop must NOT
+// retry a death verdict away — it escapes immediately.
+func TestMonitoredUnderResilienceEscalatesDeath(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	h, err := NewHealth(2, testHeartbeat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Resilience{
+		MaxRetries: 1000, BaseBackoff: time.Microsecond,
+		MaxBackoff: 10 * time.Microsecond, OpTimeout: 2 * time.Millisecond,
+		Sleep: noSleep,
+	}
+	ep0 := WithResilience(WithHeartbeat(f.Endpoint(0), h), res)
+	time.Sleep(2 * h.Options().DeadAfter) // rank 1 silent past the deadline
+
+	start := time.Now()
+	_, err = ep0.Recv(1, 7)
+	if !errors.Is(err, ErrPeerDead) {
+		t.Fatalf("resilient recv = %v, want ErrPeerDead", err)
+	}
+	// With a 1000-attempt retry budget, only an immediate escape
+	// finishes this fast.
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("death verdict took %v to escape the retry loop", elapsed)
+	}
+}
+
+func TestClassifyPassesThroughOtherErrors(t *testing.T) {
+	h, err := NewHealth(2, testHeartbeat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("unrelated")
+	if got := h.Classify(1, sentinel); got != sentinel {
+		t.Fatalf("Classify rewrote a non-timeout error: %v", got)
+	}
+	if got := h.Classify(1, nil); got != nil {
+		t.Fatalf("Classify(nil) = %v", got)
+	}
+}
+
+// exchangePair builds a reliable ping-pong pair, optionally with the
+// heartbeat layer, plus an echo goroutine on rank 1.
+func exchangePair(monitored bool, res Resilience) (ep Comm, cleanup func(), err error) {
+	f := NewFabric(2)
+	e0, e1 := f.Endpoint(0), f.Endpoint(1)
+	if monitored {
+		h, err := NewHealth(2, DefaultHeartbeat())
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		e0, e1 = WithHeartbeat(e0, h), WithHeartbeat(e1, h)
+	}
+	r0, r1 := WithResilience(e0, res), WithResilience(e1, res)
+	go func() {
+		for {
+			data, err := r1.Recv(0, 1)
+			if err != nil {
+				return
+			}
+			if r1.Send(0, 1, data) != nil {
+				return
+			}
+		}
+	}()
+	return r0, f.Close, nil
+}
+
+// TestHeartbeatAddsNoAllocations is the fault-free overhead acceptance
+// check: on the steady-state exchange hot path, the heartbeat layer
+// must add zero allocations over the bare resilience stack (a beat is
+// one atomic store).
+func TestHeartbeatAddsNoAllocations(t *testing.T) {
+	res := testResilience()
+	payload := make([]float64, 512)
+
+	measure := func(monitored bool) float64 {
+		ep, cleanup, err := exchangePair(monitored, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cleanup()
+		return testing.AllocsPerRun(200, func() {
+			if err := ep.Send(1, 1, payload); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ep.Recv(1, 1); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	base := measure(false)
+	monitored := measure(true)
+	// The echo goroutine's allocations land in both measurements;
+	// tolerate sub-allocation scheduling noise, nothing more.
+	if monitored > base+0.5 {
+		t.Fatalf("heartbeat layer added allocations: %.1f/op monitored vs %.1f/op bare", monitored, base)
+	}
+	t.Logf("allocs/op: bare %.1f, monitored %.1f", base, monitored)
+}
+
+func benchmarkExchange(b *testing.B, monitored bool) {
+	res := Resilience{
+		MaxRetries: 3, BaseBackoff: 10 * time.Microsecond,
+		MaxBackoff: time.Millisecond, OpTimeout: time.Second,
+	}
+	ep, cleanup, err := exchangePair(monitored, res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cleanup()
+	payload := make([]float64, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ep.Send(1, 1, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ep.Recv(1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCommReliableExchange is the steady-state resilient exchange
+// baseline.
+func BenchmarkCommReliableExchange(b *testing.B) { benchmarkExchange(b, false) }
+
+// BenchmarkCommMonitoredExchange is the same exchange with the
+// heartbeat failure detector stacked below the resilience layer;
+// compare allocs/op against BenchmarkCommReliableExchange.
+func BenchmarkCommMonitoredExchange(b *testing.B) { benchmarkExchange(b, true) }

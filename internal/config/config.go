@@ -73,6 +73,53 @@ func (r Resilience) Build() (comm.Resilience, error) {
 	return res, nil
 }
 
+// Recovery exposes the failure-model knobs declaratively: the
+// heartbeat failure detector, coordinated checkpointing, and the
+// rank-death budget. Durations are integral milliseconds so
+// configurations stay plain JSON numbers; zero knobs inherit
+// comm.DefaultHeartbeat.
+type Recovery struct {
+	// HeartbeatIntervalMS is the idle prober's beat period, in
+	// milliseconds.
+	HeartbeatIntervalMS int `json:"heartbeat_interval_ms,omitempty"`
+	// HeartbeatDeadAfterMS is the silence threshold after which a peer
+	// is declared permanently dead, in milliseconds. Must stay at least
+	// twice the interval.
+	HeartbeatDeadAfterMS int `json:"heartbeat_dead_after_ms,omitempty"`
+	// CheckpointInterval takes a coordinated checkpoint every this many
+	// phases; zero disables checkpointing, so a node death restarts the
+	// run from phase zero.
+	CheckpointInterval int `json:"checkpoint_interval,omitempty"`
+	// MaxRankFailures bounds how many node deaths a run may survive;
+	// zero means unlimited (any death count leaving at least one
+	// survivor).
+	MaxRankFailures int `json:"max_rank_failures,omitempty"`
+}
+
+// BuildHeartbeat maps the declarative knobs onto validated
+// comm.HeartbeatOptions.
+func (r Recovery) BuildHeartbeat() (comm.HeartbeatOptions, error) {
+	hb := comm.DefaultHeartbeat()
+	if r.HeartbeatIntervalMS != 0 {
+		hb.Interval = time.Duration(r.HeartbeatIntervalMS) * time.Millisecond
+	}
+	if r.HeartbeatDeadAfterMS != 0 {
+		hb.DeadAfter = time.Duration(r.HeartbeatDeadAfterMS) * time.Millisecond
+	}
+	if err := hb.Validate(); err != nil {
+		return comm.HeartbeatOptions{}, fmt.Errorf("config: %w", err)
+	}
+	return hb, nil
+}
+
+// NodeDeath schedules a permanent node death in a simulated run.
+type NodeDeath struct {
+	// Node is the dying node's index.
+	Node int `json:"node"`
+	// Phase is the 0-based phase at whose start the node dies.
+	Phase int `json:"phase"`
+}
+
 // Experiment is one clustersim run.
 type Experiment struct {
 	Nodes       int        `json:"nodes"`
@@ -87,6 +134,12 @@ type Experiment struct {
 	// into vcluster runs; each lost exchange is retried and charged to
 	// the phase. Must be in [0, 1).
 	ExchangeFailureRate float64 `json:"exchange_failure_rate,omitempty"`
+	// Recovery configures the failure detector, checkpointing, and the
+	// death budget.
+	Recovery Recovery `json:"recovery,omitempty"`
+	// NodeDeaths schedules permanent node deaths the run must survive
+	// by shrinking onto the survivors.
+	NodeDeaths []NodeDeath `json:"node_deaths,omitempty"`
 }
 
 // Default fills unset fields with the paper's values.
@@ -178,7 +231,40 @@ func (e *Experiment) Validate() error {
 	if _, err := e.Resilience.Build(); err != nil {
 		return err
 	}
+	if _, err := e.Recovery.BuildHeartbeat(); err != nil {
+		return err
+	}
+	if e.Recovery.CheckpointInterval < 0 {
+		return fmt.Errorf("config: checkpoint_interval %d negative", e.Recovery.CheckpointInterval)
+	}
+	if e.Recovery.MaxRankFailures < 0 {
+		return fmt.Errorf("config: max_rank_failures %d negative", e.Recovery.MaxRankFailures)
+	}
+	if len(e.NodeDeaths) >= e.Nodes {
+		return fmt.Errorf("config: %d node deaths leave no survivors among %d nodes", len(e.NodeDeaths), e.Nodes)
+	}
+	if e.Recovery.MaxRankFailures > 0 && len(e.NodeDeaths) > e.Recovery.MaxRankFailures {
+		return fmt.Errorf("config: %d node deaths exceed max_rank_failures %d", len(e.NodeDeaths), e.Recovery.MaxRankFailures)
+	}
+	dying := make(map[int]bool, len(e.NodeDeaths))
+	for _, d := range e.NodeDeaths {
+		if d.Node < 0 || d.Node >= e.Nodes {
+			return fmt.Errorf("config: death of node %d out of range [0,%d)", d.Node, e.Nodes)
+		}
+		if d.Phase < 0 || d.Phase >= e.Phases {
+			return fmt.Errorf("config: death at phase %d out of range [0,%d)", d.Phase, e.Phases)
+		}
+		if dying[d.Node] {
+			return fmt.Errorf("config: node %d dies twice", d.Node)
+		}
+		dying[d.Node] = true
+	}
 	return nil
+}
+
+// BuildHeartbeat returns the run's failure-detector settings.
+func (e *Experiment) BuildHeartbeat() (comm.HeartbeatOptions, error) {
+	return e.Recovery.BuildHeartbeat()
 }
 
 // BuildResilience returns the run's comm resilience settings and
@@ -243,6 +329,10 @@ func (e *Experiment) BuildConfig() (vcluster.Config, error) {
 	cfg.PlanePoints = e.PlanePoints
 	cfg.Seed = e.Seed
 	cfg.ExchangeFailureRate = e.ExchangeFailureRate
+	cfg.CheckpointInterval = e.Recovery.CheckpointInterval
+	for _, d := range e.NodeDeaths {
+		cfg.NodeDeaths = append(cfg.NodeDeaths, vcluster.NodeDeath{Node: d.Node, Phase: d.Phase})
+	}
 	return cfg, nil
 }
 

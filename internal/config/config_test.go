@@ -110,11 +110,60 @@ func TestRejections(t *testing.T) {
 		`{"exchange_failure_rate":1.5}`,
 		`{"exchange_failure_rate":-0.2}`,
 		`{"exchange_failure_rate":1}`,
+		`{"recovery":{"heartbeat_interval_ms":-5}}`,
+		`{"recovery":{"heartbeat_interval_ms":100,"heartbeat_dead_after_ms":150}}`,
+		`{"recovery":{"checkpoint_interval":-1}}`,
+		`{"recovery":{"max_rank_failures":-1}}`,
+		`{"nodes":3,"node_deaths":[{"node":3,"phase":1}]}`,
+		`{"nodes":3,"phases":10,"node_deaths":[{"node":1,"phase":10}]}`,
+		`{"nodes":3,"node_deaths":[{"node":1,"phase":1},{"node":1,"phase":2}]}`,
+		`{"nodes":2,"node_deaths":[{"node":0,"phase":1},{"node":1,"phase":2}]}`,
+		`{"recovery":{"max_rank_failures":1},"node_deaths":[{"node":1,"phase":1},{"node":2,"phase":2}]}`,
 	}
 	for _, c := range cases {
 		if _, err := Read(strings.NewReader(c)); err == nil {
 			t.Errorf("%s: accepted", c)
 		}
+	}
+}
+
+func TestRecoveryKnobs(t *testing.T) {
+	e, err := Read(strings.NewReader(`{
+		"recovery": {"heartbeat_interval_ms": 20, "heartbeat_dead_after_ms": 500,
+			"checkpoint_interval": 50, "max_rank_failures": 2},
+		"node_deaths": [{"node": 9, "phase": 120}, {"node": 3, "phase": 400}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := e.BuildHeartbeat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb.Interval != 20*time.Millisecond || hb.DeadAfter != 500*time.Millisecond {
+		t.Errorf("built heartbeat %+v", hb)
+	}
+	cfg, err := e.BuildConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CheckpointInterval != 50 {
+		t.Errorf("CheckpointInterval = %d, want 50", cfg.CheckpointInterval)
+	}
+	if len(cfg.NodeDeaths) != 2 || cfg.NodeDeaths[0].Node != 9 || cfg.NodeDeaths[1].Phase != 400 {
+		t.Errorf("NodeDeaths = %+v", cfg.NodeDeaths)
+	}
+
+	// Unset knobs inherit the comm heartbeat defaults.
+	e, err = Read(strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err = e.BuildHeartbeat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def := comm.DefaultHeartbeat(); hb != def {
+		t.Errorf("default heartbeat %+v, want %+v", hb, def)
 	}
 }
 

@@ -22,6 +22,10 @@ func FuzzRead(f *testing.F) {
 		`{"workload": {"type": "spikes", "spike_seconds": 2.5, "horizon_seconds": 1000}}`,
 		`{"nodes": 8, "workload": {"type": "fixed-slow", "slow_nodes": [1, 5]}}`,
 		`{"resilience": {"enabled": true, "max_retries": 5, "base_backoff_us": 200, "op_timeout_ms": 100}}`,
+		`{"recovery": {"heartbeat_interval_ms": 20, "heartbeat_dead_after_ms": 400, "checkpoint_interval": 50}}`,
+		`{"nodes": 6, "recovery": {"checkpoint_interval": 10, "max_rank_failures": 2}, "node_deaths": [{"node": 2, "phase": 30}]}`,
+		`{"node_deaths": [{"node": -1, "phase": 3}]}`,
+		`{"recovery": {"heartbeat_interval_ms": 100, "heartbeat_dead_after_ms": 100}}`,
 		`{"nodes": -3}`,
 		`{"policy": "nonsense"}`,
 		`{"workload": {"type": "duty-cycle", "node": -1}}`,
@@ -51,6 +55,9 @@ func FuzzRead(f *testing.F) {
 		}
 		if _, _, err := e.BuildResilience(); err != nil {
 			t.Fatalf("accepted experiment fails BuildResilience: %v", err)
+		}
+		if _, err := e.BuildHeartbeat(); err != nil {
+			t.Fatalf("accepted experiment fails BuildHeartbeat: %v", err)
 		}
 		out, err := json.Marshal(e)
 		if err != nil {

@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"microslip/internal/balance"
+	"microslip/internal/comm"
+	"microslip/internal/faultinject"
+	"microslip/internal/lbm"
+	"microslip/internal/parlbm"
+)
+
+// Kill-chaos harness: the full parallel pipeline under seeded
+// *permanent* rank kills. Where RunChaos proves the resilience layer
+// masks transient faults, RunKillChaos proves the recovery stack —
+// heartbeat failure detection, coordinated checkpoints, and
+// shrink-to-survivors restart — turns a dead rank from a run-ending
+// event into a replayed interval: the survivors detect the silence,
+// restore the last committed checkpoint, re-decompose, and finish with
+// final fields bit-identical to the sequential solver.
+
+// KillChaosSetup configures a kill-chaos sweep.
+type KillChaosSetup struct {
+	// NX, NY, NZ is the (reduced) lattice.
+	NX, NY, NZ int
+	// Phases per run.
+	Phases int
+	// Ranks in the initial communicator group.
+	Ranks int
+	// Seeds are the kill-schedule seeds, one run per seed.
+	Seeds []int64
+	// Victims is the number of ranks each schedule kills permanently.
+	Victims int
+	// CheckpointInterval is the coordinated-checkpoint period in
+	// phases; kills are scheduled after the first interval so recovery
+	// always restores a committed checkpoint.
+	CheckpointInterval int
+	// MaxFailures bounds tolerated rank deaths; give it headroom above
+	// Victims — a heavily loaded machine can starve a live rank past
+	// the heartbeat deadline, and the spurious extra death costs one
+	// more restart, never a wrong result.
+	MaxFailures int
+	// Resilience configures the retry layer.
+	Resilience comm.Resilience
+	// Heartbeat configures the failure detector.
+	Heartbeat comm.HeartbeatOptions
+}
+
+// DefaultKillChaos returns a setup that kills one rank of four per
+// seed and finishes the sweep in a few seconds. The retry budget
+// (MaxRetries x OpTimeout) deliberately exceeds the heartbeat deadline,
+// so a survivor blocked on a dead peer always reaches the detector's
+// verdict before exhausting retries.
+func DefaultKillChaos() KillChaosSetup {
+	return KillChaosSetup{
+		NX: 12, NY: 6, NZ: 4,
+		Phases:             16,
+		Ranks:              4,
+		Seeds:              []int64{1, 2, 3},
+		Victims:            1,
+		CheckpointInterval: 5,
+		MaxFailures:        2,
+		Resilience: comm.Resilience{
+			MaxRetries:  40,
+			BaseBackoff: 50 * time.Microsecond,
+			MaxBackoff:  2 * time.Millisecond,
+			OpTimeout:   50 * time.Millisecond,
+		},
+		Heartbeat: comm.HeartbeatOptions{
+			Interval:  5 * time.Millisecond,
+			DeadAfter: 250 * time.Millisecond,
+		},
+	}
+}
+
+// KillChaosRun is one seeded run's outcome.
+type KillChaosRun struct {
+	Seed int64
+	// Attempts is the number of group launches (victims + 1 when every
+	// death costs exactly one restart).
+	Attempts int
+	// Dead lists the original ranks declared permanently dead.
+	Dead []int
+	// ResumePhases lists the committed phase each restart resumed from.
+	ResumePhases []int
+	// Injected tallies the faults fired across all attempts.
+	Injected faultinject.Counters
+	// PhasesChecked counts invariant-verified phases of the final
+	// (successful) attempt.
+	PhasesChecked int
+	// BitIdentical reports whether the recovered run's gathered fields
+	// matched the sequential reference exactly.
+	BitIdentical bool
+}
+
+// KillChaosResult is the sweep outcome.
+type KillChaosResult struct {
+	Setup KillChaosSetup
+	Runs  []KillChaosRun
+}
+
+// AllRecovered reports whether every run survived its kills and stayed
+// bit-identical to the sequential reference.
+func (r *KillChaosResult) AllRecovered() bool {
+	for _, run := range r.Runs {
+		if !run.BitIdentical || run.Attempts < 2 {
+			return false
+		}
+	}
+	return len(r.Runs) > 0
+}
+
+// String renders the sweep as a table.
+func (r *KillChaosResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%6s %9s %12s %14s %8s %10s\n",
+		"seed", "attempts", "dead ranks", "resume phases", "checked", "identical")
+	for _, run := range r.Runs {
+		fmt.Fprintf(&sb, "%6d %9d %12v %14v %8d %10v\n",
+			run.Seed, run.Attempts, run.Dead, run.ResumePhases,
+			run.PhasesChecked, run.BitIdentical)
+	}
+	return sb.String()
+}
+
+func addCounters(sum *faultinject.Counters, c faultinject.Counters) {
+	sum.Drops += c.Drops
+	sum.Delays += c.Delays
+	sum.Duplicates += c.Duplicates
+	sum.Reorders += c.Reorders
+	sum.Corrupts += c.Corrupts
+	sum.Kills += c.Kills
+	sum.PermKills += c.PermKills
+}
+
+// RunKillChaos executes the sweep: for every seed, a recoverable
+// parallel run under that seed's permanent-kill schedule, invariants
+// checked after every phase of the surviving attempt, and the recovered
+// result compared bit for bit against the sequential reference.
+func RunKillChaos(setup KillChaosSetup) (*KillChaosResult, error) {
+	if setup.Ranks < 2 {
+		return nil, fmt.Errorf("killchaos: need >= 2 ranks, got %d", setup.Ranks)
+	}
+	if setup.NX < setup.Ranks {
+		return nil, fmt.Errorf("killchaos: %d planes cannot cover %d ranks", setup.NX, setup.Ranks)
+	}
+	if setup.Victims < 1 || setup.Victims >= setup.Ranks {
+		return nil, fmt.Errorf("killchaos: %d victims of %d ranks", setup.Victims, setup.Ranks)
+	}
+	if setup.CheckpointInterval < 1 || setup.CheckpointInterval+1 >= setup.Phases {
+		return nil, fmt.Errorf("killchaos: checkpoint interval %d does not fit %d phases", setup.CheckpointInterval, setup.Phases)
+	}
+	p := lbm.WaterAir(setup.NX, setup.NY, setup.NZ)
+	ref, err := lbm.NewSim(p)
+	if err != nil {
+		return nil, err
+	}
+	ref.Run(setup.Phases)
+
+	// Filtered remapping stays on so checkpoints and recovery cope with
+	// ownership maps that changed mid-run (see RunChaos).
+	pol := balance.NewFiltered(setup.NY * setup.NZ)
+	pol.Cfg.Interval = 10
+	pol.Cfg.MinKeepPlanes = 1
+	pol.Cfg.ThresholdPoints = setup.NY * setup.NZ
+
+	res := &KillChaosResult{Setup: setup}
+	for _, seed := range setup.Seeds {
+		run, err := runKillChaosOnce(p, setup, pol, ref, seed)
+		if err != nil {
+			return nil, fmt.Errorf("killchaos: seed %d: %w", seed, err)
+		}
+		res.Runs = append(res.Runs, *run)
+	}
+	return res, nil
+}
+
+func runKillChaosOnce(p *lbm.Params, setup KillChaosSetup, pol balance.Policy, ref *lbm.Sim, seed int64) (*KillChaosRun, error) {
+	dir, err := os.MkdirTemp("", fmt.Sprintf("killchaos-seed%d-", seed))
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Kills are keyed by ORIGINAL rank and scheduled strictly after the
+	// first checkpoint interval, so every recovery restores a committed
+	// phase instead of restarting from scratch.
+	base := faultinject.KillSchedule(seed, setup.Ranks, setup.Phases, setup.Victims, setup.CheckpointInterval+1)
+
+	// Per-attempt state, swapped by Wrap before each attempt's rank
+	// goroutines start (attempts are sequential, so plain variables are
+	// safely published to them).
+	var (
+		curInj     *faultinject.Injector
+		curTracker *invariantTracker
+		injected   faultinject.Counters
+	)
+	wrap := func(attempt int, members []int, eps []comm.Comm) []comm.Comm {
+		if curInj != nil {
+			addCounters(&injected, curInj.Counters())
+		}
+		// Remap surviving members' rules onto their attempt slots and
+		// drop rules for dead members: a dead rank cannot be killed
+		// twice, and its leftover rule must not re-fire on whoever
+		// inherited the slot.
+		slotOf := make(map[int]int, len(members))
+		for slot, id := range members {
+			slotOf[id] = slot
+		}
+		var rules []faultinject.Rule
+		for _, r := range base.Rules {
+			slot, ok := slotOf[r.Rank]
+			if !ok {
+				continue
+			}
+			r.Rank = slot
+			rules = append(rules, r)
+		}
+		curInj = faultinject.Wrap(eps, faultinject.Schedule{Seed: base.Seed, Rules: rules})
+		curTracker = newInvariantTracker(len(members), setup.NX)
+		return curInj.Endpoints()
+	}
+
+	opts := parlbm.Options{
+		Phases: setup.Phases,
+		Policy: pol,
+		// Slot 0 reports double cost per plane so remapping acts.
+		PhaseTime: func(rank, planes, phase int) float64 {
+			t := float64(planes)
+			if rank == 0 {
+				t *= 2
+			}
+			return t
+		},
+		PhaseHook: func(rank, phase int) { curInj.SetPhase(rank, phase) },
+		PostPhase: func(rank, phase, planes int, mass []float64) error {
+			return curTracker.hook(rank, phase, planes, mass)
+		},
+	}
+	rec := parlbm.RecoveryOptions{
+		Ranks: setup.Ranks, Dir: dir,
+		Interval: setup.CheckpointInterval, MaxFailures: setup.MaxFailures,
+		Resilience: setup.Resilience, Heartbeat: setup.Heartbeat,
+		Wrap: wrap,
+	}
+	final, _, report, err := parlbm.RunRecoverable(p, opts, rec)
+	if err != nil {
+		return nil, err
+	}
+	if curTracker.firstErr != nil {
+		return nil, curTracker.firstErr
+	}
+	addCounters(&injected, curInj.Counters())
+
+	run := &KillChaosRun{
+		Seed: seed, Attempts: report.Attempts, Dead: report.Dead,
+		Injected: injected, PhasesChecked: curTracker.checked,
+	}
+	for _, ev := range report.Restarts {
+		run.ResumePhases = append(run.ResumePhases, ev.ResumePhase)
+	}
+	run.BitIdentical = true
+	for c := 0; c < p.NComp() && run.BitIdentical; c++ {
+		for x := 0; x < p.NX && run.BitIdentical; x++ {
+			want := ref.Plane(c, x)
+			got := final[c].Plane(x)
+			for i := range want {
+				if got[i] != want[i] {
+					run.BitIdentical = false
+					break
+				}
+			}
+		}
+	}
+	return run, nil
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestKillChaosRecoversBitIdentical is the acceptance test for the
+// rank-failure tolerance stack: over several seeds, a permanent-kill
+// schedule must not abort the run — survivors detect the death, restore
+// the last committed coordinated checkpoint, re-decompose onto the
+// shrunken group, and finish bit-identical to the sequential solver.
+func TestKillChaosRecoversBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill-chaos sweep skipped in -short mode")
+	}
+	setup := DefaultKillChaos()
+	res, err := RunKillChaos(setup)
+	if err != nil {
+		t.Fatalf("RunKillChaos: %v", err)
+	}
+	t.Logf("kill-chaos sweep:\n%s", res)
+	if len(res.Runs) != len(setup.Seeds) {
+		t.Fatalf("got %d runs, want %d", len(res.Runs), len(setup.Seeds))
+	}
+	for _, run := range res.Runs {
+		if !run.BitIdentical {
+			t.Errorf("seed %d: recovered fields differ from the sequential reference", run.Seed)
+		}
+		if run.Attempts < 2 {
+			t.Errorf("seed %d: %d attempts — no recovery was exercised", run.Seed, run.Attempts)
+		}
+		if run.Injected.PermKills < int64(setup.Victims) {
+			t.Errorf("seed %d: %d permanent kills fired, want >= %d", run.Seed, run.Injected.PermKills, setup.Victims)
+		}
+		// DefaultKillChaos allows MaxFailures > Victims: a loaded CI
+		// machine can starve a live rank past the heartbeat deadline,
+		// which costs a spurious extra restart but never correctness. So
+		// the death list must contain at least the scheduled victims.
+		if len(run.Dead) < setup.Victims {
+			t.Errorf("seed %d: dead set %v smaller than %d scheduled victims", run.Seed, run.Dead, setup.Victims)
+		}
+		// Kills land after the first checkpoint interval, so at least
+		// the first restart must restore a committed phase, not restart
+		// from scratch.
+		if len(run.ResumePhases) == 0 || run.ResumePhases[0] < setup.CheckpointInterval {
+			t.Errorf("seed %d: resume phases %v — first restart did not restore a committed checkpoint (interval %d)",
+				run.Seed, run.ResumePhases, setup.CheckpointInterval)
+		}
+		if run.PhasesChecked == 0 {
+			t.Errorf("seed %d: no phases invariant-checked on the surviving attempt", run.Seed)
+		}
+	}
+	if !res.AllRecovered() {
+		t.Errorf("AllRecovered() = false")
+	}
+}
+
+// TestKillChaosSetupValidation exercises the harness's input checks.
+func TestKillChaosSetupValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*KillChaosSetup)
+	}{
+		{"too few ranks", func(s *KillChaosSetup) { s.Ranks = 1 }},
+		{"lattice too small", func(s *KillChaosSetup) { s.NX = 2 }},
+		{"all ranks victims", func(s *KillChaosSetup) { s.Victims = s.Ranks }},
+		{"interval too large", func(s *KillChaosSetup) { s.CheckpointInterval = s.Phases }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			setup := DefaultKillChaos()
+			tc.mutate(&setup)
+			if _, err := RunKillChaos(setup); err == nil {
+				t.Fatalf("RunKillChaos accepted invalid setup")
+			}
+		})
+	}
+}

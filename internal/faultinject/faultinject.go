@@ -54,6 +54,13 @@ const (
 	// transient error while the rule has firings left, then the
 	// endpoint revives.
 	Kill
+	// KillPermanent kills the endpoint for good: from the first firing
+	// on, every operation fails with an error wrapping a
+	// comm.DeadRankError naming the endpoint's own rank — the process
+	// is gone and never revives. The error is NOT transient: no retry
+	// budget masks it, only membership recovery
+	// (parlbm.RunRecoverable) does.
+	KillPermanent
 )
 
 // String names the action.
@@ -71,6 +78,8 @@ func (a Action) String() string {
 		return "corrupt"
 	case Kill:
 		return "kill"
+	case KillPermanent:
+		return "kill-permanent"
 	}
 	return fmt.Sprintf("action(%d)", int(a))
 }
@@ -111,7 +120,7 @@ func (r Rule) matches(rank, peer, tag, phase int) bool {
 	if r.Peer != Any && r.Peer != peer {
 		return false
 	}
-	if r.Tag != Any && r.Tag != tag && r.Action != Kill {
+	if r.Tag != Any && r.Tag != tag && r.Action != Kill && r.Action != KillPermanent {
 		return false
 	}
 	if phase < r.PhaseFrom {
@@ -132,15 +141,18 @@ type Schedule struct {
 // Counters tallies injected faults by action, across all endpoints.
 type Counters struct {
 	Drops, Delays, Duplicates, Reorders, Corrupts, Kills int64
+	// PermKills counts permanent rank deaths (one per killed endpoint,
+	// not per refused operation).
+	PermKills int64
 }
 
 // Total is the number of injected fault events.
 func (c Counters) Total() int64 {
-	return c.Drops + c.Delays + c.Duplicates + c.Reorders + c.Corrupts + c.Kills
+	return c.Drops + c.Delays + c.Duplicates + c.Reorders + c.Corrupts + c.Kills + c.PermKills
 }
 
 type counterCells struct {
-	drops, delays, duplicates, reorders, corrupts, kills atomic.Int64
+	drops, delays, duplicates, reorders, corrupts, kills, permKills atomic.Int64
 }
 
 // Injector owns the wrapped endpoints of one group.
@@ -195,6 +207,7 @@ func (in *Injector) Counters() Counters {
 		Reorders:   in.cells.reorders.Load(),
 		Corrupts:   in.cells.corrupts.Load(),
 		Kills:      in.cells.kills.Load(),
+		PermKills:  in.cells.permKills.Load(),
 	}
 }
 
@@ -212,6 +225,8 @@ func (in *Injector) count(a Action) {
 		in.cells.corrupts.Add(1)
 	case Kill:
 		in.cells.kills.Add(1)
+	case KillPermanent:
+		in.cells.permKills.Add(1)
 	}
 }
 
@@ -237,6 +252,7 @@ type Endpoint struct {
 	rules []ruleState
 	phase int
 	held  []heldMsg // reordered messages awaiting release
+	dead  bool      // a KillPermanent rule fired; no operation ever succeeds again
 }
 
 var _ comm.Comm = (*Endpoint)(nil)
@@ -263,9 +279,9 @@ func (e *Endpoint) pick(peer, tag int, sendSide bool) *ruleState {
 		if rs.spent() || !rs.matches(e.Rank(), peer, tag, e.phase) {
 			continue
 		}
-		// Recv-side faults: only Kill and Delay make sense on a
+		// Recv-side faults: only the kills and Delay make sense on a
 		// receive; message-mangling actions are send-side.
-		if !sendSide && rs.Action != Kill && rs.Action != Delay {
+		if !sendSide && rs.Action != Kill && rs.Action != KillPermanent && rs.Action != Delay {
 			continue
 		}
 		if rs.Prob > 0 && rs.Prob < 1 && e.rng.Float64() >= rs.Prob {
@@ -273,6 +289,9 @@ func (e *Endpoint) pick(peer, tag int, sendSide bool) *ruleState {
 		}
 		rs.fired++
 		e.inj.count(rs.Action)
+		if rs.Action == KillPermanent {
+			e.dead = true
+		}
 		return rs
 	}
 	return nil
@@ -294,9 +313,23 @@ func transientf(format string, args ...any) error {
 	return fmt.Errorf(format+": %w", append(args, comm.ErrTransient)...)
 }
 
+// deadErr is a permanently killed endpoint's refusal: it wraps a
+// DeadRankError naming the endpoint itself, so recovery machinery
+// upstream reads the victim straight off the error chain.
+func (e *Endpoint) deadErr() error {
+	return fmt.Errorf("faultinject: rank %d killed (phase %d): %w",
+		e.Rank(), e.phase, &comm.DeadRankError{Rank: e.Rank()})
+}
+
 // Send applies send-side fault rules, then forwards to the transport.
 func (e *Endpoint) Send(to, tag int, data []float64) error {
+	if e.dead {
+		return e.deadErr()
+	}
 	rs := e.pick(to, tag, true)
+	if rs != nil && rs.Action == KillPermanent {
+		return e.deadErr()
+	}
 	if rs == nil {
 		err := e.inner.Send(to, tag, data)
 		e.flushHeld()
@@ -340,11 +373,16 @@ func (e *Endpoint) Send(to, tag int, data []float64) error {
 // Recv applies recv-side fault rules (Kill, Delay), releases held
 // messages for liveness, and forwards.
 func (e *Endpoint) Recv(from, tag int) ([]float64, error) {
+	if e.dead {
+		return nil, e.deadErr()
+	}
 	e.flushHeld()
 	if rs := e.pick(from, tag, false); rs != nil {
 		switch rs.Action {
 		case Kill:
 			return nil, transientf("faultinject: rank %d down (phase %d)", e.Rank(), e.phase)
+		case KillPermanent:
+			return nil, e.deadErr()
 		case Delay:
 			d := rs.Sleep
 			if d <= 0 {
@@ -359,11 +397,16 @@ func (e *Endpoint) Recv(from, tag int) ([]float64, error) {
 // RecvDeadline forwards the deadline capability with the same fault
 // checks as Recv.
 func (e *Endpoint) RecvDeadline(from, tag int, timeout time.Duration) ([]float64, error) {
+	if e.dead {
+		return nil, e.deadErr()
+	}
 	e.flushHeld()
 	if rs := e.pick(from, tag, false); rs != nil {
 		switch rs.Action {
 		case Kill:
 			return nil, transientf("faultinject: rank %d down (phase %d)", e.Rank(), e.phase)
+		case KillPermanent:
+			return nil, e.deadErr()
 		case Delay:
 			d := rs.Sleep
 			if d <= 0 {
@@ -386,12 +429,18 @@ func (e *Endpoint) SendRecv(to int, send []float64, from, tag int) ([]float64, e
 // injected only when a resilience wrapper above re-expresses the
 // collective as point-to-point sends (comm.WithResilience does).
 func (e *Endpoint) Barrier() error {
+	if e.dead {
+		return e.deadErr()
+	}
 	e.flushHeld()
 	return e.inner.Barrier()
 }
 
 // AllGather releases held messages and delegates (see Barrier).
 func (e *Endpoint) AllGather(local []float64) ([][]float64, error) {
+	if e.dead {
+		return nil, e.deadErr()
+	}
 	e.flushHeld()
 	return e.inner.AllGather(local)
 }

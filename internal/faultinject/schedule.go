@@ -42,3 +42,34 @@ func ChaosSchedule(seed int64, ranks, phases int) Schedule {
 	}
 	return Schedule{Seed: seed, Rules: rules}
 }
+
+// KillSchedule builds a seeded permanent-kill plan: `victims` distinct
+// ranks die for good at random phases in [minPhase, phases), at most
+// ranks-1 so at least one survivor remains. Pick minPhase above the
+// run's checkpoint interval and every kill is guaranteed to land after
+// the first committed coordinated checkpoint, so recovery always
+// exercises a genuine restore rather than a from-scratch restart.
+func KillSchedule(seed int64, ranks, phases, victims, minPhase int) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	if victims > ranks-1 {
+		victims = ranks - 1
+	}
+	if minPhase < 0 {
+		minPhase = 0
+	}
+	if minPhase >= phases {
+		minPhase = phases - 1
+	}
+	perm := rng.Perm(ranks)
+	rules := make([]Rule, 0, victims)
+	for i := 0; i < victims; i++ {
+		rules = append(rules, Rule{
+			Action:    KillPermanent,
+			Rank:      perm[i],
+			Peer:      Any,
+			Tag:       Any,
+			PhaseFrom: minPhase + rng.Intn(phases-minPhase),
+		})
+	}
+	return Schedule{Seed: seed, Rules: rules}
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"microslip/internal/balance"
+	"microslip/internal/checkpoint"
 	"microslip/internal/comm"
 	"microslip/internal/decomp"
 	"microslip/internal/field"
@@ -63,6 +64,27 @@ type Options struct {
 	// chaos harness (global mass conservation, lattice-plane
 	// conservation) and costs nothing when unset.
 	PostPhase func(rank, phase, planes int, mass []float64) error
+	// Checkpoint, when non-nil, enables coordinated distributed
+	// checkpointing (and, with a Snapshot, resuming).
+	Checkpoint *CheckpointSpec
+}
+
+// CheckpointSpec configures coordinated checkpointing of a parallel
+// run. All ranks of a group must use an identical spec.
+type CheckpointSpec struct {
+	// Dir is the checkpoint directory shared by all ranks.
+	Dir string
+	// Interval is the number of phases between coordinated checkpoints.
+	Interval int
+	// Keep is how many committed checkpoint sets to retain (rank 0
+	// prunes after each commit); values below 1 mean 2.
+	Keep int
+	// Snapshot, when non-nil, resumes the run from a committed
+	// coordinated checkpoint instead of the equilibrium initial state:
+	// every rank takes its even share of the snapshot's planes — the
+	// group size may differ from the writer's (shrink-to-survivors) —
+	// and the phase loop starts at Snapshot.Phase.
+	Snapshot *checkpoint.RunSnapshot
 }
 
 // Result is one rank's outcome.
@@ -78,6 +100,9 @@ type Result struct {
 	FinalStart, FinalCount int
 	// PlanesSent counts planes this rank migrated away.
 	PlanesSent int
+	// Checkpoints counts coordinated checkpoint rounds this rank
+	// completed; StartPhase is the phase the run (re)started from.
+	Checkpoints, StartPhase int
 	// Comm holds the rank's resilience-layer counters when the run used
 	// a comm.WithResilience endpoint; zero otherwise.
 	Comm profile.CommStats
@@ -110,6 +135,19 @@ func RunRank(p *lbm.Params, c comm.Comm, opts Options) (*Result, error) {
 	if p.NX < c.Size() {
 		return nil, fmt.Errorf("parlbm: %d planes cannot cover %d ranks", p.NX, c.Size())
 	}
+	if ck := opts.Checkpoint; ck != nil {
+		if ck.Dir == "" || ck.Interval < 1 {
+			return nil, fmt.Errorf("parlbm: checkpoint dir %q interval %d invalid", ck.Dir, ck.Interval)
+		}
+		if s := ck.Snapshot; s != nil {
+			if s.NX != p.NX || s.NComp != p.NComp() || s.PlaneSize != p.NY*p.NZ*19 {
+				return nil, fmt.Errorf("parlbm: snapshot lattice %dx%dx%d does not match params", s.NX, s.NComp, s.PlaneSize)
+			}
+			if s.Phase >= opts.Phases {
+				return nil, fmt.Errorf("parlbm: snapshot phase %d >= run phases %d", s.Phase, opts.Phases)
+			}
+		}
+	}
 	w := &worker{
 		p: p, k: lbm.NewKernel(p), c: c, opts: opts,
 		rank: c.Rank(), size: c.Size(),
@@ -127,26 +165,48 @@ func RunRank(p *lbm.Params, c comm.Comm, opts Options) (*Result, error) {
 	w.f = make([]*field.Slab, nc)
 	w.n = make([]*field.Slab, nc)
 	w.fPost = make([]*field.Slab, nc)
+	startPhase := 0
+	var snap *checkpoint.RunSnapshot
+	if opts.Checkpoint != nil && opts.Checkpoint.Snapshot != nil {
+		snap = opts.Checkpoint.Snapshot
+		startPhase = snap.Phase
+	}
 	for comp := 0; comp < nc; comp++ {
 		w.f[comp] = field.NewSlab(p.NY, p.NZ, 19, start, end-start)
 		w.fPost[comp] = field.NewSlab(p.NY, p.NZ, 19, start, end-start)
 		w.n[comp] = field.NewSlab(p.NY, p.NZ, 1, start, end-start)
 		for gx := start; gx < end; gx++ {
-			w.k.InitEquilibrium(w.f[comp].Plane(gx), p.Components[comp].InitDensity)
+			if snap != nil {
+				copy(w.f[comp].Plane(gx), snap.Plane(comp, gx))
+			} else {
+				w.k.InitEquilibrium(w.f[comp].Plane(gx), p.Components[comp].InitDensity)
+			}
 		}
 	}
+	w.res.StartPhase = startPhase
 
 	interval := 0
 	if opts.Policy != nil {
 		interval = opts.Policy.Interval()
 	}
-	for phase := 0; phase < opts.Phases; phase++ {
+	ckInterval := 0
+	if opts.Checkpoint != nil {
+		ckInterval = opts.Checkpoint.Interval
+	}
+	for phase := startPhase; phase < opts.Phases; phase++ {
 		if err := w.phase(phase); err != nil {
 			return nil, fmt.Errorf("parlbm: rank %d phase %d: %w", w.rank, phase, err)
 		}
 		if interval > 0 && (phase+1)%interval == 0 && phase+1 < opts.Phases {
 			if err := w.remap(); err != nil {
 				return nil, fmt.Errorf("parlbm: rank %d remap after phase %d: %w", w.rank, phase, err)
+			}
+		}
+		// Checkpoint after the remap so the persisted ownership map is
+		// the one the next phase runs with.
+		if ckInterval > 0 && (phase+1)%ckInterval == 0 && phase+1 < opts.Phases {
+			if err := w.checkpointPhase(phase + 1); err != nil {
+				return nil, fmt.Errorf("parlbm: rank %d checkpoint after phase %d: %w", w.rank, phase, err)
 			}
 		}
 	}

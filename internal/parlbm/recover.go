@@ -1,0 +1,264 @@
+package parlbm
+
+import (
+	"errors"
+	"fmt"
+
+	"microslip/internal/balance"
+	"microslip/internal/checkpoint"
+	"microslip/internal/comm"
+	"microslip/internal/field"
+	"microslip/internal/lbm"
+)
+
+// This file is the shrink-to-survivors recovery driver: it runs a
+// parallel simulation that outlives permanent rank death. Each attempt
+// runs the group over a fresh in-process fabric stacked as
+//
+//	fabric → (caller's fault injection) → heartbeat → resilience
+//
+// with coordinated checkpointing on. When ranks die mid-attempt —
+// killed by a fault injector, or detected dead by peers via the
+// heartbeat board — the driver gathers every dead-rank claim from the
+// per-rank error chains (deterministic membership agreement: the union
+// of claims over the linear rank array, identical no matter which
+// survivor observed what), shrinks the member set, and restarts the
+// survivors from the last committed coordinated checkpoint with the
+// lattice re-decomposed evenly across them. The LBM update is
+// deterministic, so the recovered run's final fields are bit-identical
+// to an undisturbed sequential run.
+
+// RecoveryOptions configures RunRecoverable.
+type RecoveryOptions struct {
+	// Ranks is the initial group size.
+	Ranks int
+	// Dir is the coordinated checkpoint directory. If it already holds
+	// a committed checkpoint, the first attempt resumes from it.
+	Dir string
+	// Interval is the checkpoint interval in phases; Keep is how many
+	// committed sets to retain (below 1 means 2).
+	Interval, Keep int
+	// MaxFailures bounds the total number of permanent rank deaths
+	// tolerated before the run is abandoned; values below 1 mean 1.
+	MaxFailures int
+	// Resilience configures the retry layer of every attempt.
+	Resilience comm.Resilience
+	// Heartbeat configures the failure detector of every attempt.
+	Heartbeat comm.HeartbeatOptions
+	// Wrap, when non-nil, wraps an attempt's raw fabric endpoints
+	// (fault injection goes here, below heartbeat and resilience).
+	// members[slot] is the original member id running in that slot, so
+	// schedules keyed by original rank can be remapped; rules for
+	// members no longer present must be dropped, dead ranks cannot be
+	// killed twice.
+	Wrap func(attempt int, members []int, eps []comm.Comm) []comm.Comm
+}
+
+// Validate checks the options.
+func (o *RecoveryOptions) Validate() error {
+	if o.Ranks < 1 {
+		return fmt.Errorf("parlbm: recovery over %d ranks", o.Ranks)
+	}
+	if o.Dir == "" || o.Interval < 1 {
+		return fmt.Errorf("parlbm: recovery checkpoint dir %q interval %d invalid", o.Dir, o.Interval)
+	}
+	return o.Heartbeat.Validate()
+}
+
+// RestartEvent records one shrink-and-restart round.
+type RestartEvent struct {
+	// Attempt is the 1-based attempt that died.
+	Attempt int
+	// Dead lists the original member ids newly declared dead.
+	Dead []int
+	// ResumePhase is the committed phase the next attempt restarted
+	// from (0 = from scratch, no committed checkpoint yet).
+	ResumePhase int
+	// Survivors is the member count of the next attempt.
+	Survivors int
+}
+
+// RecoveryReport summarizes a recoverable run.
+type RecoveryReport struct {
+	// Attempts is the number of group launches (1 = no failure).
+	Attempts int
+	// Dead lists every original member id declared permanently dead,
+	// sorted.
+	Dead []int
+	// Restarts records each shrink round.
+	Restarts []RestartEvent
+}
+
+// RunRecoverable runs a full parallel simulation that survives up to
+// MaxFailures permanent rank deaths, returning the gathered final
+// fields, the surviving ranks' results from the last attempt, and the
+// recovery report. A run that exhausts MaxFailures, or fails without
+// any dead-rank evidence, returns the aggregated rank errors.
+func RunRecoverable(p *lbm.Params, opts Options, rec RecoveryOptions) ([]*field.Dist3D, []*Result, *RecoveryReport, error) {
+	if err := rec.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	maxFail := rec.MaxFailures
+	if maxFail < 1 {
+		maxFail = 1
+	}
+	members := make([]int, rec.Ranks)
+	for i := range members {
+		members[i] = i
+	}
+	report := &RecoveryReport{}
+	var pendingRestart *RestartEvent
+
+	for {
+		report.Attempts++
+		// Shrink feasibility: the survivor set must still cover the
+		// lattice (balance owns the re-decomposition rule; RunRank
+		// realizes the same even split internally).
+		if _, err := balance.SurvivorPartition(p.NX, len(members)); err != nil {
+			return nil, nil, report, err
+		}
+
+		// Restore point: the newest committed coordinated checkpoint,
+		// if any. Reading it fresh each attempt means an attempt that
+		// progressed past new checkpoints before dying resumes from its
+		// own later commit, not the one it started from.
+		spec := &CheckpointSpec{Dir: rec.Dir, Interval: rec.Interval, Keep: rec.Keep}
+		resumePhase := 0
+		m, err := checkpoint.LatestCommitted(rec.Dir)
+		switch {
+		case err == nil:
+			snap, err := checkpoint.LoadRun(rec.Dir, m)
+			if err != nil {
+				return nil, nil, report, err
+			}
+			spec.Snapshot = snap
+			resumePhase = snap.Phase
+		case errors.Is(err, checkpoint.ErrNoCheckpoint):
+			// Fresh start.
+		default:
+			return nil, nil, report, err
+		}
+		if pendingRestart != nil {
+			pendingRestart.ResumePhase = resumePhase
+			report.Restarts = append(report.Restarts, *pendingRestart)
+			pendingRestart = nil
+		}
+		attemptOpts := opts
+		attemptOpts.Checkpoint = spec
+
+		results, errsByRank := runAttempt(p, attemptOpts, rec, report.Attempts-1, members)
+
+		var failures []error
+		for slot, err := range errsByRank {
+			if err != nil {
+				failures = append(failures, fmt.Errorf("parlbm: rank %d (member %d) failed: %w", slot, members[slot], err))
+			}
+		}
+		if len(failures) == 0 {
+			return results[0].Final, results, report, nil
+		}
+
+		// Membership agreement: union every dead-slot claim across all
+		// rank error chains — each claim is either a victim's own kill
+		// or a survivor's heartbeat verdict — and map slots back to
+		// original member ids.
+		newDead := deadMembers(errsByRank, members)
+		joined := errors.Join(failures...)
+		if len(newDead) == 0 {
+			return nil, nil, report, fmt.Errorf("parlbm: attempt %d failed without dead-rank evidence (not recoverable): %w", report.Attempts, joined)
+		}
+		if len(report.Dead)+len(newDead) > maxFail {
+			return nil, nil, report, fmt.Errorf("parlbm: %d rank deaths exceed max %d: %w", len(report.Dead)+len(newDead), maxFail, joined)
+		}
+
+		survivors := members[:0:0]
+		deadSet := map[int]bool{}
+		for _, d := range newDead {
+			deadSet[d] = true
+		}
+		for _, id := range members {
+			if !deadSet[id] {
+				survivors = append(survivors, id)
+			}
+		}
+		if len(survivors) == 0 {
+			return nil, nil, report, fmt.Errorf("parlbm: no survivors: %w", joined)
+		}
+		report.Dead = append(report.Dead, newDead...)
+		pendingRestart = &RestartEvent{
+			Attempt: report.Attempts, Dead: newDead, Survivors: len(survivors),
+		}
+		members = survivors
+	}
+}
+
+// runAttempt launches one group over a fresh fabric and returns the
+// per-slot results and errors. It deliberately does NOT tear the fabric
+// down when a rank fails by dying itself (its error chain claims only
+// its own slot dead): survivors must detect the silence through the
+// heartbeat board, exactly as they would a crashed process. Any
+// survivor-side failure — a heartbeat verdict about a peer, an
+// invariant violation, an exhausted retry budget — aborts the fabric so
+// the remaining ranks unblock promptly.
+func runAttempt(p *lbm.Params, opts Options, rec RecoveryOptions, attempt int, members []int) ([]*Result, []error) {
+	n := len(members)
+	health, err := comm.NewHealth(n, rec.Heartbeat)
+	if err != nil {
+		return make([]*Result, n), []error{err}
+	}
+	fabric := comm.NewFabric(n)
+	defer fabric.Close()
+	eps := fabric.Endpoints()
+	if rec.Wrap != nil {
+		eps = rec.Wrap(attempt, members, eps)
+	}
+	eps = comm.WithResilienceAll(comm.WithHeartbeatAll(eps, health), rec.Resilience)
+
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	done := make(chan int, n)
+	for r := 0; r < n; r++ {
+		go func(r int) {
+			stop := health.StartProber(r)
+			results[r], errs[r] = RunRank(p, eps[r], opts)
+			stop() // a dead rank falls silent the moment it stops running
+			if d, ok := eps[r].(comm.Drainer); ok {
+				d.Drain()
+			}
+			done <- r
+		}(r)
+	}
+	aborted := false
+	for i := 0; i < n; i++ {
+		r := <-done
+		if errs[r] == nil || aborted {
+			continue
+		}
+		if dead := comm.DeadRanks(errs[r]); len(dead) == 1 && dead[0] == r {
+			continue // pure self-death: let survivors detect it
+		}
+		aborted = true
+		fabric.Close()
+	}
+	return results, errs
+}
+
+// deadMembers unions the dead-slot claims of every rank error and maps
+// them to original member ids, sorted.
+func deadMembers(errs []error, members []int) []int {
+	seen := map[int]bool{}
+	for _, err := range errs {
+		for _, slot := range comm.DeadRanks(err) {
+			if slot >= 0 && slot < len(members) {
+				seen[members[slot]] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for _, id := range members { // members is sorted; preserves order
+		if seen[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+package parlbm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"microslip/internal/checkpoint"
+	"microslip/internal/comm"
+	"microslip/internal/faultinject"
+	"microslip/internal/lbm"
+)
+
+func testRecoveryHeartbeat() comm.HeartbeatOptions {
+	return comm.HeartbeatOptions{Interval: 5 * time.Millisecond, DeadAfter: 250 * time.Millisecond}
+}
+
+func testRecoveryResilience() comm.Resilience {
+	return comm.Resilience{
+		MaxRetries:  40,
+		BaseBackoff: 50 * time.Microsecond,
+		MaxBackoff:  2 * time.Millisecond,
+		OpTimeout:   50 * time.Millisecond,
+	}
+}
+
+// TestCheckpointedRunStaysBitIdentical: coordinated checkpointing on a
+// healthy run must not perturb the physics, and must leave a committed
+// set a later run can resume from.
+func TestCheckpointedRunStaysBitIdentical(t *testing.T) {
+	p := lbm.WaterAir(8, 6, 4)
+	const phases, ranks = 9, 3
+	want := sequentialReference(t, p, phases)
+	dir := t.TempDir()
+
+	got, results, err := RunParallel(p, ranks, Options{
+		Phases:     phases,
+		Checkpoint: &CheckpointSpec{Dir: dir, Interval: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFieldsEqual(t, want, got, "checkpointed run")
+	for _, r := range results {
+		if r.Checkpoints != 2 { // after phases 3 and 6; phase 9 is the end
+			t.Errorf("rank %d completed %d checkpoints, want 2", r.Rank, r.Checkpoints)
+		}
+	}
+	m, err := checkpoint.LatestCommitted(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Phase != 6 || m.NX != p.NX {
+		t.Fatalf("latest committed phase %d nx %d, want 6/%d", m.Phase, m.NX, p.NX)
+	}
+	if m.Params == nil || m.Params.NX != p.NX {
+		t.Fatalf("manifest params missing or wrong: %+v", m.Params)
+	}
+}
+
+// TestResumeFromSnapshotBitIdentical: a run restarted from a committed
+// coordinated checkpoint — including on a DIFFERENT group size — must
+// finish bit-identical to the straight-through run.
+func TestResumeFromSnapshotBitIdentical(t *testing.T) {
+	p := lbm.WaterAir(8, 6, 4)
+	const phases = 9
+	want := sequentialReference(t, p, phases)
+	dir := t.TempDir()
+
+	if _, _, err := RunParallel(p, 3, Options{
+		Phases:     phases,
+		Checkpoint: &CheckpointSpec{Dir: dir, Interval: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := checkpoint.LatestRun(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Phase != 6 {
+		t.Fatalf("snapshot phase %d, want 6", snap.Phase)
+	}
+	for _, ranks := range []int{2, 3, 4} {
+		got, results, err := RunParallel(p, ranks, Options{
+			Phases:     phases,
+			Checkpoint: &CheckpointSpec{Dir: t.TempDir(), Interval: 100, Snapshot: snap},
+		})
+		if err != nil {
+			t.Fatalf("resume on %d ranks: %v", ranks, err)
+		}
+		assertFieldsEqual(t, want, got, "resumed run")
+		for _, r := range results {
+			if r.StartPhase != 6 {
+				t.Errorf("%d ranks: rank %d started at phase %d, want 6", ranks, r.Rank, r.StartPhase)
+			}
+		}
+	}
+}
+
+// TestRunRecoverableFaultFree: with nothing injected, the recoverable
+// runner is a plain run — one attempt, no deaths, bit-identical.
+func TestRunRecoverableFaultFree(t *testing.T) {
+	p := lbm.WaterAir(8, 6, 4)
+	const phases, ranks = 8, 3
+	want := sequentialReference(t, p, phases)
+
+	final, results, report, err := RunRecoverable(p, Options{Phases: phases}, RecoveryOptions{
+		Ranks: ranks, Dir: t.TempDir(), Interval: 3,
+		MaxFailures: 1,
+		Resilience:  testRecoveryResilience(),
+		Heartbeat:   testRecoveryHeartbeat(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Attempts != 1 || len(report.Dead) != 0 {
+		t.Fatalf("fault-free run: %d attempts, dead %v", report.Attempts, report.Dead)
+	}
+	if len(results) != ranks {
+		t.Fatalf("%d results, want %d", len(results), ranks)
+	}
+	assertFieldsEqual(t, want, final, "recoverable fault-free run")
+}
+
+// TestRunRecoverableSurvivesPermanentKill is the end-to-end recovery
+// path at package level: a scheduled permanent kill after the first
+// committed checkpoint, detected by survivors, restored, and finished
+// bit-identical.
+func TestRunRecoverableSurvivesPermanentKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery run skipped in -short mode")
+	}
+	p := lbm.WaterAir(8, 6, 4)
+	const phases, ranks, victim = 10, 3, 1
+	want := sequentialReference(t, p, phases)
+
+	var inj *faultinject.Injector
+	wrap := func(attempt int, members []int, eps []comm.Comm) []comm.Comm {
+		var rules []faultinject.Rule
+		for slot, id := range members {
+			if id == victim {
+				rules = append(rules, faultinject.Rule{
+					Action: faultinject.KillPermanent, Rank: slot,
+					Peer: faultinject.Any, Tag: faultinject.Any, PhaseFrom: 5,
+				})
+			}
+		}
+		inj = faultinject.Wrap(eps, faultinject.Schedule{Seed: 1, Rules: rules})
+		return inj.Endpoints()
+	}
+	final, results, report, err := RunRecoverable(p, Options{
+		Phases:    phases,
+		PhaseHook: func(rank, phase int) { inj.SetPhase(rank, phase) },
+	}, RecoveryOptions{
+		Ranks: ranks, Dir: t.TempDir(), Interval: 4,
+		MaxFailures: 2,
+		Resilience:  testRecoveryResilience(),
+		Heartbeat:   testRecoveryHeartbeat(),
+		Wrap:        wrap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Attempts < 2 {
+		t.Fatalf("kill did not force a restart: %d attempts", report.Attempts)
+	}
+	found := false
+	for _, d := range report.Dead {
+		if d == victim {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("victim %d not in dead set %v", victim, report.Dead)
+	}
+	if len(report.Restarts) == 0 || report.Restarts[0].ResumePhase != 4 {
+		t.Fatalf("restarts %+v: first resume should restore the phase-4 commit", report.Restarts)
+	}
+	if len(results) != ranks-1 {
+		t.Fatalf("%d surviving results, want %d", len(results), ranks-1)
+	}
+	assertFieldsEqual(t, want, final, "recovered run")
+}
+
+// TestRunRecoverableRespectsMaxFailures: more deaths than the budget
+// must abandon the run with the dead ranks still readable from the
+// error chain.
+func TestRunRecoverableRespectsMaxFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery run skipped in -short mode")
+	}
+	p := lbm.WaterAir(8, 6, 4)
+	var inj *faultinject.Injector
+	wrap := func(attempt int, members []int, eps []comm.Comm) []comm.Comm {
+		var rules []faultinject.Rule
+		for slot, id := range members {
+			if id == 1 || id == 2 {
+				rules = append(rules, faultinject.Rule{
+					Action: faultinject.KillPermanent, Rank: slot,
+					Peer: faultinject.Any, Tag: faultinject.Any, PhaseFrom: 3,
+				})
+			}
+		}
+		inj = faultinject.Wrap(eps, faultinject.Schedule{Seed: 1, Rules: rules})
+		return inj.Endpoints()
+	}
+	_, _, report, err := RunRecoverable(p, Options{
+		Phases:    10,
+		PhaseHook: func(rank, phase int) { inj.SetPhase(rank, phase) },
+	}, RecoveryOptions{
+		Ranks: 3, Dir: t.TempDir(), Interval: 2,
+		MaxFailures: 1,
+		Resilience:  testRecoveryResilience(),
+		Heartbeat:   testRecoveryHeartbeat(),
+		Wrap:        wrap,
+	})
+	if err == nil {
+		t.Fatal("run with 2 deaths survived a budget of 1")
+	}
+	if !errors.Is(err, comm.ErrPeerDead) {
+		t.Fatalf("error chain lacks ErrPeerDead: %v", err)
+	}
+	if report.Attempts < 1 {
+		t.Fatalf("report: %+v", report)
+	}
+}
+
+// TestRunGroupAggregatesAllRankErrors is the errors.Join satellite: a
+// primary failure plus the teardown casualties it causes must ALL be
+// visible in the returned error, not just the first.
+func TestRunGroupAggregatesAllRankErrors(t *testing.T) {
+	p := lbm.WaterAir(6, 4, 4)
+	wantErr := errors.New("mass budget blown")
+	_, _, err := RunParallelReliable(p, 3, Options{
+		Phases: 4,
+		PostPhase: func(rank, phase, planes int, mass []float64) error {
+			if rank == 1 && phase == 1 {
+				return wantErr
+			}
+			return nil
+		},
+	}, chaosResilience())
+	if err == nil {
+		t.Fatal("expected run to abort")
+	}
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("error chain %v does not wrap the invariant error", err)
+	}
+	// The teardown unblocks peers with ErrClosed; aggregation must keep
+	// those secondary failures diagnosable alongside the root cause.
+	if !errors.Is(err, comm.ErrClosed) {
+		t.Fatalf("aggregated error lacks the teardown casualties: %v", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "rank 1") || !strings.Contains(msg, "invariant check") {
+		t.Fatalf("error %q lacks root-cause attribution", msg)
+	}
+	var ranksFailed int
+	for _, frag := range []string{"rank 0 failed", "rank 1 failed", "rank 2 failed"} {
+		if strings.Contains(msg, frag) {
+			ranksFailed++
+		}
+	}
+	if ranksFailed < 2 {
+		t.Fatalf("aggregated error names %d failed ranks, want >= 2:\n%s", ranksFailed, msg)
+	}
+}

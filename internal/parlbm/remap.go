@@ -1,6 +1,7 @@
 package parlbm
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -434,20 +435,23 @@ func runGroup(p *lbm.Params, eps []comm.Comm, opts Options, abort func()) ([]*fi
 			done <- r
 		}(r)
 	}
-	// Report the chronologically first failure: later ones are usually
-	// teardown casualties (ErrClosed) of the abort below.
-	first := -1
+	// Aggregate every rank failure, in completion order: the first is
+	// usually the root cause and later ones teardown casualties
+	// (ErrClosed) of the abort below, but a kill plus a secondary
+	// timeout must both be diagnosable from the returned error.
+	var failures []error
 	for i := 0; i < ranks; i++ {
 		r := <-done
-		if errs[r] != nil && first < 0 {
-			first = r
-			if abort != nil {
-				abort()
-			}
+		if errs[r] == nil {
+			continue
+		}
+		failures = append(failures, fmt.Errorf("parlbm: rank %d failed: %w", r, errs[r]))
+		if len(failures) == 1 && abort != nil {
+			abort()
 		}
 	}
-	if first >= 0 {
-		return nil, nil, fmt.Errorf("parlbm: rank %d failed: %w", first, errs[first])
+	if len(failures) > 0 {
+		return nil, nil, errors.Join(failures...)
 	}
 	return results[0].Final, results, nil
 }

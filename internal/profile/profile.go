@@ -14,11 +14,14 @@ type Breakdown struct {
 	Computation   float64
 	Communication float64
 	Remapping     float64
+	// Checkpoint is time spent persisting coordinated checkpoints
+	// (serialization, fsync-equivalent I/O, and the commit barrier).
+	Checkpoint float64
 }
 
 // Total returns the node's total accounted time.
 func (b Breakdown) Total() float64 {
-	return b.Computation + b.Communication + b.Remapping
+	return b.Computation + b.Communication + b.Remapping + b.Checkpoint
 }
 
 // Add accumulates another breakdown.
@@ -26,6 +29,7 @@ func (b *Breakdown) Add(o Breakdown) {
 	b.Computation += o.Computation
 	b.Communication += o.Communication
 	b.Remapping += o.Remapping
+	b.Checkpoint += o.Checkpoint
 }
 
 // CommStats counts the resilience-layer events of one node: how often
@@ -89,6 +93,9 @@ func (p *Profile) AddCommunication(i int, t float64) { p.Nodes[i].Communication 
 // AddRemapping charges t seconds of remapping work to node i.
 func (p *Profile) AddRemapping(i int, t float64) { p.Nodes[i].Remapping += t }
 
+// AddCheckpoint charges t seconds of checkpoint/recovery work to node i.
+func (p *Profile) AddCheckpoint(i int, t float64) { p.Nodes[i].Checkpoint += t }
+
 // MaxTotal returns the largest per-node total (the run's makespan when
 // nodes are phase-synchronized).
 func (p *Profile) MaxTotal() float64 {
@@ -114,10 +121,10 @@ func (p *Profile) Sum() Breakdown {
 // textual analogue of Figure 9.
 func (p *Profile) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%4s %12s %14s %10s %10s\n", "node", "comp (s)", "comm (s)", "remap (s)", "total (s)")
+	fmt.Fprintf(&sb, "%4s %12s %14s %10s %10s %10s\n", "node", "comp (s)", "comm (s)", "remap (s)", "ckpt (s)", "total (s)")
 	for i, b := range p.Nodes {
-		fmt.Fprintf(&sb, "%4d %12.2f %14.2f %10.2f %10.2f\n",
-			i, b.Computation, b.Communication, b.Remapping, b.Total())
+		fmt.Fprintf(&sb, "%4d %12.2f %14.2f %10.2f %10.2f %10.2f\n",
+			i, b.Computation, b.Communication, b.Remapping, b.Checkpoint, b.Total())
 	}
 	return sb.String()
 }

@@ -39,6 +39,17 @@ type Costs struct {
 	// PlaneMoveWire is the wire cost of migrating one lattice plane
 	// (1.28 MB of distributions + densities) across one boundary.
 	PlaneMoveWire float64
+	// CheckpointPerPlane is the CPU work (seconds at full speed) a node
+	// spends serializing and persisting one of its planes at a
+	// coordinated checkpoint; it runs at the node's contended speed.
+	CheckpointPerPlane float64
+	// CheckpointCommitWire is the wire cost of the checkpoint commit
+	// barrier (the two-phase commit marker write).
+	CheckpointCommitWire float64
+	// RecoveryBase is the fixed wall-clock cost every survivor pays per
+	// node death: failure detection latency, membership agreement,
+	// checkpoint restore, and topology rebuild.
+	RecoveryBase float64
 }
 
 // DefaultCosts returns the calibration above.
@@ -51,6 +62,9 @@ func DefaultCosts() Costs {
 		GlobalSyncWire:         0.005,
 		CollectiveHandlingWork: 0.002,
 		PlaneMoveWire:          0.0102,
+		CheckpointPerPlane:     0.004,
+		CheckpointCommitWire:   0.001,
+		RecoveryBase:           1.0,
 	}
 }
 
@@ -63,6 +77,8 @@ func (c Costs) Validate() error {
 		"ExchangeWire": c.ExchangeWire, "MsgHandlingWork": c.MsgHandlingWork,
 		"RemapInfoWire": c.RemapInfoWire, "GlobalSyncWire": c.GlobalSyncWire,
 		"CollectiveHandlingWork": c.CollectiveHandlingWork, "PlaneMoveWire": c.PlaneMoveWire,
+		"CheckpointPerPlane": c.CheckpointPerPlane, "CheckpointCommitWire": c.CheckpointCommitWire,
+		"RecoveryBase": c.RecoveryBase,
 	} {
 		if v < 0 {
 			return fmt.Errorf("vcluster: %s %v must be non-negative", name, v)

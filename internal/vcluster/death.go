@@ -1,0 +1,134 @@
+package vcluster
+
+import (
+	"fmt"
+	"sort"
+
+	"microslip/internal/profile"
+)
+
+// NodeDeath schedules a permanent node death: at the start of the
+// given phase the node stops computing and heartbeating forever. It is
+// the virtual-cluster analogue of faultinject.KillPermanent.
+type NodeDeath struct {
+	// Node is the dying node's index in the original cluster.
+	Node int
+	// Phase is the 0-based phase at whose start the node dies.
+	Phase int
+}
+
+// runWithDeaths executes a run with scheduled node deaths as a
+// sequence of epochs. Each epoch runs on the current survivor set
+// until the next death, which discards everything past the last
+// committed checkpoint; the survivors then rebuild an even partition
+// over the full lattice and replay from that checkpoint. With
+// CheckpointInterval zero there is nothing to restore, so every death
+// replays the run from phase zero.
+func runWithDeaths(cfg Config) (*Result, error) {
+	deaths := append([]NodeDeath(nil), cfg.NodeDeaths...)
+	sort.SliceStable(deaths, func(i, j int) bool { return deaths[i].Phase < deaths[j].Phase })
+
+	active := make([]int, cfg.P)
+	for i := range active {
+		active[i] = i
+	}
+	res := &Result{
+		SequentialTime: cfg.Costs.SequentialTime(cfg.TotalPlanes*cfg.PlanePoints, cfg.Phases),
+		Profile:        profile.New(cfg.P),
+	}
+	if cfg.RecordTimeline {
+		res.Timeline = &Timeline{PhaseEnd: make([]float64, 0, cfg.Phases)}
+	}
+
+	completed := 0 // phases durably committed so far; always a checkpoint boundary
+	base := 0.0    // wall clock at the start of the current epoch
+	for _, d := range deaths {
+		// The doomed epoch: survivors so far run up to the fatal phase,
+		// committing checkpoints along the way (including one at the
+		// epoch's final boundary — the commit the recovery restores).
+		if d.Phase > completed {
+			sub := epochConfig(cfg, active, d.Phase-completed, true)
+			r, err := runAlive(sub)
+			if err != nil {
+				return nil, err
+			}
+			mergeEpoch(res, r, active, base)
+			base += r.TotalTime
+		}
+
+		// The death: survivors detect the silence, agree on membership,
+		// restore the last committed checkpoint, and rebuild topology.
+		resume := 0
+		if cfg.CheckpointInterval > 0 {
+			resume = d.Phase / cfg.CheckpointInterval * cfg.CheckpointInterval
+		}
+		if resume < completed {
+			// A checkpoint from before this epoch: the epoch start is the
+			// newest commit.
+			resume = completed
+		}
+		res.Deaths++
+		res.ReplayedPhases += d.Phase - resume
+		res.RecoveryTime += cfg.Costs.RecoveryBase
+		base += cfg.Costs.RecoveryBase
+		survivors := active[:0:0]
+		for _, n := range active {
+			if n != d.Node {
+				survivors = append(survivors, n)
+			}
+		}
+		if len(survivors) == 0 {
+			return nil, fmt.Errorf("vcluster: death of node %d leaves no survivors", d.Node)
+		}
+		for _, n := range survivors {
+			res.Profile.AddCheckpoint(n, cfg.Costs.RecoveryBase)
+		}
+		active = survivors
+		completed = resume
+	}
+
+	// The final epoch: the remaining survivors finish the run.
+	sub := epochConfig(cfg, active, cfg.Phases-completed, false)
+	r, err := runAlive(sub)
+	if err != nil {
+		return nil, err
+	}
+	mergeEpoch(res, r, active, base)
+	res.TotalTime = base + r.TotalTime
+	res.FinalPartition = r.FinalPartition
+	return res, nil
+}
+
+// epochConfig derives the configuration of one epoch: the given nodes,
+// the given phase count, no further deaths. Traces restart at the
+// epoch's local time zero, so workload schedules are epoch-local.
+func epochConfig(cfg Config, active []int, phases int, doomed bool) Config {
+	sub := cfg
+	sub.P = len(active)
+	sub.Phases = phases
+	sub.NodeDeaths = nil
+	sub.checkpointAll = doomed
+	sub.Traces = make([]SpeedTrace, len(active))
+	for s, n := range active {
+		sub.Traces[s] = cfg.Traces[n]
+	}
+	return sub
+}
+
+// mergeEpoch folds one epoch's result into the whole-run result,
+// mapping epoch slots back to original node ids and offsetting the
+// timeline by the epoch's wall-clock start.
+func mergeEpoch(res *Result, r *Result, active []int, base float64) {
+	for s, n := range active {
+		res.Profile.Nodes[n].Add(r.Profile.Nodes[s])
+		res.Profile.Comm[n].Add(r.Profile.Comm[s])
+	}
+	res.PlanesMoved += r.PlanesMoved
+	res.RemapRounds += r.RemapRounds
+	res.ExchangeRetries += r.ExchangeRetries
+	if res.Timeline != nil && r.Timeline != nil {
+		for _, t := range r.Timeline.PhaseEnd {
+			res.Timeline.PhaseEnd = append(res.Timeline.PhaseEnd, base+t)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package vcluster
+
+import (
+	"testing"
+
+	"microslip/internal/balance"
+)
+
+// TestCheckpointIntervalChargesCheckpointTime: periodic coordinated
+// checkpoints must cost wall time and show up in the profile's
+// checkpoint column — and nowhere else.
+func TestCheckpointIntervalChargesCheckpointTime(t *testing.T) {
+	clean := mustRun(t, DefaultConfig(balance.NoRemap{}, Dedicated(6), 60))
+	cfg := DefaultConfig(balance.NoRemap{}, Dedicated(6), 60)
+	cfg.CheckpointInterval = 10
+	ck := mustRun(t, cfg)
+
+	if ck.Profile.Sum().Checkpoint <= 0 {
+		t.Fatal("checkpointing charged no checkpoint time")
+	}
+	if clean.Profile.Sum().Checkpoint != 0 {
+		t.Fatal("run without checkpointing charged checkpoint time")
+	}
+	if ck.TotalTime <= clean.TotalTime {
+		t.Errorf("checkpointed run %.3f s not slower than clean %.3f s", ck.TotalTime, clean.TotalTime)
+	}
+	if comp, want := ck.Profile.Sum().Computation, clean.Profile.Sum().Computation; comp != want {
+		t.Errorf("checkpointing changed computation time %v -> %v", want, comp)
+	}
+}
+
+// TestNodeDeathShrinksAndFinishes is the recovery path end to end: a
+// death mid-run discards the phases past the last commit, shrinks the
+// cluster, and the survivors finish the whole problem.
+func TestNodeDeathShrinksAndFinishes(t *testing.T) {
+	const nodes, phases = 8, 60
+	clean := mustRun(t, DefaultConfig(balance.NoRemap{}, Dedicated(nodes), phases))
+
+	cfg := DefaultConfig(balance.NoRemap{}, Dedicated(nodes), phases)
+	cfg.CheckpointInterval = 10
+	cfg.NodeDeaths = []NodeDeath{{Node: 3, Phase: 33}}
+	res := mustRun(t, cfg)
+
+	if res.Deaths != 1 {
+		t.Fatalf("Deaths = %d, want 1", res.Deaths)
+	}
+	if res.ReplayedPhases != 3 { // died at 33, last commit at 30
+		t.Errorf("ReplayedPhases = %d, want 3", res.ReplayedPhases)
+	}
+	if res.RecoveryTime != cfg.Costs.RecoveryBase {
+		t.Errorf("RecoveryTime = %v, want %v", res.RecoveryTime, cfg.Costs.RecoveryBase)
+	}
+	if got := len(res.FinalPartition.Counts()); got != nodes-1 {
+		t.Errorf("final partition covers %d nodes, want %d survivors", got, nodes-1)
+	}
+	if planes := 0; true {
+		for _, c := range res.FinalPartition.Counts() {
+			planes += c
+		}
+		if planes != cfg.TotalPlanes {
+			t.Errorf("survivors own %d planes, want %d", planes, cfg.TotalPlanes)
+		}
+	}
+	// Losing a node and replaying phases must cost real time.
+	if res.TotalTime <= clean.TotalTime {
+		t.Errorf("run with a death %.3f s not slower than clean %.3f s", res.TotalTime, clean.TotalTime)
+	}
+	// Reruns are deterministic.
+	again := mustRun(t, cfg)
+	if again.TotalTime != res.TotalTime || again.ReplayedPhases != res.ReplayedPhases {
+		t.Errorf("rerun diverged: %.6f/%d vs %.6f/%d",
+			res.TotalTime, res.ReplayedPhases, again.TotalTime, again.ReplayedPhases)
+	}
+}
+
+// TestNodeDeathWithoutCheckpointReplaysFromZero: with no checkpoints
+// there is nothing to restore — a death throws the whole prefix away.
+func TestNodeDeathWithoutCheckpointReplaysFromZero(t *testing.T) {
+	cfg := DefaultConfig(balance.NoRemap{}, Dedicated(5), 40)
+	cfg.NodeDeaths = []NodeDeath{{Node: 0, Phase: 25}}
+	res := mustRun(t, cfg)
+	if res.ReplayedPhases != 25 {
+		t.Errorf("ReplayedPhases = %d, want 25 (full restart)", res.ReplayedPhases)
+	}
+	if res.Deaths != 1 || len(res.FinalPartition.Counts()) != 4 {
+		t.Errorf("Deaths %d, final partition %v", res.Deaths, res.FinalPartition.Counts())
+	}
+}
+
+// TestMultipleDeathsShrinkProgressively: each death removes one more
+// node; the run still covers every plane at the end.
+func TestMultipleDeathsShrinkProgressively(t *testing.T) {
+	cfg := DefaultConfig(balance.NewFiltered(4000), Dedicated(6), 80)
+	cfg.CheckpointInterval = 8
+	cfg.NodeDeaths = []NodeDeath{{Node: 1, Phase: 20}, {Node: 4, Phase: 50}}
+	res := mustRun(t, cfg)
+	if res.Deaths != 2 {
+		t.Fatalf("Deaths = %d, want 2", res.Deaths)
+	}
+	counts := res.FinalPartition.Counts()
+	if len(counts) != 4 {
+		t.Fatalf("final partition %v, want 4 survivors", counts)
+	}
+	planes := 0
+	for _, c := range counts {
+		planes += c
+	}
+	if planes != cfg.TotalPlanes {
+		t.Errorf("survivors own %d planes, want %d", planes, cfg.TotalPlanes)
+	}
+	if res.RecoveryTime != 2*cfg.Costs.RecoveryBase {
+		t.Errorf("RecoveryTime = %v, want %v", res.RecoveryTime, 2*cfg.Costs.RecoveryBase)
+	}
+}
+
+func TestNodeDeathValidation(t *testing.T) {
+	base := func() Config { return DefaultConfig(balance.NoRemap{}, Dedicated(3), 20) }
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"node out of range", func(c *Config) { c.NodeDeaths = []NodeDeath{{Node: 3, Phase: 5}} }},
+		{"negative node", func(c *Config) { c.NodeDeaths = []NodeDeath{{Node: -1, Phase: 5}} }},
+		{"phase out of range", func(c *Config) { c.NodeDeaths = []NodeDeath{{Node: 0, Phase: 20}} }},
+		{"duplicate node", func(c *Config) {
+			c.NodeDeaths = []NodeDeath{{Node: 1, Phase: 5}, {Node: 1, Phase: 10}}
+		}},
+		{"no survivors", func(c *Config) {
+			c.NodeDeaths = []NodeDeath{{Node: 0, Phase: 5}, {Node: 1, Phase: 6}, {Node: 2, Phase: 7}}
+		}},
+		{"negative checkpoint interval", func(c *Config) { c.CheckpointInterval = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base()
+			tc.mutate(&cfg)
+			if _, err := Run(cfg); err == nil {
+				t.Error("invalid configuration accepted")
+			}
+		})
+	}
+}
+
+// TestTimelineSpansDeathEpochs: with deaths and timeline recording on,
+// the per-phase record covers every executed phase (including the
+// replays) and stays monotonic across epoch boundaries.
+func TestTimelineSpansDeathEpochs(t *testing.T) {
+	cfg := DefaultConfig(balance.NoRemap{}, Dedicated(4), 30)
+	cfg.CheckpointInterval = 6
+	cfg.NodeDeaths = []NodeDeath{{Node: 2, Phase: 15}}
+	cfg.RecordTimeline = true
+	res := mustRun(t, cfg)
+	want := 15 + (30 - 12) // doomed epoch + survivor epoch (resume at 12)
+	if len(res.Timeline.PhaseEnd) != want {
+		t.Fatalf("timeline holds %d phases, want %d", len(res.Timeline.PhaseEnd), want)
+	}
+	for i := 1; i < len(res.Timeline.PhaseEnd); i++ {
+		if res.Timeline.PhaseEnd[i] < res.Timeline.PhaseEnd[i-1] {
+			t.Fatalf("timeline not monotonic at %d: %v < %v", i,
+				res.Timeline.PhaseEnd[i], res.Timeline.PhaseEnd[i-1])
+		}
+	}
+}

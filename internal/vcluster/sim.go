@@ -60,6 +60,21 @@ type Config struct {
 	// RecordTimeline enables per-phase makespan recording in
 	// Result.Timeline.
 	RecordTimeline bool
+	// CheckpointInterval takes a coordinated checkpoint every this many
+	// phases: each node persists its planes (CheckpointPerPlane work at
+	// its contended speed) and the commit barrier synchronizes the
+	// group. Zero disables checkpointing; then a node death restarts the
+	// run from phase zero.
+	CheckpointInterval int
+	// NodeDeaths schedules permanent node deaths (see NodeDeath). On a
+	// death the cluster shrinks to the survivors, rebuilds an even
+	// partition, restores the last committed checkpoint, and replays the
+	// uncommitted phases.
+	NodeDeaths []NodeDeath
+	// checkpointAll charges the checkpoint at the final phase boundary
+	// too; set for death-doomed segments, whose last boundary is a real
+	// commit the recovery restores.
+	checkpointAll bool
 }
 
 // DefaultConfig returns the paper's experimental setup: 20 nodes over
@@ -105,6 +120,25 @@ func (c *Config) Validate() error {
 	if math.IsNaN(c.ExchangeFailureRate) || c.ExchangeFailureRate < 0 || c.ExchangeFailureRate >= 1 {
 		return fmt.Errorf("vcluster: ExchangeFailureRate %v outside [0, 1)", c.ExchangeFailureRate)
 	}
+	if c.CheckpointInterval < 0 {
+		return fmt.Errorf("vcluster: CheckpointInterval %d negative", c.CheckpointInterval)
+	}
+	if len(c.NodeDeaths) >= c.P {
+		return fmt.Errorf("vcluster: %d node deaths leave no survivors among %d nodes", len(c.NodeDeaths), c.P)
+	}
+	dying := make(map[int]bool, len(c.NodeDeaths))
+	for _, d := range c.NodeDeaths {
+		if d.Node < 0 || d.Node >= c.P {
+			return fmt.Errorf("vcluster: death of node %d out of range [0,%d)", d.Node, c.P)
+		}
+		if d.Phase < 0 || d.Phase >= c.Phases {
+			return fmt.Errorf("vcluster: death at phase %d out of range [0,%d)", d.Phase, c.Phases)
+		}
+		if dying[d.Node] {
+			return fmt.Errorf("vcluster: node %d dies twice", d.Node)
+		}
+		dying[d.Node] = true
+	}
 	return c.Costs.Validate()
 }
 
@@ -126,6 +160,15 @@ type Result struct {
 	// ExchangeRetries counts halo exchanges re-sent because of
 	// simulated wire loss (Config.ExchangeFailureRate).
 	ExchangeRetries int
+	// Deaths counts permanent node deaths the run survived
+	// (Config.NodeDeaths).
+	Deaths int
+	// RecoveryTime is the wall time spent on death recovery: detection,
+	// membership agreement, checkpoint restore, and topology rebuild.
+	RecoveryTime float64
+	// ReplayedPhases counts phases recomputed because a death discarded
+	// work past the last committed checkpoint.
+	ReplayedPhases int
 	// Timeline is the per-phase makespan record; nil unless
 	// Config.RecordTimeline was set.
 	Timeline *Timeline
@@ -174,11 +217,23 @@ func contention(s float64) float64 {
 	return c
 }
 
-// Run executes the virtual-cluster simulation.
+// Run executes the virtual-cluster simulation. With NodeDeaths
+// scheduled, the run proceeds in epochs: each death discards the work
+// past the last committed checkpoint, shrinks the cluster onto the
+// survivors with a fresh even partition, and replays from there.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if len(cfg.NodeDeaths) > 0 {
+		return runWithDeaths(cfg)
+	}
+	return runAlive(cfg)
+}
+
+// runAlive executes one death-free stretch of simulation on an
+// already-validated configuration.
+func runAlive(cfg Config) (*Result, error) {
 	p := cfg.P
 	costs := cfg.Costs
 	part := decomp.Even(cfg.TotalPlanes, p)
@@ -261,6 +316,27 @@ func Run(cfg Config) (*Result, error) {
 		// Remapping round (lines 19-32 of the paper's pseudo-code).
 		if interval > 0 && (phase+1)%interval == 0 && phase+1 < cfg.Phases {
 			part = remapRound(&cfg, part, clock, preds, prof, res)
+		}
+
+		// Coordinated checkpoint: every node persists its planes, then
+		// the commit barrier synchronizes the group. The final boundary
+		// is skipped on a run that ends there — unless this is a doomed
+		// segment whose last commit a recovery will restore.
+		if cfg.CheckpointInterval > 0 && (phase+1)%cfg.CheckpointInterval == 0 &&
+			(cfg.checkpointAll || phase+1 < cfg.Phases) {
+			tsync := 0.0
+			for i := 0; i < p; i++ {
+				work := float64(part.Count(i)) * costs.CheckpointPerPlane
+				t := clock[i] + WorkDuration(cfg.Traces[i], clock[i], work)
+				if t > tsync {
+					tsync = t
+				}
+			}
+			tsync += costs.CheckpointCommitWire
+			for i := 0; i < p; i++ {
+				prof.AddCheckpoint(i, tsync-clock[i])
+				clock[i] = tsync
+			}
 		}
 	}
 
