@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test race chaos chaos-kill bench fuzz
+.PHONY: check build vet test race chaos chaos-kill bench bench-json bench-smoke fuzz
 
-# The CI gate: compile everything, vet, run the full suite, then the
-# race detector in short mode (the -short guard trims the long chaos
-# and physics soaks so the race pass stays around a minute).
-check: build vet test race
+# The CI gate: compile everything, vet, run the full suite, the race
+# detector in short mode (the -short guard trims the long chaos and
+# physics soaks so the race pass stays around a minute), then the
+# benchmark smoke sweep with schema validation.
+check: build vet test race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -32,6 +33,20 @@ chaos-kill:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# The perf-trajectory sweep: pinned-size step benchmarks over the
+# intra-node (reference and fused) and distributed solvers, written to
+# BENCH_<date>.json (schema microslip-bench/v1, validated after the
+# write). Commit the report to record a perf point in history.
+bench-json:
+	$(GO) run ./cmd/lbmbench
+	$(GO) run ./cmd/lbmbench -check $$(ls -t BENCH_*.json | head -1)
+
+# A few-second version of the sweep for CI: emits bench_smoke.json and
+# validates its schema; the workflow uploads it as an artifact.
+bench-smoke:
+	$(GO) run ./cmd/lbmbench -quick -out bench_smoke.json
+	$(GO) run ./cmd/lbmbench -check bench_smoke.json
 
 # Coverage-guided fuzzing beyond the committed seed corpora.
 fuzz:

@@ -1,0 +1,330 @@
+// Command lbmbench is the performance-trajectory harness: it runs
+// pinned-size step sweeps over the intra-node solver (reference and
+// fused collide+stream, several worker counts) and the distributed
+// solver (several rank counts, comm/compute overlap on and off) and
+// emits a BENCH_<date>.json report with MLUPS, ns/step, and allocs/step
+// per configuration.
+//
+// Usage:
+//
+//	lbmbench [-grid 32x48x16[,NXxNYxNZ...]] [-steps N] [-warmup N]
+//	         [-workers 1,2,4] [-ranks 1,2,4] [-fused both|on|off]
+//	         [-overlap both|on|off] [-out FILE] [-quick]
+//	lbmbench -check FILE
+//
+// -quick shrinks the sweep to a few seconds for CI smoke runs. -check
+// validates the JSON schema of an existing report and exits non-zero on
+// any violation; CI uses it to gate the emitted artifact.
+//
+// MLUPS is million lattice-site updates per second: NX*NY*NZ*steps /
+// elapsed / 1e6 (solid cells counted — the kernel visits them too).
+// allocs/step and bytes/step are measured with runtime.ReadMemStats
+// around the timed loop; for the distributed entries they include the
+// per-run rank setup amortised over the steps, so only the intra-node
+// entries are expected to reach exactly zero.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"microslip/internal/lbm"
+	"microslip/internal/parlbm"
+)
+
+// Schema identifies the report layout; bump on incompatible change.
+const Schema = "microslip-bench/v1"
+
+// Entry is one measured configuration.
+type Entry struct {
+	Name          string  `json:"name"`
+	Grid          [3]int  `json:"grid"`
+	Workers       int     `json:"workers"` // intra-node goroutines; 0 for distributed entries
+	Ranks         int     `json:"ranks"`   // distributed ranks; 0 for intra-node entries
+	Fused         bool    `json:"fused"`
+	Overlap       bool    `json:"overlap"`
+	Steps         int     `json:"steps"`
+	NsPerStep     float64 `json:"ns_per_step"`
+	MLUPS         float64 `json:"mlups"`
+	AllocsPerStep float64 `json:"allocs_per_step"`
+	BytesPerStep  float64 `json:"bytes_per_step"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	Schema    string  `json:"schema"`
+	Generated string  `json:"generated"`
+	GoVersion string  `json:"go"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	CPUs      int     `json:"cpus"`
+	Entries   []Entry `json:"entries"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lbmbench: ")
+	var (
+		grids   = flag.String("grid", "32x48x16", "comma-separated NXxNYxNZ grids")
+		steps   = flag.Int("steps", 120, "timed steps per configuration")
+		warmup  = flag.Int("warmup", 20, "untimed warmup steps (intra-node sweeps)")
+		workers = flag.String("workers", "1,2,4", "comma-separated intra-node worker counts")
+		ranks   = flag.String("ranks", "1,2,4", "comma-separated distributed rank counts")
+		fused   = flag.String("fused", "both", "fused collide+stream: both, on, or off")
+		overlap = flag.String("overlap", "both", "comm/compute overlap: both, on, or off")
+		out     = flag.String("out", "", "output file (default BENCH_<date>.json)")
+		quick   = flag.Bool("quick", false, "tiny sweep for CI smoke runs")
+		check   = flag.String("check", "", "validate the schema of an existing report and exit")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		if err := validate(*check); err != nil {
+			log.Fatalf("%s: %v", *check, err)
+		}
+		fmt.Printf("ok: %s is valid %s\n", *check, Schema)
+		return
+	}
+
+	if *quick {
+		*grids, *steps, *warmup = "8x16x8", 40, 8
+		*workers, *ranks = "1,2", "2"
+	}
+	gridList, err := parseGrids(*grids)
+	if err != nil {
+		log.Fatal(err)
+	}
+	workerList, err := parseInts(*workers)
+	if err != nil {
+		log.Fatalf("-workers: %v", err)
+	}
+	rankList, err := parseInts(*ranks)
+	if err != nil {
+		log.Fatalf("-ranks: %v", err)
+	}
+	fusedModes, err := parseToggle(*fused)
+	if err != nil {
+		log.Fatalf("-fused: %v", err)
+	}
+	overlapModes, err := parseToggle(*overlap)
+	if err != nil {
+		log.Fatalf("-overlap: %v", err)
+	}
+
+	rep := &Report{
+		Schema:    Schema,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+	for _, g := range gridList {
+		for _, f := range fusedModes {
+			for _, w := range workerList {
+				e, err := benchIntra(g, w, f, *steps, *warmup)
+				if err != nil {
+					log.Fatal(err)
+				}
+				rep.Entries = append(rep.Entries, e)
+				fmt.Println(row(e))
+			}
+		}
+		for _, r := range rankList {
+			for _, ov := range overlapModes {
+				if ov && r == 1 {
+					continue // overlap is a no-op on one rank
+				}
+				e, err := benchRanks(g, r, ov, *steps)
+				if err != nil {
+					log.Fatal(err)
+				}
+				rep.Entries = append(rep.Entries, e)
+				fmt.Println(row(e))
+			}
+		}
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d entries)\n", path, len(rep.Entries))
+}
+
+// benchIntra measures Sim.StepParallel on one grid/worker/fused config.
+func benchIntra(g [3]int, workers int, fused bool, steps, warmup int) (Entry, error) {
+	p := lbm.WaterAir(g[0], g[1], g[2])
+	p.Fused = fused
+	s, err := lbm.NewSim(p)
+	if err != nil {
+		return Entry{}, err
+	}
+	s.SetWorkers(workers)
+	for i := 0; i < warmup; i++ {
+		s.StepParallel()
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	for i := 0; i < steps; i++ {
+		s.StepParallel()
+	}
+	el := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	e := Entry{
+		Name:    fmt.Sprintf("intra/%dx%dx%d/fused=%v/workers=%d", g[0], g[1], g[2], fused, workers),
+		Grid:    g,
+		Workers: workers,
+		Fused:   fused,
+		Steps:   steps,
+	}
+	fill(&e, el, steps, &m0, &m1)
+	return e, nil
+}
+
+// benchRanks measures one full distributed run; setup (rank spawn,
+// initial decomposition) is included and amortised over the steps.
+func benchRanks(g [3]int, ranks int, overlap bool, steps int) (Entry, error) {
+	p := lbm.WaterAir(g[0], g[1], g[2])
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	_, _, err := parlbm.RunParallel(p, ranks, parlbm.Options{Phases: steps, Overlap: overlap})
+	el := time.Since(t0)
+	if err != nil {
+		return Entry{}, err
+	}
+	runtime.ReadMemStats(&m1)
+	e := Entry{
+		Name:    fmt.Sprintf("parlbm/%dx%dx%d/ranks=%d/overlap=%v", g[0], g[1], g[2], ranks, overlap),
+		Grid:    g,
+		Ranks:   ranks,
+		Overlap: overlap,
+		Steps:   steps,
+	}
+	fill(&e, el, steps, &m0, &m1)
+	return e, nil
+}
+
+func fill(e *Entry, el time.Duration, steps int, m0, m1 *runtime.MemStats) {
+	cells := float64(e.Grid[0]) * float64(e.Grid[1]) * float64(e.Grid[2])
+	e.NsPerStep = float64(el.Nanoseconds()) / float64(steps)
+	e.MLUPS = cells * float64(steps) / el.Seconds() / 1e6
+	e.AllocsPerStep = float64(m1.Mallocs-m0.Mallocs) / float64(steps)
+	e.BytesPerStep = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(steps)
+}
+
+func row(e Entry) string {
+	return fmt.Sprintf("%-44s %10.0f ns/step %8.2f MLUPS %10.1f allocs/step",
+		e.Name, e.NsPerStep, e.MLUPS, e.AllocsPerStep)
+}
+
+// validate checks an existing report against the schema; it is the CI
+// gate for the emitted artifact.
+func validate(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep Report
+	dec := json.NewDecoder(strings.NewReader(string(buf)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		return err
+	}
+	if rep.Schema != Schema {
+		return fmt.Errorf("schema %q, want %q", rep.Schema, Schema)
+	}
+	if _, err := time.Parse(time.RFC3339, rep.Generated); err != nil {
+		return fmt.Errorf("generated: %v", err)
+	}
+	if rep.GoVersion == "" || rep.GOOS == "" || rep.GOARCH == "" || rep.CPUs < 1 {
+		return fmt.Errorf("incomplete environment block")
+	}
+	if len(rep.Entries) == 0 {
+		return fmt.Errorf("no entries")
+	}
+	for i, e := range rep.Entries {
+		if e.Name == "" {
+			return fmt.Errorf("entry %d: empty name", i)
+		}
+		if e.Grid[0] < 1 || e.Grid[1] < 1 || e.Grid[2] < 1 {
+			return fmt.Errorf("entry %q: bad grid %v", e.Name, e.Grid)
+		}
+		if (e.Workers < 1) == (e.Ranks < 1) {
+			return fmt.Errorf("entry %q: exactly one of workers/ranks must be set", e.Name)
+		}
+		if e.Steps < 1 {
+			return fmt.Errorf("entry %q: steps %d", e.Name, e.Steps)
+		}
+		if e.NsPerStep <= 0 || e.MLUPS <= 0 {
+			return fmt.Errorf("entry %q: non-positive timing (%v ns/step, %v MLUPS)",
+				e.Name, e.NsPerStep, e.MLUPS)
+		}
+		if e.AllocsPerStep < 0 || e.BytesPerStep < 0 {
+			return fmt.Errorf("entry %q: negative allocation counts", e.Name)
+		}
+	}
+	return nil
+}
+
+func parseGrids(s string) ([][3]int, error) {
+	var out [][3]int
+	for _, part := range strings.Split(s, ",") {
+		dims := strings.Split(strings.TrimSpace(part), "x")
+		if len(dims) != 3 {
+			return nil, fmt.Errorf("grid %q: want NXxNYxNZ", part)
+		}
+		var g [3]int
+		for i, d := range dims {
+			v, err := strconv.Atoi(d)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("grid %q: bad dimension %q", part, d)
+			}
+			g[i] = v
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseToggle(s string) ([]bool, error) {
+	switch s {
+	case "both":
+		return []bool{false, true}, nil
+	case "on":
+		return []bool{true}, nil
+	case "off":
+		return []bool{false}, nil
+	}
+	return nil, fmt.Errorf("%q: want both, on, or off", s)
+}

@@ -1,0 +1,197 @@
+package lbm
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The fused collide+stream stepping path. The reference step makes
+// three full passes over the distribution arrays (densities, collide,
+// stream), each of which streams every plane through the cache. The
+// fused path makes a single rolling sweep: as the sweep front advances
+// one plane, it computes that plane's densities, collides the plane
+// behind the front, and streams the plane behind that — the three
+// kernels consume each plane while it is still cache-hot. Densities
+// and post-collision values live in per-worker rings of three plane
+// sets (the dependency depth of the D3Q19 stencil along x), so the
+// full-size fPost array is only touched once, as the stream
+// destination, and the step allocates nothing in the steady state.
+//
+// With multiple workers each worker sweeps a contiguous chunk of
+// planes and recomputes the densities and post-collision values of the
+// chunk-boundary planes redundantly into its private rings (identical
+// arithmetic on read-only inputs, hence identical bits), so chunks
+// never share written state and the result is bit-equal to Step for
+// any worker count.
+
+// fusedScratch is one worker's rolling rings plus collision scratch.
+type fusedScratch struct {
+	sc   *Scratch
+	n    [3][][]float64 // n[slot][c]: density plane ring
+	post [3][][]float64 // post[slot][c]: post-collision plane ring
+}
+
+func newFusedScratch(k *Kernel) *fusedScratch {
+	fs := &fusedScratch{sc: k.NewScratch()}
+	for s := 0; s < 3; s++ {
+		fs.n[s] = make([][]float64, k.NComp)
+		fs.post[s] = make([][]float64, k.NComp)
+		for c := 0; c < k.NComp; c++ {
+			fs.n[s][c] = make([]float64, k.PlaneCells())
+			fs.post[s][c] = make([]float64, k.PlaneLen())
+		}
+	}
+	return fs
+}
+
+// slot3 maps a sweep index (which may run past the domain on either
+// side) to its ring slot. Keyed by the raw index, not the wrapped
+// plane, so the three slots of any stencil window are always distinct
+// even when NX < 3.
+func slot3(x int) int { return ((x % 3) + 3) % 3 }
+
+// wrapX maps a sweep index to its periodic plane index.
+func wrapX(x, nx int) int {
+	x %= nx
+	if x < 0 {
+		x += nx
+	}
+	return x
+}
+
+// stepFusedChunk runs the fused sweep for the plane chunk [lo, hi). It
+// reads s.f (read-only during the step) and writes streamed
+// populations into s.fPost planes lo..hi-1 only; the caller swaps f
+// and fPost once every chunk has finished.
+func (s *Sim) stepFusedChunk(lo, hi int, fs *fusedScratch) {
+	nx := s.P.NX
+	// Prime the density ring behind the sweep front.
+	s.K.Densities(s.fView[wrapX(lo-2, nx)], fs.n[slot3(lo-2)])
+	s.K.Densities(s.fView[wrapX(lo-1, nx)], fs.n[slot3(lo-1)])
+	for x := lo - 1; x <= hi; x++ {
+		// Advance the front: densities one plane ahead, so the stencil
+		// window n(x-1), n(x), n(x+1) is complete for the collision.
+		s.K.Densities(s.fView[wrapX(x+1, nx)], fs.n[slot3(x+1)])
+		s.K.CollideScratch(fs.sc, fs.n[slot3(x-1)], fs.n[slot3(x)], fs.n[slot3(x+1)],
+			s.fView[wrapX(x, nx)], fs.post[slot3(x)])
+		// Stream two planes behind the front, where post(x-2), post(x-1)
+		// and post(x) are all available. x-1 stays inside [lo, hi):
+		// the boundary collisions at lo-1 and hi are the redundant ones.
+		if x >= lo+1 {
+			s.K.Stream(fs.post[slot3(x-2)], fs.post[slot3(x-1)], fs.post[slot3(x)],
+				s.postView[wrapX(x-1, nx)])
+		}
+	}
+}
+
+// stepPool is the persistent goroutine pool of the fused path:
+// spawning goroutines every step would allocate, parked workers woken
+// over channels do not. Workers reference only their channels — never
+// the Sim or the pool — so when the owning Sim becomes unreachable the
+// pool's finalizer closes quit and the workers exit instead of
+// leaking.
+type stepPool struct {
+	start []chan func(int)
+	done  chan struct{}
+	quit  chan struct{}
+	once  sync.Once
+}
+
+func newStepPool(n int) *stepPool {
+	p := &stepPool{
+		start: make([]chan func(int), n),
+		done:  make(chan struct{}, n),
+		quit:  make(chan struct{}),
+	}
+	for i := range p.start {
+		p.start[i] = make(chan func(int))
+		go poolWorker(i, p.start[i], p.done, p.quit)
+	}
+	runtime.SetFinalizer(p, (*stepPool).stop)
+	return p
+}
+
+func poolWorker(i int, start <-chan func(int), done chan<- struct{}, quit <-chan struct{}) {
+	for {
+		select {
+		case fn := <-start:
+			fn(i)
+			done <- struct{}{}
+		case <-quit:
+			return
+		}
+	}
+}
+
+// run executes fn(worker) on every pool worker and waits for all of
+// them; it performs no allocations.
+func (p *stepPool) run(fn func(int)) {
+	for _, ch := range p.start {
+		ch <- fn
+	}
+	for range p.start {
+		<-p.done
+	}
+}
+
+// stop terminates the pool workers; safe to call more than once.
+func (p *stepPool) stop() { p.once.Do(func() { close(p.quit) }) }
+
+// fusedState is the lazily built per-Sim state of the fused path.
+type fusedState struct {
+	chunks  [][2]int
+	scratch []*fusedScratch
+	pool    *stepPool // nil when a single chunk runs inline
+	work    func(int) // cached chunk closure handed to the pool
+}
+
+// ensureFused (re)builds the fused chunks, scratches, and pool for the
+// current worker count; it is a no-op once built until SetWorkers
+// changes the chunking.
+func (s *Sim) ensureFused(w int) {
+	chunk := (s.P.NX + w - 1) / w
+	n := (s.P.NX + chunk - 1) / chunk
+	if s.fused != nil && len(s.fused.chunks) == n {
+		return
+	}
+	if s.fused != nil && s.fused.pool != nil {
+		s.fused.pool.stop()
+	}
+	fs := &fusedState{}
+	for lo := 0; lo < s.P.NX; lo += chunk {
+		hi := lo + chunk
+		if hi > s.P.NX {
+			hi = s.P.NX
+		}
+		fs.chunks = append(fs.chunks, [2]int{lo, hi})
+		fs.scratch = append(fs.scratch, newFusedScratch(s.K))
+	}
+	if len(fs.chunks) > 1 {
+		fs.pool = newStepPool(len(fs.chunks))
+		fs.work = func(i int) {
+			c := fs.chunks[i]
+			s.stepFusedChunk(c[0], c[1], fs.scratch[i])
+		}
+	}
+	s.fused = fs
+}
+
+// stepFused advances one step on the fused path and swaps the f/fPost
+// roles (a pointer swap, not a copy), leaving the new state in s.f
+// exactly like the reference step.
+func (s *Sim) stepFused() {
+	w := s.Workers()
+	if w > s.P.NX {
+		w = s.P.NX
+	}
+	s.ensureFused(w)
+	if s.fused.pool == nil {
+		c := s.fused.chunks[0]
+		s.stepFusedChunk(c[0], c[1], s.fused.scratch[0])
+	} else {
+		s.fused.pool.run(s.fused.work)
+	}
+	s.f, s.fPost = s.fPost, s.f
+	s.fView, s.postView = s.postView, s.fView
+	s.step++
+}

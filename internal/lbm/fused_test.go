@@ -1,0 +1,103 @@
+package lbm
+
+import (
+	"math"
+	"testing"
+)
+
+func planesBitEqual(t *testing.T, label string, a, b *Sim) {
+	t.Helper()
+	for c := 0; c < a.P.NComp(); c++ {
+		for x := 0; x < a.P.NX; x++ {
+			pa, pb := a.Plane(c, x), b.Plane(c, x)
+			for i := range pa {
+				if math.Float64bits(pa[i]) != math.Float64bits(pb[i]) {
+					t.Fatalf("%s: diverged at comp %d plane %d index %d: %v != %v",
+						label, c, x, i, pa[i], pb[i])
+				}
+			}
+		}
+	}
+}
+
+// The fused collide+stream path must match the serial reference bit
+// for bit, for any worker count, including domains smaller than the
+// ring depth and chunk counts that do not divide NX.
+func TestFusedMatchesStep(t *testing.T) {
+	grids := [][3]int{{12, 10, 6}, {2, 8, 5}, {1, 6, 5}, {7, 9, 7}}
+	for _, g := range grids {
+		for _, workers := range []int{1, 2, 3, 8} {
+			ref, err := NewSim(WaterAir(g[0], g[1], g[2]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp := WaterAir(g[0], g[1], g[2])
+			fp.Fused = true
+			fused, err := NewSim(fp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fused.SetWorkers(workers)
+			for step := 0; step < 5; step++ {
+				ref.Step()
+				fused.StepParallel()
+			}
+			planesBitEqual(t, "fused", ref, fused)
+		}
+	}
+}
+
+// Changing the worker count mid-run rebuilds the fused pool without
+// perturbing the results.
+func TestFusedWorkerResize(t *testing.T) {
+	ref, err := NewSim(WaterAir(10, 10, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := WaterAir(10, 10, 6)
+	fp.Fused = true
+	fused, err := NewSim(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step, workers := range []int{1, 4, 2, 8, 1, 3} {
+		fused.SetWorkers(workers)
+		ref.Step()
+		fused.StepParallel()
+		_ = step
+	}
+	planesBitEqual(t, "resize", ref, fused)
+}
+
+// The steady-state step must not allocate: the per-plane component
+// views, phase closures, and collision scratches are all built at
+// NewSim (or on the first step), never per step. Pinned for both the
+// reference parallel path (serial worker) and the fused path with a
+// multi-worker pool.
+func TestStepParallelZeroAllocs(t *testing.T) {
+	p := WaterAir(8, 10, 6)
+	s, err := NewSim(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StepParallel() // warm scratches
+	if allocs := testing.AllocsPerRun(5, s.StepParallel); allocs != 0 {
+		t.Errorf("StepParallel(workers=1): %v allocs/op, want 0", allocs)
+	}
+
+	fp := WaterAir(8, 10, 6)
+	fp.Fused = true
+	f, err := NewSim(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.StepParallel() // single-chunk fused
+	if allocs := testing.AllocsPerRun(5, f.StepParallel); allocs != 0 {
+		t.Errorf("fused StepParallel(workers=1): %v allocs/op, want 0", allocs)
+	}
+	f.SetWorkers(4)
+	f.StepParallel() // build pool + scratches
+	if allocs := testing.AllocsPerRun(5, f.StepParallel); allocs != 0 {
+		t.Errorf("fused StepParallel(workers=4): %v allocs/op, want 0", allocs)
+	}
+}

@@ -23,6 +23,19 @@ type Kernel struct {
 	adhesion          []float64 // per component; nil when disabled
 	adhY, adhZ        []float64 // sum_i w_i s(x+e_i) e_i per y*NZ+z
 	rhoMin            float64
+
+	// nearSolid marks interior fluid cells with at least one solid
+	// (y, z)-neighbour in the Moore-8 sense; because the mask is
+	// x-independent this is exactly the set of cells whose streaming
+	// sources or psi-gradient neighbours can be solid. Cells outside
+	// the set take branch-free unrolled fast paths in Stream and
+	// CollideScratch; cells inside keep the per-direction checks. The
+	// split is a pure (deterministic) dispatch, so every solver path
+	// makes the same choice per cell and bit-identity holds.
+	nearSolid []bool
+	// pull[i] is the in-plane offset, in float64s, from a cell's base to
+	// the value streamed along direction i: i - (Ey[i]*NZ+Ez[i])*Q19.
+	pull [lattice.Q19]int
 }
 
 // NewKernel builds the plane kernel for p. It panics on invalid
@@ -56,6 +69,24 @@ func NewKernel(p *Params) *Kernel {
 		for z := 0; z < p.NZ; z++ {
 			k.solid[y*p.NZ+z] = mask.IsSolid(y, z)
 		}
+	}
+	k.nearSolid = make([]bool, p.NY*p.NZ)
+	for y := 1; y < p.NY-1; y++ {
+		for z := 1; z < p.NZ-1; z++ {
+			ns := false
+			for dy := -1; dy <= 1 && !ns; dy++ {
+				for dz := -1; dz <= 1; dz++ {
+					if (dy != 0 || dz != 0) && k.solid[(y+dy)*p.NZ+z+dz] {
+						ns = true
+						break
+					}
+				}
+			}
+			k.nearSolid[y*p.NZ+z] = ns
+		}
+	}
+	for i := 0; i < lattice.Q19; i++ {
+		k.pull[i] = i - (lattice.Ey[i]*p.NZ+lattice.Ez[i])*lattice.Q19
 	}
 	if p.WallForceComp >= 0 {
 		prof := geometry.NewWallForceProfile(ch, p.WallForceAmp, p.WallForceDecay)
@@ -98,6 +129,28 @@ func hasAdhesion(a []float64) bool {
 	return false
 }
 
+// Scratch holds the per-cell work buffers of the collision kernel.
+// Collide allocates one per call; hot paths (the fused stepping path,
+// the parallel solvers) allocate one per goroutine up front via
+// NewScratch and pass it to CollideScratch so the steady-state step
+// performs no allocations. A Scratch must not be shared between
+// concurrent CollideScratch calls.
+type Scratch struct {
+	mom   [][3]float64
+	nHere []float64
+	grads [][3]float64
+	feq   [lattice.Q19]float64
+}
+
+// NewScratch allocates collision work buffers sized for this kernel.
+func (k *Kernel) NewScratch() *Scratch {
+	return &Scratch{
+		mom:   make([][3]float64, k.NComp),
+		nHere: make([]float64, k.NComp),
+		grads: make([][3]float64, k.NComp),
+	}
+}
+
 // PlaneCells returns the number of cells in one x-plane.
 func (k *Kernel) PlaneCells() int { return k.NY * k.NZ }
 
@@ -116,10 +169,12 @@ func (k *Kernel) Densities(f [][]float64, n [][]float64) {
 		fc, nc := f[c], n[c]
 		for cell := 0; cell < cells; cell++ {
 			base := cell * lattice.Q19
-			var s float64
-			for i := 0; i < lattice.Q19; i++ {
-				s += fc[base+i]
-			}
+			fv := fc[base : base+lattice.Q19 : base+lattice.Q19]
+			// Pairwise tree sum: independent partials instead of one
+			// serial accumulation chain over the 19 populations.
+			s := ((fv[0] + fv[1]) + (fv[2] + fv[3])) + ((fv[4] + fv[5]) + (fv[6] + fv[7]))
+			s += ((fv[8] + fv[9]) + (fv[10] + fv[11])) + ((fv[12] + fv[13]) + (fv[14] + fv[15]))
+			s += (fv[16] + fv[17]) + fv[18]
 			nc[cell] = s
 		}
 	}
@@ -139,12 +194,20 @@ func (k *Kernel) Densities(f [][]float64, n [][]float64) {
 // driving body force. Forces shift the equilibrium velocity by
 // tau_sigma F_sigma / rho_sigma about the common velocity u'.
 func (k *Kernel) Collide(nL, nC, nR, fC, out [][]float64) {
+	k.CollideScratch(k.NewScratch(), nL, nC, nR, fC, out)
+}
+
+// CollideScratch is Collide with caller-provided work buffers; it is
+// the allocation-free form used by the fused and parallel hot paths.
+// The arithmetic is identical to Collide, so both produce bit-equal
+// output.
+func (k *Kernel) CollideScratch(sc *Scratch, nL, nC, nR, fC, out [][]float64) {
 	nz, ncomp := k.NZ, k.NComp
 	var psiGrad [3]float64 // sum_i w_i psi(x+e_i) e_i per component
-	mom := make([][3]float64, ncomp)
-	nHere := make([]float64, ncomp)
-	grads := make([][3]float64, ncomp)
-	var feq [lattice.Q19]float64
+	mom := sc.mom
+	nHere := sc.nHere
+	grads := sc.grads
+	feq := &sc.feq
 
 	for y := 1; y < k.NY-1; y++ {
 		for z := 1; z < nz-1; z++ {
@@ -163,16 +226,18 @@ func (k *Kernel) Collide(nL, nC, nR, fC, out [][]float64) {
 			// Per-component density, momentum, and psi-gradient sums.
 			var num [3]float64
 			var den float64
+			bulk := !k.nearSolid[cell]
 			for c := 0; c < ncomp; c++ {
-				fc := fC[c]
 				base := cell * lattice.Q19
-				var px, py, pz float64
-				for i := 1; i < lattice.Q19; i++ {
-					v := fc[base+i]
-					px += v * float64(lattice.Ex[i])
-					py += v * float64(lattice.Ey[i])
-					pz += v * float64(lattice.Ez[i])
-				}
+				fv := fC[c][base : base+lattice.Q19 : base+lattice.Q19]
+				// Momentum: signed sums over the direction groups with
+				// e_x, e_y, e_z = +-1 (the e = 0 terms vanish).
+				px := (fv[1] + fv[7] + fv[9] + fv[11] + fv[13]) -
+					(fv[2] + fv[8] + fv[10] + fv[12] + fv[14])
+				py := (fv[3] + fv[7] + fv[10] + fv[15] + fv[17]) -
+					(fv[4] + fv[8] + fv[9] + fv[16] + fv[18])
+				pz := (fv[5] + fv[11] + fv[14] + fv[15] + fv[18]) -
+					(fv[6] + fv[12] + fv[13] + fv[16] + fv[17])
 				mom[c] = [3]float64{px, py, pz}
 				nHere[c] = nC[c][cell]
 				mt := k.mass[c] * k.invTau[c]
@@ -183,6 +248,24 @@ func (k *Kernel) Collide(nL, nC, nR, fC, out [][]float64) {
 
 				// psi gradient: neighbours within the plane and in the
 				// adjacent planes; solid neighbours contribute psi = 0.
+				if bulk {
+					// No solid neighbour: unrolled stencil reads, the
+					// axis and edge weight factored out per group.
+					l, cn, r := nL[c], nC[c], nR[c]
+					ryp, rym := r[cell+nz], r[cell-nz]
+					rzp, rzm := r[cell+1], r[cell-1]
+					lyp, lym := l[cell+nz], l[cell-nz]
+					lzp, lzm := l[cell+1], l[cell-1]
+					cpp, cmm := cn[cell+nz+1], cn[cell-nz-1]
+					cpm, cmp := cn[cell+nz-1], cn[cell-nz+1]
+					const wA, wD = 1.0 / 18.0, 1.0 / 36.0
+					grads[c] = [3]float64{
+						wA*(r[cell]-l[cell]) + wD*(ryp+rym+rzp+rzm-lym-lyp-lzm-lzp),
+						wA*(cn[cell+nz]-cn[cell-nz]) + wD*(ryp-rym+lyp-lym+cpp-cmm+cpm-cmp),
+						wA*(cn[cell+1]-cn[cell-1]) + wD*(rzp-rzm+lzp-lzm+cpp-cmm-cpm+cmp),
+					}
+					continue
+				}
 				psiGrad = [3]float64{}
 				for i := 1; i < lattice.Q19; i++ {
 					sy := y + lattice.Ey[i]
@@ -250,13 +333,14 @@ func (k *Kernel) Collide(nL, nC, nR, fC, out [][]float64) {
 					ueqy += s * fy
 					ueqz += s * fz
 				}
-				lattice.Equilibrium(nHere[c], ueqx, ueqy, ueqz, &feq)
-				fc, oc := fC[c], out[c]
+				lattice.Equilibrium(nHere[c], ueqx, ueqy, ueqz, feq)
 				base := cell * lattice.Q19
+				fv := fC[c][base : base+lattice.Q19 : base+lattice.Q19]
+				ov := out[c][base : base+lattice.Q19 : base+lattice.Q19]
 				it := k.invTau[c]
 				for i := 0; i < lattice.Q19; i++ {
-					v := fc[base+i]
-					oc[base+i] = v - (v-feq[i])*it
+					v := fv[i]
+					ov[i] = v - (v-feq[i])*it
 				}
 			}
 		}
@@ -294,6 +378,7 @@ func zeroCell(p []float64, base int) {
 // layer. out must not alias fL, fC or fR.
 func (k *Kernel) Stream(fL, fC, fR, out [][]float64) {
 	nz := k.NZ
+	o := &k.pull
 	for c := 0; c < k.NComp; c++ {
 		fl, fc, fr, oc := fL[c], fC[c], fR[c], out[c]
 		for y := 1; y < k.NY-1; y++ {
@@ -304,6 +389,33 @@ func (k *Kernel) Stream(fL, fC, fR, out [][]float64) {
 					for i := 0; i < lattice.Q19; i++ {
 						oc[base+i] = 0
 					}
+					continue
+				}
+				if !k.nearSolid[cell] {
+					// No solid source: every population is a plain copy
+					// from the precomputed pull offset — directions with
+					// e_x = +1 pull from the left plane, e_x = -1 from
+					// the right, e_x = 0 in-plane.
+					ob := oc[base : base+lattice.Q19 : base+lattice.Q19]
+					ob[0] = fc[base]
+					ob[1] = fl[base+o[1]]
+					ob[2] = fr[base+o[2]]
+					ob[3] = fc[base+o[3]]
+					ob[4] = fc[base+o[4]]
+					ob[5] = fc[base+o[5]]
+					ob[6] = fc[base+o[6]]
+					ob[7] = fl[base+o[7]]
+					ob[8] = fr[base+o[8]]
+					ob[9] = fl[base+o[9]]
+					ob[10] = fr[base+o[10]]
+					ob[11] = fl[base+o[11]]
+					ob[12] = fr[base+o[12]]
+					ob[13] = fl[base+o[13]]
+					ob[14] = fr[base+o[14]]
+					ob[15] = fc[base+o[15]]
+					ob[16] = fc[base+o[16]]
+					ob[17] = fc[base+o[17]]
+					ob[18] = fc[base+o[18]]
 					continue
 				}
 				oc[base] = fc[base] // rest population

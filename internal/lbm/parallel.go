@@ -35,60 +35,62 @@ func (s *Sim) Workers() int {
 	return s.workers
 }
 
-// forEachPlane runs fn(x) for every plane, in parallel when workers > 1.
-// fn must only write to plane x of its output fields.
-func (s *Sim) forEachPlane(fn func(x int)) {
+// ensureScratch grows the per-worker collision scratch pool to at least
+// n entries; steady-state steps then never allocate.
+func (s *Sim) ensureScratch(n int) {
+	for len(s.parScratch) < n {
+		s.parScratch = append(s.parScratch, s.K.NewScratch())
+	}
+}
+
+// forEachPlane runs fn(x, wkr) for every plane, in parallel when
+// workers > 1; wkr identifies the calling worker so fn can use
+// per-worker scratch. fn must only write to plane x of its output
+// fields.
+func (s *Sim) forEachPlane(fn func(x, wkr int)) {
 	w := s.Workers()
 	if w <= 1 {
 		for x := 0; x < s.P.NX; x++ {
-			fn(x)
+			fn(x, 0)
 		}
 		return
 	}
 	var wg sync.WaitGroup
 	chunk := (s.P.NX + w - 1) / w
+	wkr := 0
 	for lo := 0; lo < s.P.NX; lo += chunk {
 		hi := lo + chunk
 		if hi > s.P.NX {
 			hi = s.P.NX
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(lo, hi, wkr int) {
 			defer wg.Done()
 			for x := lo; x < hi; x++ {
-				fn(x)
+				fn(x, wkr)
 			}
-		}(lo, hi)
+		}(lo, hi, wkr)
+		wkr++
 	}
 	wg.Wait()
 }
 
 // StepParallel is Step with the configured intra-node parallelism. Sim
 // keeps Step itself strictly serial so the reference behaviour stays
-// trivially auditable; drivers that want speed call this instead.
+// trivially auditable; drivers that want speed call this instead. When
+// P.Fused is set it dispatches to the fused collide+stream path, which
+// makes a single sweep over the distribution arrays instead of three
+// and allocates nothing in the steady state; both paths are bit-equal
+// to Step.
 func (s *Sim) StepParallel() {
-	p := s.P
-	nc := p.NComp()
-	planes := func(store [][][]float64, x int) [][]float64 {
-		out := make([][]float64, nc)
-		for c := 0; c < nc; c++ {
-			out[c] = store[c][x]
-		}
-		return out
+	if s.P.Fused {
+		s.stepFused()
+		return
 	}
-	s.forEachPlane(func(x int) {
-		s.K.Densities(planes(s.f, x), planes(s.n, x))
-	})
-	s.forEachPlane(func(x int) {
-		l := (x - 1 + p.NX) % p.NX
-		r := (x + 1) % p.NX
-		s.K.Collide(planes(s.n, l), planes(s.n, x), planes(s.n, r), planes(s.f, x), planes(s.fPost, x))
-	})
-	s.forEachPlane(func(x int) {
-		l := (x - 1 + p.NX) % p.NX
-		r := (x + 1) % p.NX
-		s.K.Stream(planes(s.fPost, l), planes(s.fPost, x), planes(s.fPost, r), planes(s.f, x))
-	})
+	s.ensureScratch(s.Workers())
+	s.forEachPlane(s.densPhase)
+	s.forEachPlane(s.collidePhase)
+	s.forEachPlane(s.streamPhase)
 	s.step++
 }
 

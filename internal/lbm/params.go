@@ -62,6 +62,12 @@ type Params struct {
 	WallAdhesion []float64
 	// RhoMin guards divisions by the local density.
 	RhoMin float64
+	// Fused selects the fused collide+stream stepping path in
+	// Sim.StepParallel: one rolling sweep over the distribution arrays
+	// instead of three passes, zero steady-state allocations, bit-equal
+	// results. The serial reference Step ignores it. Off by default so
+	// the reference behaviour stays the baseline.
+	Fused bool
 }
 
 // Obstacle is a solid rectangle [Y0,Y1] x [Z0,Z1] present in every

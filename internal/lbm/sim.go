@@ -19,6 +19,20 @@ type Sim struct {
 	n        [][][]float64 // number-density planes n[c][x]
 	step     int
 	workers  int // intra-node parallelism for StepParallel
+
+	// fView[x][c] etc. are the transposed per-plane component views the
+	// parallel stepping paths hand to the plane kernels. They are built
+	// once here (and swapped, never reallocated, by the fused path) so
+	// the steady-state step performs no allocations.
+	fView, postView, nView [][][]float64
+	// densPhase/collidePhase/streamPhase are the cached per-plane phase
+	// closures of StepParallel; allocating them per step would defeat
+	// the zero-alloc hot path.
+	densPhase, collidePhase, streamPhase func(x, wkr int)
+	// parScratch[wkr] is the collision scratch of intra-node worker wkr.
+	parScratch []*Scratch
+	// fused is the lazily built state of the fused collide+stream path.
+	fused *fusedState
 }
 
 // NewSim allocates and initializes a sequential simulation: a uniform
@@ -44,7 +58,47 @@ func NewSim(p *Params) (*Sim, error) {
 			k.InitEquilibrium(s.f[c][x], p.Components[c].InitDensity)
 		}
 	}
+	s.fView = transposeViews(s.f, p.NX, nc)
+	s.postView = transposeViews(s.fPost, p.NX, nc)
+	s.nView = transposeViews(s.n, p.NX, nc)
+	s.densPhase = func(x, wkr int) {
+		s.K.Densities(s.fView[x], s.nView[x])
+	}
+	s.collidePhase = func(x, wkr int) {
+		l := x - 1
+		if l < 0 {
+			l = s.P.NX - 1
+		}
+		r := x + 1
+		if r == s.P.NX {
+			r = 0
+		}
+		s.K.CollideScratch(s.parScratch[wkr], s.nView[l], s.nView[x], s.nView[r], s.fView[x], s.postView[x])
+	}
+	s.streamPhase = func(x, wkr int) {
+		l := x - 1
+		if l < 0 {
+			l = s.P.NX - 1
+		}
+		r := x + 1
+		if r == s.P.NX {
+			r = 0
+		}
+		s.K.Stream(s.postView[l], s.postView[x], s.postView[r], s.fView[x])
+	}
 	return s, nil
+}
+
+// transposeViews builds the [x][c] plane views of [c][x] storage.
+func transposeViews(store [][][]float64, nx, nc int) [][][]float64 {
+	out := make([][][]float64, nx)
+	for x := 0; x < nx; x++ {
+		out[x] = make([][]float64, nc)
+		for c := 0; c < nc; c++ {
+			out[x][c] = store[c][x]
+		}
+	}
+	return out
 }
 
 // Step advances the simulation by one LBM phase: density computation,

@@ -1,0 +1,114 @@
+package parlbm
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"microslip/internal/lbm"
+)
+
+// The full solver matrix — serial reference, intra-node parallel
+// stepping at several worker counts, the fused collide+stream path,
+// and the distributed solver at several rank counts with comm/compute
+// overlap on and off — must produce byte-equal final fields on the
+// water+air channel. This is the guard that lets every perf path claim
+// "same physics, faster".
+func TestBitIdentityMatrix(t *testing.T) {
+	const nx, ny, nz, steps = 12, 10, 6, 8
+	ref, err := lbm.NewSim(lbm.WaterAir(nx, ny, nz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Run(steps)
+	nc := ref.P.NComp()
+
+	check := func(t *testing.T, label string, plane func(c, x int) []float64) {
+		t.Helper()
+		for c := 0; c < nc; c++ {
+			for x := 0; x < nx; x++ {
+				want, got := ref.Plane(c, x), plane(c, x)
+				if len(got) != len(want) {
+					t.Fatalf("%s: comp %d plane %d has %d values, want %d", label, c, x, len(got), len(want))
+				}
+				for i := range want {
+					if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+						t.Fatalf("%s: diverged at comp %d plane %d index %d: %v != %v",
+							label, c, x, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		for _, fused := range []bool{false, true} {
+			label := fmt.Sprintf("intra/workers=%d/fused=%v", workers, fused)
+			t.Run(label, func(t *testing.T) {
+				p := lbm.WaterAir(nx, ny, nz)
+				p.Fused = fused
+				s, err := lbm.NewSim(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s.SetWorkers(workers)
+				s.RunParallelSteps(steps)
+				check(t, label, s.Plane)
+			})
+		}
+	}
+
+	for _, ranks := range []int{1, 2, 3} {
+		for _, overlap := range []bool{false, true} {
+			label := fmt.Sprintf("parlbm/ranks=%d/overlap=%v", ranks, overlap)
+			t.Run(label, func(t *testing.T) {
+				p := lbm.WaterAir(nx, ny, nz)
+				final, results, err := RunParallel(p, ranks, Options{Phases: steps, Overlap: overlap})
+				if err != nil {
+					t.Fatal(err)
+				}
+				check(t, label, func(c, x int) []float64 { return final[c].Plane(x) })
+				if overlap && ranks > 1 {
+					// The overlapped phases must attribute a nonzero
+					// overlap window on every rank.
+					for _, r := range results {
+						if r.Breakdown.Overlap <= 0 {
+							t.Errorf("rank %d: overlap window %v, want > 0", r.Rank, r.Breakdown.Overlap)
+						}
+						if r.Breakdown.Overlap > r.Breakdown.Computation {
+							t.Errorf("rank %d: overlap %v exceeds computation %v",
+								r.Rank, r.Breakdown.Overlap, r.Breakdown.Computation)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// Overlap must also hold bit-identity under remapping (plane counts
+// shift mid-run, exercising one- and two-plane slabs) — the edge-plane
+// special cases of the overlapped phase.
+func TestOverlapBitIdentityTinySlabs(t *testing.T) {
+	const nx, ny, nz, steps = 5, 8, 5, 6
+	ref, err := lbm.NewSim(lbm.WaterAir(nx, ny, nz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Run(steps)
+	// 5 planes on 4 ranks: slabs of 2, 1, 1, 1 planes.
+	final, _, err := RunParallel(lbm.WaterAir(nx, ny, nz), 4, Options{Phases: steps, Overlap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < ref.P.NComp(); c++ {
+		for x := 0; x < nx; x++ {
+			want, got := ref.Plane(c, x), final[c].Plane(x)
+			for i := range want {
+				if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+					t.Fatalf("comp %d plane %d index %d: %v != %v", c, x, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -67,6 +67,14 @@ type Options struct {
 	// Checkpoint, when non-nil, enables coordinated distributed
 	// checkpointing (and, with a Snapshot, resuming).
 	Checkpoint *CheckpointSpec
+	// Overlap enables comm/compute overlap inside each phase: the
+	// boundary planes are computed first, their halos posted, and the
+	// interior planes computed while the exchange is in flight; only
+	// then does the rank block on the ghost receives and finish the
+	// edge planes. The per-plane arithmetic is unchanged, so results
+	// stay bit-identical to the non-overlapped (and sequential)
+	// solver; Breakdown.Overlap reports the overlap window.
+	Overlap bool
 }
 
 // CheckpointSpec configures coordinated checkpointing of a parallel
@@ -121,6 +129,59 @@ type worker struct {
 	fPost []*field.Slab
 	pred  predict.Predictor
 	res   *Result
+
+	// sc is the rank's collision scratch (one suffices: a rank's
+	// planes are updated sequentially).
+	sc *lbm.Scratch
+	// fView[i][c] etc. are per-plane component views of the slabs
+	// (index i is local, gx-start), rebuilt only when the owned range
+	// changes so the phase hot loop allocates nothing.
+	fView, nView, postView [][][]float64
+	// packL/packR are the reusable halo send buffers; ghostHdrL/R the
+	// reusable per-component ghost-view headers.
+	packL, packR         []float64
+	ghostHdrL, ghostHdrR [][]float64
+}
+
+// rebuildViews refreshes the cached per-plane component views after
+// the slabs' owned range changed (init, remap, recovery).
+func (w *worker) rebuildViews() {
+	w.fView = buildViews(w.f)
+	w.nView = buildViews(w.n)
+	w.postView = buildViews(w.fPost)
+}
+
+// buildViews transposes slab storage into per-plane component views.
+func buildViews(slabs []*field.Slab) [][][]float64 {
+	count := slabs[0].Count()
+	out := make([][][]float64, count)
+	for i := 0; i < count; i++ {
+		v := make([][]float64, len(slabs))
+		for c, s := range slabs {
+			v[c] = s.Planes[i]
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// fAt/nAt/postAt return the cached per-component plane views at
+// global x.
+func (w *worker) fAt(gx int) [][]float64    { return w.fView[gx-w.f[0].Start] }
+func (w *worker) nAt(gx int) [][]float64    { return w.nView[gx-w.n[0].Start] }
+func (w *worker) postAt(gx int) [][]float64 { return w.postView[gx-w.fPost[0].Start] }
+
+// viewOrGhost resolves the cached views at gx, substituting the ghost
+// planes outside the owned range [start, end).
+func viewOrGhost(views [][][]float64, gx, start, end int, ghostL, ghostR [][]float64) [][]float64 {
+	switch {
+	case gx < start:
+		return ghostL
+	case gx >= end:
+		return ghostR
+	default:
+		return views[gx-start]
+	}
 }
 
 // RunRank executes the phases for one rank. All ranks of the group must
@@ -153,6 +214,9 @@ func RunRank(p *lbm.Params, c comm.Comm, opts Options) (*Result, error) {
 		rank: c.Rank(), size: c.Size(),
 		res: &Result{Rank: c.Rank()},
 	}
+	w.sc = w.k.NewScratch()
+	w.ghostHdrL = make([][]float64, p.NComp())
+	w.ghostHdrR = make([][]float64, p.NComp())
 	hk := 1
 	if opts.Policy != nil {
 		hk = opts.Policy.HistoryK()
@@ -183,6 +247,7 @@ func RunRank(p *lbm.Params, c comm.Comm, opts Options) (*Result, error) {
 			}
 		}
 	}
+	w.rebuildViews()
 	w.res.StartPhase = startPhase
 
 	interval := 0
@@ -232,40 +297,44 @@ func (w *worker) neighbors() (left, right int) {
 }
 
 // packPlanes concatenates the given global-x plane of every component
-// of the slabs.
-func packPlanes(slabs []*field.Slab, gx int) []float64 {
+// of the slabs into buf, reusing its capacity when possible, and
+// returns the (possibly grown) buffer. The steady-state halo exchange
+// therefore sends from two per-worker buffers instead of allocating a
+// fresh one per exchange.
+func packPlanes(buf []float64, slabs []*field.Slab, gx int) []float64 {
 	sz := slabs[0].PlaneSize()
-	out := make([]float64, 0, sz*len(slabs))
-	for _, s := range slabs {
-		out = append(out, s.Plane(gx)...)
+	need := sz * len(slabs)
+	if cap(buf) < need {
+		buf = make([]float64, need)
 	}
-	return out
+	buf = buf[:need]
+	for c, s := range slabs {
+		copy(buf[c*sz:(c+1)*sz], s.Plane(gx))
+	}
+	return buf
 }
 
-// exchangeHalos sends the boundary planes of slabs to both neighbors
-// and returns the received ghost planes, unpacked per component:
+// postHalos packs and sends the boundary planes of slabs to both ring
+// neighbors. Sends are buffered (never block), so posting the halos
+// before computing interior planes overlaps the exchange with compute.
+func (w *worker) postHalos(slabs []*field.Slab, tag int) error {
+	start, end := slabs[0].Start, slabs[0].End()
+	left, right := w.neighbors()
+	w.packL = packPlanes(w.packL, slabs, start)
+	if err := w.c.Send(left, tag, w.packL); err != nil {
+		return err
+	}
+	w.packR = packPlanes(w.packR, slabs, end-1)
+	return w.c.Send(right, tag, w.packR)
+}
+
+// recvHalos blocks for both neighbors' ghost planes and returns them
+// unpacked per component through the worker's reusable view headers:
 // ghostL corresponds to global x start-1, ghostR to end.
-func (w *worker) exchangeHalos(slabs []*field.Slab, tag int) (ghostL, ghostR [][]float64, err error) {
+func (w *worker) recvHalos(slabs []*field.Slab, tag int) (ghostL, ghostR [][]float64, err error) {
 	nc := len(slabs)
 	sz := slabs[0].PlaneSize()
-	start, end := slabs[0].Start, slabs[0].End()
-	if w.size == 1 {
-		// Periodic wrap within a single rank.
-		l := make([][]float64, nc)
-		r := make([][]float64, nc)
-		for c := 0; c < nc; c++ {
-			l[c] = slabs[c].Plane(end - 1)
-			r[c] = slabs[c].Plane(start)
-		}
-		return l, r, nil
-	}
 	left, right := w.neighbors()
-	if err := w.c.Send(left, tag, packPlanes(slabs, start)); err != nil {
-		return nil, nil, err
-	}
-	if err := w.c.Send(right, tag, packPlanes(slabs, end-1)); err != nil {
-		return nil, nil, err
-	}
 	fromL, err := w.c.Recv(left, tag)
 	if err != nil {
 		return nil, nil, err
@@ -277,31 +346,48 @@ func (w *worker) exchangeHalos(slabs []*field.Slab, tag int) (ghostL, ghostR [][
 	if len(fromL) != nc*sz || len(fromR) != nc*sz {
 		return nil, nil, fmt.Errorf("halo size %d/%d, want %d", len(fromL), len(fromR), nc*sz)
 	}
-	ghostL = make([][]float64, nc)
-	ghostR = make([][]float64, nc)
 	for c := 0; c < nc; c++ {
-		ghostL[c] = fromL[c*sz : (c+1)*sz]
-		ghostR[c] = fromR[c*sz : (c+1)*sz]
+		w.ghostHdrL[c] = fromL[c*sz : (c+1)*sz]
+		w.ghostHdrR[c] = fromR[c*sz : (c+1)*sz]
 	}
-	return ghostL, ghostR, nil
+	return w.ghostHdrL, w.ghostHdrR, nil
+}
+
+// exchangeHalos posts the boundary planes of slabs to both neighbors
+// and blocks for the received ghost planes (the non-overlapped
+// pattern: post and immediately wait).
+func (w *worker) exchangeHalos(slabs []*field.Slab, tag int) (ghostL, ghostR [][]float64, err error) {
+	if w.size == 1 {
+		// Periodic wrap within a single rank.
+		start, end := slabs[0].Start, slabs[0].End()
+		for c := range slabs {
+			w.ghostHdrL[c] = slabs[c].Plane(end - 1)
+			w.ghostHdrR[c] = slabs[c].Plane(start)
+		}
+		return w.ghostHdrL, w.ghostHdrR, nil
+	}
+	if err := w.postHalos(slabs, tag); err != nil {
+		return nil, nil, err
+	}
+	return w.recvHalos(slabs, tag)
 }
 
 // phase runs one LBM phase: densities, density-halo exchange, collide,
-// distribution-halo exchange, stream.
+// distribution-halo exchange, stream. With Options.Overlap (and more
+// than one rank) it dispatches to the overlapped variant.
 func (w *worker) phase(phase int) error {
 	if w.opts.PhaseHook != nil {
 		w.opts.PhaseHook(w.rank, phase)
 	}
+	if w.opts.Overlap && w.size > 1 {
+		return w.phaseOverlap(phase)
+	}
 	start, end := w.f[0].Start, w.f[0].End()
-	planes := end - start
 
 	tComp := time.Now()
 	// Densities for owned planes.
-	fAt := func(gx int) [][]float64 { return planesAt(w.f, gx) }
-	nAt := func(gx int) [][]float64 { return planesAt(w.n, gx) }
-	postAt := func(gx int) [][]float64 { return planesAt(w.fPost, gx) }
 	for gx := start; gx < end; gx++ {
-		w.k.Densities(fAt(gx), nAt(gx))
+		w.k.Densities(w.fAt(gx), w.nAt(gx))
 	}
 	compDur := time.Since(tComp).Seconds()
 
@@ -314,9 +400,9 @@ func (w *worker) phase(phase int) error {
 
 	tComp = time.Now()
 	for gx := start; gx < end; gx++ {
-		nL := nAtOrGhost(w.n, gx-1, start, end, nGhostL, nGhostR)
-		nR := nAtOrGhost(w.n, gx+1, start, end, nGhostL, nGhostR)
-		w.k.Collide(nL, nAt(gx), nR, fAt(gx), postAt(gx))
+		nL := viewOrGhost(w.nView, gx-1, start, end, nGhostL, nGhostR)
+		nR := viewOrGhost(w.nView, gx+1, start, end, nGhostL, nGhostR)
+		w.k.CollideScratch(w.sc, nL, w.nAt(gx), nR, w.fAt(gx), w.postAt(gx))
 	}
 	compDur += time.Since(tComp).Seconds()
 
@@ -329,17 +415,109 @@ func (w *worker) phase(phase int) error {
 
 	tComp = time.Now()
 	for gx := start; gx < end; gx++ {
-		fL := nAtOrGhost(w.fPost, gx-1, start, end, fGhostL, fGhostR)
-		fR := nAtOrGhost(w.fPost, gx+1, start, end, fGhostL, fGhostR)
-		w.k.Stream(fL, postAt(gx), fR, fAt(gx))
-	}
-	if w.opts.Throttle != nil {
-		w.opts.Throttle(w.rank, planes, phase)
+		fL := viewOrGhost(w.postView, gx-1, start, end, fGhostL, fGhostR)
+		fR := viewOrGhost(w.postView, gx+1, start, end, fGhostL, fGhostR)
+		w.k.Stream(fL, w.postAt(gx), fR, w.fAt(gx))
 	}
 	compDur += time.Since(tComp).Seconds()
 
+	return w.finishPhase(phase, compDur, commDur, 0)
+}
+
+// phaseOverlap is phase with comm/compute overlap: boundary planes are
+// computed first and their halos posted, the interior is computed
+// while the exchange is in flight, and only then does the rank block
+// on the ghosts and finish the edge planes. Every plane goes through
+// the identical kernel arithmetic, only the order changes — and plane
+// updates are independent within a sub-phase — so the results are
+// bit-identical to the non-overlapped solver.
+func (w *worker) phaseOverlap(phase int) error {
+	start, end := w.f[0].Start, w.f[0].End()
+	var compDur, commDur, ovDur float64
+
+	// Densities: edges first, halos on the wire, interior overlapped.
+	t := time.Now()
+	w.k.Densities(w.fAt(start), w.nAt(start))
+	if end-1 > start {
+		w.k.Densities(w.fAt(end-1), w.nAt(end-1))
+	}
+	compDur += time.Since(t).Seconds()
+	t = time.Now()
+	if err := w.postHalos(w.n, tagDensityHalo); err != nil {
+		return err
+	}
+	commDur += time.Since(t).Seconds()
+	t = time.Now()
+	for gx := start + 1; gx < end-1; gx++ {
+		w.k.Densities(w.fAt(gx), w.nAt(gx))
+	}
+	d := time.Since(t).Seconds()
+	compDur += d
+	ovDur += d
+	t = time.Now()
+	nGhostL, nGhostR, err := w.recvHalos(w.n, tagDensityHalo)
+	if err != nil {
+		return err
+	}
+	commDur += time.Since(t).Seconds()
+
+	// Collide: edge planes need the ghosts and produce the next
+	// exchange's boundary data, so they go first; the interior
+	// overlaps the distribution-halo exchange.
+	t = time.Now()
+	w.k.CollideScratch(w.sc, nGhostL, w.nAt(start),
+		viewOrGhost(w.nView, start+1, start, end, nGhostL, nGhostR),
+		w.fAt(start), w.postAt(start))
+	if end-1 > start {
+		w.k.CollideScratch(w.sc,
+			viewOrGhost(w.nView, end-2, start, end, nGhostL, nGhostR),
+			w.nAt(end-1), nGhostR, w.fAt(end-1), w.postAt(end-1))
+	}
+	compDur += time.Since(t).Seconds()
+	t = time.Now()
+	if err := w.postHalos(w.fPost, tagDistHalo); err != nil {
+		return err
+	}
+	commDur += time.Since(t).Seconds()
+	t = time.Now()
+	for gx := start + 1; gx < end-1; gx++ {
+		w.k.CollideScratch(w.sc, w.nAt(gx-1), w.nAt(gx), w.nAt(gx+1), w.fAt(gx), w.postAt(gx))
+	}
+	d = time.Since(t).Seconds()
+	compDur += d
+	ovDur += d
+	t = time.Now()
+	fGhostL, fGhostR, err := w.recvHalos(w.fPost, tagDistHalo)
+	if err != nil {
+		return err
+	}
+	commDur += time.Since(t).Seconds()
+
+	// Stream: no further exchange to overlap; sweep every plane.
+	t = time.Now()
+	for gx := start; gx < end; gx++ {
+		fL := viewOrGhost(w.postView, gx-1, start, end, fGhostL, fGhostR)
+		fR := viewOrGhost(w.postView, gx+1, start, end, fGhostL, fGhostR)
+		w.k.Stream(fL, w.postAt(gx), fR, w.fAt(gx))
+	}
+	compDur += time.Since(t).Seconds()
+
+	return w.finishPhase(phase, compDur, commDur, ovDur)
+}
+
+// finishPhase runs the shared phase epilogue: throttling, time
+// accounting, the phase-time observation feeding the remap predictor,
+// and the chaos harness's invariant hook.
+func (w *worker) finishPhase(phase int, compDur, commDur, ovDur float64) error {
+	planes := w.f[0].Count()
+	if w.opts.Throttle != nil {
+		t := time.Now()
+		w.opts.Throttle(w.rank, planes, phase)
+		compDur += time.Since(t).Seconds()
+	}
 	w.res.Breakdown.Computation += compDur
 	w.res.Breakdown.Communication += commDur
+	w.res.Breakdown.Overlap += ovDur
 
 	measured := compDur
 	if w.opts.PhaseTime != nil {
@@ -365,26 +543,4 @@ func (w *worker) phase(phase int) error {
 		}
 	}
 	return nil
-}
-
-// planesAt returns the per-component plane slices at global x.
-func planesAt(slabs []*field.Slab, gx int) [][]float64 {
-	out := make([][]float64, len(slabs))
-	for c, s := range slabs {
-		out[c] = s.Plane(gx)
-	}
-	return out
-}
-
-// nAtOrGhost resolves the per-component planes at gx, using the ghost
-// planes when gx falls outside the owned range [start, end).
-func nAtOrGhost(slabs []*field.Slab, gx, start, end int, ghostL, ghostR [][]float64) [][]float64 {
-	switch {
-	case gx < start:
-		return ghostL
-	case gx >= end:
-		return ghostR
-	default:
-		return planesAt(slabs, gx)
-	}
 }

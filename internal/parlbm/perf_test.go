@@ -1,0 +1,131 @@
+package parlbm
+
+import (
+	"testing"
+
+	"microslip/internal/comm"
+	"microslip/internal/field"
+	"microslip/internal/lbm"
+)
+
+func benchWorker(b testing.TB, c comm.Comm) *worker {
+	p := lbm.WaterAir(8, 40, 12)
+	w := &worker{
+		p: p, k: lbm.NewKernel(p), c: c,
+		rank: c.Rank(), size: c.Size(),
+		res: &Result{Rank: c.Rank()},
+	}
+	w.sc = w.k.NewScratch()
+	nc := p.NComp()
+	w.ghostHdrL = make([][]float64, nc)
+	w.ghostHdrR = make([][]float64, nc)
+	w.f = make([]*field.Slab, nc)
+	w.n = make([]*field.Slab, nc)
+	w.fPost = make([]*field.Slab, nc)
+	start, count := 4*c.Rank(), 4
+	for comp := 0; comp < nc; comp++ {
+		w.f[comp] = field.NewSlab(p.NY, p.NZ, 19, start, count)
+		w.fPost[comp] = field.NewSlab(p.NY, p.NZ, 19, start, count)
+		w.n[comp] = field.NewSlab(p.NY, p.NZ, 1, start, count)
+		for gx := start; gx < start+count; gx++ {
+			w.k.InitEquilibrium(w.f[comp].Plane(gx), p.Components[comp].InitDensity)
+		}
+	}
+	w.rebuildViews()
+	return w
+}
+
+// The rank-side pack/unpack hot path of the halo exchange must not
+// allocate in the steady state: packPlanes reuses the worker's send
+// buffers and recvHalos reuses its ghost-view headers. (The transport
+// itself copies each message once by contract; that copy lives in the
+// comm layer, not here.)
+func TestHaloPackPathZeroAllocs(t *testing.T) {
+	f := comm.NewFabric(1)
+	defer f.Close()
+	w := benchWorker(t, f.Endpoint(0))
+
+	w.packL = packPlanes(w.packL, w.f, w.f[0].Start) // warm the buffer
+	if allocs := testing.AllocsPerRun(10, func() {
+		w.packL = packPlanes(w.packL, w.f, w.f[0].Start)
+	}); allocs != 0 {
+		t.Errorf("packPlanes steady state: %v allocs/op, want 0", allocs)
+	}
+
+	// Ghost unpacking into the reusable headers.
+	payload := make([]float64, len(w.f)*w.f[0].PlaneSize())
+	sz := w.f[0].PlaneSize()
+	if allocs := testing.AllocsPerRun(10, func() {
+		for c := 0; c < len(w.f); c++ {
+			w.ghostHdrL[c] = payload[c*sz : (c+1)*sz]
+			w.ghostHdrR[c] = payload[c*sz : (c+1)*sz]
+		}
+	}); allocs != 0 {
+		t.Errorf("ghost header reuse: %v allocs/op, want 0", allocs)
+	}
+
+	// Single-rank exchange (periodic wrap) is entirely rank-side.
+	if _, _, err := w.exchangeHalos(w.n, tagDensityHalo); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		if _, _, err := w.exchangeHalos(w.n, tagDensityHalo); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("single-rank exchangeHalos: %v allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkHaloExchange measures the fault-free two-rank halo exchange
+// end to end (pack, send, receive, unpack) on the in-process
+// transport. allocs/op isolates the transport's per-message copy; the
+// rank-side pack/unpack path contributes zero (see
+// TestHaloPackPathZeroAllocs).
+func BenchmarkHaloExchange(b *testing.B) {
+	f := comm.NewFabric(2)
+	defer f.Close()
+	w0 := benchWorker(b, f.Endpoint(0))
+	w1 := benchWorker(b, f.Endpoint(1))
+	b.SetBytes(int64(2 * len(w0.f) * w0.f[0].PlaneSize() * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := w1.exchangeHalos(w1.fPost, tagDistHalo); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := w0.exchangeHalos(w0.fPost, tagDistHalo); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPhase measures one full LBM phase per rank on two ranks,
+// overlapped and not.
+func BenchmarkPhase(b *testing.B) {
+	for _, overlap := range []bool{false, true} {
+		name := "overlap=off"
+		if overlap {
+			name = "overlap=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := lbm.WaterAir(16, 40, 12)
+			b.ReportAllocs()
+			b.ResetTimer()
+			_, _, err := RunParallel(p, 2, Options{Phases: b.N, Overlap: overlap})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

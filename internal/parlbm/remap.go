@@ -234,14 +234,15 @@ func unflattenPlanes(msg []float64, nc, planeSize, count int) ([][]float64, erro
 }
 
 // rebuildScratch reallocates the post-collision and density slabs to
-// the (possibly changed) owned range; their contents are recomputed
-// every phase.
+// the (possibly changed) owned range and refreshes the cached plane
+// views; slab contents are recomputed every phase.
 func (w *worker) rebuildScratch() {
 	start, count := w.f[0].Start, w.f[0].Count()
 	for c := range w.fPost {
 		w.fPost[c] = field.NewSlab(w.p.NY, w.p.NZ, 19, start, count)
 		w.n[c] = field.NewSlab(w.p.NY, w.p.NZ, 1, start, count)
 	}
+	w.rebuildViews()
 }
 
 // remapGlobal is the distributed global scheme: allgather the load

@@ -33,17 +33,39 @@ func newWindow(k int) *window {
 	return &window{buf: make([]float64, k)}
 }
 
-func (w *window) push(v float64) {
+// push appends v, returning the evicted observation and whether one
+// was evicted (the ring was full), so predictors can maintain O(1)
+// incremental accumulators.
+func (w *window) push(v float64) (evicted float64, wasFull bool) {
+	evicted, wasFull = w.buf[w.next], w.n == len(w.buf)
 	w.buf[w.next] = v
 	w.next = (w.next + 1) % len(w.buf)
 	if w.n < len(w.buf) {
 		w.n++
 	}
+	return evicted, wasFull
 }
 
 func (w *window) reset() { w.n, w.next = 0, 0 }
 
-// values returns the valid entries, oldest first.
+// wrapped reports whether the ring head just returned to slot 0 — a
+// natural point for accumulator-based predictors to re-sum exactly,
+// which bounds floating-point drift to one window's worth of updates.
+func (w *window) wrapped() bool { return w.next == 0 }
+
+// first returns the oldest valid entry.
+func (w *window) first() float64 {
+	return w.buf[(w.next-w.n+len(w.buf))%len(w.buf)]
+}
+
+// last returns the most recent entry.
+func (w *window) last() float64 {
+	return w.buf[(w.next-1+len(w.buf))%len(w.buf)]
+}
+
+// values returns the valid entries, oldest first. It allocates, so hot
+// paths use the incremental accumulators instead; it remains the
+// reference the property tests check those accumulators against.
 func (w *window) values() []float64 {
 	out := make([]float64, 0, w.n)
 	start := (w.next - w.n + len(w.buf)) % len(w.buf)
@@ -58,30 +80,48 @@ func (w *window) values() []float64 {
 // phase among K fast ones barely raises the prediction, so no migration
 // is triggered "unless this machine is really slow for the last K
 // phases" (the paper uses K = 10).
-type HarmonicMean struct{ w *window }
+// Observe and Predict are both O(1): the reciprocal sum is maintained
+// incrementally as the ring evicts and admits observations (Predict is
+// called once per plane-owning rank inside every remap round, so the
+// old O(K)-with-allocation evaluation sat on the remap hot path). The
+// sum is re-accumulated exactly from the ring each time the head
+// wraps, which bounds floating-point drift to one window of updates.
+type HarmonicMean struct {
+	w   *window
+	inv float64 // sum of 1/t over the window's positive entries
+}
 
 // NewHarmonicMean creates the predictor with window K.
 func NewHarmonicMean(k int) *HarmonicMean { return &HarmonicMean{w: newWindow(k)} }
 
-func (h *HarmonicMean) Name() string      { return "harmonic" }
-func (h *HarmonicMean) Observe(t float64) { h.w.push(t) }
-func (h *HarmonicMean) Reset()            { h.w.reset() }
+func (h *HarmonicMean) Name() string { return "harmonic" }
+
+func (h *HarmonicMean) Observe(t float64) {
+	evicted, wasFull := h.w.push(t)
+	if h.w.wrapped() {
+		h.inv = 0
+		for _, v := range h.w.buf[:h.w.n] {
+			if v > 0 {
+				h.inv += 1 / v
+			}
+		}
+		return
+	}
+	if wasFull && evicted > 0 {
+		h.inv -= 1 / evicted
+	}
+	if t > 0 {
+		h.inv += 1 / t
+	}
+}
+
+func (h *HarmonicMean) Reset() { h.w.reset(); h.inv = 0 }
 
 func (h *HarmonicMean) Predict() float64 {
-	if h.w.n == 0 {
+	if h.w.n == 0 || h.inv <= 0 {
 		return 0
 	}
-	var inv float64
-	for _, t := range h.w.values() {
-		if t <= 0 {
-			continue
-		}
-		inv += 1 / t
-	}
-	if inv == 0 {
-		return 0
-	}
-	return float64(h.w.n) / inv
+	return float64(h.w.n) / h.inv
 }
 
 // LastValue predicts the most recent observation; the literature's
@@ -97,25 +137,41 @@ func (l *LastValue) Observe(t float64) { l.last = t }
 func (l *LastValue) Predict() float64  { return l.last }
 func (l *LastValue) Reset()            { l.last = 0 }
 
-// ArithmeticMean averages the last K observations.
-type ArithmeticMean struct{ w *window }
+// ArithmeticMean averages the last K observations. Like HarmonicMean,
+// the sum is maintained incrementally (O(1) Observe and Predict) and
+// re-accumulated exactly at every ring wrap to bound drift.
+type ArithmeticMean struct {
+	w   *window
+	sum float64
+}
 
 // NewArithmeticMean creates the predictor with window K.
 func NewArithmeticMean(k int) *ArithmeticMean { return &ArithmeticMean{w: newWindow(k)} }
 
-func (a *ArithmeticMean) Name() string      { return "mean" }
-func (a *ArithmeticMean) Observe(t float64) { a.w.push(t) }
-func (a *ArithmeticMean) Reset()            { a.w.reset() }
+func (a *ArithmeticMean) Name() string { return "mean" }
+
+func (a *ArithmeticMean) Observe(t float64) {
+	evicted, wasFull := a.w.push(t)
+	if a.w.wrapped() {
+		a.sum = 0
+		for _, v := range a.w.buf[:a.w.n] {
+			a.sum += v
+		}
+		return
+	}
+	if wasFull {
+		a.sum -= evicted
+	}
+	a.sum += t
+}
+
+func (a *ArithmeticMean) Reset() { a.w.reset(); a.sum = 0 }
 
 func (a *ArithmeticMean) Predict() float64 {
 	if a.w.n == 0 {
 		return 0
 	}
-	var s float64
-	for _, t := range a.w.values() {
-		s += t
-	}
-	return s / float64(a.w.n)
+	return a.sum / float64(a.w.n)
 }
 
 // ExpSmoothing is exponentially weighted smoothing with factor alpha in
@@ -172,16 +228,17 @@ func (td *Tendency) Name() string      { return "tendency" }
 func (td *Tendency) Observe(t float64) { td.w.push(t) }
 func (td *Tendency) Reset()            { td.w.reset() }
 
+// Predict is O(1): the trend only needs the window's oldest and newest
+// entries, both direct ring reads.
 func (td *Tendency) Predict() float64 {
-	vs := td.w.values()
-	if len(vs) == 0 {
+	if td.w.n == 0 {
 		return 0
 	}
-	last := vs[len(vs)-1]
-	if len(vs) == 1 {
+	last := td.w.last()
+	if td.w.n == 1 {
 		return last
 	}
-	incr := (vs[len(vs)-1] - vs[0]) / float64(len(vs)-1)
+	incr := (last - td.w.first()) / float64(td.w.n-1)
 	p := last + incr
 	if p <= 0 {
 		p = last

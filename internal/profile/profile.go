@@ -17,6 +17,13 @@ type Breakdown struct {
 	// Checkpoint is time spent persisting coordinated checkpoints
 	// (serialization, fsync-equivalent I/O, and the commit barrier).
 	Checkpoint float64
+	// Overlap is the portion of Computation spent on interior planes
+	// while a halo exchange was already posted and in flight (the
+	// comm/compute overlap window of the overlapped parallel solver).
+	// It is a subset of Computation, not an additional category, so
+	// Total does not include it; Communication then counts only the
+	// blocking remainder of each exchange.
+	Overlap float64
 }
 
 // Total returns the node's total accounted time.
@@ -30,6 +37,7 @@ func (b *Breakdown) Add(o Breakdown) {
 	b.Communication += o.Communication
 	b.Remapping += o.Remapping
 	b.Checkpoint += o.Checkpoint
+	b.Overlap += o.Overlap
 }
 
 // CommStats counts the resilience-layer events of one node: how often
@@ -121,10 +129,10 @@ func (p *Profile) Sum() Breakdown {
 // textual analogue of Figure 9.
 func (p *Profile) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%4s %12s %14s %10s %10s %10s\n", "node", "comp (s)", "comm (s)", "remap (s)", "ckpt (s)", "total (s)")
+	fmt.Fprintf(&sb, "%4s %12s %14s %10s %10s %10s %10s\n", "node", "comp (s)", "comm (s)", "remap (s)", "ckpt (s)", "ovlp (s)", "total (s)")
 	for i, b := range p.Nodes {
-		fmt.Fprintf(&sb, "%4d %12.2f %14.2f %10.2f %10.2f %10.2f\n",
-			i, b.Computation, b.Communication, b.Remapping, b.Checkpoint, b.Total())
+		fmt.Fprintf(&sb, "%4d %12.2f %14.2f %10.2f %10.2f %10.2f %10.2f\n",
+			i, b.Computation, b.Communication, b.Remapping, b.Checkpoint, b.Overlap, b.Total())
 	}
 	return sb.String()
 }

@@ -13,6 +13,7 @@ import (
 var mains = []string{
 	"./cmd/benchtables",
 	"./cmd/clustersim",
+	"./cmd/lbmbench",
 	"./cmd/slipsim",
 	"./examples/groovedwall",
 	"./examples/liveremap",
