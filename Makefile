@@ -35,15 +35,19 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
 # The perf-trajectory sweep: pinned-size step benchmarks over the
-# intra-node (reference and fused) and distributed solvers, written to
-# BENCH_<date>.json (schema microslip-bench/v1, validated after the
-# write). Commit the report to record a perf point in history.
+# intra-node (reference and fused) and distributed solvers — the latter
+# across the slim/wide halo wire formats with measured comm_bytes —
+# written to BENCH_<date>.json (schema microslip-bench/v2, validated
+# after the write). Commit the report to record a perf point in history.
 bench-json:
 	$(GO) run ./cmd/lbmbench
 	$(GO) run ./cmd/lbmbench -check $$(ls -t BENCH_*.json | head -1)
 
-# A few-second version of the sweep for CI: emits bench_smoke.json and
-# validates its schema; the workflow uploads it as an artifact.
+# A few-second version of the sweep for CI: ranks=2 across slim, wide,
+# and coalesced halo configurations, emitted as bench_smoke.json; the
+# schema check also validates the comm_bytes accounting (presence,
+# sent/recv balance, nonzero halo traffic). The workflow uploads the
+# file as an artifact.
 bench-smoke:
 	$(GO) run ./cmd/lbmbench -quick -out bench_smoke.json
 	$(GO) run ./cmd/lbmbench -check bench_smoke.json

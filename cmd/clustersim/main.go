@@ -38,6 +38,8 @@ func main() {
 		duty     = flag.Float64("duty", 0.7, "competing-job duty cycle (duty-cycle)")
 		spike    = flag.Float64("spike", 2, "spike length in seconds (spikes)")
 		seed     = flag.Int64("seed", 1, "workload and jitter seed")
+		haloDirs = flag.Int("halo-dirs", 0, "distribution populations per cell on the halo wire: 19 full, 5 slim (0 = full)")
+		coalesce = flag.Bool("coalesce", false, "model the coalesced one-frame-per-neighbor halo protocol")
 		profileF = flag.Bool("profile", false, "print the per-node time breakdown")
 		timeline = flag.String("timeline", "", "write the per-phase makespan timeline as CSV to this file")
 	)
@@ -81,6 +83,11 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg.RecordTimeline = *timeline != ""
+	cfg.Costs.DistHaloDirs = *haloDirs
+	cfg.Costs.CoalescedHalo = *coalesce
+	if err := cfg.Costs.Validate(); err != nil {
+		log.Fatal(err)
+	}
 	res, err := vcluster.Run(cfg)
 	if err != nil {
 		log.Fatal(err)

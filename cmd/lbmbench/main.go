@@ -9,12 +9,19 @@
 //
 //	lbmbench [-grid 32x48x16[,NXxNYxNZ...]] [-steps N] [-warmup N]
 //	         [-workers 1,2,4] [-ranks 1,2,4] [-fused both|on|off]
-//	         [-overlap both|on|off] [-out FILE] [-quick]
+//	         [-overlap both|on|off] [-halo both|slim|wide]
+//	         [-coalesce both|on|off] [-out FILE] [-quick]
 //	lbmbench -check FILE
 //
 // -quick shrinks the sweep to a few seconds for CI smoke runs. -check
 // validates the JSON schema of an existing report and exits non-zero on
 // any violation; CI uses it to gate the emitted artifact.
+//
+// Distributed entries carry a comm_bytes block with the per-class wire
+// volumes (density halo, distribution halo, coalesced frames,
+// migration, control, gather) measured by the solver's own byte
+// counters and summed over all ranks, plus the derived halo bytes per
+// phase — the number the slim format cuts by more than 3x.
 //
 // MLUPS is million lattice-site updates per second: NX*NY*NZ*steps /
 // elapsed / 1e6 (solid cells counted — the kernel visits them too).
@@ -37,24 +44,57 @@ import (
 
 	"microslip/internal/lbm"
 	"microslip/internal/parlbm"
+	"microslip/internal/profile"
 )
 
 // Schema identifies the report layout; bump on incompatible change.
-const Schema = "microslip-bench/v1"
+// v2 adds the halo wire format, frame coalescing, and measured per-class
+// communication volumes (comm_bytes) to the distributed entries.
+const Schema = "microslip-bench/v2"
+
+// TagJSON is one message class's wire traffic, summed over all ranks.
+type TagJSON struct {
+	SentBytes int64 `json:"sent_bytes"`
+	RecvBytes int64 `json:"recv_bytes"`
+	SentMsgs  int64 `json:"sent_msgs"`
+	RecvMsgs  int64 `json:"recv_msgs"`
+}
+
+// CommJSON is the per-class communication volume of one distributed
+// run, from the solver's own Result.Comm counters.
+type CommJSON struct {
+	DensityHalo TagJSON `json:"density_halo"`
+	DistHalo    TagJSON `json:"dist_halo"`
+	Frame       TagJSON `json:"frame"`
+	Migration   TagJSON `json:"migration"`
+	Control     TagJSON `json:"control"`
+	Gather      TagJSON `json:"gather"`
+	// HaloBytesPerPhase is the derived per-phase halo traffic across
+	// the whole ring (density + distribution + frames), for eyeballing
+	// format comparisons without arithmetic.
+	HaloBytesPerPhase float64 `json:"halo_bytes_per_phase"`
+}
+
+func tagJSON(t profile.TagBytes) TagJSON {
+	return TagJSON{SentBytes: t.SentBytes, RecvBytes: t.RecvBytes, SentMsgs: t.SentMsgs, RecvMsgs: t.RecvMsgs}
+}
 
 // Entry is one measured configuration.
 type Entry struct {
-	Name          string  `json:"name"`
-	Grid          [3]int  `json:"grid"`
-	Workers       int     `json:"workers"` // intra-node goroutines; 0 for distributed entries
-	Ranks         int     `json:"ranks"`   // distributed ranks; 0 for intra-node entries
-	Fused         bool    `json:"fused"`
-	Overlap       bool    `json:"overlap"`
-	Steps         int     `json:"steps"`
-	NsPerStep     float64 `json:"ns_per_step"`
-	MLUPS         float64 `json:"mlups"`
-	AllocsPerStep float64 `json:"allocs_per_step"`
-	BytesPerStep  float64 `json:"bytes_per_step"`
+	Name          string    `json:"name"`
+	Grid          [3]int    `json:"grid"`
+	Workers       int       `json:"workers"` // intra-node goroutines; 0 for distributed entries
+	Ranks         int       `json:"ranks"`   // distributed ranks; 0 for intra-node entries
+	Fused         bool      `json:"fused"`
+	Overlap       bool      `json:"overlap"`
+	Halo          string    `json:"halo,omitempty"`     // distributed: "slim" or "wide"
+	Coalesce      bool      `json:"coalesce,omitempty"` // distributed: one frame per neighbor per phase
+	Steps         int       `json:"steps"`
+	NsPerStep     float64   `json:"ns_per_step"`
+	MLUPS         float64   `json:"mlups"`
+	AllocsPerStep float64   `json:"allocs_per_step"`
+	BytesPerStep  float64   `json:"bytes_per_step"`
+	CommBytes     *CommJSON `json:"comm_bytes,omitempty"` // distributed only
 }
 
 // Report is the emitted JSON document.
@@ -72,16 +112,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lbmbench: ")
 	var (
-		grids   = flag.String("grid", "32x48x16", "comma-separated NXxNYxNZ grids")
-		steps   = flag.Int("steps", 120, "timed steps per configuration")
-		warmup  = flag.Int("warmup", 20, "untimed warmup steps (intra-node sweeps)")
-		workers = flag.String("workers", "1,2,4", "comma-separated intra-node worker counts")
-		ranks   = flag.String("ranks", "1,2,4", "comma-separated distributed rank counts")
-		fused   = flag.String("fused", "both", "fused collide+stream: both, on, or off")
-		overlap = flag.String("overlap", "both", "comm/compute overlap: both, on, or off")
-		out     = flag.String("out", "", "output file (default BENCH_<date>.json)")
-		quick   = flag.Bool("quick", false, "tiny sweep for CI smoke runs")
-		check   = flag.String("check", "", "validate the schema of an existing report and exit")
+		grids    = flag.String("grid", "32x48x16", "comma-separated NXxNYxNZ grids")
+		steps    = flag.Int("steps", 120, "timed steps per configuration")
+		warmup   = flag.Int("warmup", 20, "untimed warmup steps (intra-node sweeps)")
+		workers  = flag.String("workers", "1,2,4", "comma-separated intra-node worker counts")
+		ranks    = flag.String("ranks", "1,2,4", "comma-separated distributed rank counts")
+		fused    = flag.String("fused", "both", "fused collide+stream: both, on, or off")
+		overlap  = flag.String("overlap", "both", "comm/compute overlap: both, on, or off")
+		halo     = flag.String("halo", "both", "halo wire format: both, slim, or wide")
+		coalesce = flag.String("coalesce", "off", "coalesced phase frames: both, on, or off")
+		out      = flag.String("out", "", "output file (default BENCH_<date>.json)")
+		quick    = flag.Bool("quick", false, "tiny sweep for CI smoke runs")
+		check    = flag.String("check", "", "validate the schema of an existing report and exit")
 	)
 	flag.Parse()
 
@@ -96,6 +138,7 @@ func main() {
 	if *quick {
 		*grids, *steps, *warmup = "8x16x8", 40, 8
 		*workers, *ranks = "1,2", "2"
+		*halo, *coalesce = "both", "both"
 	}
 	gridList, err := parseGrids(*grids)
 	if err != nil {
@@ -116,6 +159,14 @@ func main() {
 	overlapModes, err := parseToggle(*overlap)
 	if err != nil {
 		log.Fatalf("-overlap: %v", err)
+	}
+	haloModes, err := parseHalo(*halo)
+	if err != nil {
+		log.Fatalf("-halo: %v", err)
+	}
+	coalesceModes, err := parseToggle(*coalesce)
+	if err != nil {
+		log.Fatalf("-coalesce: %v", err)
 	}
 
 	rep := &Report{
@@ -142,12 +193,19 @@ func main() {
 				if ov && r == 1 {
 					continue // overlap is a no-op on one rank
 				}
-				e, err := benchRanks(g, r, ov, *steps)
-				if err != nil {
-					log.Fatal(err)
+				for _, wide := range haloModes {
+					for _, cz := range coalesceModes {
+						if cz && ov {
+							continue // the coalesced phase has its own schedule; overlap is ignored
+						}
+						e, err := benchRanks(g, r, ov, wide, cz, *steps)
+						if err != nil {
+							log.Fatal(err)
+						}
+						rep.Entries = append(rep.Entries, e)
+						fmt.Println(row(e))
+					}
 				}
-				rep.Entries = append(rep.Entries, e)
-				fmt.Println(row(e))
 			}
 		}
 	}
@@ -199,25 +257,49 @@ func benchIntra(g [3]int, workers int, fused bool, steps, warmup int) (Entry, er
 }
 
 // benchRanks measures one full distributed run; setup (rank spawn,
-// initial decomposition) is included and amortised over the steps.
-func benchRanks(g [3]int, ranks int, overlap bool, steps int) (Entry, error) {
+// initial decomposition) is included and amortised over the steps. The
+// per-class communication volumes come from the solver's own
+// Result.Comm counters, summed over all ranks.
+func benchRanks(g [3]int, ranks int, overlap, wide, coalesce bool, steps int) (Entry, error) {
 	p := lbm.WaterAir(g[0], g[1], g[2])
 	runtime.GC()
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
 	t0 := time.Now()
-	_, _, err := parlbm.RunParallel(p, ranks, parlbm.Options{Phases: steps, Overlap: overlap})
+	_, results, err := parlbm.RunParallel(p, ranks, parlbm.Options{
+		Phases: steps, Overlap: overlap, WideHalo: wide, Coalesce: coalesce,
+	})
 	el := time.Since(t0)
 	if err != nil {
 		return Entry{}, err
 	}
 	runtime.ReadMemStats(&m1)
+	var total profile.CommBytes
+	for _, r := range results {
+		total.Add(r.Comm.Bytes)
+	}
+	haloName := "slim"
+	if wide {
+		haloName = "wide"
+	}
 	e := Entry{
-		Name:    fmt.Sprintf("parlbm/%dx%dx%d/ranks=%d/overlap=%v", g[0], g[1], g[2], ranks, overlap),
-		Grid:    g,
-		Ranks:   ranks,
-		Overlap: overlap,
-		Steps:   steps,
+		Name: fmt.Sprintf("parlbm/%dx%dx%d/ranks=%d/overlap=%v/halo=%s/coalesce=%v",
+			g[0], g[1], g[2], ranks, overlap, haloName, coalesce),
+		Grid:     g,
+		Ranks:    ranks,
+		Overlap:  overlap,
+		Halo:     haloName,
+		Coalesce: coalesce,
+		Steps:    steps,
+		CommBytes: &CommJSON{
+			DensityHalo:       tagJSON(total.DensityHalo),
+			DistHalo:          tagJSON(total.DistHalo),
+			Frame:             tagJSON(total.Frame),
+			Migration:         tagJSON(total.Migration),
+			Control:           tagJSON(total.Control),
+			Gather:            tagJSON(total.Gather),
+			HaloBytesPerPhase: float64(total.Halo().SentBytes) / float64(steps),
+		},
 	}
 	fill(&e, el, steps, &m0, &m1)
 	return e, nil
@@ -232,8 +314,12 @@ func fill(e *Entry, el time.Duration, steps int, m0, m1 *runtime.MemStats) {
 }
 
 func row(e Entry) string {
-	return fmt.Sprintf("%-44s %10.0f ns/step %8.2f MLUPS %10.1f allocs/step",
+	s := fmt.Sprintf("%-60s %10.0f ns/step %8.2f MLUPS %10.1f allocs/step",
 		e.Name, e.NsPerStep, e.MLUPS, e.AllocsPerStep)
+	if e.CommBytes != nil {
+		s += fmt.Sprintf(" %10.0f halo B/phase", e.CommBytes.HaloBytesPerPhase)
+	}
+	return s
 }
 
 // validate checks an existing report against the schema; it is the CI
@@ -281,8 +367,42 @@ func validate(path string) error {
 		if e.AllocsPerStep < 0 || e.BytesPerStep < 0 {
 			return fmt.Errorf("entry %q: negative allocation counts", e.Name)
 		}
+		if e.Ranks >= 1 {
+			if e.Halo != "slim" && e.Halo != "wide" {
+				return fmt.Errorf("entry %q: halo %q, want slim or wide", e.Name, e.Halo)
+			}
+			if e.CommBytes == nil {
+				return fmt.Errorf("entry %q: distributed entry missing comm_bytes", e.Name)
+			}
+			halo := e.CommBytes.DensityHalo
+			addTag(&halo, e.CommBytes.DistHalo)
+			addTag(&halo, e.CommBytes.Frame)
+			if e.Ranks > 1 {
+				if halo.SentBytes <= 0 || halo.SentMsgs <= 0 {
+					return fmt.Errorf("entry %q: no halo traffic recorded over %d ranks", e.Name, e.Ranks)
+				}
+				if halo.SentBytes != halo.RecvBytes {
+					return fmt.Errorf("entry %q: halo bytes unbalanced (%d sent, %d received)",
+						e.Name, halo.SentBytes, halo.RecvBytes)
+				}
+				if e.Coalesce && e.CommBytes.Frame.SentMsgs == 0 {
+					return fmt.Errorf("entry %q: coalesced entry recorded no frames", e.Name)
+				}
+			}
+		} else {
+			if e.Halo != "" || e.Coalesce || e.CommBytes != nil {
+				return fmt.Errorf("entry %q: intra-node entry carries distributed fields", e.Name)
+			}
+		}
 	}
 	return nil
+}
+
+func addTag(dst *TagJSON, o TagJSON) {
+	dst.SentBytes += o.SentBytes
+	dst.RecvBytes += o.RecvBytes
+	dst.SentMsgs += o.SentMsgs
+	dst.RecvMsgs += o.RecvMsgs
 }
 
 func parseGrids(s string) ([][3]int, error) {
@@ -315,6 +435,19 @@ func parseInts(s string) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// parseHalo maps the wire-format selector onto the WideHalo option.
+func parseHalo(s string) ([]bool, error) {
+	switch s {
+	case "both":
+		return []bool{false, true}, nil
+	case "slim":
+		return []bool{false}, nil
+	case "wide":
+		return []bool{true}, nil
+	}
+	return nil, fmt.Errorf("%q: want both, slim, or wide", s)
 }
 
 func parseToggle(s string) ([]bool, error) {

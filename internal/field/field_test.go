@@ -183,3 +183,40 @@ func TestTotalMass(t *testing.T) {
 		t.Errorf("TotalMass = %v", got)
 	}
 }
+
+// The plane-migration oscillation — pop from one end, push the same
+// count back — must stop allocating once the deque has grown its slack:
+// this is the slab-side half of the zero-alloc remapping fast path.
+func TestSlabPushPopZeroAllocSteadyState(t *testing.T) {
+	s := NewSlab(3, 3, 2, 10, 6)
+	spare := [][]float64{make([]float64, s.PlaneSize()), make([]float64, s.PlaneSize())}
+	warm := func() {
+		s.PushLeft(spare)
+		copy(spare, s.PopRight(2))
+		s.PushRight(spare)
+		copy(spare, s.PopLeft(2))
+	}
+	for i := 0; i < 4; i++ {
+		warm()
+	}
+	if allocs := testing.AllocsPerRun(20, warm); allocs != 0 {
+		t.Errorf("push/pop oscillation: %v allocs/op, want 0", allocs)
+	}
+	if s.Start != 10 || s.Count() != 6 {
+		t.Errorf("slab drifted to [%d,+%d)", s.Start, s.Count())
+	}
+}
+
+// Popped plane headers stay usable until the next push, and pushing
+// reuses the caller's header slice without retaining it.
+func TestSlabPushCopiesHeaders(t *testing.T) {
+	s := NewSlab(2, 2, 1, 0, 3)
+	p0 := s.Plane(0)
+	hdr := [][]float64{p0}
+	s.PopLeft(1)
+	s.PushLeft(hdr)
+	hdr[0] = nil // caller reuses its buffer
+	if s.Plane(0) == nil || &s.Plane(0)[0] != &p0[0] {
+		t.Error("PushLeft did not copy the plane header into the deque")
+	}
+}

@@ -11,10 +11,23 @@ import "fmt"
 //
 // A Slab covers the global x-range [Start, Start+len(Planes)). Ghost
 // planes received from neighbours are held separately by the runner.
+//
+// Internally the plane headers live in a deque: a backing array with
+// slack on both ends, so the push/pop oscillation of dynamic remapping
+// moves O(planes transferred) headers and allocates nothing in the
+// steady state (the backing array grows geometrically and is then
+// reused). Planes is the live window into that storage; treat it as
+// read-only and re-read it after any Push/Pop.
 type Slab struct {
 	NY, NZ, Q int // Q == 1 for scalar slabs
 	Start     int // global x index of Planes[0]
-	Planes    [][]float64
+	// Planes is the owned window, ascending x. It aliases the internal
+	// deque storage: valid until the next Push/Pop, and must not be
+	// appended to or resliced by callers.
+	Planes [][]float64
+
+	buf [][]float64 // deque storage; Planes == buf[off : off+len(Planes)]
+	off int
 }
 
 // NewSlab allocates a slab covering global x-range [start, start+count).
@@ -22,10 +35,11 @@ func NewSlab(ny, nz, q, start, count int) *Slab {
 	if ny <= 0 || nz <= 0 || q <= 0 || count < 0 {
 		panic(fmt.Sprintf("field: invalid slab %dx%dx%d count %d", ny, nz, q, count))
 	}
-	s := &Slab{NY: ny, NZ: nz, Q: q, Start: start, Planes: make([][]float64, count)}
-	for i := range s.Planes {
-		s.Planes[i] = make([]float64, ny*nz*q)
+	s := &Slab{NY: ny, NZ: nz, Q: q, Start: start, buf: make([][]float64, count)}
+	for i := range s.buf {
+		s.buf[i] = make([]float64, ny*nz*q)
 	}
+	s.Planes = s.buf
 	return s
 }
 
@@ -54,44 +68,85 @@ func (s *Slab) Set(gx, y, z, i int, v float64) {
 }
 
 // PopLeft removes and returns the n leftmost planes; Start advances by n.
+// The returned slice aliases deque storage: consume it before the next
+// Push on this slab.
 func (s *Slab) PopLeft(n int) [][]float64 {
 	if n < 0 || n > len(s.Planes) {
 		panic(fmt.Sprintf("field: PopLeft(%d) from slab of %d planes", n, len(s.Planes)))
 	}
 	out := s.Planes[:n:n]
-	s.Planes = s.Planes[n:]
+	count := len(s.Planes) - n
+	s.off += n
+	s.Planes = s.buf[s.off : s.off+count]
 	s.Start += n
 	return out
 }
 
-// PopRight removes and returns the n rightmost planes (in ascending x order).
+// PopRight removes and returns the n rightmost planes (in ascending x
+// order). The returned slice aliases deque storage: consume it before
+// the next Push on this slab.
 func (s *Slab) PopRight(n int) [][]float64 {
 	if n < 0 || n > len(s.Planes) {
 		panic(fmt.Sprintf("field: PopRight(%d) from slab of %d planes", n, len(s.Planes)))
 	}
 	k := len(s.Planes) - n
 	out := s.Planes[k:len(s.Planes):len(s.Planes)]
-	s.Planes = s.Planes[:k]
+	s.Planes = s.buf[s.off : s.off+k]
 	return out
 }
 
-// PushLeft prepends planes (in ascending x order); Start retreats.
+// PushLeft prepends planes (in ascending x order); Start retreats. The
+// plane headers are copied into the deque, so the argument may be a
+// caller-reused buffer.
 func (s *Slab) PushLeft(planes [][]float64) {
-	for _, p := range planes {
-		if len(p) != s.PlaneSize() {
-			panic(fmt.Sprintf("field: PushLeft plane size %d, want %d", len(p), s.PlaneSize()))
-		}
+	s.checkSizes(planes, "PushLeft")
+	k := len(planes)
+	if s.off < k {
+		s.grow(k, 0)
 	}
-	s.Planes = append(append(make([][]float64, 0, len(planes)+len(s.Planes)), planes...), s.Planes...)
-	s.Start -= len(planes)
+	copy(s.buf[s.off-k:s.off], planes)
+	count := len(s.Planes) + k
+	s.off -= k
+	s.Planes = s.buf[s.off : s.off+count]
+	s.Start -= k
 }
 
-// PushRight appends planes (in ascending x order).
+// PushRight appends planes (in ascending x order). The plane headers
+// are copied into the deque, so the argument may be a caller-reused
+// buffer.
 func (s *Slab) PushRight(planes [][]float64) {
+	s.checkSizes(planes, "PushRight")
+	k := len(planes)
+	count := len(s.Planes)
+	if s.off+count+k > len(s.buf) {
+		s.grow(0, k)
+	}
+	copy(s.buf[s.off+count:s.off+count+k], planes)
+	s.Planes = s.buf[s.off : s.off+count+k]
+}
+
+func (s *Slab) checkSizes(planes [][]float64, op string) {
 	for _, p := range planes {
 		if len(p) != s.PlaneSize() {
-			panic(fmt.Sprintf("field: PushRight plane size %d, want %d", len(p), s.PlaneSize()))
+			panic(fmt.Sprintf("field: %s plane size %d, want %d", op, len(p), s.PlaneSize()))
 		}
 	}
-	s.Planes = append(s.Planes, planes...)
+}
+
+// grow reallocates the deque storage with room for needL extra planes on
+// the left and needR on the right, plus symmetric geometric slack so a
+// sustained push/pop oscillation amortizes to zero allocations.
+func (s *Slab) grow(needL, needR int) {
+	count := len(s.Planes)
+	total := count + needL + needR
+	slack := total
+	if slack < 4 {
+		slack = 4
+	}
+	buf := make([][]float64, total+2*slack)
+	off := slack + needL
+	copy(buf[off:off+count], s.Planes)
+	s.buf = buf
+	s.off = off
+	s.Planes = s.buf[s.off : s.off+count]
 }

@@ -209,3 +209,44 @@ func TestViscosityRoundTrip(t *testing.T) {
 		t.Errorf("Viscosity(1) = %v, want %v", Viscosity(1.0), CS2*0.5)
 	}
 }
+
+func TestCrossSlotsMatchCrossingDirections(t *testing.T) {
+	var nRight, nLeft int
+	for i := 0; i < Q19; i++ {
+		switch {
+		case Ex[i] > 0:
+			nRight++
+			j := CrossSlotRight[i]
+			if j < 0 || j >= CrossQ || RightGoing[j] != i {
+				t.Errorf("CrossSlotRight[%d] = %d does not index %d in RightGoing", i, j, i)
+			}
+			if CrossSlotLeft[i] != -1 {
+				t.Errorf("CrossSlotLeft[%d] = %d, want -1", i, CrossSlotLeft[i])
+			}
+		case Ex[i] < 0:
+			nLeft++
+			j := CrossSlotLeft[i]
+			if j < 0 || j >= CrossQ || LeftGoing[j] != i {
+				t.Errorf("CrossSlotLeft[%d] = %d does not index %d in LeftGoing", i, j, i)
+			}
+			if CrossSlotRight[i] != -1 {
+				t.Errorf("CrossSlotRight[%d] = %d, want -1", i, CrossSlotRight[i])
+			}
+		default:
+			if CrossSlotRight[i] != -1 || CrossSlotLeft[i] != -1 {
+				t.Errorf("non-crossing direction %d has a cross slot", i)
+			}
+		}
+	}
+	if nRight != CrossQ || nLeft != CrossQ {
+		t.Errorf("crossing direction counts %d/%d, want %d", nRight, nLeft, CrossQ)
+	}
+	// The slim record of a right-going face and the bounce pair of the
+	// left-going face must cover opposite directions slot for slot.
+	for j := 0; j < CrossQ; j++ {
+		if Opposite[RightGoing[j]] != LeftGoing[j] {
+			t.Errorf("slot %d: RightGoing %d and LeftGoing %d are not opposites",
+				j, RightGoing[j], LeftGoing[j])
+		}
+	}
+}

@@ -12,6 +12,7 @@ package lbm
 
 import (
 	"fmt"
+	"math"
 
 	"microslip/internal/geometry"
 )
@@ -60,6 +61,15 @@ type Params struct {
 	// exponential wall force; negative entries wet the surface. Nil or
 	// zero disables.
 	WallAdhesion []float64
+	// InitXWave modulates the initial number densities along x: plane x
+	// starts from density InitDensity * (1 + InitXWave*cos(2*pi*x/NX)).
+	// Zero (the default) keeps the paper's uniform rest initial
+	// condition. A small positive amplitude makes the initial state
+	// x-dependent while staying periodic in x; the bit-identity tests
+	// use it to make any halo-routing mistake (a swapped or stale ghost
+	// plane) visible, which a uniform start masks forever. Must lie in
+	// [0, 1) so densities stay positive.
+	InitXWave float64
 	// RhoMin guards divisions by the local density.
 	RhoMin float64
 	// Fused selects the fused collide+stream stepping path in
@@ -128,7 +138,23 @@ func (p *Params) Validate() error {
 	if p.RhoMin < 0 {
 		return fmt.Errorf("lbm: negative RhoMin")
 	}
+	if p.InitXWave < 0 || p.InitXWave >= 1 {
+		return fmt.Errorf("lbm: InitXWave %v outside [0, 1)", p.InitXWave)
+	}
 	return nil
+}
+
+// InitDensityAt returns the initial number density of component c at
+// global plane x: the component's InitDensity, modulated along x when
+// InitXWave is set. Every solver initializes plane x through this one
+// function, so the parallel decompositions start from bit-identical
+// fields.
+func (p *Params) InitDensityAt(c, x int) float64 {
+	d := p.Components[c].InitDensity
+	if p.InitXWave != 0 {
+		d *= 1 + p.InitXWave*math.Cos(2*math.Pi*float64(x)/float64(p.NX))
+	}
+	return d
 }
 
 // NComp returns the number of components.

@@ -55,7 +55,7 @@ func NewSim(p *Params) (*Sim, error) {
 			s.f[c][x] = make([]float64, k.PlaneLen())
 			s.fPost[c][x] = make([]float64, k.PlaneLen())
 			s.n[c][x] = make([]float64, k.PlaneCells())
-			k.InitEquilibrium(s.f[c][x], p.Components[c].InitDensity)
+			k.InitEquilibrium(s.f[c][x], p.InitDensityAt(c, x))
 		}
 	}
 	s.fView = transposeViews(s.f, p.NX, nc)

@@ -8,15 +8,39 @@ import (
 	"microslip/internal/lbm"
 )
 
+// waveParams returns the water+air setup with an x-dependent initial
+// density wave. A uniform initial state is x-translation-invariant for
+// several phases, which masks halo-routing mistakes (a swapped or
+// stale ghost plane produces the same bits); the wave makes every
+// plane's value distinct from the first phase on.
+func waveParams(nx, ny, nz int) *lbm.Params {
+	p := lbm.WaterAir(nx, ny, nz)
+	p.InitXWave = 0.04
+	return p
+}
+
+// haloModes enumerates the halo-exchange wire configurations of the
+// distributed solver.
+var haloModes = []struct {
+	name string
+	opts Options
+}{
+	{"slim", Options{}},
+	{"wide", Options{WideHalo: true}},
+	{"coalesce", Options{Coalesce: true}},
+	{"coalesce-wide", Options{Coalesce: true, WideHalo: true}},
+}
+
 // The full solver matrix — serial reference, intra-node parallel
 // stepping at several worker counts, the fused collide+stream path,
-// and the distributed solver at several rank counts with comm/compute
-// overlap on and off — must produce byte-equal final fields on the
-// water+air channel. This is the guard that lets every perf path claim
+// and the distributed solver at several rank counts across overlap and
+// halo wire formats (slim, wide, coalesced frames) — must produce
+// byte-equal final fields on the water+air channel with an x-dependent
+// initial condition. This is the guard that lets every perf path claim
 // "same physics, faster".
 func TestBitIdentityMatrix(t *testing.T) {
 	const nx, ny, nz, steps = 12, 10, 6, 8
-	ref, err := lbm.NewSim(lbm.WaterAir(nx, ny, nz))
+	ref, err := lbm.NewSim(waveParams(nx, ny, nz))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +69,7 @@ func TestBitIdentityMatrix(t *testing.T) {
 		for _, fused := range []bool{false, true} {
 			label := fmt.Sprintf("intra/workers=%d/fused=%v", workers, fused)
 			t.Run(label, func(t *testing.T) {
-				p := lbm.WaterAir(nx, ny, nz)
+				p := waveParams(nx, ny, nz)
 				p.Fused = fused
 				s, err := lbm.NewSim(p)
 				if err != nil {
@@ -60,54 +84,83 @@ func TestBitIdentityMatrix(t *testing.T) {
 
 	for _, ranks := range []int{1, 2, 3} {
 		for _, overlap := range []bool{false, true} {
-			label := fmt.Sprintf("parlbm/ranks=%d/overlap=%v", ranks, overlap)
-			t.Run(label, func(t *testing.T) {
-				p := lbm.WaterAir(nx, ny, nz)
-				final, results, err := RunParallel(p, ranks, Options{Phases: steps, Overlap: overlap})
-				if err != nil {
-					t.Fatal(err)
-				}
-				check(t, label, func(c, x int) []float64 { return final[c].Plane(x) })
-				if overlap && ranks > 1 {
-					// The overlapped phases must attribute a nonzero
-					// overlap window on every rank.
-					for _, r := range results {
-						if r.Breakdown.Overlap <= 0 {
-							t.Errorf("rank %d: overlap window %v, want > 0", r.Rank, r.Breakdown.Overlap)
-						}
-						if r.Breakdown.Overlap > r.Breakdown.Computation {
-							t.Errorf("rank %d: overlap %v exceeds computation %v",
-								r.Rank, r.Breakdown.Overlap, r.Breakdown.Computation)
+			for _, mode := range haloModes {
+				label := fmt.Sprintf("parlbm/ranks=%d/overlap=%v/%s", ranks, overlap, mode.name)
+				t.Run(label, func(t *testing.T) {
+					opts := mode.opts
+					opts.Phases = steps
+					opts.Overlap = overlap
+					final, results, err := RunParallel(waveParams(nx, ny, nz), ranks, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					check(t, label, func(c, x int) []float64 { return final[c].Plane(x) })
+					if overlap && !opts.Coalesce && ranks > 1 {
+						// The overlapped phases must attribute a nonzero
+						// overlap window on every rank.
+						for _, r := range results {
+							if r.Breakdown.Overlap <= 0 {
+								t.Errorf("rank %d: overlap window %v, want > 0", r.Rank, r.Breakdown.Overlap)
+							}
+							if r.Breakdown.Overlap > r.Breakdown.Computation {
+								t.Errorf("rank %d: overlap %v exceeds computation %v",
+									r.Rank, r.Breakdown.Overlap, r.Breakdown.Computation)
+							}
 						}
 					}
-				}
-			})
+				})
+			}
 		}
 	}
 }
 
-// Overlap must also hold bit-identity under remapping (plane counts
-// shift mid-run, exercising one- and two-plane slabs) — the edge-plane
-// special cases of the overlapped phase.
-func TestOverlapBitIdentityTinySlabs(t *testing.T) {
-	const nx, ny, nz, steps = 5, 8, 5, 6
-	ref, err := lbm.NewSim(lbm.WaterAir(nx, ny, nz))
-	if err != nil {
-		t.Fatal(err)
+// Every halo mode must also hold bit-identity on one- and two-plane
+// slabs — the edge-plane special cases of the overlapped phase and the
+// thin-frame fallback of the coalesced protocol (a single-plane slab
+// cannot ship a finishable edge in its phase-start frame).
+func TestBitIdentityTinySlabs(t *testing.T) {
+	cases := []struct {
+		name         string
+		nx, ny, nz   int
+		ranks, steps int
+	}{
+		// 5 planes on 4 ranks: slabs of 2, 1, 1, 1 planes (mixed
+		// wide/thin coalesced neighborhoods).
+		{"5planes-4ranks", 5, 8, 5, 4, 6},
+		// 4 planes on 4 ranks: every slab a single plane (all-thin).
+		{"4planes-4ranks", 4, 8, 5, 4, 6},
+		// 2 planes on 2 ranks: both neighbors are the same peer and
+		// both slabs are thin.
+		{"2planes-2ranks", 2, 8, 5, 2, 6},
 	}
-	ref.Run(steps)
-	// 5 planes on 4 ranks: slabs of 2, 1, 1, 1 planes.
-	final, _, err := RunParallel(lbm.WaterAir(nx, ny, nz), 4, Options{Phases: steps, Overlap: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for c := 0; c < ref.P.NComp(); c++ {
-		for x := 0; x < nx; x++ {
-			want, got := ref.Plane(c, x), final[c].Plane(x)
-			for i := range want {
-				if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
-					t.Fatalf("comp %d plane %d index %d: %v != %v", c, x, i, got[i], want[i])
-				}
+	for _, tc := range cases {
+		ref, err := lbm.NewSim(waveParams(tc.nx, tc.ny, tc.nz))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.Run(tc.steps)
+		for _, overlap := range []bool{false, true} {
+			for _, mode := range haloModes {
+				label := fmt.Sprintf("%s/overlap=%v/%s", tc.name, overlap, mode.name)
+				t.Run(label, func(t *testing.T) {
+					opts := mode.opts
+					opts.Phases = tc.steps
+					opts.Overlap = overlap
+					final, _, err := RunParallel(waveParams(tc.nx, tc.ny, tc.nz), tc.ranks, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for c := 0; c < ref.P.NComp(); c++ {
+						for x := 0; x < tc.nx; x++ {
+							want, got := ref.Plane(c, x), final[c].Plane(x)
+							for i := range want {
+								if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+									t.Fatalf("comp %d plane %d index %d: %v != %v", c, x, i, got[i], want[i])
+								}
+							}
+						}
+					}
+				})
 			}
 		}
 	}

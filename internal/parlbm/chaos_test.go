@@ -37,15 +37,15 @@ func TestRunMasksTargetedFaults(t *testing.T) {
 		silent bool
 	}{
 		{name: "drop density halos", rules: []faultinject.Rule{
-			{Action: faultinject.Drop, Rank: 1, Peer: faultinject.Any, Tag: tagDensityHalo, Prob: 0.5, Count: 4},
+			{Action: faultinject.Drop, Rank: 1, Peer: faultinject.Any, Tag: tagDensHaloL, Prob: 0.5, Count: 4},
 		}},
 		{name: "corrupt dist halos", rules: []faultinject.Rule{
-			{Action: faultinject.Corrupt, Rank: faultinject.Any, Peer: faultinject.Any, Tag: tagDistHalo, Prob: 0.3, Count: 5},
+			{Action: faultinject.Corrupt, Rank: faultinject.Any, Peer: faultinject.Any, Tag: tagDistHaloR, Prob: 0.3, Count: 5},
 		}},
 		{name: "duplicate halos", rules: []faultinject.Rule{
 			// Mid-run traffic, so the receiver actually reads (and
 			// discards) the stale copies on later receives.
-			{Action: faultinject.Duplicate, Rank: faultinject.Any, Peer: faultinject.Any, Tag: tagDensityHalo, PhaseTo: 4, Prob: 1, Count: 2},
+			{Action: faultinject.Duplicate, Rank: faultinject.Any, Peer: faultinject.Any, Tag: tagDensHaloR, PhaseTo: 4, Prob: 1, Count: 2},
 		}},
 		{name: "reorder terminal gather", silent: true, rules: []faultinject.Rule{
 			// Held by the injector past the sender's last operation;

@@ -1,0 +1,312 @@
+package parlbm
+
+import (
+	"fmt"
+	"time"
+
+	"microslip/internal/lattice"
+	"microslip/internal/lbm"
+)
+
+// This file implements Options.Coalesce: one frame per neighbor per
+// phase instead of two halo messages (density, then distribution).
+//
+// A phase's two exchanges are inherently dependent — the distribution
+// halo carries post-collision values, and collision needs the density
+// ghosts of the same phase — so a bit-identical protocol cannot simply
+// concatenate them. Instead the frame ships the sender's pre-collision
+// edge plane f_t plus its second-from-edge density n_t, everything the
+// receiver needs to finish the ghost plane locally: it recomputes the
+// ghost density from the edge plane (Densities is deterministic, so the
+// recomputed bits equal the sender's) and redundantly collides the
+// ghost plane with the shared kernel, reproducing the sender's
+// post-collision edge bit-for-bit. Two extra plane collides per rank
+// per phase buy half the messages.
+//
+// A single-plane slab is the exception: its post-collision edge depends
+// on both incoming frames, so neighbors cannot finish it from
+// phase-start data alone. Such a rank sends a thin frame (kind header +
+// edge density) and follows up with its slim distribution halo
+// mid-phase, after its own collide; receivers learn the sender was thin
+// from the frame kind and block for the follow-up before streaming.
+// Mixed thin/wide neighborhoods negotiate per phase, so the protocol
+// stays correct while remapping shrinks a slab to one plane and back.
+
+// ensureCoalesceBufs lazily allocates the coalesced-mode buffers so
+// non-coalesced runs pay nothing.
+func (w *worker) ensureCoalesceBufs() {
+	if w.frameHdrL != nil {
+		return
+	}
+	nc := len(w.f)
+	sz := w.f[0].PlaneSize()
+	cells := w.k.PlaneCells()
+	w.frameHdrL = make([][]float64, nc)
+	w.frameHdrR = make([][]float64, nc)
+	w.ghostFarL = make([][]float64, nc)
+	w.ghostFarR = make([][]float64, nc)
+	w.ghostNViewL = make([][]float64, nc)
+	w.ghostNViewR = make([][]float64, nc)
+	w.ghostNL = make([][]float64, nc)
+	w.ghostNR = make([][]float64, nc)
+	w.ghostPostL = make([][]float64, nc)
+	w.ghostPostR = make([][]float64, nc)
+	for c := 0; c < nc; c++ {
+		w.ghostNL[c] = make([]float64, cells)
+		w.ghostNR[c] = make([]float64, cells)
+		w.ghostPostL[c] = make([]float64, sz)
+		w.ghostPostR[c] = make([]float64, sz)
+	}
+}
+
+// phaseCoalesced runs one LBM phase with the coalesced frame protocol.
+func (w *worker) phaseCoalesced(phase int) error {
+	w.ensureCoalesceBufs()
+	start, end := w.f[0].Start, w.f[0].End()
+	count := end - start
+	var compDur, commDur, ovDur float64
+
+	// The frame densities first: the second-from-edge planes whose
+	// values ride in the wide frames (the single plane of a thin slab).
+	farL, farR := start+1, end-2
+	if count == 1 {
+		farL, farR = start, start
+	}
+	t := time.Now()
+	w.k.Densities(w.fAt(farL), w.nAt(farL))
+	if farR != farL {
+		w.k.Densities(w.fAt(farR), w.nAt(farR))
+	}
+	compDur += time.Since(t).Seconds()
+
+	// One frame per neighbor on the wire...
+	t = time.Now()
+	if err := w.postFrames(); err != nil {
+		return err
+	}
+	commDur += time.Since(t).Seconds()
+
+	// ...and the remaining densities overlapped behind it.
+	t = time.Now()
+	for gx := start; gx < end; gx++ {
+		if gx == farL || gx == farR {
+			continue
+		}
+		w.k.Densities(w.fAt(gx), w.nAt(gx))
+	}
+	d := time.Since(t).Seconds()
+	compDur += d
+	ovDur += d
+
+	t = time.Now()
+	if err := w.recvFrames(); err != nil {
+		return err
+	}
+	commDur += time.Since(t).Seconds()
+
+	// Ghost densities and redundant ghost collides for wide frames,
+	// then the owned planes (ghost densities substitute at the edges).
+	t = time.Now()
+	w.processFrames()
+	for gx := start; gx < end; gx++ {
+		nL := viewOrGhost(w.nView.win, gx-1, start, end, w.ghostNViewL, w.ghostNViewR)
+		nR := viewOrGhost(w.nView.win, gx+1, start, end, w.ghostNViewL, w.ghostNViewR)
+		w.k.CollideScratch(w.sc, nL, w.nAt(gx), nR, w.fAt(gx), w.postAt(gx))
+	}
+	compDur += time.Since(t).Seconds()
+
+	// A single-plane slab follows up with its slim distribution halo
+	// now that its edge is collided.
+	if count == 1 {
+		t = time.Now()
+		if err := w.postDistHalos(); err != nil {
+			return err
+		}
+		commDur += time.Since(t).Seconds()
+	}
+
+	gL := lbm.Ghost{Planes: w.ghostPostL}
+	gR := lbm.Ghost{Planes: w.ghostPostR}
+	if w.thinL || w.thinR {
+		per := w.k.PlaneCells() * lattice.CrossQ
+		if !w.distSlim() {
+			per = w.f[0].PlaneSize()
+		}
+		nc := len(w.f)
+		left, right := w.neighbors()
+		cls := &w.res.Breakdown.Bytes.DistHalo
+		t = time.Now()
+		if w.thinL {
+			msg, err := w.c.Recv(left, tagDistHaloR)
+			if err != nil {
+				return err
+			}
+			cls.CountRecv(8 * len(msg))
+			if len(msg) != nc*per {
+				return fmt.Errorf("thin-slab halo size %d, want %d", len(msg), nc*per)
+			}
+			for c := 0; c < nc; c++ {
+				w.ghostHdrL[c] = msg[c*per : (c+1)*per]
+			}
+			gL = lbm.Ghost{Planes: w.ghostHdrL, Slim: w.distSlim()}
+		}
+		if w.thinR {
+			msg, err := w.c.Recv(right, tagDistHaloL)
+			if err != nil {
+				return err
+			}
+			cls.CountRecv(8 * len(msg))
+			if len(msg) != nc*per {
+				return fmt.Errorf("thin-slab halo size %d, want %d", len(msg), nc*per)
+			}
+			for c := 0; c < nc; c++ {
+				w.ghostHdrR[c] = msg[c*per : (c+1)*per]
+			}
+			gR = lbm.Ghost{Planes: w.ghostHdrR, Slim: w.distSlim()}
+		}
+		commDur += time.Since(t).Seconds()
+	}
+
+	t = time.Now()
+	for gx := start; gx < end; gx++ {
+		fL := ghostOr(w.postView.win, gx-1, start, end, gL, gR)
+		fR := ghostOr(w.postView.win, gx+1, start, end, gL, gR)
+		w.k.StreamGhost(fL, w.postAt(gx), fR, w.fAt(gx))
+	}
+	compDur += time.Since(t).Seconds()
+
+	return w.finishPhase(phase, compDur, commDur, ovDur)
+}
+
+// packFrameInto packs a wide frame — kind header, the pre-collision
+// edge plane per component, then the far (second-from-edge) density
+// plane per component — reusing buf's capacity.
+func (w *worker) packFrameInto(buf []float64, edge, far int) []float64 {
+	nc := len(w.f)
+	sz := w.f[0].PlaneSize()
+	cells := w.k.PlaneCells()
+	need := 1 + nc*(sz+cells)
+	if cap(buf) < need {
+		buf = make([]float64, need)
+	}
+	buf = buf[:need]
+	buf[0] = frameWide
+	for c := 0; c < nc; c++ {
+		copy(buf[1+c*sz:1+(c+1)*sz], w.f[c].Plane(edge))
+		copy(buf[1+nc*sz+c*cells:1+nc*sz+(c+1)*cells], w.n[c].Plane(far))
+	}
+	return buf
+}
+
+// postFrames sends this phase's coalesced frame to both neighbors.
+func (w *worker) postFrames() error {
+	start, end := w.f[0].Start, w.f[0].End()
+	left, right := w.neighbors()
+	cls := &w.res.Breakdown.Bytes.Frame
+	if end-start == 1 {
+		// Thin frame: kind header + the edge density per component
+		// (identical toward both neighbors).
+		nc := len(w.n)
+		cells := w.k.PlaneCells()
+		need := 1 + nc*cells
+		if cap(w.packL) < need {
+			w.packL = make([]float64, need)
+		}
+		w.packL = w.packL[:need]
+		w.packL[0] = frameThin
+		for c := 0; c < nc; c++ {
+			copy(w.packL[1+c*cells:1+(c+1)*cells], w.n[c].Plane(start))
+		}
+		cls.CountSend(8 * len(w.packL))
+		if err := w.c.Send(left, tagFrameL, w.packL); err != nil {
+			return err
+		}
+		cls.CountSend(8 * len(w.packL))
+		return w.c.Send(right, tagFrameR, w.packL)
+	}
+	w.packL = w.packFrameInto(w.packL, start, start+1)
+	w.packR = w.packFrameInto(w.packR, end-1, end-2)
+	cls.CountSend(8 * len(w.packL))
+	if err := w.c.Send(left, tagFrameL, w.packL); err != nil {
+		return err
+	}
+	cls.CountSend(8 * len(w.packR))
+	return w.c.Send(right, tagFrameR, w.packR)
+}
+
+// recvFrames blocks for both neighbors' frames and validates and
+// unpacks them through the worker's reusable headers.
+func (w *worker) recvFrames() error {
+	left, right := w.neighbors()
+	cls := &w.res.Breakdown.Bytes.Frame
+	fromL, err := w.c.Recv(left, tagFrameR) // the left neighbor's rightward frame
+	if err != nil {
+		return err
+	}
+	cls.CountRecv(8 * len(fromL))
+	fromR, err := w.c.Recv(right, tagFrameL)
+	if err != nil {
+		return err
+	}
+	cls.CountRecv(8 * len(fromR))
+	if w.thinL, err = w.parseFrame(fromL, w.frameHdrL, w.ghostFarL, w.ghostNViewL, w.ghostNL); err != nil {
+		return fmt.Errorf("frame from rank %d: %w", left, err)
+	}
+	if w.thinR, err = w.parseFrame(fromR, w.frameHdrR, w.ghostFarR, w.ghostNViewR, w.ghostNR); err != nil {
+		return fmt.Errorf("frame from rank %d: %w", right, err)
+	}
+	return nil
+}
+
+// parseFrame validates one frame and points the per-component headers
+// into it: a wide frame yields edge-plane and far-density views plus
+// the owned ghost-density buffers as the density view; a thin frame
+// yields its density payload directly.
+func (w *worker) parseFrame(msg []float64, fHdr, farHdr, nView, ownN [][]float64) (thin bool, err error) {
+	nc := len(w.f)
+	sz := w.f[0].PlaneSize()
+	cells := w.k.PlaneCells()
+	if len(msg) < 1 {
+		return false, fmt.Errorf("empty coalesced frame")
+	}
+	switch msg[0] {
+	case frameThin:
+		if len(msg) != 1+nc*cells {
+			return false, fmt.Errorf("thin frame size %d, want %d", len(msg), 1+nc*cells)
+		}
+		for c := 0; c < nc; c++ {
+			nView[c] = msg[1+c*cells : 1+(c+1)*cells]
+		}
+		return true, nil
+	case frameWide:
+		if len(msg) != 1+nc*(sz+cells) {
+			return false, fmt.Errorf("wide frame size %d, want %d", len(msg), 1+nc*(sz+cells))
+		}
+		for c := 0; c < nc; c++ {
+			fHdr[c] = msg[1+c*sz : 1+(c+1)*sz]
+			farHdr[c] = msg[1+nc*sz+c*cells : 1+nc*sz+(c+1)*cells]
+			nView[c] = ownN[c]
+		}
+		return false, nil
+	default:
+		return false, fmt.Errorf("unknown frame kind %v", msg[0])
+	}
+}
+
+// processFrames finishes the ghost planes of wide frames: recompute the
+// ghost density from the edge plane (bit-equal to the sender's own,
+// Densities being deterministic), then redundantly collide the ghost
+// plane with the exact neighbor densities the sender would use — its
+// far density from the frame on the outside, this rank's own edge
+// density on the inside.
+func (w *worker) processFrames() {
+	start, end := w.f[0].Start, w.f[0].End()
+	if !w.thinL {
+		w.k.Densities(w.frameHdrL, w.ghostNL)
+		w.k.CollideScratch(w.sc, w.ghostFarL, w.ghostNL, w.nAt(start), w.frameHdrL, w.ghostPostL)
+	}
+	if !w.thinR {
+		w.k.Densities(w.frameHdrR, w.ghostNR)
+		w.k.CollideScratch(w.sc, w.nAt(end-1), w.ghostNR, w.ghostFarR, w.frameHdrR, w.ghostPostR)
+	}
+}

@@ -10,6 +10,22 @@
 // The kernels are shared with the sequential solver (package lbm), so a
 // parallel run reproduces the sequential result bit-for-bit — including
 // runs whose partition changes mid-flight.
+//
+// # Halo wire protocol
+//
+// Only 5 of the 19 D3Q19 populations cross an x-face in each direction,
+// so by default the distribution halo ships slim planes — per cell, the
+// lattice.CrossQ crossing populations in RightGoing/LeftGoing slot
+// order — alongside the full density plane the psi-gradient needs:
+// 6 instead of 20 floats per cell per component. Options.WideHalo
+// restores the full 19-direction format (bit-identical results either
+// way). Options.Coalesce further merges the two per-neighbor messages
+// per phase into one frame carrying the pre-collision edge plane plus
+// the second-from-edge density; the receiver recomputes the ghost
+// density and redundantly collides the ghost plane with the shared
+// kernels, which is bit-identical because every input is bit-identical
+// and the kernels are deterministic. See README.md for the exact wire
+// layouts.
 package parlbm
 
 import (
@@ -21,20 +37,37 @@ import (
 	"microslip/internal/comm"
 	"microslip/internal/decomp"
 	"microslip/internal/field"
+	"microslip/internal/lattice"
 	"microslip/internal/lbm"
 	"microslip/internal/predict"
 	"microslip/internal/profile"
 )
 
-// Message tags.
+// Message tags. Halo payloads are tagged by the direction they travel:
+// a *L tag marks data sent toward the sender's left neighbor, *R toward
+// its right. Direction-distinct tags matter on two ranks, where both
+// neighbors are the same peer and a shared tag would make the two
+// opposite-facing halos indistinguishable (FIFO delivery would hand the
+// peer's left-bound edge to the right ghost and vice versa — invisible
+// on x-uniform fields, wrong on everything else).
 const (
-	tagDensityHalo = 1
-	tagDistHalo    = 2
+	tagDensHaloL   = 1
+	tagDensHaloR   = 2
 	tagLoadInfo    = 3
 	tagDesire      = 4
 	tagPlanesLeft  = 5
 	tagPlanesRight = 6
 	tagGather      = 7
+	tagDistHaloL   = 8
+	tagDistHaloR   = 9
+	tagFrameL      = 10
+	tagFrameR      = 11
+)
+
+// Coalesced-frame kind header values (first float of the payload).
+const (
+	frameWide = 1 // pre-collision edge plane + far density
+	frameThin = 2 // edge density only; slim post-collision halo follows
 )
 
 // Options configures a parallel run.
@@ -75,6 +108,25 @@ type Options struct {
 	// stay bit-identical to the non-overlapped (and sequential)
 	// solver; Breakdown.Overlap reports the overlap window.
 	Overlap bool
+	// WideHalo ships the full 19-direction distribution planes in the
+	// halo exchange (the pre-slim wire format) instead of only the 5
+	// populations that cross each face. Results are bit-identical
+	// either way; the wide format remains for byte-accounting
+	// comparisons and as a cross-check in tests.
+	WideHalo bool
+	// Coalesce merges the two per-neighbor halo messages of each phase
+	// into one frame posted at phase start, halving message count and
+	// per-message resilience/heartbeat overhead. The frame carries the
+	// sender's pre-collision edge plane and second-from-edge density;
+	// the receiver recomputes the ghost density and redundantly
+	// collides the ghost plane locally, trading two plane collides per
+	// phase for half the messages. Single-plane slabs cannot ship a
+	// finishable edge (their post-collision edge depends on both
+	// incoming frames), so they fall back to a thin density-only frame
+	// plus a mid-phase slim distribution halo, negotiated per phase
+	// through the frame kind header. Bit-identical to every other
+	// solver variant.
+	Coalesce bool
 }
 
 // CheckpointSpec configures coordinated checkpointing of a parallel
@@ -102,7 +154,8 @@ type Result struct {
 	// Final holds the gathered full distribution fields per component
 	// on rank 0; nil on other ranks.
 	Final []*field.Dist3D
-	// Breakdown is the rank's wall-clock time split.
+	// Breakdown is the rank's wall-clock time split; Breakdown.Bytes
+	// carries the per-class wire volume behind the communication time.
 	Breakdown profile.Breakdown
 	// FinalStart and FinalCount describe the rank's slab at the end.
 	FinalStart, FinalCount int
@@ -112,8 +165,116 @@ type Result struct {
 	// completed; StartPhase is the phase the run (re)started from.
 	Checkpoints, StartPhase int
 	// Comm holds the rank's resilience-layer counters when the run used
-	// a comm.WithResilience endpoint; zero otherwise.
+	// a comm.WithResilience endpoint (zero otherwise) and, always, the
+	// per-class wire byte counters in Comm.Bytes.
 	Comm profile.CommStats
+}
+
+// planeViews is a deque of per-plane component views mirroring
+// field.Slab's internal deque: win[i][c] is component c's plane at
+// local index i. Incremental push/pop keeps view maintenance O(planes
+// moved) during remapping and allocation-free in the steady state
+// (records are recycled through a free list, the backing array keeps
+// geometric slack on both ends).
+type planeViews struct {
+	win  [][][]float64
+	buf  [][][]float64
+	off  int
+	free [][][]float64
+}
+
+// reset rebuilds the deque from scratch (initialization and recovery;
+// remapping uses the incremental push/pop below).
+func (v *planeViews) reset(slabs []*field.Slab) {
+	count := slabs[0].Count()
+	slack := count + 4
+	v.buf = make([][][]float64, count+2*slack)
+	v.off = slack
+	v.free = nil
+	for i := 0; i < count; i++ {
+		rec := make([][]float64, len(slabs))
+		for c, s := range slabs {
+			rec[c] = s.Planes[i]
+		}
+		v.buf[v.off+i] = rec
+	}
+	v.win = v.buf[v.off : v.off+count]
+}
+
+func (v *planeViews) rec(nc int) [][]float64 {
+	if n := len(v.free); n > 0 {
+		r := v.free[n-1]
+		v.free = v.free[:n-1]
+		return r
+	}
+	return make([][]float64, nc)
+}
+
+func (v *planeViews) popLeft(k int) {
+	for i := 0; i < k; i++ {
+		v.free = append(v.free, v.buf[v.off+i])
+		v.buf[v.off+i] = nil
+	}
+	count := len(v.win) - k
+	v.off += k
+	v.win = v.buf[v.off : v.off+count]
+}
+
+func (v *planeViews) popRight(k int) {
+	count := len(v.win) - k
+	for i := 0; i < k; i++ {
+		v.free = append(v.free, v.buf[v.off+count+i])
+		v.buf[v.off+count+i] = nil
+	}
+	v.win = v.buf[v.off : v.off+count]
+}
+
+// pushLeft prepends views of the k leftmost planes of slabs (which the
+// caller just attached); pushRight appends the k rightmost.
+func (v *planeViews) pushLeft(slabs []*field.Slab, k int) {
+	if v.off < k {
+		v.grow(k, 0)
+	}
+	for i := 0; i < k; i++ {
+		r := v.rec(len(slabs))
+		for c, s := range slabs {
+			r[c] = s.Planes[i]
+		}
+		v.buf[v.off-k+i] = r
+	}
+	count := len(v.win) + k
+	v.off -= k
+	v.win = v.buf[v.off : v.off+count]
+}
+
+func (v *planeViews) pushRight(slabs []*field.Slab, k int) {
+	count := len(v.win)
+	if v.off+count+k > len(v.buf) {
+		v.grow(0, k)
+	}
+	base := slabs[0].Count() - k
+	for i := 0; i < k; i++ {
+		r := v.rec(len(slabs))
+		for c, s := range slabs {
+			r[c] = s.Planes[base+i]
+		}
+		v.buf[v.off+count+i] = r
+	}
+	v.win = v.buf[v.off : v.off+count+k]
+}
+
+func (v *planeViews) grow(needL, needR int) {
+	count := len(v.win)
+	total := count + needL + needR
+	slack := total
+	if slack < 4 {
+		slack = 4
+	}
+	buf := make([][][]float64, total+2*slack)
+	off := slack + needL
+	copy(buf[off:off+count], v.win)
+	v.buf, v.off = buf, off
+	v.win = v.buf[v.off : v.off+count]
 }
 
 // worker is the per-rank state.
@@ -133,43 +294,51 @@ type worker struct {
 	// sc is the rank's collision scratch (one suffices: a rank's
 	// planes are updated sequentially).
 	sc *lbm.Scratch
-	// fView[i][c] etc. are per-plane component views of the slabs
-	// (index i is local, gx-start), rebuilt only when the owned range
-	// changes so the phase hot loop allocates nothing.
-	fView, nView, postView [][][]float64
-	// packL/packR are the reusable halo send buffers; ghostHdrL/R the
-	// reusable per-component ghost-view headers.
+	// fView.win[i][c] etc. are per-plane component views of the slabs
+	// (index i is local, gx-start), maintained incrementally when the
+	// owned range changes so neither the phase hot loop nor remapping
+	// allocates in the steady state.
+	fView, nView, postView planeViews
+	// packL/packR are the reusable halo/frame send buffers; ghostHdrL/R
+	// the reusable per-component ghost-view headers.
 	packL, packR         []float64
 	ghostHdrL, ghostHdrR [][]float64
+
+	// Coalesced-mode reusable state, allocated on first use. The *Hdr
+	// and ghostFar headers point into a received frame; ghostN are
+	// owned ghost density planes (filled from a wide frame's edge
+	// plane); ghostNView selects between them per side and kind;
+	// ghostPost are the owned outputs of the redundant ghost collides.
+	frameHdrL, frameHdrR     [][]float64
+	ghostFarL, ghostFarR     [][]float64
+	ghostNL, ghostNR         [][]float64
+	ghostNViewL, ghostNViewR [][]float64
+	ghostPostL, ghostPostR   [][]float64
+	thinL, thinR             bool // incoming frame kinds this phase
+
+	// Migration reusable state: the grow-only pack buffer and header
+	// scratch, and the plane pools received planes are copied into so
+	// slabs never alias a transport receive buffer.
+	migBuf     []float64
+	migHdr     [][]float64
+	poolDist   [][]float64
+	poolScalar [][]float64
 }
 
-// rebuildViews refreshes the cached per-plane component views after
-// the slabs' owned range changed (init, remap, recovery).
+// rebuildViews refreshes the cached per-plane component views from
+// scratch after the slabs' owned range was re-created (init, recovery);
+// remapping maintains them incrementally.
 func (w *worker) rebuildViews() {
-	w.fView = buildViews(w.f)
-	w.nView = buildViews(w.n)
-	w.postView = buildViews(w.fPost)
-}
-
-// buildViews transposes slab storage into per-plane component views.
-func buildViews(slabs []*field.Slab) [][][]float64 {
-	count := slabs[0].Count()
-	out := make([][][]float64, count)
-	for i := 0; i < count; i++ {
-		v := make([][]float64, len(slabs))
-		for c, s := range slabs {
-			v[c] = s.Planes[i]
-		}
-		out[i] = v
-	}
-	return out
+	w.fView.reset(w.f)
+	w.nView.reset(w.n)
+	w.postView.reset(w.fPost)
 }
 
 // fAt/nAt/postAt return the cached per-component plane views at
 // global x.
-func (w *worker) fAt(gx int) [][]float64    { return w.fView[gx-w.f[0].Start] }
-func (w *worker) nAt(gx int) [][]float64    { return w.nView[gx-w.n[0].Start] }
-func (w *worker) postAt(gx int) [][]float64 { return w.postView[gx-w.fPost[0].Start] }
+func (w *worker) fAt(gx int) [][]float64    { return w.fView.win[gx-w.f[0].Start] }
+func (w *worker) nAt(gx int) [][]float64    { return w.nView.win[gx-w.n[0].Start] }
+func (w *worker) postAt(gx int) [][]float64 { return w.postView.win[gx-w.fPost[0].Start] }
 
 // viewOrGhost resolves the cached views at gx, substituting the ghost
 // planes outside the owned range [start, end).
@@ -181,6 +350,19 @@ func viewOrGhost(views [][][]float64, gx, start, end int, ghostL, ghostR [][]flo
 		return ghostR
 	default:
 		return views[gx-start]
+	}
+}
+
+// ghostOr is viewOrGhost for streaming inputs: owned planes become full
+// descriptors, out-of-range planes the given (possibly slim) ghosts.
+func ghostOr(views [][][]float64, gx, start, end int, gL, gR lbm.Ghost) lbm.Ghost {
+	switch {
+	case gx < start:
+		return gL
+	case gx >= end:
+		return gR
+	default:
+		return lbm.Ghost{Planes: views[gx-start]}
 	}
 }
 
@@ -243,7 +425,7 @@ func RunRank(p *lbm.Params, c comm.Comm, opts Options) (*Result, error) {
 			if snap != nil {
 				copy(w.f[comp].Plane(gx), snap.Plane(comp, gx))
 			} else {
-				w.k.InitEquilibrium(w.f[comp].Plane(gx), p.Components[comp].InitDensity)
+				w.k.InitEquilibrium(w.f[comp].Plane(gx), p.InitDensityAt(comp, gx))
 			}
 		}
 	}
@@ -282,11 +464,13 @@ func RunRank(p *lbm.Params, c comm.Comm, opts Options) (*Result, error) {
 	w.res.FinalCount = w.f[0].Count()
 	if sc, ok := c.(interface{ Stats() comm.Stats }); ok {
 		s := sc.Stats()
-		w.res.Comm = profile.CommStats{
-			Retries: s.Retries, Timeouts: s.Timeouts,
-			Duplicates: s.Duplicates, Reordered: s.Reordered, Corrupt: s.Corrupt,
-		}
+		w.res.Comm.Retries = s.Retries
+		w.res.Comm.Timeouts = s.Timeouts
+		w.res.Comm.Duplicates = s.Duplicates
+		w.res.Comm.Reordered = s.Reordered
+		w.res.Comm.Corrupt = s.Corrupt
 	}
+	w.res.Comm.Bytes = w.res.Breakdown.Bytes
 	return w.res, nil
 }
 
@@ -295,6 +479,10 @@ func RunRank(p *lbm.Params, c comm.Comm, opts Options) (*Result, error) {
 func (w *worker) neighbors() (left, right int) {
 	return (w.rank - 1 + w.size) % w.size, (w.rank + 1) % w.size
 }
+
+// distSlim reports whether the distribution halo uses the slim
+// crossing-populations wire format.
+func (w *worker) distSlim() bool { return !w.opts.WideHalo }
 
 // packPlanes concatenates the given global-x plane of every component
 // of the slabs into buf, reusing its capacity when possible, and
@@ -314,70 +502,155 @@ func packPlanes(buf []float64, slabs []*field.Slab, gx int) []float64 {
 	return buf
 }
 
-// postHalos packs and sends the boundary planes of slabs to both ring
-// neighbors. Sends are buffered (never block), so posting the halos
-// before computing interior planes overlaps the exchange with compute.
-func (w *worker) postHalos(slabs []*field.Slab, tag int) error {
-	start, end := slabs[0].Start, slabs[0].End()
-	left, right := w.neighbors()
-	w.packL = packPlanes(w.packL, slabs, start)
-	if err := w.c.Send(left, tag, w.packL); err != nil {
-		return err
+// packCrossing packs the slim halo of the given global-x distribution
+// plane into buf: per component, per cell, the lattice.CrossQ
+// populations listed in dirs (RightGoing for a halo sent rightward,
+// LeftGoing for leftward), laid out as slim[cell*CrossQ+j] =
+// plane[cell*Q19+dirs[j]] — exactly the layout lbm.Ghost{Slim: true}
+// consumes without unpacking.
+func packCrossing(buf []float64, slabs []*field.Slab, gx int, dirs *[5]int) []float64 {
+	cells := slabs[0].NY * slabs[0].NZ
+	per := cells * lattice.CrossQ
+	need := per * len(slabs)
+	if cap(buf) < need {
+		buf = make([]float64, need)
 	}
-	w.packR = packPlanes(w.packR, slabs, end-1)
-	return w.c.Send(right, tag, w.packR)
+	buf = buf[:need]
+	for c, s := range slabs {
+		plane := s.Plane(gx)
+		out := buf[c*per : (c+1)*per]
+		for cell := 0; cell < cells; cell++ {
+			b := cell * lattice.Q19
+			o := cell * lattice.CrossQ
+			out[o] = plane[b+dirs[0]]
+			out[o+1] = plane[b+dirs[1]]
+			out[o+2] = plane[b+dirs[2]]
+			out[o+3] = plane[b+dirs[3]]
+			out[o+4] = plane[b+dirs[4]]
+		}
+	}
+	return buf
 }
 
-// recvHalos blocks for both neighbors' ghost planes and returns them
-// unpacked per component through the worker's reusable view headers:
-// ghostL corresponds to global x start-1, ghostR to end.
-func (w *worker) recvHalos(slabs []*field.Slab, tag int) (ghostL, ghostR [][]float64, err error) {
-	nc := len(slabs)
-	sz := slabs[0].PlaneSize()
+// postHalos packs and sends the boundary planes of slabs to both ring
+// neighbors under the direction-distinct tag pair. Sends are buffered
+// (never block), so posting the halos before computing interior planes
+// overlaps the exchange with compute.
+func (w *worker) postHalos(slabs []*field.Slab, tagL, tagR int, slim bool, class *profile.TagBytes) error {
+	start, end := slabs[0].Start, slabs[0].End()
 	left, right := w.neighbors()
-	fromL, err := w.c.Recv(left, tag)
+	if slim {
+		w.packL = packCrossing(w.packL, slabs, start, &lattice.LeftGoing)
+		w.packR = packCrossing(w.packR, slabs, end-1, &lattice.RightGoing)
+	} else {
+		w.packL = packPlanes(w.packL, slabs, start)
+		w.packR = packPlanes(w.packR, slabs, end-1)
+	}
+	class.CountSend(8 * len(w.packL))
+	if err := w.c.Send(left, tagL, w.packL); err != nil {
+		return err
+	}
+	class.CountSend(8 * len(w.packR))
+	return w.c.Send(right, tagR, w.packR)
+}
+
+// recvHalos blocks for both neighbors' ghost planes (per is the
+// expected per-component payload length) and returns them unpacked per
+// component through the worker's reusable view headers: ghostL
+// corresponds to global x start-1, ghostR to end.
+func (w *worker) recvHalos(per, tagL, tagR int, class *profile.TagBytes) (ghostL, ghostR [][]float64, err error) {
+	nc := len(w.ghostHdrL)
+	left, right := w.neighbors()
+	fromL, err := w.c.Recv(left, tagR) // the left neighbor's rightward halo
 	if err != nil {
 		return nil, nil, err
 	}
-	fromR, err := w.c.Recv(right, tag)
+	class.CountRecv(8 * len(fromL))
+	fromR, err := w.c.Recv(right, tagL)
 	if err != nil {
 		return nil, nil, err
 	}
-	if len(fromL) != nc*sz || len(fromR) != nc*sz {
-		return nil, nil, fmt.Errorf("halo size %d/%d, want %d", len(fromL), len(fromR), nc*sz)
+	class.CountRecv(8 * len(fromR))
+	if len(fromL) != nc*per || len(fromR) != nc*per {
+		return nil, nil, fmt.Errorf("halo size %d/%d, want %d", len(fromL), len(fromR), nc*per)
 	}
 	for c := 0; c < nc; c++ {
-		w.ghostHdrL[c] = fromL[c*sz : (c+1)*sz]
-		w.ghostHdrR[c] = fromR[c*sz : (c+1)*sz]
+		w.ghostHdrL[c] = fromL[c*per : (c+1)*per]
+		w.ghostHdrR[c] = fromR[c*per : (c+1)*per]
 	}
 	return w.ghostHdrL, w.ghostHdrR, nil
 }
 
-// exchangeHalos posts the boundary planes of slabs to both neighbors
-// and blocks for the received ghost planes (the non-overlapped
-// pattern: post and immediately wait).
-func (w *worker) exchangeHalos(slabs []*field.Slab, tag int) (ghostL, ghostR [][]float64, err error) {
+// exchangeDensityHalos posts the boundary density planes to both
+// neighbors and blocks for the received ghosts (the non-overlapped
+// pattern: post and immediately wait). A single rank wraps locally.
+func (w *worker) exchangeDensityHalos() (ghostL, ghostR [][]float64, err error) {
 	if w.size == 1 {
-		// Periodic wrap within a single rank.
-		start, end := slabs[0].Start, slabs[0].End()
-		for c := range slabs {
-			w.ghostHdrL[c] = slabs[c].Plane(end - 1)
-			w.ghostHdrR[c] = slabs[c].Plane(start)
+		start, end := w.n[0].Start, w.n[0].End()
+		for c := range w.n {
+			w.ghostHdrL[c] = w.n[c].Plane(end - 1)
+			w.ghostHdrR[c] = w.n[c].Plane(start)
 		}
 		return w.ghostHdrL, w.ghostHdrR, nil
 	}
-	if err := w.postHalos(slabs, tag); err != nil {
+	if err := w.postDensityHalos(); err != nil {
 		return nil, nil, err
 	}
-	return w.recvHalos(slabs, tag)
+	return w.recvDensityHalos()
+}
+
+func (w *worker) postDensityHalos() error {
+	return w.postHalos(w.n, tagDensHaloL, tagDensHaloR, false, &w.res.Breakdown.Bytes.DensityHalo)
+}
+
+func (w *worker) recvDensityHalos() ([][]float64, [][]float64, error) {
+	return w.recvHalos(w.n[0].PlaneSize(), tagDensHaloL, tagDensHaloR, &w.res.Breakdown.Bytes.DensityHalo)
+}
+
+// exchangeDistHalos is the distribution-function analogue; the ghosts
+// come back as streaming descriptors because the slim format is
+// consumed in place by the kernel.
+func (w *worker) exchangeDistHalos() (ghostL, ghostR lbm.Ghost, err error) {
+	if w.size == 1 {
+		start, end := w.fPost[0].Start, w.fPost[0].End()
+		for c := range w.fPost {
+			w.ghostHdrL[c] = w.fPost[c].Plane(end - 1)
+			w.ghostHdrR[c] = w.fPost[c].Plane(start)
+		}
+		return lbm.Ghost{Planes: w.ghostHdrL}, lbm.Ghost{Planes: w.ghostHdrR}, nil
+	}
+	if err := w.postDistHalos(); err != nil {
+		return lbm.Ghost{}, lbm.Ghost{}, err
+	}
+	return w.recvDistHalos()
+}
+
+func (w *worker) postDistHalos() error {
+	return w.postHalos(w.fPost, tagDistHaloL, tagDistHaloR, w.distSlim(), &w.res.Breakdown.Bytes.DistHalo)
+}
+
+func (w *worker) recvDistHalos() (lbm.Ghost, lbm.Ghost, error) {
+	per := w.fPost[0].PlaneSize()
+	if w.distSlim() {
+		per = w.k.PlaneCells() * lattice.CrossQ
+	}
+	hL, hR, err := w.recvHalos(per, tagDistHaloL, tagDistHaloR, &w.res.Breakdown.Bytes.DistHalo)
+	if err != nil {
+		return lbm.Ghost{}, lbm.Ghost{}, err
+	}
+	return lbm.Ghost{Planes: hL, Slim: w.distSlim()}, lbm.Ghost{Planes: hR, Slim: w.distSlim()}, nil
 }
 
 // phase runs one LBM phase: densities, density-halo exchange, collide,
-// distribution-halo exchange, stream. With Options.Overlap (and more
-// than one rank) it dispatches to the overlapped variant.
+// distribution-halo exchange, stream. With Options.Coalesce (and more
+// than one rank) the two exchanges merge into one frame per neighbor;
+// with Options.Overlap it dispatches to the overlapped variant.
 func (w *worker) phase(phase int) error {
 	if w.opts.PhaseHook != nil {
 		w.opts.PhaseHook(w.rank, phase)
+	}
+	if w.opts.Coalesce && w.size > 1 {
+		return w.phaseCoalesced(phase)
 	}
 	if w.opts.Overlap && w.size > 1 {
 		return w.phaseOverlap(phase)
@@ -392,7 +665,7 @@ func (w *worker) phase(phase int) error {
 	compDur := time.Since(tComp).Seconds()
 
 	tComm := time.Now()
-	nGhostL, nGhostR, err := w.exchangeHalos(w.n, tagDensityHalo)
+	nGhostL, nGhostR, err := w.exchangeDensityHalos()
 	if err != nil {
 		return err
 	}
@@ -400,14 +673,14 @@ func (w *worker) phase(phase int) error {
 
 	tComp = time.Now()
 	for gx := start; gx < end; gx++ {
-		nL := viewOrGhost(w.nView, gx-1, start, end, nGhostL, nGhostR)
-		nR := viewOrGhost(w.nView, gx+1, start, end, nGhostL, nGhostR)
+		nL := viewOrGhost(w.nView.win, gx-1, start, end, nGhostL, nGhostR)
+		nR := viewOrGhost(w.nView.win, gx+1, start, end, nGhostL, nGhostR)
 		w.k.CollideScratch(w.sc, nL, w.nAt(gx), nR, w.fAt(gx), w.postAt(gx))
 	}
 	compDur += time.Since(tComp).Seconds()
 
 	tComm = time.Now()
-	fGhostL, fGhostR, err := w.exchangeHalos(w.fPost, tagDistHalo)
+	fGhostL, fGhostR, err := w.exchangeDistHalos()
 	if err != nil {
 		return err
 	}
@@ -415,9 +688,9 @@ func (w *worker) phase(phase int) error {
 
 	tComp = time.Now()
 	for gx := start; gx < end; gx++ {
-		fL := viewOrGhost(w.postView, gx-1, start, end, fGhostL, fGhostR)
-		fR := viewOrGhost(w.postView, gx+1, start, end, fGhostL, fGhostR)
-		w.k.Stream(fL, w.postAt(gx), fR, w.fAt(gx))
+		fL := ghostOr(w.postView.win, gx-1, start, end, fGhostL, fGhostR)
+		fR := ghostOr(w.postView.win, gx+1, start, end, fGhostL, fGhostR)
+		w.k.StreamGhost(fL, w.postAt(gx), fR, w.fAt(gx))
 	}
 	compDur += time.Since(tComp).Seconds()
 
@@ -443,7 +716,7 @@ func (w *worker) phaseOverlap(phase int) error {
 	}
 	compDur += time.Since(t).Seconds()
 	t = time.Now()
-	if err := w.postHalos(w.n, tagDensityHalo); err != nil {
+	if err := w.postDensityHalos(); err != nil {
 		return err
 	}
 	commDur += time.Since(t).Seconds()
@@ -455,7 +728,7 @@ func (w *worker) phaseOverlap(phase int) error {
 	compDur += d
 	ovDur += d
 	t = time.Now()
-	nGhostL, nGhostR, err := w.recvHalos(w.n, tagDensityHalo)
+	nGhostL, nGhostR, err := w.recvDensityHalos()
 	if err != nil {
 		return err
 	}
@@ -466,16 +739,16 @@ func (w *worker) phaseOverlap(phase int) error {
 	// overlaps the distribution-halo exchange.
 	t = time.Now()
 	w.k.CollideScratch(w.sc, nGhostL, w.nAt(start),
-		viewOrGhost(w.nView, start+1, start, end, nGhostL, nGhostR),
+		viewOrGhost(w.nView.win, start+1, start, end, nGhostL, nGhostR),
 		w.fAt(start), w.postAt(start))
 	if end-1 > start {
 		w.k.CollideScratch(w.sc,
-			viewOrGhost(w.nView, end-2, start, end, nGhostL, nGhostR),
+			viewOrGhost(w.nView.win, end-2, start, end, nGhostL, nGhostR),
 			w.nAt(end-1), nGhostR, w.fAt(end-1), w.postAt(end-1))
 	}
 	compDur += time.Since(t).Seconds()
 	t = time.Now()
-	if err := w.postHalos(w.fPost, tagDistHalo); err != nil {
+	if err := w.postDistHalos(); err != nil {
 		return err
 	}
 	commDur += time.Since(t).Seconds()
@@ -487,7 +760,7 @@ func (w *worker) phaseOverlap(phase int) error {
 	compDur += d
 	ovDur += d
 	t = time.Now()
-	fGhostL, fGhostR, err := w.recvHalos(w.fPost, tagDistHalo)
+	fGhostL, fGhostR, err := w.recvDistHalos()
 	if err != nil {
 		return err
 	}
@@ -496,9 +769,9 @@ func (w *worker) phaseOverlap(phase int) error {
 	// Stream: no further exchange to overlap; sweep every plane.
 	t = time.Now()
 	for gx := start; gx < end; gx++ {
-		fL := viewOrGhost(w.postView, gx-1, start, end, fGhostL, fGhostR)
-		fR := viewOrGhost(w.postView, gx+1, start, end, fGhostL, fGhostR)
-		w.k.Stream(fL, w.postAt(gx), fR, w.fAt(gx))
+		fL := ghostOr(w.postView.win, gx-1, start, end, fGhostL, fGhostR)
+		fR := ghostOr(w.postView.win, gx+1, start, end, fGhostL, fGhostR)
+		w.k.StreamGhost(fL, w.postAt(gx), fR, w.fAt(gx))
 	}
 	compDur += time.Since(t).Seconds()
 

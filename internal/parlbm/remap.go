@@ -47,15 +47,18 @@ func (w *worker) remapLocal(cfg core.Config) error {
 	hasLeft := w.rank > 0
 	hasRight := w.rank < w.size-1
 	info := []float64{float64(planes), predicted}
+	ctl := &w.res.Breakdown.Bytes.Control
 
 	// Round 1: exchange (plane count, predicted time) with chain
 	// neighbors.
 	if hasLeft {
+		ctl.CountSend(8 * len(info))
 		if err := w.c.Send(w.rank-1, tagLoadInfo, info); err != nil {
 			return err
 		}
 	}
 	if hasRight {
+		ctl.CountSend(8 * len(info))
 		if err := w.c.Send(w.rank+1, tagLoadInfo, info); err != nil {
 			return err
 		}
@@ -69,6 +72,7 @@ func (w *worker) remapLocal(cfg core.Config) error {
 		if err != nil {
 			return err
 		}
+		ctl.CountRecv(8 * len(data))
 		win.PointsLeft = int(data[0]) * cfg.PlanePoints
 		win.TimeLeft = data[1]
 	}
@@ -77,6 +81,7 @@ func (w *worker) remapLocal(cfg core.Config) error {
 		if err != nil {
 			return err
 		}
+		ctl.CountRecv(8 * len(data))
 		win.PointsRight = int(data[0]) * cfg.PlanePoints
 		win.TimeRight = data[1]
 	}
@@ -88,11 +93,13 @@ func (w *worker) remapLocal(cfg core.Config) error {
 	desire := []float64{float64(myL), float64(myR)}
 	var leftDesire, rightDesire core.Desire
 	if hasLeft {
+		ctl.CountSend(8 * len(desire))
 		if err := w.c.Send(w.rank-1, tagDesire, desire); err != nil {
 			return err
 		}
 	}
 	if hasRight {
+		ctl.CountSend(8 * len(desire))
 		if err := w.c.Send(w.rank+1, tagDesire, desire); err != nil {
 			return err
 		}
@@ -102,6 +109,7 @@ func (w *worker) remapLocal(cfg core.Config) error {
 		if err != nil {
 			return err
 		}
+		ctl.CountRecv(8 * len(d))
 		leftDesire = core.Desire{ToLeft: int(d[0]), ToRight: int(d[1])}
 	}
 	if hasRight {
@@ -109,6 +117,7 @@ func (w *worker) remapLocal(cfg core.Config) error {
 		if err != nil {
 			return err
 		}
+		ctl.CountRecv(8 * len(d))
 		rightDesire = core.Desire{ToLeft: int(d[0]), ToRight: int(d[1])}
 	}
 
@@ -127,13 +136,20 @@ func (w *worker) remapLocal(cfg core.Config) error {
 			return err
 		}
 	}
-	w.rebuildScratch()
 	return nil
 }
 
 // moveBoundary transfers |net| planes across the boundary between this
 // rank and neighbor: net > 0 means planes flow rightward (toward the
 // higher rank), net < 0 leftward.
+//
+// The transfer is allocation-free in the steady state: departing f
+// planes are packed into the grow-only migration buffer and all three
+// slabs' storage recycled into the worker's plane pools; received
+// planes are copied out of the transport buffer into pooled storage
+// before attachment, so a slab never aliases memory the transport may
+// reuse, and the cached plane views shift incrementally with the
+// boundary instead of being rebuilt.
 func (w *worker) moveBoundary(neighbor, net int) error {
 	if net == 0 {
 		return nil
@@ -148,101 +164,130 @@ func (w *worker) moveBoundary(neighbor, net int) error {
 	if !rightward {
 		tag = tagPlanesLeft
 	}
+	nc := len(w.f)
+	sz := w.f[0].PlaneSize()
+	mig := &w.res.Breakdown.Bytes.Migration
 	if sending {
-		var planes [][]float64
-		if rightward {
-			planes = popPlanes(w.f, false, count)
-		} else {
-			planes = popPlanes(w.f, true, count)
+		fromLeft := !rightward
+		need := count * nc * sz
+		if cap(w.migBuf) < need {
+			w.migBuf = make([]float64, need)
 		}
-		msg := flattenPlanes(planes)
+		w.migBuf = w.migBuf[:need]
+		// Message layout: per plane (ascending global x), the
+		// per-component planes concatenated.
+		for c := 0; c < nc; c++ {
+			var pl [][]float64
+			if fromLeft {
+				pl = w.f[c].PopLeft(count)
+			} else {
+				pl = w.f[c].PopRight(count)
+			}
+			for i, p := range pl {
+				copy(w.migBuf[(i*nc+c)*sz:(i*nc+c+1)*sz], p)
+				w.poolDist = append(w.poolDist, p)
+			}
+		}
+		for c := 0; c < nc; c++ {
+			var pl, sl [][]float64
+			if fromLeft {
+				pl = w.fPost[c].PopLeft(count)
+				sl = w.n[c].PopLeft(count)
+			} else {
+				pl = w.fPost[c].PopRight(count)
+				sl = w.n[c].PopRight(count)
+			}
+			w.poolDist = append(w.poolDist, pl...)
+			w.poolScalar = append(w.poolScalar, sl...)
+		}
+		if fromLeft {
+			w.fView.popLeft(count)
+			w.nView.popLeft(count)
+			w.postView.popLeft(count)
+		} else {
+			w.fView.popRight(count)
+			w.nView.popRight(count)
+			w.postView.popRight(count)
+		}
 		w.res.PlanesSent += count
-		return w.c.Send(neighbor, tag, msg)
+		mig.CountSend(8 * len(w.migBuf))
+		return w.c.Send(neighbor, tag, w.migBuf)
 	}
 	msg, err := w.c.Recv(neighbor, tag)
 	if err != nil {
 		return err
 	}
-	planes, err := unflattenPlanes(msg, len(w.f), w.f[0].PlaneSize(), count)
-	if err != nil {
-		return err
+	mig.CountRecv(8 * len(msg))
+	if len(msg) != count*nc*sz {
+		return fmt.Errorf("parlbm: plane transfer size %d, want %d", len(msg), count*nc*sz)
 	}
-	pushPlanes(w.f, planes, rightward)
+	// Rightward flow arrives at the receiver's left edge.
+	atLeft := rightward
+	if cap(w.migHdr) < count {
+		w.migHdr = make([][]float64, count)
+	}
+	hdr := w.migHdr[:count]
+	for c := 0; c < nc; c++ {
+		for i := 0; i < count; i++ {
+			p := w.grabDist()
+			copy(p, msg[(i*nc+c)*sz:(i*nc+c+1)*sz])
+			hdr[i] = p
+		}
+		if atLeft {
+			w.f[c].PushLeft(hdr)
+		} else {
+			w.f[c].PushRight(hdr)
+		}
+		// fPost and n get pooled storage too; their contents are
+		// recomputed from f every phase, so no values travel.
+		for i := 0; i < count; i++ {
+			hdr[i] = w.grabDist()
+		}
+		if atLeft {
+			w.fPost[c].PushLeft(hdr)
+		} else {
+			w.fPost[c].PushRight(hdr)
+		}
+		for i := 0; i < count; i++ {
+			hdr[i] = w.grabScalar()
+		}
+		if atLeft {
+			w.n[c].PushLeft(hdr)
+		} else {
+			w.n[c].PushRight(hdr)
+		}
+	}
+	if atLeft {
+		w.fView.pushLeft(w.f, count)
+		w.nView.pushLeft(w.n, count)
+		w.postView.pushLeft(w.fPost, count)
+	} else {
+		w.fView.pushRight(w.f, count)
+		w.nView.pushRight(w.n, count)
+		w.postView.pushRight(w.fPost, count)
+	}
 	return nil
 }
 
-// popPlanes removes count planes from the left or right end of every
-// component slab and returns them interleaved per plane: for each
-// global x (ascending), the per-component planes.
-func popPlanes(slabs []*field.Slab, fromLeft bool, count int) [][]float64 {
-	nc := len(slabs)
-	out := make([][]float64, 0, count*nc)
-	perComp := make([][][]float64, nc)
-	for c, s := range slabs {
-		if fromLeft {
-			perComp[c] = s.PopLeft(count)
-		} else {
-			perComp[c] = s.PopRight(count)
-		}
+// grabDist returns a distribution plane from the pool, or a fresh one
+// when the pool is dry (first growth past the high-water mark).
+func (w *worker) grabDist() []float64 {
+	if n := len(w.poolDist); n > 0 {
+		p := w.poolDist[n-1]
+		w.poolDist = w.poolDist[:n-1]
+		return p
 	}
-	for i := 0; i < count; i++ {
-		for c := 0; c < nc; c++ {
-			out = append(out, perComp[c][i])
-		}
-	}
-	return out
+	return make([]float64, w.f[0].PlaneSize())
 }
 
-// pushPlanes attaches received planes: rightward flow arrives at the
-// receiver's left edge, leftward flow at its right edge.
-func pushPlanes(slabs []*field.Slab, planes [][]float64, rightward bool) {
-	nc := len(slabs)
-	count := len(planes) / nc
-	for c := 0; c < nc; c++ {
-		comp := make([][]float64, count)
-		for i := 0; i < count; i++ {
-			comp[i] = planes[i*nc+c]
-		}
-		if rightward {
-			slabs[c].PushLeft(comp)
-		} else {
-			slabs[c].PushRight(comp)
-		}
+// grabScalar is grabDist for density planes.
+func (w *worker) grabScalar() []float64 {
+	if n := len(w.poolScalar); n > 0 {
+		p := w.poolScalar[n-1]
+		w.poolScalar = w.poolScalar[:n-1]
+		return p
 	}
-}
-
-func flattenPlanes(planes [][]float64) []float64 {
-	if len(planes) == 0 {
-		return nil
-	}
-	out := make([]float64, 0, len(planes)*len(planes[0]))
-	for _, p := range planes {
-		out = append(out, p...)
-	}
-	return out
-}
-
-func unflattenPlanes(msg []float64, nc, planeSize, count int) ([][]float64, error) {
-	if len(msg) != nc*planeSize*count {
-		return nil, fmt.Errorf("parlbm: plane transfer size %d, want %d", len(msg), nc*planeSize*count)
-	}
-	out := make([][]float64, count*nc)
-	for i := range out {
-		out[i] = msg[i*planeSize : (i+1)*planeSize]
-	}
-	return out, nil
-}
-
-// rebuildScratch reallocates the post-collision and density slabs to
-// the (possibly changed) owned range and refreshes the cached plane
-// views; slab contents are recomputed every phase.
-func (w *worker) rebuildScratch() {
-	start, count := w.f[0].Start, w.f[0].Count()
-	for c := range w.fPost {
-		w.fPost[c] = field.NewSlab(w.p.NY, w.p.NZ, 19, start, count)
-		w.n[c] = field.NewSlab(w.p.NY, w.p.NZ, 1, start, count)
-	}
-	w.rebuildViews()
+	return make([]float64, w.k.PlaneCells())
 }
 
 // remapGlobal is the distributed global scheme: allgather the load
@@ -252,6 +297,8 @@ func (w *worker) rebuildScratch() {
 func (w *worker) remapGlobal(pol balance.Policy) error {
 	planes := w.f[0].Count()
 	predicted := w.pred.Predict() * float64(planes)
+	ctl := &w.res.Breakdown.Bytes.Control
+	ctl.CountSend(8 * 2)
 	all, err := w.c.AllGather([]float64{float64(planes), predicted})
 	if err != nil {
 		return err
@@ -262,6 +309,7 @@ func (w *worker) remapGlobal(pol balance.Policy) error {
 		if len(data) != 2 {
 			return fmt.Errorf("parlbm: load gather from %d has %d values", r, len(data))
 		}
+		ctl.CountRecv(8 * len(data))
 		planesAll[r] = int(data[0])
 		predAll[r] = data[1]
 	}
@@ -286,7 +334,6 @@ func (w *worker) remapGlobal(pol balance.Policy) error {
 			return err
 		}
 	}
-	w.rebuildScratch()
 	return nil
 }
 
@@ -334,6 +381,7 @@ func (w *worker) gather() error {
 				msg = append(msg, w.f[c].Plane(gx)...)
 			}
 		}
+		w.res.Breakdown.Bytes.Gather.CountSend(8 * len(msg))
 		return w.c.Send(0, tagGather, msg)
 	}
 	final := make([]*field.Dist3D, nc)
@@ -353,6 +401,7 @@ func (w *worker) gather() error {
 		if err != nil {
 			return err
 		}
+		w.res.Breakdown.Bytes.Gather.CountRecv(8 * len(msg))
 		if len(msg) < 2 {
 			return fmt.Errorf("parlbm: short gather message from %d", r)
 		}

@@ -1,0 +1,257 @@
+package parlbm
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"microslip/internal/comm"
+	"microslip/internal/field"
+	"microslip/internal/lattice"
+	"microslip/internal/lbm"
+)
+
+// The slim wire layout is a contract shared by packCrossing (sender)
+// and the kernel's slim ghost reads (receiver): per component, per
+// cell, the crossing populations in RightGoing/LeftGoing slot order.
+// Check it directly against the full plane for random fields, per
+// component and for both faces.
+func TestPackCrossingLayout(t *testing.T) {
+	const ny, nz = 7, 5
+	rng := rand.New(rand.NewSource(1))
+	slabs := make([]*field.Slab, 2)
+	for c := range slabs {
+		slabs[c] = field.NewSlab(ny, nz, 19, 3, 2)
+		for gx := 3; gx < 5; gx++ {
+			plane := slabs[c].Plane(gx)
+			for i := range plane {
+				plane[i] = rng.NormFloat64()
+			}
+		}
+	}
+	cells := ny * nz
+	per := cells * lattice.CrossQ
+	for _, face := range []struct {
+		name string
+		gx   int
+		dirs *[5]int
+	}{
+		{"right-going from end-1", 4, &lattice.RightGoing},
+		{"left-going from start", 3, &lattice.LeftGoing},
+	} {
+		buf := packCrossing(nil, slabs, face.gx, face.dirs)
+		if len(buf) != len(slabs)*per {
+			t.Fatalf("%s: packed %d floats, want %d", face.name, len(buf), len(slabs)*per)
+		}
+		for c := range slabs {
+			plane := slabs[c].Plane(face.gx)
+			for cell := 0; cell < cells; cell++ {
+				for j := 0; j < lattice.CrossQ; j++ {
+					got := buf[c*per+cell*lattice.CrossQ+j]
+					want := plane[cell*19+face.dirs[j]]
+					if math.Float64bits(got) != math.Float64bits(want) {
+						t.Fatalf("%s: comp %d cell %d slot %d: %v != %v", face.name, c, cell, j, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Streaming from slim ghosts must reproduce streaming from the full
+// ghost planes bit-for-bit on random post-collision fields — the
+// property that makes the slim halo a pure wire optimization. Each
+// side is checked slim-alone and slim-on-both to cover the mixed
+// neighborhoods of the coalesced thin fallback.
+func TestStreamGhostSlimMatchesFull(t *testing.T) {
+	p := lbm.WaterAir(4, 9, 6)
+	k := lbm.NewKernel(p)
+	nc := p.NComp()
+	rng := rand.New(rand.NewSource(2))
+	randPlanes := func() [][]float64 {
+		planes := make([][]float64, nc)
+		for c := range planes {
+			planes[c] = make([]float64, k.PlaneLen())
+			for i := range planes[c] {
+				planes[c][i] = rng.NormFloat64()
+			}
+		}
+		return planes
+	}
+	fL, fC, fR := randPlanes(), randPlanes(), randPlanes()
+
+	slim := func(full [][]float64, dirs *[5]int) [][]float64 {
+		slabs := make([]*field.Slab, nc)
+		for c := range slabs {
+			slabs[c] = field.NewSlab(p.NY, p.NZ, 19, 0, 1)
+			copy(slabs[c].Plane(0), full[c])
+		}
+		buf := packCrossing(nil, slabs, 0, dirs)
+		per := k.PlaneCells() * lattice.CrossQ
+		out := make([][]float64, nc)
+		for c := range out {
+			out[c] = buf[c*per : (c+1)*per]
+		}
+		return out
+	}
+	// The left ghost feeds right-going populations, the right ghost
+	// left-going ones — the direction the sender packs for that face.
+	slimL := lbm.Ghost{Planes: slim(fL, &lattice.RightGoing), Slim: true}
+	slimR := lbm.Ghost{Planes: slim(fR, &lattice.LeftGoing), Slim: true}
+	fullL := lbm.Ghost{Planes: fL}
+	fullR := lbm.Ghost{Planes: fR}
+
+	ref := randPlanes() // overwritten; randomized so stale values can't hide
+	k.StreamGhost(fullL, fC, fullR, ref)
+
+	for _, tc := range []struct {
+		name   string
+		gL, gR lbm.Ghost
+	}{
+		{"slim-left", slimL, fullR},
+		{"slim-right", fullL, slimR},
+		{"slim-both", slimL, slimR},
+	} {
+		got := randPlanes()
+		k.StreamGhost(tc.gL, fC, tc.gR, got)
+		for c := 0; c < nc; c++ {
+			for i := range ref[c] {
+				if math.Float64bits(got[c][i]) != math.Float64bits(ref[c][i]) {
+					t.Fatalf("%s: comp %d index %d: %v != %v", tc.name, c, i, got[c][i], ref[c][i])
+				}
+			}
+		}
+	}
+}
+
+// sumHalo aggregates the per-phase halo traffic over all ranks.
+func sumHalo(results []*Result) (sentBytes, sentMsgs int64) {
+	for _, r := range results {
+		h := r.Comm.Bytes.Halo()
+		sentBytes += h.SentBytes
+		sentMsgs += h.SentMsgs
+	}
+	return
+}
+
+// The slim halo must cut the measured per-phase halo bytes by at least
+// 3x against the wide format (the exact ratio is 20/6: 19+1 planes down
+// to 5+1), and coalescing must halve the per-phase message count. All
+// from the solver's own Result.Comm counters, so the accounting is
+// itself under test: expected volumes are derived from the lattice
+// constants, not re-measured.
+func TestHaloByteReductionAndMessageHalving(t *testing.T) {
+	const nx, ny, nz, ranks, phases = 12, 10, 6, 3, 5
+	run := func(opts Options) []*Result {
+		opts.Phases = phases
+		_, results, err := RunParallel(waveParams(nx, ny, nz), ranks, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	slimRes := run(Options{})
+	wideRes := run(Options{WideHalo: true})
+	coalRes := run(Options{Coalesce: true})
+
+	const nc, cells = 2, ny * nz
+	// Per rank per phase, both directions: a full density plane plus
+	// the distribution payload.
+	slimWant := int64(ranks * phases * 2 * nc * cells * (1 + lattice.CrossQ) * 8)
+	wideWant := int64(ranks * phases * 2 * nc * cells * (1 + 19) * 8)
+	frameWant := int64(ranks * phases * 2 * (1 + nc*cells*(19+1)) * 8)
+
+	slimBytes, slimMsgs := sumHalo(slimRes)
+	wideBytes, wideMsgs := sumHalo(wideRes)
+	coalBytes, coalMsgs := sumHalo(coalRes)
+
+	if slimBytes != slimWant {
+		t.Errorf("slim halo bytes %d, want %d", slimBytes, slimWant)
+	}
+	if wideBytes != wideWant {
+		t.Errorf("wide halo bytes %d, want %d", wideBytes, wideWant)
+	}
+	if coalBytes != frameWant {
+		t.Errorf("coalesced frame bytes %d, want %d", coalBytes, frameWant)
+	}
+	if slimBytes*3 > wideBytes {
+		t.Errorf("halo byte reduction %.2fx, want >= 3x (slim %d vs wide %d)",
+			float64(wideBytes)/float64(slimBytes), slimBytes, wideBytes)
+	}
+	if wideMsgs != slimMsgs {
+		t.Errorf("wide sent %d halo messages, slim %d; formats should only change size", wideMsgs, slimMsgs)
+	}
+	if coalMsgs*2 != slimMsgs {
+		t.Errorf("coalesced sent %d halo messages, want half of %d", coalMsgs, slimMsgs)
+	}
+
+	// Sent and received volumes must balance over the closed ring.
+	for name, results := range map[string][]*Result{"slim": slimRes, "wide": wideRes, "coalesce": coalRes} {
+		var sent, recv int64
+		for _, r := range results {
+			h := r.Comm.Bytes.Halo()
+			sent += h.SentBytes
+			recv += h.RecvBytes
+		}
+		if sent != recv {
+			t.Errorf("%s: %d bytes sent but %d received", name, sent, recv)
+		}
+	}
+}
+
+// Malformed halo and frame payloads must surface as errors naming the
+// size mismatch, not as corrupted physics or panics.
+func TestMalformedHaloAndFrameErrors(t *testing.T) {
+	f := comm.NewFabric(2)
+	defer f.Close()
+	w := benchWorker(t, f.Endpoint(0), Options{})
+	w.ensureCoalesceBufs()
+	peer := f.Endpoint(1)
+
+	sendBoth := func(tagToRight, tagToLeft int, msg []float64) {
+		// The peer is both neighbors of rank 0 on a two-rank ring.
+		if err := peer.Send(0, tagToRight, msg); err != nil {
+			t.Fatal(err)
+		}
+		if err := peer.Send(0, tagToLeft, msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	t.Run("short slim halo", func(t *testing.T) {
+		sendBoth(tagDistHaloR, tagDistHaloL, make([]float64, 7))
+		_, _, err := w.recvDistHalos()
+		if err == nil || !strings.Contains(err.Error(), "halo size") {
+			t.Fatalf("got %v, want halo size error", err)
+		}
+	})
+	t.Run("empty frame", func(t *testing.T) {
+		sendBoth(tagFrameR, tagFrameL, []float64{})
+		err := w.recvFrames()
+		if err == nil || !strings.Contains(err.Error(), "empty coalesced frame") {
+			t.Fatalf("got %v, want empty frame error", err)
+		}
+	})
+	t.Run("unknown frame kind", func(t *testing.T) {
+		sendBoth(tagFrameR, tagFrameL, []float64{42})
+		err := w.recvFrames()
+		if err == nil || !strings.Contains(err.Error(), "unknown frame kind") {
+			t.Fatalf("got %v, want unknown kind error", err)
+		}
+	})
+	t.Run("truncated wide frame", func(t *testing.T) {
+		sendBoth(tagFrameR, tagFrameL, []float64{frameWide, 1, 2, 3})
+		err := w.recvFrames()
+		if err == nil || !strings.Contains(err.Error(), "wide frame size") {
+			t.Fatalf("got %v, want wide frame size error", err)
+		}
+	})
+	t.Run("truncated thin frame", func(t *testing.T) {
+		sendBoth(tagFrameR, tagFrameL, []float64{frameThin, 1})
+		err := w.recvFrames()
+		if err == nil || !strings.Contains(err.Error(), "thin frame size") {
+			t.Fatalf("got %v, want thin frame size error", err)
+		}
+	})
+}

@@ -24,6 +24,78 @@ type Breakdown struct {
 	// Total does not include it; Communication then counts only the
 	// blocking remainder of each exchange.
 	Overlap float64
+	// Bytes is the wire payload volume behind the Communication and
+	// Remapping splits, counted per message class at the solver's
+	// send/receive call sites (8 bytes per float64, headers excluded),
+	// so it is identical across transports.
+	Bytes CommBytes
+}
+
+// TagBytes counts the wire traffic of one message class: payload bytes
+// and message count, split by direction.
+type TagBytes struct {
+	SentBytes, RecvBytes int64
+	SentMsgs, RecvMsgs   int64
+}
+
+// CountSend records one sent message of n payload bytes.
+func (t *TagBytes) CountSend(n int) { t.SentBytes += int64(n); t.SentMsgs++ }
+
+// CountRecv records one received message of n payload bytes.
+func (t *TagBytes) CountRecv(n int) { t.RecvBytes += int64(n); t.RecvMsgs++ }
+
+// Add accumulates another class's counters.
+func (t *TagBytes) Add(o TagBytes) {
+	t.SentBytes += o.SentBytes
+	t.RecvBytes += o.RecvBytes
+	t.SentMsgs += o.SentMsgs
+	t.RecvMsgs += o.RecvMsgs
+}
+
+// CommBytes is one node's wire traffic split by message class.
+type CommBytes struct {
+	// DensityHalo and DistHalo are the per-phase halo exchanges of
+	// number densities and distribution functions (slim or wide).
+	DensityHalo, DistHalo TagBytes
+	// Frame counts the coalesced per-neighbour phase frames that
+	// replace the two halo messages when coalescing is enabled.
+	Frame TagBytes
+	// Migration counts lattice-plane transfers of dynamic remapping.
+	Migration TagBytes
+	// Control counts the small coordination payloads: load-index and
+	// desire exchanges of the remapping protocol.
+	Control TagBytes
+	// Gather counts the end-of-run field gather to rank 0.
+	Gather TagBytes
+}
+
+// Add accumulates another node's traffic.
+func (b *CommBytes) Add(o CommBytes) {
+	b.DensityHalo.Add(o.DensityHalo)
+	b.DistHalo.Add(o.DistHalo)
+	b.Frame.Add(o.Frame)
+	b.Migration.Add(o.Migration)
+	b.Control.Add(o.Control)
+	b.Gather.Add(o.Gather)
+}
+
+// Halo returns the aggregate per-phase halo traffic: density and
+// distribution halos plus coalesced frames.
+func (b CommBytes) Halo() TagBytes {
+	var t TagBytes
+	t.Add(b.DensityHalo)
+	t.Add(b.DistHalo)
+	t.Add(b.Frame)
+	return t
+}
+
+// Total returns the aggregate over every message class.
+func (b CommBytes) Total() TagBytes {
+	t := b.Halo()
+	t.Add(b.Migration)
+	t.Add(b.Control)
+	t.Add(b.Gather)
+	return t
 }
 
 // Total returns the node's total accounted time.
@@ -38,6 +110,7 @@ func (b *Breakdown) Add(o Breakdown) {
 	b.Remapping += o.Remapping
 	b.Checkpoint += o.Checkpoint
 	b.Overlap += o.Overlap
+	b.Bytes.Add(o.Bytes)
 }
 
 // CommStats counts the resilience-layer events of one node: how often
@@ -52,6 +125,10 @@ type CommStats struct {
 	// repaired (discarded duplicate, stashed out-of-order, discarded
 	// corrupt).
 	Duplicates, Reordered, Corrupt int64
+	// Bytes is the node's wire payload volume by message class, counted
+	// at the solver layer (present whether or not a resilience wrapper
+	// is stacked underneath).
+	Bytes CommBytes
 }
 
 // Add accumulates another node's counters.
@@ -61,6 +138,7 @@ func (s *CommStats) Add(o CommStats) {
 	s.Duplicates += o.Duplicates
 	s.Reordered += o.Reordered
 	s.Corrupt += o.Corrupt
+	s.Bytes.Add(o.Bytes)
 }
 
 // Recovered is the total number of masked fault events.

@@ -269,7 +269,7 @@ func runAlive(cfg Config) (*Result, error) {
 			work *= 1 + amp*jitterU(cfg.Seed, i, phase)
 			compDur[i] = WorkDuration(cfg.Traces[i], clock[i], work)
 			compEnd := clock[i] + compDur[i]
-			sendReady[i] = compEnd + WorkDuration(cfg.Traces[i], compEnd, 2*costs.MsgHandlingWork)
+			sendReady[i] = compEnd + WorkDuration(cfg.Traces[i], compEnd, costs.PhaseHandlingWork())
 		}
 		// Exchange with neighbors: a node proceeds once it has pushed
 		// its halos and received both neighbors'.
@@ -281,7 +281,7 @@ func runAlive(cfg Config) (*Result, error) {
 			if i < p-1 && sendReady[i+1] > arrive {
 				arrive = sendReady[i+1]
 			}
-			end := math.Max(sendReady[i], arrive) + 2*costs.ExchangeWire
+			end := math.Max(sendReady[i], arrive) + costs.PhaseExchangeWire()
 			if arrive > sendReady[i] && cfg.WakeDelay > 0 {
 				// The node was blocked; a contended node resumes late.
 				if c := contention(cfg.Traces[i].SpeedAt(arrive)); c > 0 {
@@ -291,7 +291,7 @@ func runAlive(cfg Config) (*Result, error) {
 			// Lossy wire: every retry re-charges the round trip plus
 			// the repack at the node's contended speed.
 			for k := exchangeRetries(cfg.Seed, i, phase, cfg.ExchangeFailureRate); k > 0; k-- {
-				end += 2*costs.ExchangeWire + WorkDuration(cfg.Traces[i], end, 2*costs.MsgHandlingWork)
+				end += costs.PhaseExchangeWire() + WorkDuration(cfg.Traces[i], end, costs.PhaseHandlingWork())
 				res.ExchangeRetries++
 			}
 			newClock := end
