@@ -36,20 +36,24 @@ bench:
 
 # The perf-trajectory sweep: pinned-size step benchmarks over the
 # intra-node (reference and fused) and distributed solvers — the latter
-# across the slim/wide halo wire formats with measured comm_bytes —
-# written to BENCH_<date>.json (schema microslip-bench/v2, validated
-# after the write). Commit the report to record a perf point in history.
+# across the slim/wide halo wire formats with measured comm_bytes, at
+# both scalar precisions — written to BENCH_<date>.json (schema
+# microslip-bench/v3, validated after the write). Commit the report to
+# record a perf point in history.
 bench-json:
-	$(GO) run ./cmd/lbmbench
+	$(GO) run ./cmd/lbmbench -precision f64,f32
 	$(GO) run ./cmd/lbmbench -check $$(ls -t BENCH_*.json | head -1)
 
 # A few-second version of the sweep for CI: ranks=2 across slim, wide,
 # and coalesced halo configurations, emitted as bench_smoke.json; the
 # schema check also validates the comm_bytes accounting (presence,
-# sent/recv balance, nonzero halo traffic). The workflow uploads the
-# file as an artifact.
+# sent/recv balance, nonzero halo traffic — and, when both precisions
+# are present, that the f32 wire ships ~half the halo bytes). CI runs
+# this as a matrix over BENCH_PRECISION; the default sweeps both
+# precisions in one report so the compression cross-check applies.
+BENCH_PRECISION ?= f64,f32
 bench-smoke:
-	$(GO) run ./cmd/lbmbench -quick -out bench_smoke.json
+	$(GO) run ./cmd/lbmbench -quick -precision $(BENCH_PRECISION) -out bench_smoke.json
 	$(GO) run ./cmd/lbmbench -check bench_smoke.json
 
 # Coverage-guided fuzzing beyond the committed seed corpora.

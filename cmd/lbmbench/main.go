@@ -10,12 +10,22 @@
 //	lbmbench [-grid 32x48x16[,NXxNYxNZ...]] [-steps N] [-warmup N]
 //	         [-workers 1,2,4] [-ranks 1,2,4] [-fused both|on|off]
 //	         [-overlap both|on|off] [-halo both|slim|wide]
-//	         [-coalesce both|on|off] [-out FILE] [-quick]
+//	         [-coalesce both|on|off] [-precision f64[,f32]]
+//	         [-cpuprofile FILE] [-memprofile FILE] [-out FILE] [-quick]
 //	lbmbench -check FILE
 //
 // -quick shrinks the sweep to a few seconds for CI smoke runs. -check
 // validates the JSON schema of an existing report and exits non-zero on
 // any violation; CI uses it to gate the emitted artifact.
+//
+// -precision sweeps the scalar precision: f64 is the historical core;
+// f32 runs the intra-node solver in single precision and switches the
+// distributed solver to packed float32 wire payloads (computing in
+// double). The validator cross-checks that f32 distributed entries ship
+// about half the distribution-halo bytes of their f64 twins.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the whole
+// sweep, for digging into regressions the report surfaces.
 //
 // Distributed entries carry a comm_bytes block with the per-class wire
 // volumes (density halo, distribution halo, coalesced frames,
@@ -38,6 +48,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -49,8 +60,10 @@ import (
 
 // Schema identifies the report layout; bump on incompatible change.
 // v2 adds the halo wire format, frame coalescing, and measured per-class
-// communication volumes (comm_bytes) to the distributed entries.
-const Schema = "microslip-bench/v2"
+// communication volumes (comm_bytes) to the distributed entries. v3
+// makes every entry carry its scalar precision ("f64"/"f32") and the
+// environment block record GOMAXPROCS next to the CPU count.
+const Schema = "microslip-bench/v3"
 
 // TagJSON is one message class's wire traffic, summed over all ranks.
 type TagJSON struct {
@@ -89,6 +102,7 @@ type Entry struct {
 	Overlap       bool      `json:"overlap"`
 	Halo          string    `json:"halo,omitempty"`     // distributed: "slim" or "wide"
 	Coalesce      bool      `json:"coalesce,omitempty"` // distributed: one frame per neighbor per phase
+	Precision     string    `json:"precision"`          // "f64" or "f32" (distributed f32 = f32 wire)
 	Steps         int       `json:"steps"`
 	NsPerStep     float64   `json:"ns_per_step"`
 	MLUPS         float64   `json:"mlups"`
@@ -99,13 +113,17 @@ type Entry struct {
 
 // Report is the emitted JSON document.
 type Report struct {
-	Schema    string  `json:"schema"`
-	Generated string  `json:"generated"`
-	GoVersion string  `json:"go"`
-	GOOS      string  `json:"goos"`
-	GOARCH    string  `json:"goarch"`
-	CPUs      int     `json:"cpus"`
-	Entries   []Entry `json:"entries"`
+	Schema    string `json:"schema"`
+	Generated string `json:"generated"`
+	GoVersion string `json:"go"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	// GOMAXPROCS is what the runtime will actually schedule on — on
+	// cgroup-limited CI boxes it can sit far below CPUs, and the
+	// worker-scaling numbers only make sense against it.
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Entries    []Entry `json:"entries"`
 }
 
 func main() {
@@ -120,10 +138,13 @@ func main() {
 		fused    = flag.String("fused", "both", "fused collide+stream: both, on, or off")
 		overlap  = flag.String("overlap", "both", "comm/compute overlap: both, on, or off")
 		halo     = flag.String("halo", "both", "halo wire format: both, slim, or wide")
-		coalesce = flag.String("coalesce", "off", "coalesced phase frames: both, on, or off")
-		out      = flag.String("out", "", "output file (default BENCH_<date>.json)")
-		quick    = flag.Bool("quick", false, "tiny sweep for CI smoke runs")
-		check    = flag.String("check", "", "validate the schema of an existing report and exit")
+		coalesce  = flag.String("coalesce", "off", "coalesced phase frames: both, on, or off")
+		precision = flag.String("precision", "f64", "comma-separated scalar precisions: f64, f32")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to FILE")
+		memprof   = flag.String("memprofile", "", "write a heap profile after the sweep to FILE")
+		out       = flag.String("out", "", "output file (default BENCH_<date>.json)")
+		quick     = flag.Bool("quick", false, "tiny sweep for CI smoke runs")
+		check     = flag.String("check", "", "validate the schema of an existing report and exit")
 	)
 	flag.Parse()
 
@@ -135,10 +156,19 @@ func main() {
 		return
 	}
 
+	precSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "precision" {
+			precSet = true
+		}
+	})
 	if *quick {
 		*grids, *steps, *warmup = "8x16x8", 40, 8
 		*workers, *ranks = "1,2", "2"
 		*halo, *coalesce = "both", "both"
+		if !precSet { // an explicit -precision narrows the CI matrix leg
+			*precision = "f64,f32"
+		}
 	}
 	gridList, err := parseGrids(*grids)
 	if err != nil {
@@ -168,46 +198,77 @@ func main() {
 	if err != nil {
 		log.Fatalf("-coalesce: %v", err)
 	}
+	precisions, err := parsePrecisions(*precision)
+	if err != nil {
+		log.Fatalf("-precision: %v", err)
+	}
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	rep := &Report{
-		Schema:    Schema,
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
+		Schema:     Schema,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	for _, g := range gridList {
-		for _, f := range fusedModes {
-			for _, w := range workerList {
-				e, err := benchIntra(g, w, f, *steps, *warmup)
-				if err != nil {
-					log.Fatal(err)
+		for _, prec := range precisions {
+			for _, f := range fusedModes {
+				for _, w := range workerList {
+					e, err := benchIntra(g, w, f, prec, *steps, *warmup)
+					if err != nil {
+						log.Fatal(err)
+					}
+					rep.Entries = append(rep.Entries, e)
+					fmt.Println(row(e))
 				}
-				rep.Entries = append(rep.Entries, e)
-				fmt.Println(row(e))
 			}
-		}
-		for _, r := range rankList {
-			for _, ov := range overlapModes {
-				if ov && r == 1 {
-					continue // overlap is a no-op on one rank
-				}
-				for _, wide := range haloModes {
-					for _, cz := range coalesceModes {
-						if cz && ov {
-							continue // the coalesced phase has its own schedule; overlap is ignored
+			for _, r := range rankList {
+				for _, ov := range overlapModes {
+					if ov && r == 1 {
+						continue // overlap is a no-op on one rank
+					}
+					for _, wide := range haloModes {
+						for _, cz := range coalesceModes {
+							if cz && ov {
+								continue // the coalesced phase has its own schedule; overlap is ignored
+							}
+							e, err := benchRanks(g, r, ov, wide, cz, prec, *steps)
+							if err != nil {
+								log.Fatal(err)
+							}
+							rep.Entries = append(rep.Entries, e)
+							fmt.Println(row(e))
 						}
-						e, err := benchRanks(g, r, ov, wide, cz, *steps)
-						if err != nil {
-							log.Fatal(err)
-						}
-						rep.Entries = append(rep.Entries, e)
-						fmt.Println(row(e))
 					}
 				}
 			}
 		}
+	}
+
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			log.Fatalf("-memprofile: %v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("-memprofile: %v", err)
+		}
+		f.Close()
 	}
 
 	path := *out
@@ -224,11 +285,13 @@ func main() {
 	fmt.Printf("wrote %s (%d entries)\n", path, len(rep.Entries))
 }
 
-// benchIntra measures Sim.StepParallel on one grid/worker/fused config.
-func benchIntra(g [3]int, workers int, fused bool, steps, warmup int) (Entry, error) {
+// benchIntra measures StepParallel on one grid/worker/fused/precision
+// configuration of the sequential solver.
+func benchIntra(g [3]int, workers int, fused bool, prec lbm.Precision, steps, warmup int) (Entry, error) {
 	p := lbm.WaterAir(g[0], g[1], g[2])
 	p.Fused = fused
-	s, err := lbm.NewSim(p)
+	p.Precision = prec
+	s, err := lbm.NewSolver(p)
 	if err != nil {
 		return Entry{}, err
 	}
@@ -246,11 +309,13 @@ func benchIntra(g [3]int, workers int, fused bool, steps, warmup int) (Entry, er
 	el := time.Since(t0)
 	runtime.ReadMemStats(&m1)
 	e := Entry{
-		Name:    fmt.Sprintf("intra/%dx%dx%d/fused=%v/workers=%d", g[0], g[1], g[2], fused, workers),
-		Grid:    g,
-		Workers: workers,
-		Fused:   fused,
-		Steps:   steps,
+		Name: fmt.Sprintf("intra/%dx%dx%d/fused=%v/workers=%d/prec=%s",
+			g[0], g[1], g[2], fused, workers, prec),
+		Grid:      g,
+		Workers:   workers,
+		Fused:     fused,
+		Precision: prec.String(),
+		Steps:     steps,
 	}
 	fill(&e, el, steps, &m0, &m1)
 	return e, nil
@@ -260,8 +325,9 @@ func benchIntra(g [3]int, workers int, fused bool, steps, warmup int) (Entry, er
 // initial decomposition) is included and amortised over the steps. The
 // per-class communication volumes come from the solver's own
 // Result.Comm counters, summed over all ranks.
-func benchRanks(g [3]int, ranks int, overlap, wide, coalesce bool, steps int) (Entry, error) {
+func benchRanks(g [3]int, ranks int, overlap, wide, coalesce bool, prec lbm.Precision, steps int) (Entry, error) {
 	p := lbm.WaterAir(g[0], g[1], g[2])
+	p.Precision = prec // F32 implies packed float32 wire payloads
 	runtime.GC()
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
@@ -283,14 +349,15 @@ func benchRanks(g [3]int, ranks int, overlap, wide, coalesce bool, steps int) (E
 		haloName = "wide"
 	}
 	e := Entry{
-		Name: fmt.Sprintf("parlbm/%dx%dx%d/ranks=%d/overlap=%v/halo=%s/coalesce=%v",
-			g[0], g[1], g[2], ranks, overlap, haloName, coalesce),
-		Grid:     g,
-		Ranks:    ranks,
-		Overlap:  overlap,
-		Halo:     haloName,
-		Coalesce: coalesce,
-		Steps:    steps,
+		Name: fmt.Sprintf("parlbm/%dx%dx%d/ranks=%d/overlap=%v/halo=%s/coalesce=%v/prec=%s",
+			g[0], g[1], g[2], ranks, overlap, haloName, coalesce, prec),
+		Grid:      g,
+		Ranks:     ranks,
+		Overlap:   overlap,
+		Halo:      haloName,
+		Coalesce:  coalesce,
+		Precision: prec.String(),
+		Steps:     steps,
 		CommBytes: &CommJSON{
 			DensityHalo:       tagJSON(total.DensityHalo),
 			DistHalo:          tagJSON(total.DistHalo),
@@ -344,12 +411,22 @@ func validate(path string) error {
 	if rep.GoVersion == "" || rep.GOOS == "" || rep.GOARCH == "" || rep.CPUs < 1 {
 		return fmt.Errorf("incomplete environment block")
 	}
+	if rep.GOMAXPROCS < 1 {
+		return fmt.Errorf("gomaxprocs %d", rep.GOMAXPROCS)
+	}
 	if len(rep.Entries) == 0 {
 		return fmt.Errorf("no entries")
 	}
+	// Distribution-halo sent bytes per distributed configuration, keyed
+	// by the name minus its precision suffix, for the f32-vs-f64
+	// compression cross-check below.
+	haloSent := map[string]map[string]int64{}
 	for i, e := range rep.Entries {
 		if e.Name == "" {
 			return fmt.Errorf("entry %d: empty name", i)
+		}
+		if e.Precision != "f64" && e.Precision != "f32" {
+			return fmt.Errorf("entry %q: precision %q, want f64 or f32", e.Name, e.Precision)
 		}
 		if e.Grid[0] < 1 || e.Grid[1] < 1 || e.Grid[2] < 1 {
 			return fmt.Errorf("entry %q: bad grid %v", e.Name, e.Grid)
@@ -388,11 +465,31 @@ func validate(path string) error {
 				if e.Coalesce && e.CommBytes.Frame.SentMsgs == 0 {
 					return fmt.Errorf("entry %q: coalesced entry recorded no frames", e.Name)
 				}
+				base := strings.TrimSuffix(e.Name, "/prec="+e.Precision)
+				if haloSent[base] == nil {
+					haloSent[base] = map[string]int64{}
+				}
+				haloSent[base][e.Precision] = halo.SentBytes
 			}
 		} else {
 			if e.Halo != "" || e.Coalesce || e.CommBytes != nil {
 				return fmt.Errorf("entry %q: intra-node entry carries distributed fields", e.Name)
 			}
+		}
+	}
+	// Where a distributed configuration was measured at both precisions,
+	// the f32 wire must actually compress: packed payloads are half the
+	// words plus at most one per message (odd frame lengths), so the
+	// halo-byte ratio sits in a tight band around 0.5.
+	for base, byPrec := range haloSent {
+		b32, ok32 := byPrec["f32"]
+		b64, ok64 := byPrec["f64"]
+		if !ok32 || !ok64 {
+			continue
+		}
+		if ratio := float64(b32) / float64(b64); ratio < 0.45 || ratio > 0.55 {
+			return fmt.Errorf("%s: f32 halo bytes %d are %.3fx the f64 bytes %d, want ~0.5",
+				base, b32, ratio, b64)
 		}
 	}
 	return nil
@@ -433,6 +530,22 @@ func parseInts(s string) ([]int, error) {
 			return nil, fmt.Errorf("bad count %q", part)
 		}
 		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parsePrecisions parses the comma-separated -precision list.
+func parsePrecisions(s string) ([]lbm.Precision, error) {
+	var out []lbm.Precision
+	for _, part := range strings.Split(s, ",") {
+		p, err := lbm.ParsePrecision(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty precision list")
 	}
 	return out, nil
 }

@@ -6,9 +6,16 @@
 // Usage:
 //
 //	slipsim [-nx 32] [-ny 48] [-nz 12] [-steps 3000] [-csv out.csv]
-//	        [-checkpoint state.gob] [-resume state.gob]
+//	        [-precision f64|f32] [-checkpoint state.gob] [-resume state.gob]
+//	slipsim -compare-precision [-nx ...] [-steps ...]
 //	slipsim -checkpoint-dir ckpt -checkpoint-interval 500 -ranks 4
 //	slipsim -resume-dir ckpt -steps 1000
+//
+// -precision f32 runs the single-precision core (half the lattice
+// memory; checkpoints store float32 payloads and resume at their
+// recorded precision). -compare-precision runs the slip case at both
+// precisions and prints the accuracy comparison backing the
+// EXPERIMENTS.md table.
 package main
 
 import (
@@ -39,8 +46,24 @@ func main() {
 		ckptInt  = flag.Int("checkpoint-interval", 500, "phases between coordinated checkpoints (-checkpoint-dir/-resume-dir)")
 		resumeD  = flag.String("resume-dir", "", "resume a distributed run from the latest committed coordinated checkpoint in this directory")
 		ranks    = flag.Int("ranks", 4, "simulated ranks for the distributed run (-checkpoint-dir/-resume-dir)")
+		precFlag = flag.String("precision", "f64", "scalar precision of the solver core: f64 or f32")
+		cmpPrec  = flag.Bool("compare-precision", false, "run the slip case at both precisions and print the accuracy comparison")
 	)
 	flag.Parse()
+	prec, err := lbm.ParsePrecision(*precFlag)
+	if err != nil {
+		log.Fatalf("-precision: %v", err)
+	}
+
+	if *cmpPrec {
+		setup := experiments.PhysicsSetup{NX: *nx, NY: *ny, NZ: *nz, Steps: *steps, SampleZ: *nz / 2, SteadyTol: *steady}
+		cmp, err := experiments.RunPrecisionAccuracy(setup)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(cmp.Table())
+		return
+	}
 
 	if *ckptDir != "" || *resumeD != "" {
 		if err := runDistributed(*ckptDir, *resumeD, *nx, *ny, *nz, *steps, *ranks, *ckptInt); err != nil {
@@ -56,7 +79,7 @@ func main() {
 		return
 	}
 
-	setup := experiments.PhysicsSetup{NX: *nx, NY: *ny, NZ: *nz, Steps: *steps, SampleZ: *nz / 2, SteadyTol: *steady}
+	setup := experiments.PhysicsSetup{NX: *nx, NY: *ny, NZ: *nz, Steps: *steps, SampleZ: *nz / 2, SteadyTol: *steady, Precision: prec}
 	res, err := experiments.RunSlipPhysics(setup)
 	if err != nil {
 		log.Fatal(err)
@@ -70,7 +93,8 @@ func main() {
 	}
 	if *ckptPath != "" {
 		p := lbm.WaterAir(*nx, *ny, *nz)
-		s, err := lbm.NewSim(p)
+		p.Precision = prec
+		s, err := lbm.NewSolver(p)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -137,12 +161,14 @@ func runResumed(path string, steps int, ckptPath string) error {
 	if err != nil {
 		return err
 	}
-	s, err := lbm.FromState(st)
+	// SolverFromState honors the snapshot's recorded precision, so a
+	// float32 checkpoint resumes on the float32 core bit-stably.
+	s, err := lbm.SolverFromState(st)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("resumed %dx%dx%d at step %d; running %d more steps\n",
-		st.Params.NX, st.Params.NY, st.Params.NZ, s.StepCount(), steps)
+	fmt.Printf("resumed %dx%dx%d at step %d (%s); running %d more steps\n",
+		st.Params.NX, st.Params.NY, st.Params.NZ, s.StepCount(), st.Params.Precision, steps)
 	s.AutoWorkers()
 	s.RunParallelSteps(steps)
 	if err := s.CheckFinite(); err != nil {

@@ -5,14 +5,23 @@
 // in rank.go — lets a parallel run that loses a rank restart from the
 // last committed phase on the survivors.
 //
-// Container format (version 1): every file this package writes is
+// Container format: every file this package writes is
 //
 //	magic "MSCK" | version uint16 (big endian) | gob payload | crc32 (IEEE, big endian)
 //
 // The trailing CRC32 covers the payload, so Load rejects truncated or
 // bit-flipped files with a typed ErrCorrupt instead of surfacing a raw
-// gob decode error, and an unknown version fails with ErrVersion rather
-// than garbage.
+// gob decode error, and a format from a newer writer fails with
+// ErrVersion rather than garbage.
+//
+// Version 2 adds a reduced-precision payload: a snapshot whose
+// parameters select the float32 core persists float32 planes (half the
+// disk), widened exactly on load. Version-1 files — always double
+// precision — keep loading: gob matches struct fields by name, so the
+// old raw-State payload decodes into the version-2 envelope unchanged.
+// Rank files of coordinated checkpoints stay double precision
+// regardless: the distributed solver computes in float64 even when it
+// compresses its wire traffic, and a resumed run must stay bit-stable.
 package checkpoint
 
 import (
@@ -23,6 +32,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -37,10 +47,15 @@ var ErrCorrupt = errors.New("checkpoint: corrupt or truncated")
 // ErrVersion marks a checkpoint written by an unknown format version.
 var ErrVersion = errors.New("checkpoint: unsupported version")
 
+// ErrPrecision marks a snapshot whose recorded precision differs from
+// the one the loader required.
+var ErrPrecision = errors.New("checkpoint: precision mismatch")
+
 var magic = [4]byte{'M', 'S', 'C', 'K'}
 
-// Version is the current container format version.
-const Version = 1
+// Version is the current container format version; readContainer
+// accepts every version from 1 through Version.
+const Version = 2
 
 // writeContainer frames a gob-encoded value with the magic/version
 // header and CRC32 trailer.
@@ -78,8 +93,8 @@ func readContainer(r io.Reader, v any) error {
 	if !bytes.Equal(raw[:4], magic[:]) {
 		return fmt.Errorf("checkpoint: bad magic %q: %w", raw[:4], ErrCorrupt)
 	}
-	if v := binary.BigEndian.Uint16(raw[4:6]); v != Version {
-		return fmt.Errorf("checkpoint: version %d, want %d: %w", v, Version, ErrVersion)
+	if v := binary.BigEndian.Uint16(raw[4:6]); v < 1 || v > Version {
+		return fmt.Errorf("checkpoint: version %d, newest supported %d: %w", v, Version, ErrVersion)
 	}
 	payload := raw[6 : len(raw)-4]
 	want := binary.BigEndian.Uint32(raw[len(raw)-4:])
@@ -92,23 +107,122 @@ func readContainer(r io.Reader, v any) error {
 	return nil
 }
 
-// Save writes a snapshot container to w.
+// fileState is the on-disk snapshot payload. gob matches struct fields
+// by name, so a version-1 payload — a raw lbm.State gob: Params, Step,
+// F — decodes into the envelope with F32 empty, and legacy
+// double-precision checkpoints keep loading after the version bump.
+type fileState struct {
+	Params *lbm.Params
+	Step   int
+	// F holds double-precision planes; F32 the reduced-precision
+	// encoding written when the snapshot's parameters select the
+	// float32 core (whose populations carry no double-width
+	// information, so the payload halves on disk). Exactly one of the
+	// two is populated. F32[c][x] is the plane's float32 values as
+	// little-endian raw bytes: gob has no native float32 and would
+	// widen a []float32 back to (trimmed) float64, keeping most of the
+	// size; fixed 4-byte words actually halve the payload.
+	F   [][][]float64
+	F32 [][][]byte
+}
+
+// encodeState converts a snapshot to its on-disk envelope, narrowing
+// float32-core states to the compact payload. The narrowing is exact
+// for states captured from the float32 solver (State widens exactly);
+// a double-precision state mislabeled F32 would round, which is why
+// NewSolver rejects mismatched parameter sets up front.
+func encodeState(st *lbm.State) *fileState {
+	fs := &fileState{Params: st.Params, Step: st.Step}
+	if st.Params == nil || st.Params.Precision != lbm.F32 {
+		fs.F = st.F
+		return fs
+	}
+	fs.F32 = make([][][]byte, len(st.F))
+	for c := range st.F {
+		fs.F32[c] = make([][]byte, len(st.F[c]))
+		for x := range st.F[c] {
+			plane := make([]byte, 4*len(st.F[c][x]))
+			for i, v := range st.F[c][x] {
+				binary.LittleEndian.PutUint32(plane[4*i:], math.Float32bits(float32(v)))
+			}
+			fs.F32[c][x] = plane
+		}
+	}
+	return fs
+}
+
+// state widens the envelope back to the in-memory snapshot form
+// (float32 -> float64 widening is exact, so an F32 save/load round-trip
+// is bit-stable).
+func (fs *fileState) state() (*lbm.State, error) {
+	st := &lbm.State{Params: fs.Params, Step: fs.Step, F: fs.F}
+	if len(fs.F32) == 0 {
+		return st, nil
+	}
+	if len(fs.F) != 0 {
+		return nil, fmt.Errorf("checkpoint: both f32 and f64 payloads present: %w", ErrCorrupt)
+	}
+	st.F = make([][][]float64, len(fs.F32))
+	for c := range fs.F32 {
+		st.F[c] = make([][]float64, len(fs.F32[c]))
+		for x := range fs.F32[c] {
+			raw := fs.F32[c][x]
+			if len(raw)%4 != 0 {
+				return nil, fmt.Errorf("checkpoint: f32 plane of %d bytes: %w", len(raw), ErrCorrupt)
+			}
+			plane := make([]float64, len(raw)/4)
+			for i := range plane {
+				plane[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:])))
+			}
+			st.F[c][x] = plane
+		}
+	}
+	return st, nil
+}
+
+// statePrecision returns the precision a snapshot records.
+func statePrecision(st *lbm.State) lbm.Precision {
+	if st.Params == nil {
+		return lbm.F64
+	}
+	return st.Params.Precision
+}
+
+// Save writes a snapshot container to w, using the compact float32
+// payload when the snapshot's parameters select the float32 core.
 func Save(w io.Writer, st *lbm.State) error {
 	if st == nil {
 		return fmt.Errorf("checkpoint: nil state")
 	}
-	return writeContainer(w, st)
+	return writeContainer(w, encodeState(st))
 }
 
 // Load reads and validates a snapshot from r. Corrupted or truncated
 // input fails with an error wrapping ErrCorrupt; a format from a newer
-// writer fails with ErrVersion.
+// writer fails with ErrVersion. Reduced-precision payloads come back
+// widened to the double-precision State form, precision recorded in
+// State.Params; resume through lbm.SolverFromState to honor it.
 func Load(r io.Reader) (*lbm.State, error) {
-	var st lbm.State
-	if err := readContainer(r, &st); err != nil {
+	var fs fileState
+	if err := readContainer(r, &fs); err != nil {
 		return nil, err
 	}
-	return &st, nil
+	return fs.state()
+}
+
+// LoadFor is Load restricted to snapshots recorded at precision want:
+// a fixed-precision resume path fails with ErrPrecision instead of
+// silently re-rounding (f64 -> f32) or fabricating precision (f32 ->
+// f64).
+func LoadFor(r io.Reader, want lbm.Precision) (*lbm.State, error) {
+	st, err := Load(r)
+	if err != nil {
+		return nil, err
+	}
+	if got := statePrecision(st); got != want {
+		return nil, fmt.Errorf("checkpoint: snapshot precision %v, loader requires %v: %w", got, want, ErrPrecision)
+	}
+	return st, nil
 }
 
 // tempPrefix returns the temp-file prefix used for atomic saves of the
@@ -164,7 +278,7 @@ func SaveFile(path string, st *lbm.State) error {
 	if st == nil {
 		return fmt.Errorf("checkpoint: nil state")
 	}
-	return saveFileAtomic(path, st)
+	return saveFileAtomic(path, encodeState(st))
 }
 
 // LoadFile reads a snapshot from path.
@@ -175,4 +289,14 @@ func LoadFile(path string) (*lbm.State, error) {
 	}
 	defer f.Close()
 	return Load(f)
+}
+
+// LoadFileFor is LoadFor against a file.
+func LoadFileFor(path string, want lbm.Precision) (*lbm.State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	return LoadFor(f, want)
 }

@@ -1,0 +1,190 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"hash/crc32"
+	"math"
+	"testing"
+
+	"microslip/internal/lbm"
+)
+
+// A reduced-precision snapshot must survive the compact f32 payload
+// bit-stably: capture, save, load, rebuild, and the populations and
+// subsequent trajectory are identical to the never-checkpointed run.
+// The compact payload should also actually be compact — about half the
+// double-precision container for the same lattice.
+func TestFloat32CheckpointRoundtrip(t *testing.T) {
+	p32 := lbm.WaterAir(6, 8, 6)
+	p32.Precision = lbm.F32
+	s, err := lbm.NewSolver(p32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunParallelSteps(6)
+
+	var buf bytes.Buffer
+	if err := Save(&buf, s.State()); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := lbm.SolverFromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, ok := r.(*lbm.SimOf[float32])
+	if !ok {
+		t.Fatalf("resumed solver is %T, want *SimOf[float32]", r)
+	}
+	ss := s.(*lbm.SimOf[float32])
+	planesBitEqual32 := func(label string) {
+		t.Helper()
+		for c := 0; c < p32.NComp(); c++ {
+			for x := 0; x < p32.NX; x++ {
+				a, b := ss.Plane(c, x), rs.Plane(c, x)
+				for i := range a {
+					if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+						t.Fatalf("%s: comp %d plane %d index %d: %v != %v", label, c, x, i, b[i], a[i])
+					}
+				}
+			}
+		}
+	}
+	planesBitEqual32("after roundtrip")
+	ss.RunParallelSteps(4)
+	rs.RunParallelSteps(4)
+	planesBitEqual32("after resumed steps")
+
+	// The f32 payload is about half the f64 one for the same state.
+	p64 := lbm.WaterAir(6, 8, 6)
+	s64, err := lbm.NewSolver(p64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s64.RunParallelSteps(6)
+	var buf64 bytes.Buffer
+	if err := Save(&buf64, s64.State()); err != nil {
+		t.Fatal(err)
+	}
+	// Closed form: the f32 payload costs exactly 4 bytes per population
+	// (plus container and slice-header overhead), half the nominal 8 of
+	// a double. The f64 container can sit below 8 per value because gob
+	// trims trailing mantissa zeros, so compare against the closed form
+	// and require a strict win over the f64 container.
+	values := 2 * p32.NX * p32.NY * p32.NZ * 19
+	if limit := 4*values + 4096; buf.Len() > limit {
+		t.Errorf("f32 container %d bytes, want <= %d (4 per value + overhead)", buf.Len(), limit)
+	}
+	if buf.Len() >= buf64.Len() {
+		t.Errorf("f32 container %d bytes >= f64 container %d", buf.Len(), buf64.Len())
+	}
+}
+
+// writeV1Container frames a raw lbm.State gob exactly as a version-1
+// writer did: same magic and CRC, version word 1, no fileState
+// envelope.
+func writeV1Container(t *testing.T, st *lbm.State) []byte {
+	t.Helper()
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(st); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	out.WriteString("MSCK")
+	var ver [2]byte
+	binary.BigEndian.PutUint16(ver[:], 1)
+	out.Write(ver[:])
+	out.Write(payload.Bytes())
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload.Bytes()))
+	out.Write(crc[:])
+	return out.Bytes()
+}
+
+// Legacy double-precision checkpoints must keep loading after the
+// version bump: a byte-for-byte version-1 container (raw State payload)
+// decodes into the version-2 envelope by gob field-name matching, and
+// the resumed run matches the original exactly.
+func TestLegacyV1CheckpointLoads(t *testing.T) {
+	p := lbm.WaterAir(6, 8, 6)
+	s, err := lbm.NewSim(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(5)
+	raw := writeV1Container(t, s.State())
+
+	st, err := Load(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("version-1 container failed to load: %v", err)
+	}
+	if st.Step != 5 {
+		t.Errorf("loaded step %d, want 5", st.Step)
+	}
+	r, err := lbm.FromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < p.NComp(); c++ {
+		for x := 0; x < p.NX; x++ {
+			a, b := s.Plane(c, x), r.Plane(c, x)
+			for i := range a {
+				if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+					t.Fatalf("comp %d plane %d index %d: %v != %v", c, x, i, b[i], a[i])
+				}
+			}
+		}
+	}
+}
+
+// LoadFor pins the loader's precision: feeding it a snapshot recorded
+// at the other precision must fail with ErrPrecision (distinguishable
+// from corruption and version errors), while the matching precision
+// passes through.
+func TestLoadForPrecisionMismatch(t *testing.T) {
+	save := func(prec lbm.Precision) []byte {
+		p := lbm.WaterAir(6, 8, 6)
+		p.Precision = prec
+		s, err := lbm.NewSolver(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.RunParallelSteps(2)
+		var buf bytes.Buffer
+		if err := Save(&buf, s.State()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f64raw := save(lbm.F64)
+	f32raw := save(lbm.F32)
+
+	if _, err := LoadFor(bytes.NewReader(f64raw), lbm.F64); err != nil {
+		t.Errorf("matching f64 load failed: %v", err)
+	}
+	if _, err := LoadFor(bytes.NewReader(f32raw), lbm.F32); err != nil {
+		t.Errorf("matching f32 load failed: %v", err)
+	}
+	for _, tc := range []struct {
+		name string
+		raw  []byte
+		want lbm.Precision
+	}{
+		{"f64 snapshot into f32 loader", f64raw, lbm.F32},
+		{"f32 snapshot into f64 loader", f32raw, lbm.F64},
+	} {
+		_, err := LoadFor(bytes.NewReader(tc.raw), tc.want)
+		if !errors.Is(err, ErrPrecision) {
+			t.Errorf("%s: err = %v, want errors.Is(ErrPrecision)", tc.name, err)
+		}
+		if errors.Is(err, ErrCorrupt) || errors.Is(err, ErrVersion) {
+			t.Errorf("%s: %v matches another typed error", tc.name, err)
+		}
+	}
+}

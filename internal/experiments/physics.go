@@ -24,6 +24,9 @@ type PhysicsSetup struct {
 	// velocity-change residual falls below it (Steps becomes the
 	// budget); zero runs exactly Steps phases.
 	SteadyTol float64
+	// Precision selects the solver's scalar type (lbm.F64 default);
+	// RunPrecisionAccuracy compares the two on this setup.
+	Precision lbm.Precision
 }
 
 // DefaultPhysics returns the reduced-scale configuration.
@@ -63,12 +66,13 @@ type PhysicsResult struct {
 // hydrophobic wall forces and one without, sampling densities and
 // velocity profiles at mid-channel.
 func RunSlipPhysics(setup PhysicsSetup) (*PhysicsResult, error) {
-	run := func(withWallForce bool) (*lbm.Sim, error) {
+	run := func(withWallForce bool) (lbm.Solver, error) {
 		p := lbm.WaterAir(setup.NX, setup.NY, setup.NZ)
+		p.Precision = setup.Precision
 		if !withWallForce {
 			p.WallForceComp = -1
 		}
-		s, err := lbm.NewSim(p)
+		s, err := lbm.NewSolver(p)
 		if err != nil {
 			return nil, err
 		}

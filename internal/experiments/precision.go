@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"microslip/internal/lbm"
+)
+
+// PrecisionComparison quantifies what the float32 core costs in
+// physical accuracy on the microchannel slip case: the same setup run
+// at both precisions, compared on the quantity the paper actually
+// reports — the normalized streamwise velocity profile and the
+// apparent slip derived from it.
+type PrecisionComparison struct {
+	Setup PhysicsSetup
+	// F64 and F32 are the full per-precision results.
+	F64, F32 *PhysicsResult
+	// MaxRelErr and RMSRelErr compare the forced-run normalized
+	// velocity profiles (u/u0 along y at mid-channel), relative to the
+	// peak |u/u0| of the double-precision profile so near-wall rows
+	// with tiny velocities don't dominate.
+	MaxRelErr, RMSRelErr float64
+	// SlipDeltaPP is |slip%_f32 - slip%_f64| in percentage points (the
+	// paper's headline number is ~10%).
+	SlipDeltaPP float64
+}
+
+// RunPrecisionAccuracy runs the slip physics case once per precision
+// and compares the profiles. The two runs share every parameter except
+// the scalar type, so the differences measure rounding alone.
+func RunPrecisionAccuracy(setup PhysicsSetup) (*PrecisionComparison, error) {
+	setup.Precision = lbm.F64
+	r64, err := RunSlipPhysics(setup)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: f64 run: %w", err)
+	}
+	setup.Precision = lbm.F32
+	r32, err := RunSlipPhysics(setup)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: f32 run: %w", err)
+	}
+	if len(r32.VelForced) != len(r64.VelForced) {
+		return nil, fmt.Errorf("experiments: profile lengths differ: %d vs %d", len(r32.VelForced), len(r64.VelForced))
+	}
+	cmp := &PrecisionComparison{Setup: setup, F64: r64, F32: r32}
+	var peak float64
+	for _, v := range r64.VelForced {
+		if a := math.Abs(v); a > peak {
+			peak = a
+		}
+	}
+	if peak == 0 {
+		return nil, fmt.Errorf("experiments: flat f64 velocity profile")
+	}
+	var sumSq float64
+	for i := range r64.VelForced {
+		rel := math.Abs(r32.VelForced[i]-r64.VelForced[i]) / peak
+		if rel > cmp.MaxRelErr {
+			cmp.MaxRelErr = rel
+		}
+		sumSq += rel * rel
+	}
+	cmp.RMSRelErr = math.Sqrt(sumSq / float64(len(r64.VelForced)))
+	cmp.SlipDeltaPP = math.Abs(r32.SlipPercent - r64.SlipPercent)
+	return cmp, nil
+}
+
+// Table renders the comparison for EXPERIMENTS.md.
+func (c *PrecisionComparison) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Precision accuracy: slip case at %dx%dx%d, %d steps\n",
+		c.Setup.NX, c.Setup.NY, c.Setup.NZ, c.Setup.Steps)
+	fmt.Fprintf(&sb, "%-28s %12s %12s\n", "quantity", "float64", "float32")
+	fmt.Fprintf(&sb, "%-28s %12.4f %12.4f\n", "apparent slip (%)", c.F64.SlipPercent, c.F32.SlipPercent)
+	fmt.Fprintf(&sb, "%-28s %12.1f %12.1f\n", "Navier slip length (nm)", c.F64.SlipLengthNM, c.F32.SlipLengthNM)
+	fmt.Fprintf(&sb, "velocity-profile error vs f64: max %.3g, RMS %.3g (rel. to profile peak)\n",
+		c.MaxRelErr, c.RMSRelErr)
+	fmt.Fprintf(&sb, "slip delta: %.4f percentage points\n", c.SlipDeltaPP)
+	return sb.String()
+}

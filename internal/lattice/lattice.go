@@ -105,35 +105,9 @@ var Opposite9 = [Q9]int{0, 2, 1, 4, 3, 6, 5, 8, 7}
 // The directions are unrolled: each e.u is a signed sum of velocity
 // components and each opposite pair shares its projection, which keeps
 // this off the profile of the collision kernel that calls it per cell.
+// The float64 body lives in the precision-generic EquilibriumOf.
 func Equilibrium(rho, ux, uy, uz float64, feq *[Q19]float64) {
-	usq := 1.5 * (ux*ux + uy*uy + uz*uz)
-	ra := rho * (1.0 / 18.0)
-	rd := rho * (1.0 / 36.0)
-	feq[0] = rho * (1.0 / 3.0) * (1 - usq)
-	feq[1] = ra * (1 + 3*ux + 4.5*ux*ux - usq)
-	feq[2] = ra * (1 - 3*ux + 4.5*ux*ux - usq)
-	feq[3] = ra * (1 + 3*uy + 4.5*uy*uy - usq)
-	feq[4] = ra * (1 - 3*uy + 4.5*uy*uy - usq)
-	feq[5] = ra * (1 + 3*uz + 4.5*uz*uz - usq)
-	feq[6] = ra * (1 - 3*uz + 4.5*uz*uz - usq)
-	e := ux + uy
-	feq[7] = rd * (1 + 3*e + 4.5*e*e - usq)
-	feq[8] = rd * (1 - 3*e + 4.5*e*e - usq)
-	e = ux - uy
-	feq[9] = rd * (1 + 3*e + 4.5*e*e - usq)
-	feq[10] = rd * (1 - 3*e + 4.5*e*e - usq)
-	e = ux + uz
-	feq[11] = rd * (1 + 3*e + 4.5*e*e - usq)
-	feq[12] = rd * (1 - 3*e + 4.5*e*e - usq)
-	e = ux - uz
-	feq[13] = rd * (1 + 3*e + 4.5*e*e - usq)
-	feq[14] = rd * (1 - 3*e + 4.5*e*e - usq)
-	e = uy + uz
-	feq[15] = rd * (1 + 3*e + 4.5*e*e - usq)
-	feq[16] = rd * (1 - 3*e + 4.5*e*e - usq)
-	e = uy - uz
-	feq[17] = rd * (1 + 3*e + 4.5*e*e - usq)
-	feq[18] = rd * (1 - 3*e + 4.5*e*e - usq)
+	EquilibriumOf(rho, ux, uy, uz, feq)
 }
 
 // Equilibrium9 computes the D2Q9 BGK equilibrium distribution.

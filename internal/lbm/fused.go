@@ -3,6 +3,8 @@ package lbm
 import (
 	"runtime"
 	"sync"
+
+	"microslip/internal/num"
 )
 
 // The fused collide+stream stepping path. The reference step makes
@@ -25,20 +27,20 @@ import (
 // any worker count.
 
 // fusedScratch is one worker's rolling rings plus collision scratch.
-type fusedScratch struct {
-	sc   *Scratch
-	n    [3][][]float64 // n[slot][c]: density plane ring
-	post [3][][]float64 // post[slot][c]: post-collision plane ring
+type fusedScratch[T num.Float] struct {
+	sc   *ScratchOf[T]
+	n    [3][][]T // n[slot][c]: density plane ring
+	post [3][][]T // post[slot][c]: post-collision plane ring
 }
 
-func newFusedScratch(k *Kernel) *fusedScratch {
-	fs := &fusedScratch{sc: k.NewScratch()}
+func newFusedScratch[T num.Float](k *KernelOf[T]) *fusedScratch[T] {
+	fs := &fusedScratch[T]{sc: k.NewScratch()}
 	for s := 0; s < 3; s++ {
-		fs.n[s] = make([][]float64, k.NComp)
-		fs.post[s] = make([][]float64, k.NComp)
+		fs.n[s] = make([][]T, k.NComp)
+		fs.post[s] = make([][]T, k.NComp)
 		for c := 0; c < k.NComp; c++ {
-			fs.n[s][c] = make([]float64, k.PlaneCells())
-			fs.post[s][c] = make([]float64, k.PlaneLen())
+			fs.n[s][c] = make([]T, k.PlaneCells())
+			fs.post[s][c] = make([]T, k.PlaneLen())
 		}
 	}
 	return fs
@@ -63,7 +65,7 @@ func wrapX(x, nx int) int {
 // reads s.f (read-only during the step) and writes streamed
 // populations into s.fPost planes lo..hi-1 only; the caller swaps f
 // and fPost once every chunk has finished.
-func (s *Sim) stepFusedChunk(lo, hi int, fs *fusedScratch) {
+func (s *SimOf[T]) stepFusedChunk(lo, hi int, fs *fusedScratch[T]) {
 	nx := s.P.NX
 	// Prime the density ring behind the sweep front.
 	s.K.Densities(s.fView[wrapX(lo-2, nx)], fs.n[slot3(lo-2)])
@@ -138,17 +140,63 @@ func (p *stepPool) run(fn func(int)) {
 func (p *stepPool) stop() { p.once.Do(func() { close(p.quit) }) }
 
 // fusedState is the lazily built per-Sim state of the fused path.
-type fusedState struct {
+type fusedState[T num.Float] struct {
 	chunks  [][2]int
-	scratch []*fusedScratch
+	scratch []*fusedScratch[T]
 	pool    *stepPool // nil when a single chunk runs inline
 	work    func(int) // cached chunk closure handed to the pool
 }
 
+// minFusedChunkPlanes is the smallest chunk worth a dedicated fused
+// worker. Every chunk pays a fixed redundancy tax — two boundary
+// collisions plus two boundary density passes recomputed into private
+// rings — so below ~16 planes the tax exceeds the parallel gain and
+// over-sharded small grids run *slower* than a single sweep (the
+// intra/32x48x16 fused workers=4 regression in BENCH_2026-08-06.json:
+// 8-plane chunks, ~25% redundant collide work, one physical CPU).
+const minFusedChunkPlanes = 16
+
+// fusedChunkCount returns the number of chunks the fused sweep should
+// use for w requested workers: capped by the scheduler's usable CPUs
+// (extra chunks cannot run anywhere and only add redundant boundary
+// work) and by NX/minFusedChunkPlanes so every chunk amortizes its
+// redundancy tax, floor 1. SetFusedChunks overrides the heuristic.
+func (s *SimOf[T]) fusedChunkCount() int {
+	if s.fusedChunks > 0 {
+		n := s.fusedChunks
+		if n > s.P.NX {
+			n = s.P.NX
+		}
+		return n
+	}
+	w := s.Workers()
+	if procs := runtime.GOMAXPROCS(0); w > procs {
+		w = procs
+	}
+	if byPlanes := s.P.NX / minFusedChunkPlanes; w > byPlanes {
+		w = byPlanes
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// SetFusedChunks pins the fused path to exactly n chunks (capped at
+// NX), bypassing the minimum-planes heuristic; n <= 0 restores the
+// heuristic. Correctness tests use it to force multi-chunk sweeps that
+// the heuristic would (rightly) refuse on small grids or few CPUs.
+func (s *SimOf[T]) SetFusedChunks(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.fusedChunks = n
+}
+
 // ensureFused (re)builds the fused chunks, scratches, and pool for the
-// current worker count; it is a no-op once built until SetWorkers
-// changes the chunking.
-func (s *Sim) ensureFused(w int) {
+// current chunk count; it is a no-op once built until SetWorkers or
+// SetFusedChunks changes the chunking.
+func (s *SimOf[T]) ensureFused(w int) {
 	chunk := (s.P.NX + w - 1) / w
 	n := (s.P.NX + chunk - 1) / chunk
 	if s.fused != nil && len(s.fused.chunks) == n {
@@ -157,7 +205,7 @@ func (s *Sim) ensureFused(w int) {
 	if s.fused != nil && s.fused.pool != nil {
 		s.fused.pool.stop()
 	}
-	fs := &fusedState{}
+	fs := &fusedState[T]{}
 	for lo := 0; lo < s.P.NX; lo += chunk {
 		hi := lo + chunk
 		if hi > s.P.NX {
@@ -179,12 +227,8 @@ func (s *Sim) ensureFused(w int) {
 // stepFused advances one step on the fused path and swaps the f/fPost
 // roles (a pointer swap, not a copy), leaving the new state in s.f
 // exactly like the reference step.
-func (s *Sim) stepFused() {
-	w := s.Workers()
-	if w > s.P.NX {
-		w = s.P.NX
-	}
-	s.ensureFused(w)
+func (s *SimOf[T]) stepFused() {
+	s.ensureFused(s.fusedChunkCount())
 	if s.fused.pool == nil {
 		c := s.fused.chunks[0]
 		s.stepFusedChunk(c[0], c[1], s.fused.scratch[0])

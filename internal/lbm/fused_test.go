@@ -3,7 +3,10 @@ package lbm
 import (
 	"math"
 	"testing"
+	"time"
 )
+
+func nowNanos() int64 { return time.Now().UnixNano() }
 
 func planesBitEqual(t *testing.T, label string, a, b *Sim) {
 	t.Helper()
@@ -21,12 +24,15 @@ func planesBitEqual(t *testing.T, label string, a, b *Sim) {
 }
 
 // The fused collide+stream path must match the serial reference bit
-// for bit, for any worker count, including domains smaller than the
-// ring depth and chunk counts that do not divide NX.
+// for bit, for any chunk count, including domains smaller than the
+// ring depth and chunk counts that do not divide NX. SetFusedChunks
+// pins the sharding: the production heuristic would refuse to shard
+// grids this small (or on machines with few CPUs), and the point here
+// is the correctness of multi-chunk sweeps, not the scheduling choice.
 func TestFusedMatchesStep(t *testing.T) {
 	grids := [][3]int{{12, 10, 6}, {2, 8, 5}, {1, 6, 5}, {7, 9, 7}}
 	for _, g := range grids {
-		for _, workers := range []int{1, 2, 3, 8} {
+		for _, chunks := range []int{1, 2, 3, 8} {
 			ref, err := NewSim(WaterAir(g[0], g[1], g[2]))
 			if err != nil {
 				t.Fatal(err)
@@ -37,7 +43,7 @@ func TestFusedMatchesStep(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			fused.SetWorkers(workers)
+			fused.SetFusedChunks(chunks)
 			for step := 0; step < 5; step++ {
 				ref.Step()
 				fused.StepParallel()
@@ -47,7 +53,7 @@ func TestFusedMatchesStep(t *testing.T) {
 	}
 }
 
-// Changing the worker count mid-run rebuilds the fused pool without
+// Changing the chunk count mid-run rebuilds the fused pool without
 // perturbing the results.
 func TestFusedWorkerResize(t *testing.T) {
 	ref, err := NewSim(WaterAir(10, 10, 6))
@@ -60,8 +66,8 @@ func TestFusedWorkerResize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for step, workers := range []int{1, 4, 2, 8, 1, 3} {
-		fused.SetWorkers(workers)
+	for step, chunks := range []int{1, 4, 2, 8, 1, 3} {
+		fused.SetFusedChunks(chunks)
 		ref.Step()
 		fused.StepParallel()
 		_ = step
@@ -95,9 +101,91 @@ func TestStepParallelZeroAllocs(t *testing.T) {
 	if allocs := testing.AllocsPerRun(5, f.StepParallel); allocs != 0 {
 		t.Errorf("fused StepParallel(workers=1): %v allocs/op, want 0", allocs)
 	}
-	f.SetWorkers(4)
+	f.SetFusedChunks(4)
 	f.StepParallel() // build pool + scratches
 	if allocs := testing.AllocsPerRun(5, f.StepParallel); allocs != 0 {
-		t.Errorf("fused StepParallel(workers=4): %v allocs/op, want 0", allocs)
+		t.Errorf("fused StepParallel(chunks=4): %v allocs/op, want 0", allocs)
+	}
+}
+
+// The chunking heuristic: requested workers are capped by usable CPUs
+// and by a minimum chunk size, so small grids never over-shard (the
+// BENCH_2026-08-06 regression where 8-plane chunks made fused
+// workers=4 slower than workers=1), while an explicit SetFusedChunks
+// bypasses the cap for correctness tests.
+func TestFusedChunkHeuristic(t *testing.T) {
+	p := WaterAir(32, 8, 6)
+	p.Fused = true
+	s, err := NewSim(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 32 planes / minFusedChunkPlanes=16 allows at most 2 chunks no
+	// matter how many workers are requested.
+	s.SetWorkers(64)
+	if got := s.fusedChunkCount(); got > 2 {
+		t.Errorf("32 planes, 64 workers: %d chunks, want <= 2", got)
+	}
+	if got := s.fusedChunkCount(); got < 1 {
+		t.Errorf("chunk count %d < 1", got)
+	}
+	// A grid below the minimum never shards.
+	p2 := WaterAir(12, 8, 6)
+	p2.Fused = true
+	s2, err := NewSim(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.SetWorkers(8)
+	if got := s2.fusedChunkCount(); got != 1 {
+		t.Errorf("12 planes, 8 workers: %d chunks, want 1", got)
+	}
+	// The override pins the count exactly (capped at NX).
+	s2.SetFusedChunks(5)
+	if got := s2.fusedChunkCount(); got != 5 {
+		t.Errorf("override 5: got %d chunks", got)
+	}
+	s2.SetFusedChunks(100)
+	if got := s2.fusedChunkCount(); got != 12 {
+		t.Errorf("override 100 on 12 planes: got %d chunks, want 12", got)
+	}
+	s2.SetFusedChunks(0)
+	if got := s2.fusedChunkCount(); got != 1 {
+		t.Errorf("override cleared: got %d chunks, want 1", got)
+	}
+}
+
+// The scaling guard for the BENCH regression: asking the fused path for
+// many workers must not make a small grid materially slower than one
+// worker, because the heuristic refuses to over-shard. Timing-based, so
+// the bound is generous and the test skips under -short.
+func TestFusedWorkerScalingGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short mode")
+	}
+	step := func(workers int) float64 {
+		p := WaterAir(32, 24, 12)
+		p.Fused = true
+		s, err := NewSim(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetWorkers(workers)
+		s.RunParallelSteps(3) // warm pool and scratches
+		const steps = 12
+		best := math.Inf(1)
+		for trial := 0; trial < 3; trial++ {
+			start := nowNanos()
+			s.RunParallelSteps(steps)
+			if d := float64(nowNanos()-start) / steps; d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	one := step(1)
+	four := step(4)
+	if four > one*1.5 {
+		t.Errorf("fused workers=4 %.0f ns/step vs workers=1 %.0f ns/step (>1.5x slower): chunk heuristic regressed", four, one)
 	}
 }

@@ -3,26 +3,34 @@ package lbm
 import (
 	"microslip/internal/geometry"
 	"microslip/internal/lattice"
+	"microslip/internal/num"
 )
 
-// Kernel evaluates the S-C LBM update on single x-planes. A plane stores
-// distribution values at (y*NZ+z)*Q19+i and scalar values at y*NZ+z.
-// Both the sequential and the parallel solvers are thin drivers around
-// these three methods, so they produce identical results:
+// KernelOf evaluates the S-C LBM update on single x-planes at scalar
+// precision T. A plane stores distribution values at (y*NZ+z)*Q19+i and
+// scalar values at y*NZ+z. Both the sequential and the parallel solvers
+// are thin drivers around these three methods, so they produce identical
+// results:
 //
 //	Densities -> (exchange n halos) -> Collide -> (exchange f halos) -> Stream
-type Kernel struct {
+//
+// The float64 instantiation (the Kernel alias) evaluates exactly the
+// expression tree of the historical double-precision kernel, so its
+// results are bit-identical to every pre-generic release; the float32
+// instantiation is the reduced-precision core behind Params.Precision.
+type KernelOf[T num.Float] struct {
 	NY, NZ, NComp int
 
-	tau, invTau, mass []float64
-	g                 [][]float64
-	body              [3]float64
+	tau, invTau, mass []T
+	g                 [][]T
+	body              [3]T
 	wallComp          int
-	wallFy, wallFz    []float64 // per y*NZ+z; nil when disabled
-	solid             []bool    // per y*NZ+z
-	adhesion          []float64 // per component; nil when disabled
-	adhY, adhZ        []float64 // sum_i w_i s(x+e_i) e_i per y*NZ+z
-	rhoMin            float64
+	wallFy, wallFz    []T    // per y*NZ+z; nil when disabled
+	solid             []bool // per y*NZ+z
+	adhesion          []T    // per component; nil when disabled
+	adhY, adhZ        []T    // sum_i w_i s(x+e_i) e_i per y*NZ+z
+	rhoMin            T
+	w                 [lattice.Q19]T // quadrature weights at T
 
 	// nearSolid marks interior fluid cells with at least one solid
 	// (y, z)-neighbour in the Moore-8 sense; because the mask is
@@ -33,7 +41,7 @@ type Kernel struct {
 	// split is a pure (deterministic) dispatch, so every solver path
 	// makes the same choice per cell and bit-identity holds.
 	nearSolid []bool
-	// pull[i] is the in-plane offset, in float64s, from a cell's base to
+	// pull[i] is the in-plane offset, in values, from a cell's base to
 	// the value streamed along direction i: i - (Ey[i]*NZ+Ez[i])*Q19.
 	pull [lattice.Q19]int
 
@@ -51,43 +59,57 @@ type Kernel struct {
 	ident                  [lattice.Q19]int
 }
 
-// Ghost describes one x-neighbour plane set handed to StreamGhost:
+// Kernel is the double-precision plane kernel used by the parallel layer
+// and all historical call sites.
+type Kernel = KernelOf[float64]
+
+// GhostOf describes one x-neighbour plane set handed to StreamGhost:
 // either full Q19 planes per component, or slim planes holding only the
 // lattice.CrossQ populations that cross the shared face, laid out as
 // slim[cell*CrossQ+j] = full[cell*Q19+dirs[j]] with dirs = RightGoing
 // for a left ghost (populations entering from -x) and LeftGoing for a
 // right ghost. Streaming reads exactly those populations, so the two
 // layouts yield bit-identical results.
-type Ghost struct {
-	Planes [][]float64
+type GhostOf[T num.Float] struct {
+	Planes [][]T
 	Slim   bool
 }
 
-// NewKernel builds the plane kernel for p. It panics on invalid
-// parameters; callers should Validate first for a recoverable error.
-func NewKernel(p *Params) *Kernel {
+// Ghost is the double-precision ghost descriptor.
+type Ghost = GhostOf[float64]
+
+// NewKernelOf builds the plane kernel for p at precision T. It panics on
+// invalid parameters; callers should Validate first for a recoverable
+// error. It deliberately does not require p.Precision to match T: the
+// distributed solver computes in float64 while shipping float32 wire
+// payloads under Precision F32.
+func NewKernelOf[T num.Float](p *Params) *KernelOf[T] {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
 	ch := p.Channel()
 	mask := p.Mask()
-	k := &Kernel{
+	k := &KernelOf[T]{
 		NY: p.NY, NZ: p.NZ, NComp: p.NComp(),
-		tau:      make([]float64, p.NComp()),
-		invTau:   make([]float64, p.NComp()),
-		mass:     make([]float64, p.NComp()),
-		g:        p.G,
-		body:     p.BodyForce,
+		tau:      make([]T, p.NComp()),
+		invTau:   make([]T, p.NComp()),
+		mass:     make([]T, p.NComp()),
 		wallComp: p.WallForceComp,
-		rhoMin:   p.RhoMin,
+		rhoMin:   T(p.RhoMin),
+		w:        lattice.WeightsOf[T](),
+	}
+	k.body = [3]T{T(p.BodyForce[0]), T(p.BodyForce[1]), T(p.BodyForce[2])}
+	k.g = make([][]T, len(p.G))
+	for i, row := range p.G {
+		k.g[i] = toScalars[T](row)
 	}
 	if k.rhoMin == 0 {
 		k.rhoMin = 1e-12
 	}
 	for c, comp := range p.Components {
-		k.tau[c] = comp.Tau
-		k.invTau[c] = 1 / comp.Tau
-		k.mass[c] = comp.Mass
+		k.tau[c] = T(comp.Tau)
+		k.invTau[c] = T(1 / comp.Tau)
+		k.mass[c] = T(comp.Mass)
 	}
 	k.solid = make([]bool, p.NY*p.NZ)
 	for y := 0; y < p.NY; y++ {
@@ -123,15 +145,18 @@ func NewKernel(p *Params) *Kernel {
 	}
 	if p.WallForceComp >= 0 {
 		prof := geometry.NewWallForceProfile(ch, p.WallForceAmp, p.WallForceDecay)
-		k.wallFy, k.wallFz = prof.Fy, prof.Fz
+		k.wallFy, k.wallFz = toScalars[T](prof.Fy), toScalars[T](prof.Fz)
 	}
 	if hasAdhesion(p.WallAdhesion) {
-		k.adhesion = append([]float64(nil), p.WallAdhesion...)
+		k.adhesion = toScalars[T](p.WallAdhesion)
 		// The solid mask is x-independent, so the +x/-x direction pairs
 		// cancel and the adhesion direction sum reduces to per-(y,z)
-		// y and z components, precomputed once.
-		k.adhY = make([]float64, p.NY*p.NZ)
-		k.adhZ = make([]float64, p.NY*p.NZ)
+		// y and z components, precomputed once. The sums run in float64
+		// regardless of T: they are setup-time geometry, not hot-path
+		// arithmetic, and rounding once at the end loses less than
+		// accumulating in single precision.
+		k.adhY = make([]T, p.NY*p.NZ)
+		k.adhZ = make([]T, p.NY*p.NZ)
 		for y := 1; y < p.NY-1; y++ {
 			for z := 1; z < p.NZ-1; z++ {
 				cell := y*p.NZ + z
@@ -145,12 +170,28 @@ func NewKernel(p *Params) *Kernel {
 						sz += lattice.W[i] * float64(lattice.Ez[i])
 					}
 				}
-				k.adhY[cell] = sy
-				k.adhZ[cell] = sz
+				k.adhY[cell] = T(sy)
+				k.adhZ[cell] = T(sz)
 			}
 		}
 	}
 	return k
+}
+
+// NewKernel builds the double-precision plane kernel for p.
+func NewKernel(p *Params) *Kernel { return NewKernelOf[float64](p) }
+
+// toScalars rounds a float64 slice to T (a copy even when T is float64,
+// so kernels never alias caller storage).
+func toScalars[T num.Float](src []float64) []T {
+	if src == nil {
+		return nil
+	}
+	out := make([]T, len(src))
+	for i, v := range src {
+		out[i] = T(v)
+	}
+	return out
 }
 
 func hasAdhesion(a []float64) bool {
@@ -162,41 +203,44 @@ func hasAdhesion(a []float64) bool {
 	return false
 }
 
-// Scratch holds the per-cell work buffers of the collision kernel.
+// ScratchOf holds the per-cell work buffers of the collision kernel.
 // Collide allocates one per call; hot paths (the fused stepping path,
 // the parallel solvers) allocate one per goroutine up front via
 // NewScratch and pass it to CollideScratch so the steady-state step
-// performs no allocations. A Scratch must not be shared between
+// performs no allocations. A scratch must not be shared between
 // concurrent CollideScratch calls.
-type Scratch struct {
-	mom   [][3]float64
-	nHere []float64
-	grads [][3]float64
-	feq   [lattice.Q19]float64
+type ScratchOf[T num.Float] struct {
+	mom   [][3]T
+	nHere []T
+	grads [][3]T
+	feq   [lattice.Q19]T
 }
 
+// Scratch is the double-precision collision scratch.
+type Scratch = ScratchOf[float64]
+
 // NewScratch allocates collision work buffers sized for this kernel.
-func (k *Kernel) NewScratch() *Scratch {
-	return &Scratch{
-		mom:   make([][3]float64, k.NComp),
-		nHere: make([]float64, k.NComp),
-		grads: make([][3]float64, k.NComp),
+func (k *KernelOf[T]) NewScratch() *ScratchOf[T] {
+	return &ScratchOf[T]{
+		mom:   make([][3]T, k.NComp),
+		nHere: make([]T, k.NComp),
+		grads: make([][3]T, k.NComp),
 	}
 }
 
 // PlaneCells returns the number of cells in one x-plane.
-func (k *Kernel) PlaneCells() int { return k.NY * k.NZ }
+func (k *KernelOf[T]) PlaneCells() int { return k.NY * k.NZ }
 
-// PlaneLen returns the float64 length of one distribution plane.
-func (k *Kernel) PlaneLen() int { return k.NY * k.NZ * lattice.Q19 }
+// PlaneLen returns the value count of one distribution plane.
+func (k *KernelOf[T]) PlaneLen() int { return k.NY * k.NZ * lattice.Q19 }
 
 // Solid reports whether cell (y, z) is solid.
-func (k *Kernel) Solid(y, z int) bool { return k.solid[y*k.NZ+z] }
+func (k *KernelOf[T]) Solid(y, z int) bool { return k.solid[y*k.NZ+z] }
 
 // Densities computes per-component number densities for one plane:
 // n[c][cell] = sum_i f[c][cell*Q+i]. Solid cells yield zero because
 // their populations are kept at zero.
-func (k *Kernel) Densities(f [][]float64, n [][]float64) {
+func (k *KernelOf[T]) Densities(f [][]T, n [][]T) {
 	cells := k.PlaneCells()
 	for c := 0; c < k.NComp; c++ {
 		fc, nc := f[c], n[c]
@@ -226,7 +270,7 @@ func (k *Kernel) Densities(f [][]float64, n [][]float64) {
 // times the local density, applied to the water component only) and the
 // driving body force. Forces shift the equilibrium velocity by
 // tau_sigma F_sigma / rho_sigma about the common velocity u'.
-func (k *Kernel) Collide(nL, nC, nR, fC, out [][]float64) {
+func (k *KernelOf[T]) Collide(nL, nC, nR, fC, out [][]T) {
 	k.CollideScratch(k.NewScratch(), nL, nC, nR, fC, out)
 }
 
@@ -234,9 +278,9 @@ func (k *Kernel) Collide(nL, nC, nR, fC, out [][]float64) {
 // the allocation-free form used by the fused and parallel hot paths.
 // The arithmetic is identical to Collide, so both produce bit-equal
 // output.
-func (k *Kernel) CollideScratch(sc *Scratch, nL, nC, nR, fC, out [][]float64) {
+func (k *KernelOf[T]) CollideScratch(sc *ScratchOf[T], nL, nC, nR, fC, out [][]T) {
 	nz, ncomp := k.NZ, k.NComp
-	var psiGrad [3]float64 // sum_i w_i psi(x+e_i) e_i per component
+	var psiGrad [3]T // sum_i w_i psi(x+e_i) e_i per component
 	mom := sc.mom
 	nHere := sc.nHere
 	grads := sc.grads
@@ -257,8 +301,8 @@ func (k *Kernel) CollideScratch(sc *Scratch, nL, nC, nR, fC, out [][]float64) {
 			}
 
 			// Per-component density, momentum, and psi-gradient sums.
-			var num [3]float64
-			var den float64
+			var momSum [3]T
+			var den T
 			bulk := !k.nearSolid[cell]
 			for c := 0; c < ncomp; c++ {
 				base := cell * lattice.Q19
@@ -271,12 +315,12 @@ func (k *Kernel) CollideScratch(sc *Scratch, nL, nC, nR, fC, out [][]float64) {
 					(fv[4] + fv[8] + fv[9] + fv[16] + fv[18])
 				pz := (fv[5] + fv[11] + fv[14] + fv[15] + fv[18]) -
 					(fv[6] + fv[12] + fv[13] + fv[16] + fv[17])
-				mom[c] = [3]float64{px, py, pz}
+				mom[c] = [3]T{px, py, pz}
 				nHere[c] = nC[c][cell]
 				mt := k.mass[c] * k.invTau[c]
-				num[0] += mt * px
-				num[1] += mt * py
-				num[2] += mt * pz
+				momSum[0] += mt * px
+				momSum[1] += mt * py
+				momSum[2] += mt * pz
 				den += mt * nHere[c]
 
 				// psi gradient: neighbours within the plane and in the
@@ -292,14 +336,14 @@ func (k *Kernel) CollideScratch(sc *Scratch, nL, nC, nR, fC, out [][]float64) {
 					cpp, cmm := cn[cell+nz+1], cn[cell-nz-1]
 					cpm, cmp := cn[cell+nz-1], cn[cell-nz+1]
 					const wA, wD = 1.0 / 18.0, 1.0 / 36.0
-					grads[c] = [3]float64{
+					grads[c] = [3]T{
 						wA*(r[cell]-l[cell]) + wD*(ryp+rym+rzp+rzm-lym-lyp-lzm-lzp),
 						wA*(cn[cell+nz]-cn[cell-nz]) + wD*(ryp-rym+lyp-lym+cpp-cmm+cpm-cmp),
 						wA*(cn[cell+1]-cn[cell-1]) + wD*(rzp-rzm+lzp-lzm+cpp-cmm-cpm+cmp),
 					}
 					continue
 				}
-				psiGrad = [3]float64{}
+				psiGrad = [3]T{}
 				for i := 1; i < lattice.Q19; i++ {
 					sy := y + lattice.Ey[i]
 					sz := z + lattice.Ez[i]
@@ -307,7 +351,7 @@ func (k *Kernel) CollideScratch(sc *Scratch, nL, nC, nR, fC, out [][]float64) {
 					if k.solid[scell] {
 						continue
 					}
-					var nv float64
+					var nv T
 					switch lattice.Ex[i] {
 					case -1:
 						nv = nL[c][scell]
@@ -316,23 +360,23 @@ func (k *Kernel) CollideScratch(sc *Scratch, nL, nC, nR, fC, out [][]float64) {
 					default:
 						nv = nR[c][scell]
 					}
-					w := lattice.W[i] * nv
-					psiGrad[0] += w * float64(lattice.Ex[i])
-					psiGrad[1] += w * float64(lattice.Ey[i])
-					psiGrad[2] += w * float64(lattice.Ez[i])
+					w := k.w[i] * nv
+					psiGrad[0] += w * T(lattice.Ex[i])
+					psiGrad[1] += w * T(lattice.Ey[i])
+					psiGrad[2] += w * T(lattice.Ez[i])
 				}
 				grads[c] = psiGrad
 			}
 
-			var ux, uy, uz float64
+			var ux, uy, uz T
 			if den > k.rhoMin {
-				ux, uy, uz = num[0]/den, num[1]/den, num[2]/den
+				ux, uy, uz = momSum[0]/den, momSum[1]/den, momSum[2]/den
 			}
 
 			for c := 0; c < ncomp; c++ {
 				rho := k.mass[c] * nHere[c]
 				// S-C interaction force (force density).
-				var fx, fy, fz float64
+				var fx, fy, fz T
 				for c2 := 0; c2 < ncomp; c2++ {
 					gcc := k.g[c][c2] * k.mass[c2]
 					if gcc == 0 {
@@ -366,7 +410,7 @@ func (k *Kernel) CollideScratch(sc *Scratch, nL, nC, nR, fC, out [][]float64) {
 					ueqy += s * fy
 					ueqz += s * fz
 				}
-				lattice.Equilibrium(nHere[c], ueqx, ueqy, ueqz, feq)
+				lattice.EquilibriumOf(nHere[c], ueqx, ueqy, ueqz, feq)
 				base := cell * lattice.Q19
 				fv := fC[c][base : base+lattice.Q19 : base+lattice.Q19]
 				ov := out[c][base : base+lattice.Q19 : base+lattice.Q19]
@@ -382,7 +426,7 @@ func (k *Kernel) CollideScratch(sc *Scratch, nL, nC, nR, fC, out [][]float64) {
 	k.zeroSolidBoundary(out)
 }
 
-func (k *Kernel) zeroSolidBoundary(out [][]float64) {
+func (k *KernelOf[T]) zeroSolidBoundary(out [][]T) {
 	nz := k.NZ
 	for c := 0; c < k.NComp; c++ {
 		oc := out[c]
@@ -397,7 +441,7 @@ func (k *Kernel) zeroSolidBoundary(out [][]float64) {
 	}
 }
 
-func zeroCell(p []float64, base int) {
+func zeroCell[T num.Float](p []T, base int) {
 	for i := 0; i < lattice.Q19; i++ {
 		p[base+i] = 0
 	}
@@ -409,15 +453,15 @@ func zeroCell(p []float64, base int) {
 // solid is replaced by the reflected population at the destination cell
 // (bounce-back), which places the no-slip plane halfway into the wall
 // layer. out must not alias fL, fC or fR.
-func (k *Kernel) Stream(fL, fC, fR, out [][]float64) {
-	k.StreamGhost(Ghost{Planes: fL}, fC, Ghost{Planes: fR}, out)
+func (k *KernelOf[T]) Stream(fL, fC, fR, out [][]T) {
+	k.StreamGhost(GhostOf[T]{Planes: fL}, fC, GhostOf[T]{Planes: fR}, out)
 }
 
 // StreamGhost is Stream with explicit neighbour descriptors: either (or
 // both) x-neighbours may be slim ghost planes holding only the crossing
 // populations. The data movement is identical copies either way, so the
 // output is bit-equal to Stream over the corresponding full planes.
-func (k *Kernel) StreamGhost(fL Ghost, fC [][]float64, fR Ghost, out [][]float64) {
+func (k *KernelOf[T]) StreamGhost(fL GhostOf[T], fC [][]T, fR GhostOf[T], out [][]T) {
 	nz := k.NZ
 	o := &k.pull
 	// Layout selectors: the left neighbour is read only along the
@@ -505,9 +549,9 @@ func (k *Kernel) StreamGhost(fL Ghost, fC [][]float64, fR Ghost, out [][]float64
 // InitEquilibrium fills one distribution plane with the rest-state
 // equilibrium of uniform number density n0 on fluid cells, zero on
 // solids.
-func (k *Kernel) InitEquilibrium(plane []float64, n0 float64) {
-	var feq [lattice.Q19]float64
-	lattice.Equilibrium(n0, 0, 0, 0, &feq)
+func (k *KernelOf[T]) InitEquilibrium(plane []T, n0 float64) {
+	var feq [lattice.Q19]T
+	lattice.EquilibriumOf(T(n0), 0, 0, 0, &feq)
 	nz := k.NZ
 	for y := 0; y < k.NY; y++ {
 		for z := 0; z < nz; z++ {
@@ -524,26 +568,28 @@ func (k *Kernel) InitEquilibrium(plane []float64, n0 float64) {
 
 // CellVelocity returns the barycentric velocity at cell (y, z) of plane
 // f planes (per component), i.e. total momentum over total mass density,
-// without the half-force correction (adequate for profile output).
-func (k *Kernel) CellVelocity(f [][]float64, y, z int) (ux, uy, uz float64) {
+// without the half-force correction (adequate for profile output). The
+// moment sums run at the kernel's precision T and are widened at the
+// end.
+func (k *KernelOf[T]) CellVelocity(f [][]T, y, z int) (ux, uy, uz float64) {
 	cell := y*k.NZ + z
 	if k.solid[cell] {
 		return 0, 0, 0
 	}
 	base := cell * lattice.Q19
-	var px, py, pz, m float64
+	var px, py, pz, m T
 	for c := 0; c < k.NComp; c++ {
 		fc := f[c]
 		for i := 0; i < lattice.Q19; i++ {
 			v := fc[base+i] * k.mass[c]
 			m += v
-			px += v * float64(lattice.Ex[i])
-			py += v * float64(lattice.Ey[i])
-			pz += v * float64(lattice.Ez[i])
+			px += v * T(lattice.Ex[i])
+			py += v * T(lattice.Ey[i])
+			pz += v * T(lattice.Ez[i])
 		}
 	}
 	if m <= k.rhoMin {
 		return 0, 0, 0
 	}
-	return px / m, py / m, pz / m
+	return float64(px / m), float64(py / m), float64(pz / m)
 }

@@ -10,7 +10,7 @@ import (
 // previous phase's data, so parallel and serial stepping produce
 // identical results bit for bit. This is intra-node parallelism, the
 // complement of the inter-node decomposition in package parlbm.
-func (s *Sim) SetWorkers(n int) {
+func (s *SimOf[T]) SetWorkers(n int) {
 	if n < 1 {
 		n = 1
 	}
@@ -19,7 +19,7 @@ func (s *Sim) SetWorkers(n int) {
 
 // AutoWorkers sets the worker count to the number of CPUs, capped by
 // the plane count.
-func (s *Sim) AutoWorkers() {
+func (s *SimOf[T]) AutoWorkers() {
 	n := runtime.GOMAXPROCS(0)
 	if n > s.P.NX {
 		n = s.P.NX
@@ -28,7 +28,7 @@ func (s *Sim) AutoWorkers() {
 }
 
 // Workers returns the configured worker count.
-func (s *Sim) Workers() int {
+func (s *SimOf[T]) Workers() int {
 	if s.workers < 1 {
 		return 1
 	}
@@ -37,7 +37,7 @@ func (s *Sim) Workers() int {
 
 // ensureScratch grows the per-worker collision scratch pool to at least
 // n entries; steady-state steps then never allocate.
-func (s *Sim) ensureScratch(n int) {
+func (s *SimOf[T]) ensureScratch(n int) {
 	for len(s.parScratch) < n {
 		s.parScratch = append(s.parScratch, s.K.NewScratch())
 	}
@@ -47,7 +47,7 @@ func (s *Sim) ensureScratch(n int) {
 // workers > 1; wkr identifies the calling worker so fn can use
 // per-worker scratch. fn must only write to plane x of its output
 // fields.
-func (s *Sim) forEachPlane(fn func(x, wkr int)) {
+func (s *SimOf[T]) forEachPlane(fn func(x, wkr int)) {
 	w := s.Workers()
 	if w <= 1 {
 		for x := 0; x < s.P.NX; x++ {
@@ -82,7 +82,7 @@ func (s *Sim) forEachPlane(fn func(x, wkr int)) {
 // makes a single sweep over the distribution arrays instead of three
 // and allocates nothing in the steady state; both paths are bit-equal
 // to Step.
-func (s *Sim) StepParallel() {
+func (s *SimOf[T]) StepParallel() {
 	if s.P.Fused {
 		s.stepFused()
 		return
@@ -95,7 +95,7 @@ func (s *Sim) StepParallel() {
 }
 
 // RunParallelSteps advances n steps with StepParallel.
-func (s *Sim) RunParallelSteps(n int) {
+func (s *SimOf[T]) RunParallelSteps(n int) {
 	for i := 0; i < n; i++ {
 		s.StepParallel()
 	}

@@ -17,6 +17,48 @@ import (
 	"microslip/internal/geometry"
 )
 
+// Precision selects the scalar type of the solver core and the wire
+// format of the parallel layer. The zero value is F64, so parameter
+// sets from older checkpoints and configs keep their double-precision
+// behaviour unchanged.
+type Precision uint8
+
+const (
+	// F64 runs every kernel in double precision (the historical,
+	// bit-identity-tested default).
+	F64 Precision = iota
+	// F32 runs the sequential core in single precision and makes the
+	// distributed solver ship float32 halo/frame/migration payloads
+	// (two values per float64 word) while still computing in double
+	// precision; checkpoints store float32 payloads. Halves memory
+	// bandwidth and comm volume at ~1e-7 relative rounding per op.
+	F32
+)
+
+// String returns the lbmbench-schema spelling ("f64"/"f32").
+func (p Precision) String() string {
+	switch p {
+	case F64:
+		return "f64"
+	case F32:
+		return "f32"
+	default:
+		return fmt.Sprintf("precision(%d)", uint8(p))
+	}
+}
+
+// ParsePrecision converts the lbmbench spelling back to a Precision.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "f64", "float64", "":
+		return F64, nil
+	case "f32", "float32":
+		return F32, nil
+	default:
+		return F64, fmt.Errorf("lbm: unknown precision %q (want f32 or f64)", s)
+	}
+}
+
 // Component describes one fluid component of the S-C model.
 type Component struct {
 	Name        string
@@ -72,6 +114,11 @@ type Params struct {
 	InitXWave float64
 	// RhoMin guards divisions by the local density.
 	RhoMin float64
+	// Precision selects the scalar type of the solver core (see the
+	// Precision constants). Construct precision-dispatched solvers with
+	// NewSolver; NewSim remains the double-precision constructor and
+	// rejects F32 parameter sets.
+	Precision Precision
 	// Fused selects the fused collide+stream stepping path in
 	// Sim.StepParallel: one rolling sweep over the distribution arrays
 	// instead of three passes, zero steady-state allocations, bit-equal
@@ -140,6 +187,9 @@ func (p *Params) Validate() error {
 	}
 	if p.InitXWave < 0 || p.InitXWave >= 1 {
 		return fmt.Errorf("lbm: InitXWave %v outside [0, 1)", p.InitXWave)
+	}
+	if p.Precision != F64 && p.Precision != F32 {
+		return fmt.Errorf("lbm: invalid precision %d", uint8(p.Precision))
 	}
 	return nil
 }

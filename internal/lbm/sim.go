@@ -4,19 +4,24 @@ import (
 	"fmt"
 
 	"microslip/internal/lattice"
+	"microslip/internal/num"
 )
 
-// Sim is the sequential multicomponent LBM solver. It keeps per-x-plane
-// storage (the same layout the parallel workers use) and is the
-// reference implementation the parallel solver is tested against.
-type Sim struct {
+// SimOf is the sequential multicomponent LBM solver at scalar precision
+// T. It keeps per-x-plane storage (the same layout the parallel workers
+// use) and is the reference implementation the parallel solver is tested
+// against. The float64 instantiation (the Sim alias) is bit-identical to
+// the historical double-precision solver; the float32 instantiation is
+// the reduced-precision core selected by Params.Precision (construct via
+// NewSolver to dispatch on it).
+type SimOf[T num.Float] struct {
 	P *Params
-	K *Kernel
+	K *KernelOf[T]
 
 	// f[c][x] is the current distribution plane of component c at x;
 	// fPost holds post-collision values during a step.
-	f, fPost [][][]float64
-	n        [][][]float64 // number-density planes n[c][x]
+	f, fPost [][][]T
+	n        [][][]T // number-density planes n[c][x]
 	step     int
 	workers  int // intra-node parallelism for StepParallel
 
@@ -24,37 +29,51 @@ type Sim struct {
 	// parallel stepping paths hand to the plane kernels. They are built
 	// once here (and swapped, never reallocated, by the fused path) so
 	// the steady-state step performs no allocations.
-	fView, postView, nView [][][]float64
+	fView, postView, nView [][][]T
 	// densPhase/collidePhase/streamPhase are the cached per-plane phase
 	// closures of StepParallel; allocating them per step would defeat
 	// the zero-alloc hot path.
 	densPhase, collidePhase, streamPhase func(x, wkr int)
 	// parScratch[wkr] is the collision scratch of intra-node worker wkr.
-	parScratch []*Scratch
+	parScratch []*ScratchOf[T]
 	// fused is the lazily built state of the fused collide+stream path.
-	fused *fusedState
+	fused *fusedState[T]
+	// fusedChunks, when positive, pins the fused path to exactly that
+	// many chunks, bypassing the minimum-planes-per-chunk heuristic;
+	// tests use it to exercise multi-chunk sweeps on any machine.
+	fusedChunks int
 }
 
-// NewSim allocates and initializes a sequential simulation: a uniform
-// water/air mixture at rest (the paper's initial condition).
-func NewSim(p *Params) (*Sim, error) {
+// Sim is the double-precision sequential solver used by the parallel
+// layer's reference comparisons and all historical call sites.
+type Sim = SimOf[float64]
+
+// NewSimOf allocates and initializes a sequential simulation at
+// precision T: a uniform water/air mixture at rest (the paper's initial
+// condition). T must agree with p.Precision so a parameter set never
+// silently runs at the wrong precision.
+func NewSimOf[T num.Float](p *Params) (*SimOf[T], error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	k := NewKernel(p)
-	s := &Sim{P: p, K: k}
+	if (p.Precision == F32) != isSingle[T]() {
+		var zero T
+		return nil, fmt.Errorf("lbm: solver type %T does not match Params.Precision %v", zero, p.Precision)
+	}
+	k := NewKernelOf[T](p)
+	s := &SimOf[T]{P: p, K: k}
 	nc := p.NComp()
-	s.f = make([][][]float64, nc)
-	s.fPost = make([][][]float64, nc)
-	s.n = make([][][]float64, nc)
+	s.f = make([][][]T, nc)
+	s.fPost = make([][][]T, nc)
+	s.n = make([][][]T, nc)
 	for c := 0; c < nc; c++ {
-		s.f[c] = make([][]float64, p.NX)
-		s.fPost[c] = make([][]float64, p.NX)
-		s.n[c] = make([][]float64, p.NX)
+		s.f[c] = make([][]T, p.NX)
+		s.fPost[c] = make([][]T, p.NX)
+		s.n[c] = make([][]T, p.NX)
 		for x := 0; x < p.NX; x++ {
-			s.f[c][x] = make([]float64, k.PlaneLen())
-			s.fPost[c][x] = make([]float64, k.PlaneLen())
-			s.n[c][x] = make([]float64, k.PlaneCells())
+			s.f[c][x] = make([]T, k.PlaneLen())
+			s.fPost[c][x] = make([]T, k.PlaneLen())
+			s.n[c][x] = make([]T, k.PlaneCells())
 			k.InitEquilibrium(s.f[c][x], p.InitDensityAt(c, x))
 		}
 	}
@@ -89,11 +108,25 @@ func NewSim(p *Params) (*Sim, error) {
 	return s, nil
 }
 
+// isSingle reports whether T is single precision, by probing whether it
+// resolves 1 + 2^-40 (representable in float64, rounded away in
+// float32). A value probe rather than a type switch so named types with
+// a float32 underlying type classify correctly.
+func isSingle[T num.Float]() bool {
+	const probe = 1.0 + 1.0/(1<<40)
+	return T(probe) == T(1)
+}
+
+// NewSim allocates a double-precision sequential simulation. Parameter
+// sets with Precision F32 must go through NewSolver (or NewSimOf) so
+// the requested precision is honoured.
+func NewSim(p *Params) (*Sim, error) { return NewSimOf[float64](p) }
+
 // transposeViews builds the [x][c] plane views of [c][x] storage.
-func transposeViews(store [][][]float64, nx, nc int) [][][]float64 {
-	out := make([][][]float64, nx)
+func transposeViews[T num.Float](store [][][]T, nx, nc int) [][][]T {
+	out := make([][][]T, nx)
 	for x := 0; x < nx; x++ {
-		out[x] = make([][]float64, nc)
+		out[x] = make([][]T, nc)
 		for c := 0; c < nc; c++ {
 			out[x][c] = store[c][x]
 		}
@@ -101,27 +134,30 @@ func transposeViews(store [][][]float64, nx, nc int) [][][]float64 {
 	return out
 }
 
+// Params returns the simulation parameters.
+func (s *SimOf[T]) Params() *Params { return s.P }
+
 // Step advances the simulation by one LBM phase: density computation,
 // force evaluation + collision, then streaming with bounce-back.
-func (s *Sim) Step() {
+func (s *SimOf[T]) Step() {
 	p := s.P
 	nc := p.NComp()
-	fAt := func(x int) [][]float64 {
-		planes := make([][]float64, nc)
+	fAt := func(x int) [][]T {
+		planes := make([][]T, nc)
 		for c := 0; c < nc; c++ {
 			planes[c] = s.f[c][x]
 		}
 		return planes
 	}
-	postAt := func(x int) [][]float64 {
-		planes := make([][]float64, nc)
+	postAt := func(x int) [][]T {
+		planes := make([][]T, nc)
 		for c := 0; c < nc; c++ {
 			planes[c] = s.fPost[c][x]
 		}
 		return planes
 	}
-	nAt := func(x int) [][]float64 {
-		planes := make([][]float64, nc)
+	nAt := func(x int) [][]T {
+		planes := make([][]T, nc)
 		for c := 0; c < nc; c++ {
 			planes[c] = s.n[c][x]
 		}
@@ -145,45 +181,42 @@ func (s *Sim) Step() {
 }
 
 // Run advances n steps.
-func (s *Sim) Run(n int) {
+func (s *SimOf[T]) Run(n int) {
 	for i := 0; i < n; i++ {
 		s.Step()
 	}
 }
 
 // StepCount returns the number of completed steps.
-func (s *Sim) StepCount() int { return s.step }
+func (s *SimOf[T]) StepCount() int { return s.step }
 
 // Plane returns the current distribution plane of component c at x.
-func (s *Sim) Plane(c, x int) []float64 { return s.f[c][x] }
+func (s *SimOf[T]) Plane(c, x int) []T { return s.f[c][x] }
 
 // Density returns the mass density of component c at (x, y, z).
-func (s *Sim) Density(c, x, y, z int) float64 {
+func (s *SimOf[T]) Density(c, x, y, z int) float64 {
 	base := (y*s.P.NZ + z) * lattice.Q19
-	var sum float64
+	var sum T
 	plane := s.f[c][x]
 	for i := 0; i < lattice.Q19; i++ {
 		sum += plane[base+i]
 	}
-	return sum * s.P.Components[c].Mass
+	return float64(sum) * s.P.Components[c].Mass
 }
 
 // Velocity returns the barycentric velocity at (x, y, z).
-func (s *Sim) Velocity(x, y, z int) (ux, uy, uz float64) {
-	nc := s.P.NComp()
-	planes := make([][]float64, nc)
-	for c := 0; c < nc; c++ {
-		planes[c] = s.f[c][x]
-	}
-	return s.K.CellVelocity(planes, y, z)
+func (s *SimOf[T]) Velocity(x, y, z int) (ux, uy, uz float64) {
+	return s.K.CellVelocity(s.fView[x], y, z)
 }
 
-// TotalMass returns the total mass of component c over the domain.
-func (s *Sim) TotalMass(c int) float64 {
+// TotalMass returns the total mass of component c over the domain. The
+// accumulation is always double precision so the mass diagnostic does
+// not drift with the solver precision.
+func (s *SimOf[T]) TotalMass(c int) float64 {
 	var m float64
 	for x := 0; x < s.P.NX; x++ {
 		for _, v := range s.f[c][x] {
-			m += v
+			m += float64(v)
 		}
 	}
 	return m * s.P.Components[c].Mass
@@ -191,7 +224,7 @@ func (s *Sim) TotalMass(c int) float64 {
 
 // DensityProfileY returns component c's density along y at fixed (x, z),
 // one value per lattice row including the wall layers.
-func (s *Sim) DensityProfileY(c, x, z int) []float64 {
+func (s *SimOf[T]) DensityProfileY(c, x, z int) []float64 {
 	out := make([]float64, s.P.NY)
 	for y := 0; y < s.P.NY; y++ {
 		out[y] = s.Density(c, x, y, z)
@@ -201,7 +234,7 @@ func (s *Sim) DensityProfileY(c, x, z int) []float64 {
 
 // VelocityProfileY returns the streamwise velocity u_x along y at fixed
 // (x, z).
-func (s *Sim) VelocityProfileY(x, z int) []float64 {
+func (s *SimOf[T]) VelocityProfileY(x, z int) []float64 {
 	out := make([]float64, s.P.NY)
 	for y := 0; y < s.P.NY; y++ {
 		ux, _, _ := s.Velocity(x, y, z)
@@ -213,7 +246,7 @@ func (s *Sim) VelocityProfileY(x, z int) []float64 {
 // CheckFinite returns an error naming the first non-finite population it
 // finds; long-running drivers call this periodically to fail fast on
 // numerical blow-up.
-func (s *Sim) CheckFinite() error {
+func (s *SimOf[T]) CheckFinite() error {
 	for c := range s.f {
 		for x, plane := range s.f[c] {
 			for idx, v := range plane {

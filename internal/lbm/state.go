@@ -1,6 +1,10 @@
 package lbm
 
-import "fmt"
+import (
+	"fmt"
+
+	"microslip/internal/num"
+)
 
 // State is a serializable snapshot of a simulation: parameters, step
 // count, and the per-component distribution planes. Package checkpoint
@@ -13,14 +17,21 @@ type State struct {
 	F [][][]float64
 }
 
-// State captures a deep snapshot of the simulation.
-func (s *Sim) State() *State {
+// State captures a deep snapshot of the simulation. Snapshots are
+// always double precision in memory: widening float32 populations is
+// exact, so a reduced-precision simulation round-trips through its
+// State (and hence through a checkpoint) bit-stably.
+func (s *SimOf[T]) State() *State {
 	nc := s.P.NComp()
 	st := &State{Params: s.P, Step: s.step, F: make([][][]float64, nc)}
 	for c := 0; c < nc; c++ {
 		st.F[c] = make([][]float64, s.P.NX)
 		for x := 0; x < s.P.NX; x++ {
-			st.F[c][x] = append([]float64(nil), s.f[c][x]...)
+			plane := make([]float64, len(s.f[c][x]))
+			for i, v := range s.f[c][x] {
+				plane[i] = float64(v)
+			}
+			st.F[c][x] = plane
 		}
 	}
 	return st
@@ -54,12 +65,21 @@ func StateFromPlanes(p *Params, planes [][][]float64, step int) (*State, error) 
 	return st, nil
 }
 
-// FromState reconstructs a simulation from a snapshot.
+// FromState reconstructs a double-precision simulation from a snapshot;
+// snapshots taken at Precision F32 must go through SimFromState (the
+// generic form) or SolverFromState.
 func FromState(st *State) (*Sim, error) {
+	return SimFromState[float64](st)
+}
+
+// SimFromState reconstructs a simulation at precision T from a
+// snapshot. T must agree with st.Params.Precision (see NewSimOf); the
+// populations are rounded from the snapshot's double-precision planes.
+func SimFromState[T num.Float](st *State) (*SimOf[T], error) {
 	if st == nil || st.Params == nil {
 		return nil, fmt.Errorf("lbm: nil state")
 	}
-	s, err := NewSim(st.Params)
+	s, err := NewSimOf[T](st.Params)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +95,9 @@ func FromState(st *State) (*Sim, error) {
 				return nil, fmt.Errorf("lbm: component %d plane %d has %d values, want %d",
 					c, x, len(st.F[c][x]), s.K.PlaneLen())
 			}
-			copy(s.f[c][x], st.F[c][x])
+			for i, v := range st.F[c][x] {
+				s.f[c][x][i] = T(v)
+			}
 		}
 	}
 	s.step = st.Step

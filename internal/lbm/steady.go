@@ -21,7 +21,7 @@ type SteadyResult struct {
 // or after maxSteps. The paper's production runs integrate "about
 // 500,000 LBM phases to reach the steady state"; this criterion makes
 // that an explicit, measurable stopping rule.
-func (s *Sim) RunToSteady(maxSteps, checkEvery int, tol float64) SteadyResult {
+func (s *SimOf[T]) RunToSteady(maxSteps, checkEvery int, tol float64) SteadyResult {
 	if checkEvery < 1 {
 		checkEvery = 1
 	}
@@ -47,7 +47,7 @@ func (s *Sim) RunToSteady(maxSteps, checkEvery int, tol float64) SteadyResult {
 
 // velocitySnapshot samples the barycentric velocity at every fluid
 // cell as a flat (ux, uy, uz) vector.
-func (s *Sim) velocitySnapshot() []float64 {
+func (s *SimOf[T]) velocitySnapshot() []float64 {
 	p := s.P
 	out := make([]float64, 0, 3*p.NX*p.NY*p.NZ)
 	for x := 0; x < p.NX; x++ {

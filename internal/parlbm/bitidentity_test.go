@@ -76,6 +76,12 @@ func TestBitIdentityMatrix(t *testing.T) {
 					t.Fatal(err)
 				}
 				s.SetWorkers(workers)
+				if fused {
+					// Pin the chunk count: the production heuristic
+					// would refuse to shard a grid this small, and the
+					// matrix's point is multi-chunk bit-identity.
+					s.SetFusedChunks(workers)
+				}
 				s.RunParallelSteps(steps)
 				check(t, label, s.Plane)
 			})

@@ -6,6 +6,8 @@ import (
 
 	"microslip/internal/lattice"
 	"microslip/internal/lbm"
+	"microslip/internal/num"
+	"microslip/internal/profile"
 )
 
 // This file implements Options.Coalesce: one frame per neighbor per
@@ -137,13 +139,9 @@ func (w *worker) phaseCoalesced(phase int) error {
 		cls := &w.res.Breakdown.Bytes.DistHalo
 		t = time.Now()
 		if w.thinL {
-			msg, err := w.c.Recv(left, tagDistHaloR)
+			msg, err := w.recvWire(left, tagDistHaloR, nc*per, "thin-slab halo", &w.rawRecvL, cls)
 			if err != nil {
 				return err
-			}
-			cls.CountRecv(8 * len(msg))
-			if len(msg) != nc*per {
-				return fmt.Errorf("thin-slab halo size %d, want %d", len(msg), nc*per)
 			}
 			for c := 0; c < nc; c++ {
 				w.ghostHdrL[c] = msg[c*per : (c+1)*per]
@@ -151,13 +149,9 @@ func (w *worker) phaseCoalesced(phase int) error {
 			gL = lbm.Ghost{Planes: w.ghostHdrL, Slim: w.distSlim()}
 		}
 		if w.thinR {
-			msg, err := w.c.Recv(right, tagDistHaloL)
+			msg, err := w.recvWire(right, tagDistHaloL, nc*per, "thin-slab halo", &w.rawRecvR, cls)
 			if err != nil {
 				return err
-			}
-			cls.CountRecv(8 * len(msg))
-			if len(msg) != nc*per {
-				return fmt.Errorf("thin-slab halo size %d, want %d", len(msg), nc*per)
 			}
 			for c := 0; c < nc; c++ {
 				w.ghostHdrR[c] = msg[c*per : (c+1)*per]
@@ -217,21 +211,17 @@ func (w *worker) postFrames() error {
 		for c := 0; c < nc; c++ {
 			copy(w.packL[1+c*cells:1+(c+1)*cells], w.n[c].Plane(start))
 		}
-		cls.CountSend(8 * len(w.packL))
-		if err := w.c.Send(left, tagFrameL, w.packL); err != nil {
+		if err := w.sendWire(left, tagFrameL, w.packL, &w.wireSendL, cls); err != nil {
 			return err
 		}
-		cls.CountSend(8 * len(w.packL))
-		return w.c.Send(right, tagFrameR, w.packL)
+		return w.sendWire(right, tagFrameR, w.packL, &w.wireSendL, cls)
 	}
 	w.packL = w.packFrameInto(w.packL, start, start+1)
 	w.packR = w.packFrameInto(w.packR, end-1, end-2)
-	cls.CountSend(8 * len(w.packL))
-	if err := w.c.Send(left, tagFrameL, w.packL); err != nil {
+	if err := w.sendWire(left, tagFrameL, w.packL, &w.wireSendL, cls); err != nil {
 		return err
 	}
-	cls.CountSend(8 * len(w.packR))
-	return w.c.Send(right, tagFrameR, w.packR)
+	return w.sendWire(right, tagFrameR, w.packR, &w.wireSendR, cls)
 }
 
 // recvFrames blocks for both neighbors' frames and validates and
@@ -239,16 +229,14 @@ func (w *worker) postFrames() error {
 func (w *worker) recvFrames() error {
 	left, right := w.neighbors()
 	cls := &w.res.Breakdown.Bytes.Frame
-	fromL, err := w.c.Recv(left, tagFrameR) // the left neighbor's rightward frame
+	fromL, err := w.recvFrame(left, tagFrameR, &w.rawFrameL, cls) // the left neighbor's rightward frame
 	if err != nil {
 		return err
 	}
-	cls.CountRecv(8 * len(fromL))
-	fromR, err := w.c.Recv(right, tagFrameL)
+	fromR, err := w.recvFrame(right, tagFrameL, &w.rawFrameR, cls)
 	if err != nil {
 		return err
 	}
-	cls.CountRecv(8 * len(fromR))
 	if w.thinL, err = w.parseFrame(fromL, w.frameHdrL, w.ghostFarL, w.ghostNViewL, w.ghostNL); err != nil {
 		return fmt.Errorf("frame from rank %d: %w", left, err)
 	}
@@ -256,6 +244,36 @@ func (w *worker) recvFrames() error {
 		return fmt.Errorf("frame from rank %d: %w", right, err)
 	}
 	return nil
+}
+
+// recvFrame blocks for one coalesced frame. Under wire compression the
+// kind header rides inside the packed payload, so the receiver infers
+// the kind from the packed length before unpacking — the thin and wide
+// raw lengths (1+nc*cells vs 1+nc*20*cells) can never pack to the same
+// word count — and parseFrame then re-validates the header as usual.
+func (w *worker) recvFrame(from, tag int, staging *[]float64, class *profile.TagBytes) ([]float64, error) {
+	msg, err := w.c.Recv(from, tag)
+	if err != nil {
+		return nil, err
+	}
+	class.CountRecv(8 * len(msg))
+	if !w.wireF32() {
+		return msg, nil
+	}
+	nc := len(w.f)
+	cells := w.k.PlaneCells()
+	thinNeed := 1 + nc*cells
+	wideNeed := 1 + nc*(w.f[0].PlaneSize()+cells)
+	switch len(msg) {
+	case num.PackedWords(thinNeed):
+		*staging = num.UnpackF32Words(*staging, msg, thinNeed)
+	case num.PackedWords(wideNeed):
+		*staging = num.UnpackF32Words(*staging, msg, wideNeed)
+	default:
+		return nil, fmt.Errorf("packed frame size %d matches neither %d (thin) nor %d (wide)",
+			len(msg), num.PackedWords(thinNeed), num.PackedWords(wideNeed))
+	}
+	return *staging, nil
 }
 
 // parseFrame validates one frame and points the per-component headers

@@ -26,6 +26,14 @@
 // kernels, which is bit-identical because every input is bit-identical
 // and the kernels are deterministic. See README.md for the exact wire
 // layouts.
+//
+// Options.WireF32 (implied when Params.Precision selects the float32
+// core) additionally ships every bulk payload — halo planes, coalesced
+// frames, migrating lattice planes — as packed float32: two values per
+// transported float64 word, halving the dominant wire classes at a
+// ~1e-7 relative rounding per transported value. Control, load-index,
+// and gather traffic stays float64. Compressed runs are deterministic
+// but deliberately not bit-identical to the sequential solver.
 package parlbm
 
 import (
@@ -39,6 +47,7 @@ import (
 	"microslip/internal/field"
 	"microslip/internal/lattice"
 	"microslip/internal/lbm"
+	"microslip/internal/num"
 	"microslip/internal/predict"
 	"microslip/internal/profile"
 )
@@ -127,6 +136,16 @@ type Options struct {
 	// through the frame kind header. Bit-identical to every other
 	// solver variant.
 	Coalesce bool
+	// WireF32 ships the bulk payloads — halo planes, coalesced frames,
+	// and migrating lattice planes — as packed float32 (two values per
+	// float64 wire word), halving those wire classes at a ~1e-7
+	// relative rounding per transported value; control, load-index, and
+	// gather traffic stays float64. Runs remain deterministic and
+	// composable with every halo format, but are no longer
+	// bit-identical to the sequential solver. Implied when
+	// Params.Precision selects the float32 core, where halo values
+	// carry no double-width information worth shipping.
+	WireF32 bool
 }
 
 // CheckpointSpec configures coordinated checkpointing of a parallel
@@ -304,6 +323,17 @@ type worker struct {
 	packL, packR         []float64
 	ghostHdrL, ghostHdrR [][]float64
 
+	// Wire-compression staging (Options.WireF32): grow-only packed
+	// float32 send buffers and the unpacked receive buffers the ghost
+	// views point into. Halo receives reuse rawRecvL/R — safe because a
+	// phase's density ghosts are dead before its distribution halo
+	// arrives — while received frames keep their own buffers (their
+	// views live until the redundant ghost collide, across the thin-slab
+	// follow-up receive).
+	wireSendL, wireSendR []float64
+	rawRecvL, rawRecvR   []float64
+	rawFrameL, rawFrameR []float64
+
 	// Coalesced-mode reusable state, allocated on first use. The *Hdr
 	// and ghostFar headers point into a received frame; ghostN are
 	// owned ghost density planes (filled from a wide frame's edge
@@ -385,6 +415,10 @@ func RunRank(p *lbm.Params, c comm.Comm, opts Options) (*Result, error) {
 		if s := ck.Snapshot; s != nil {
 			if s.NX != p.NX || s.NComp != p.NComp() || s.PlaneSize != p.NY*p.NZ*19 {
 				return nil, fmt.Errorf("parlbm: snapshot lattice %dx%dx%d does not match params", s.NX, s.NComp, s.PlaneSize)
+			}
+			if sp := s.Params; sp != nil && sp.Precision != p.Precision {
+				return nil, fmt.Errorf("parlbm: snapshot precision %v does not match params precision %v: %w",
+					sp.Precision, p.Precision, checkpoint.ErrPrecision)
 			}
 			if s.Phase >= opts.Phases {
 				return nil, fmt.Errorf("parlbm: snapshot phase %d >= run phases %d", s.Phase, opts.Phases)
@@ -484,6 +518,45 @@ func (w *worker) neighbors() (left, right int) {
 // crossing-populations wire format.
 func (w *worker) distSlim() bool { return !w.opts.WideHalo }
 
+// wireF32 reports whether bulk payloads ship as packed float32 words.
+func (w *worker) wireF32() bool { return w.opts.WireF32 || w.p.Precision == lbm.F32 }
+
+// sendWire ships payload to rank `to`, packing it into the grow-only
+// staging buffer when wire compression is on; the byte class counts
+// what actually crosses the wire. The transport copies on send, so the
+// staging buffer is immediately reusable.
+func (w *worker) sendWire(to, tag int, payload []float64, staging *[]float64, class *profile.TagBytes) error {
+	if w.wireF32() {
+		*staging = num.PackF32Words(*staging, payload)
+		payload = *staging
+	}
+	class.CountSend(8 * len(payload))
+	return w.c.Send(to, tag, payload)
+}
+
+// recvWire blocks for a payload of logical length n from rank `from`,
+// unpacking compressed words into the staging buffer; `what` names the
+// payload in size-mismatch errors. The returned slice is valid until
+// the same staging buffer is reused.
+func (w *worker) recvWire(from, tag, n int, what string, staging *[]float64, class *profile.TagBytes) ([]float64, error) {
+	msg, err := w.c.Recv(from, tag)
+	if err != nil {
+		return nil, err
+	}
+	class.CountRecv(8 * len(msg))
+	if !w.wireF32() {
+		if len(msg) != n {
+			return nil, fmt.Errorf("%s size %d, want %d", what, len(msg), n)
+		}
+		return msg, nil
+	}
+	if len(msg) != num.PackedWords(n) {
+		return nil, fmt.Errorf("packed %s size %d, want %d", what, len(msg), num.PackedWords(n))
+	}
+	*staging = num.UnpackF32Words(*staging, msg, n)
+	return *staging, nil
+}
+
 // packPlanes concatenates the given global-x plane of every component
 // of the slabs into buf, reusing its capacity when possible, and
 // returns the (possibly grown) buffer. The steady-state halo exchange
@@ -546,12 +619,10 @@ func (w *worker) postHalos(slabs []*field.Slab, tagL, tagR int, slim bool, class
 		w.packL = packPlanes(w.packL, slabs, start)
 		w.packR = packPlanes(w.packR, slabs, end-1)
 	}
-	class.CountSend(8 * len(w.packL))
-	if err := w.c.Send(left, tagL, w.packL); err != nil {
+	if err := w.sendWire(left, tagL, w.packL, &w.wireSendL, class); err != nil {
 		return err
 	}
-	class.CountSend(8 * len(w.packR))
-	return w.c.Send(right, tagR, w.packR)
+	return w.sendWire(right, tagR, w.packR, &w.wireSendR, class)
 }
 
 // recvHalos blocks for both neighbors' ghost planes (per is the
@@ -561,18 +632,13 @@ func (w *worker) postHalos(slabs []*field.Slab, tagL, tagR int, slim bool, class
 func (w *worker) recvHalos(per, tagL, tagR int, class *profile.TagBytes) (ghostL, ghostR [][]float64, err error) {
 	nc := len(w.ghostHdrL)
 	left, right := w.neighbors()
-	fromL, err := w.c.Recv(left, tagR) // the left neighbor's rightward halo
+	fromL, err := w.recvWire(left, tagR, nc*per, "halo", &w.rawRecvL, class) // the left neighbor's rightward halo
 	if err != nil {
 		return nil, nil, err
 	}
-	class.CountRecv(8 * len(fromL))
-	fromR, err := w.c.Recv(right, tagL)
+	fromR, err := w.recvWire(right, tagL, nc*per, "halo", &w.rawRecvR, class)
 	if err != nil {
 		return nil, nil, err
-	}
-	class.CountRecv(8 * len(fromR))
-	if len(fromL) != nc*per || len(fromR) != nc*per {
-		return nil, nil, fmt.Errorf("halo size %d/%d, want %d", len(fromL), len(fromR), nc*per)
 	}
 	for c := 0; c < nc; c++ {
 		w.ghostHdrL[c] = fromL[c*per : (c+1)*per]

@@ -210,16 +210,11 @@ func (w *worker) moveBoundary(neighbor, net int) error {
 			w.postView.popRight(count)
 		}
 		w.res.PlanesSent += count
-		mig.CountSend(8 * len(w.migBuf))
-		return w.c.Send(neighbor, tag, w.migBuf)
+		return w.sendWire(neighbor, tag, w.migBuf, &w.wireSendL, mig)
 	}
-	msg, err := w.c.Recv(neighbor, tag)
+	msg, err := w.recvWire(neighbor, tag, count*nc*sz, "plane transfer", &w.rawRecvL, mig)
 	if err != nil {
 		return err
-	}
-	mig.CountRecv(8 * len(msg))
-	if len(msg) != count*nc*sz {
-		return fmt.Errorf("parlbm: plane transfer size %d, want %d", len(msg), count*nc*sz)
 	}
 	// Rightward flow arrives at the receiver's left edge.
 	atLeft := rightward

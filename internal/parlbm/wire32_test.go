@@ -1,0 +1,239 @@
+package parlbm
+
+import (
+	"math"
+	"testing"
+
+	"microslip/internal/lattice"
+	"microslip/internal/lbm"
+	"microslip/internal/num"
+)
+
+// Wire compression must hit the closed-form byte counts: every bulk
+// payload of even raw length (all halos: per-component lengths times
+// nc=2) packs to exactly half the bytes, and coalesced frames (odd raw
+// length from the kind header) to 8*ceil(n/2) per message. Expected
+// volumes are derived from the lattice constants, so the counters —
+// which count what actually crosses the wire — are themselves under
+// test.
+func TestWireF32HalvesBulkBytes(t *testing.T) {
+	const nx, ny, nz, ranks, phases = 12, 10, 6, 3, 5
+	run := func(opts Options) []*Result {
+		opts.Phases = phases
+		_, results, err := RunParallel(waveParams(nx, ny, nz), ranks, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	const nc, cells = 2, ny * nz
+
+	sumClass := func(results []*Result, pick func(*Result) int64) int64 {
+		var total int64
+		for _, r := range results {
+			total += pick(r)
+		}
+		return total
+	}
+	densSent := func(r *Result) int64 { return r.Comm.Bytes.DensityHalo.SentBytes }
+	distSent := func(r *Result) int64 { return r.Comm.Bytes.DistHalo.SentBytes }
+	frameSent := func(r *Result) int64 { return r.Comm.Bytes.Frame.SentBytes }
+
+	// Slim halos: per rank per phase, one density and one distribution
+	// message in each direction.
+	slim32 := run(Options{WireF32: true})
+	densWant := int64(ranks * phases * 2 * 8 * num.PackedWords(nc*cells))
+	distWant := int64(ranks * phases * 2 * 8 * num.PackedWords(nc*cells*lattice.CrossQ))
+	if got := sumClass(slim32, densSent); got != densWant {
+		t.Errorf("f32 density-halo bytes %d, want %d", got, densWant)
+	}
+	if got := sumClass(slim32, distSent); got != distWant {
+		t.Errorf("f32 slim dist-halo bytes %d, want %d", got, distWant)
+	}
+	// Both halo payload lengths are even, so the cut is exactly 2x
+	// against the uncompressed run.
+	slim64 := run(Options{})
+	if got, want := sumClass(slim32, distSent)*2, sumClass(slim64, distSent); got != want {
+		t.Errorf("f32 dist-halo bytes not exactly half: 2*%d != %d", got/2, want)
+	}
+	if got, want := sumClass(slim32, densSent)*2, sumClass(slim64, densSent); got != want {
+		t.Errorf("f32 density-halo bytes not exactly half: 2*%d != %d", got/2, want)
+	}
+
+	// Wide halos compress the full 19-direction planes the same way.
+	wide32 := run(Options{WideHalo: true, WireF32: true})
+	wideDistWant := int64(ranks * phases * 2 * 8 * num.PackedWords(nc*cells*19))
+	if got := sumClass(wide32, distSent); got != wideDistWant {
+		t.Errorf("f32 wide dist-halo bytes %d, want %d", got, wideDistWant)
+	}
+
+	// Coalesced frames have odd raw length (kind header + nc*(19+1)
+	// planes), so each message packs to ceil(n/2) words.
+	coal32 := run(Options{Coalesce: true, WireF32: true})
+	frameWant := int64(ranks * phases * 2 * 8 * num.PackedWords(1+nc*cells*(19+1)))
+	if got := sumClass(coal32, frameSent); got != frameWant {
+		t.Errorf("f32 frame bytes %d, want %d", got, frameWant)
+	}
+
+	// Sent and received volumes still balance over the closed ring.
+	for name, results := range map[string][]*Result{"slim": slim32, "wide": wide32, "coalesce": coal32} {
+		var sent, recv int64
+		for _, r := range results {
+			h := r.Comm.Bytes.Halo()
+			sent += h.SentBytes
+			recv += h.RecvBytes
+		}
+		if sent != recv {
+			t.Errorf("%s/f32: %d bytes sent but %d received", name, sent, recv)
+		}
+	}
+}
+
+// Migrating planes are bulk payloads too: a compressed transfer must
+// ship exactly half the bytes (plane payload lengths are even) and
+// deliver the float32 rounding of every value — not garbage, not raw
+// truncation.
+func TestWireF32MigrationHalvesBytesAndRounds(t *testing.T) {
+	e0, e1 := newReusePair()
+	w0 := benchWorker(t, e0, Options{WireF32: true})
+	w1 := benchWorker(t, e1, Options{WireF32: true})
+	for c := range w0.f {
+		for gx := w0.f[c].Start; gx < w0.f[c].End(); gx++ {
+			plane := w0.f[c].Plane(gx)
+			for i := range plane {
+				plane[i] = 1.0 + float64(c*1000000+gx*10000+i)*1e-9
+			}
+		}
+	}
+	want := make(map[int][][]float64)
+	for c := range w0.f {
+		for gx := 2; gx < 4; gx++ {
+			plane := append([]float64(nil), w0.f[c].Plane(gx)...)
+			want[gx] = append(want[gx], plane)
+		}
+	}
+
+	const count = 2
+	if err := w0.moveBoundary(1, count); err != nil {
+		t.Fatal(err)
+	}
+	if err := w1.moveBoundary(0, count); err != nil {
+		t.Fatal(err)
+	}
+	nc := len(w0.f)
+	sz := w0.f[0].PlaneSize()
+	wantBytes := int64(8 * num.PackedWords(count*nc*sz))
+	if got := w0.res.Breakdown.Bytes.Migration.SentBytes; got != wantBytes {
+		t.Errorf("compressed migration sent %d bytes, want %d (half of %d)", got, wantBytes, 8*count*nc*sz)
+	}
+	if got := w1.res.Breakdown.Bytes.Migration.RecvBytes; got != wantBytes {
+		t.Errorf("compressed migration received %d bytes, want %d", got, wantBytes)
+	}
+	for c := range w1.f {
+		for gx := 2; gx < 4; gx++ {
+			plane := w1.f[c].Plane(gx)
+			for i, v := range plane {
+				exp := float64(float32(want[gx][c][i]))
+				if math.Float64bits(v) != math.Float64bits(exp) {
+					t.Fatalf("comp %d plane %d idx %d: got %v, want float32 rounding %v of %v",
+						c, gx, i, v, exp, want[gx][c][i])
+				}
+			}
+		}
+	}
+}
+
+// Compressed runs must stay deterministic (two identical runs produce
+// byte-equal fields), agree bit-for-bit between the slim and wide halo
+// formats (both round the very same transported values, and the
+// receiver consumes the same subset), and stay within a tight relative
+// error of the uncompressed solver. Tiny all-thin slabs exercise the
+// coalesced fallback path under compression.
+func TestWireF32DeterministicAndAccurate(t *testing.T) {
+	const ny, nz, steps = 10, 6, 8
+	fields := func(nx, ranks int, opts Options) [][]float64 {
+		opts.Phases = steps
+		final, _, err := RunParallel(waveParams(nx, ny, nz), ranks, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out [][]float64
+		for _, comp := range final {
+			for x := 0; x < nx; x++ {
+				out = append(out, append([]float64(nil), comp.Plane(x)...))
+			}
+		}
+		return out
+	}
+	bitEqual := func(t *testing.T, label string, a, b [][]float64) {
+		t.Helper()
+		for p := range a {
+			for i := range a[p] {
+				if math.Float64bits(a[p][i]) != math.Float64bits(b[p][i]) {
+					t.Fatalf("%s: diverged at plane %d index %d: %v != %v", label, p, i, a[p][i], b[p][i])
+				}
+			}
+		}
+	}
+
+	slimA := fields(12, 3, Options{WireF32: true})
+	slimB := fields(12, 3, Options{WireF32: true})
+	bitEqual(t, "slim/f32 rerun", slimA, slimB)
+
+	wide := fields(12, 3, Options{WideHalo: true, WireF32: true})
+	bitEqual(t, "slim/f32 vs wide/f32", slimA, wide)
+
+	coalA := fields(12, 3, Options{Coalesce: true, WireF32: true})
+	coalB := fields(12, 3, Options{Coalesce: true, WireF32: true})
+	bitEqual(t, "coalesce/f32 rerun", coalA, coalB)
+
+	// All-thin coalesced slabs (one plane per rank) under compression.
+	thinA := fields(4, 4, Options{Coalesce: true, WireF32: true})
+	thinB := fields(4, 4, Options{Coalesce: true, WireF32: true})
+	bitEqual(t, "thin coalesce/f32 rerun", thinA, thinB)
+
+	// Accuracy against the uncompressed solver: only boundary-plane
+	// traffic is rounded, so after a short run the fields agree to a few
+	// float32 ulps of the O(1) densities.
+	ref := fields(12, 3, Options{})
+	var maxRel float64
+	for p := range ref {
+		for i := range ref[p] {
+			denom := math.Abs(ref[p][i])
+			if denom < 1e-12 {
+				continue
+			}
+			if rel := math.Abs(slimA[p][i]-ref[p][i]) / denom; rel > maxRel {
+				maxRel = rel
+			}
+		}
+	}
+	if maxRel > 1e-4 {
+		t.Errorf("f32 wire vs f64 max relative error %.3g > 1e-4", maxRel)
+	}
+	if maxRel == 0 {
+		t.Error("f32 wire produced bit-identical fields; compression apparently not applied")
+	}
+}
+
+// A reduced-precision parameter set implies wire compression without
+// setting Options.WireF32: the distributed solver computes in float64
+// but ships float32, and the counters show the packed sizes.
+func TestWireF32ImpliedByPrecision(t *testing.T) {
+	const nx, ny, nz, ranks, phases = 12, 10, 6, 3, 4
+	p := waveParams(nx, ny, nz)
+	p.Precision = lbm.F32
+	_, results, err := RunParallel(p, ranks, Options{Phases: phases})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nc, cells = 2, ny * nz
+	want := int64(ranks * phases * 2 * 8 * num.PackedWords(nc*cells*lattice.CrossQ))
+	var got int64
+	for _, r := range results {
+		got += r.Comm.Bytes.DistHalo.SentBytes
+	}
+	if got != want {
+		t.Errorf("F32 params dist-halo bytes %d, want packed %d", got, want)
+	}
+}

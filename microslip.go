@@ -39,8 +39,13 @@ type (
 	FluidParams = lbm.Params
 	// Component is one fluid of the Shan-Chen mixture.
 	Component = lbm.Component
-	// Sim is the sequential solver.
+	// Sim is the double-precision sequential solver.
 	Sim = lbm.Sim
+	// Solver is the precision-agnostic sequential solver interface;
+	// NewSolver dispatches on FluidParams.Precision (F64 or F32).
+	Solver = lbm.Solver
+	// Precision selects the solver's scalar type (F64 or F32).
+	Precision = lbm.Precision
 	// PhysicsSetup parameterizes the Figure 6/7 experiment.
 	PhysicsSetup = experiments.PhysicsSetup
 	// PhysicsResult carries the density and velocity profiles.
@@ -51,8 +56,17 @@ type (
 // microchannel setup at the given resolution.
 func WaterAirChannel(nx, ny, nz int) *FluidParams { return lbm.WaterAir(nx, ny, nz) }
 
-// NewSim creates a sequential simulation.
+// NewSim creates a double-precision sequential simulation.
 func NewSim(p *FluidParams) (*Sim, error) { return lbm.NewSim(p) }
+
+// Solver precisions.
+const (
+	F64 = lbm.F64
+	F32 = lbm.F32
+)
+
+// NewSolver creates the sequential solver matching p.Precision.
+func NewSolver(p *FluidParams) (Solver, error) { return lbm.NewSolver(p) }
 
 // DefaultPhysics returns the reduced-scale slip experiment setup.
 func DefaultPhysics() PhysicsSetup { return experiments.DefaultPhysics() }
