@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race chaos chaos-kill bench bench-json bench-smoke fuzz
+.PHONY: check build vet test race race-lbm chaos chaos-kill bench bench-json bench-paper bench-smoke fuzz
 
 # The CI gate: compile everything, vet, run the full suite, the race
 # detector in short mode (the -short guard trims the long chaos and
@@ -19,6 +19,13 @@ test:
 
 race:
 	$(GO) test -race -short ./...
+
+# Full-mode (not -short) race pass over the intra-node ownership
+# scheduler and the distributed pipeline: the band workers' boundary
+# token exchange and the halo protocols are the synchronization most
+# worth re-proving on every change.
+race-lbm:
+	$(GO) test -race -count=1 ./internal/lbm/... ./internal/parlbm/...
 
 # The full chaos suite under the race detector (several minutes): every
 # seeded fault schedule against the distributed pipeline.
@@ -42,6 +49,14 @@ bench:
 # record a perf point in history.
 bench-json:
 	$(GO) run ./cmd/lbmbench -precision f64,f32
+	$(GO) run ./cmd/lbmbench -check $$(ls -t BENCH_*.json | head -1)
+
+# The paper-size sweep behind the committed BENCH trajectory: the
+# 32x48x16 continuity grid plus 200x100x20 and 400x200x20 at workers
+# 1..8, both precisions, with the scaling-efficiency gate enforced by
+# the -check pass.
+bench-paper:
+	$(GO) run ./cmd/lbmbench -paper -precision f64,f32
 	$(GO) run ./cmd/lbmbench -check $$(ls -t BENCH_*.json | head -1)
 
 # A few-second version of the sweep for CI: ranks=2 across slim, wide,

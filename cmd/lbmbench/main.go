@@ -49,6 +49,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -62,8 +63,28 @@ import (
 // v2 adds the halo wire format, frame coalescing, and measured per-class
 // communication volumes (comm_bytes) to the distributed entries. v3
 // makes every entry carry its scalar precision ("f64"/"f32") and the
-// environment block record GOMAXPROCS next to the CPU count.
-const Schema = "microslip-bench/v3"
+// environment block record GOMAXPROCS next to the CPU count. v4 makes
+// every intra-node entry carry scaling_efficiency — MLUPS(w) divided by
+// MLUPS(1) times the usable parallelism min(w, GOMAXPROCS) — and the
+// validator gate entries on paper-size grids at 0.7.
+const Schema = "microslip-bench/v4"
+
+// paperCells is the cell count of the smaller paper-size preset grid
+// (200x100x20); the scaling-efficiency gate applies from there up,
+// where per-band work dwarfs the boundary synchronization and
+// sub-linear scaling means a real scheduler regression rather than a
+// small-grid redundancy tax.
+const paperCells = 200 * 100 * 20
+
+// minScalingEfficiency is the validator gate: intra-node entries on
+// grids of at least paperCells must keep MLUPS(w) at or above 0.7 of
+// the ideal min(w, GOMAXPROCS) speedup over the same sweep's w=1
+// baseline. Normalizing by GOMAXPROCS rather than raw w keeps the gate
+// meaningful on cgroup-limited CI boxes: requesting more workers than
+// the box can schedule must cost nothing (the scheduler's chunk floor
+// and CPU cap guarantee it), while on real multi-core hardware the
+// gate enforces near-linear intra-node scaling.
+const minScalingEfficiency = 0.7
 
 // TagJSON is one message class's wire traffic, summed over all ranks.
 type TagJSON struct {
@@ -109,6 +130,9 @@ type Entry struct {
 	AllocsPerStep float64   `json:"allocs_per_step"`
 	BytesPerStep  float64   `json:"bytes_per_step"`
 	CommBytes     *CommJSON `json:"comm_bytes,omitempty"` // distributed only
+	// ScalingEff is MLUPS / (MLUPS of the same sweep's workers=1 twin
+	// times min(workers, GOMAXPROCS)); intra-node entries only.
+	ScalingEff float64 `json:"scaling_efficiency,omitempty"`
 }
 
 // Report is the emitted JSON document.
@@ -144,6 +168,7 @@ func main() {
 		memprof   = flag.String("memprofile", "", "write a heap profile after the sweep to FILE")
 		out       = flag.String("out", "", "output file (default BENCH_<date>.json)")
 		quick     = flag.Bool("quick", false, "tiny sweep for CI smoke runs")
+		paper     = flag.Bool("paper", false, "paper-size preset: 32x48x16 + 200x100x20 + 400x200x20 grids, worker sweep to 8")
 		check     = flag.String("check", "", "validate the schema of an existing report and exit")
 	)
 	flag.Parse()
@@ -170,6 +195,18 @@ func main() {
 			*precision = "f64,f32"
 		}
 	}
+	if *paper {
+		// The paper-size preset: the historical trajectory grid plus
+		// the two production resolutions from the source paper, with
+		// the worker sweep the scaling gate needs. Step counts scale
+		// down with cell count (see stepsFor) so the big grids stay
+		// minutes, not hours; distributed entries keep to the small
+		// grid, where the rank sweep remains the trajectory's
+		// comparable point.
+		*grids = "32x48x16,200x100x20,400x200x20"
+		*workers = "1,2,4,8"
+		*halo, *coalesce, *overlap = "slim", "off", "off"
+	}
 	gridList, err := parseGrids(*grids)
 	if err != nil {
 		log.Fatal(err)
@@ -178,6 +215,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("-workers: %v", err)
 	}
+	// The scaling-efficiency field needs every intra entry's workers=1
+	// twin measured first, so the sweep always starts at 1 and runs in
+	// ascending order.
+	workerList = normalizeWorkers(workerList)
 	rankList, err := parseInts(*ranks)
 	if err != nil {
 		log.Fatalf("-ranks: %v", err)
@@ -225,16 +266,29 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	for _, g := range gridList {
+		gSteps, gWarmup := *steps, *warmup
+		if *paper {
+			gSteps, gWarmup = stepsFor(g, *steps), stepsFor(g, *warmup)
+		}
 		for _, prec := range precisions {
 			for _, f := range fusedModes {
+				base := 0.0 // MLUPS of this (grid, prec, fused) at workers=1
 				for _, w := range workerList {
-					e, err := benchIntra(g, w, f, prec, *steps, *warmup)
+					e, err := benchIntra(g, w, f, prec, gSteps, gWarmup)
 					if err != nil {
 						log.Fatal(err)
 					}
+					if w == 1 {
+						base = e.MLUPS
+					}
+					e.ScalingEff = scalingEfficiency(e.MLUPS, base, w, rep.GOMAXPROCS)
 					rep.Entries = append(rep.Entries, e)
 					fmt.Println(row(e))
 				}
+			}
+			if *paper && cellsOf(g) >= paperCells {
+				log.Printf("paper preset: skipping distributed sweep on %dx%dx%d (intra-focused at paper size)", g[0], g[1], g[2])
+				continue
 			}
 			for _, r := range rankList {
 				for _, ov := range overlapModes {
@@ -246,7 +300,7 @@ func main() {
 							if cz && ov {
 								continue // the coalesced phase has its own schedule; overlap is ignored
 							}
-							e, err := benchRanks(g, r, ov, wide, cz, prec, *steps)
+							e, err := benchRanks(g, r, ov, wide, cz, prec, gSteps)
 							if err != nil {
 								log.Fatal(err)
 							}
@@ -372,6 +426,55 @@ func benchRanks(g [3]int, ranks int, overlap, wide, coalesce bool, prec lbm.Prec
 	return e, nil
 }
 
+// normalizeWorkers sorts the worker sweep ascending, dedupes it, and
+// guarantees the workers=1 baseline every scaling_efficiency value is
+// computed against.
+func normalizeWorkers(ws []int) []int {
+	seen := map[int]bool{1: true}
+	out := []int{1}
+	for _, w := range ws {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// cellsOf returns the lattice cell count of a grid.
+func cellsOf(g [3]int) int { return g[0] * g[1] * g[2] }
+
+// stepsFor scales a step budget set at the 32x48x16 trajectory grid
+// down with cell count, floor 12, so the paper-size sweeps cost
+// seconds per configuration instead of minutes while small grids keep
+// their full averaging window.
+func stepsFor(g [3]int, base int) int {
+	const baseCells = 32 * 48 * 16
+	n := base * baseCells / cellsOf(g)
+	if n > base {
+		n = base
+	}
+	if n < 12 {
+		n = 12
+	}
+	return n
+}
+
+// scalingEfficiency is MLUPS(w) over the ideal speedup from the w=1
+// baseline, with the ideal capped at the schedulable parallelism
+// min(w, GOMAXPROCS).
+func scalingEfficiency(mlups, base float64, workers, gomaxprocs int) float64 {
+	ideal := workers
+	if gomaxprocs < ideal {
+		ideal = gomaxprocs
+	}
+	if ideal < 1 || base <= 0 {
+		return 0
+	}
+	return mlups / (base * float64(ideal))
+}
+
 func fill(e *Entry, el time.Duration, steps int, m0, m1 *runtime.MemStats) {
 	cells := float64(e.Grid[0]) * float64(e.Grid[1]) * float64(e.Grid[2])
 	e.NsPerStep = float64(el.Nanoseconds()) / float64(steps)
@@ -385,6 +488,9 @@ func row(e Entry) string {
 		e.Name, e.NsPerStep, e.MLUPS, e.AllocsPerStep)
 	if e.CommBytes != nil {
 		s += fmt.Sprintf(" %10.0f halo B/phase", e.CommBytes.HaloBytesPerPhase)
+	}
+	if e.Workers >= 1 {
+		s += fmt.Sprintf(" %5.2f eff", e.ScalingEff)
 	}
 	return s
 }
@@ -421,6 +527,17 @@ func validate(path string) error {
 	// by the name minus its precision suffix, for the f32-vs-f64
 	// compression cross-check below.
 	haloSent := map[string]map[string]int64{}
+	// workers=1 MLUPS per intra configuration, for recomputing and
+	// gating scaling_efficiency. Key: grid/fused/precision.
+	intraBase := map[string]float64{}
+	intraKey := func(e Entry) string {
+		return fmt.Sprintf("%dx%dx%d/fused=%v/prec=%s", e.Grid[0], e.Grid[1], e.Grid[2], e.Fused, e.Precision)
+	}
+	for _, e := range rep.Entries {
+		if e.Workers == 1 {
+			intraBase[intraKey(e)] = e.MLUPS
+		}
+	}
 	for i, e := range rep.Entries {
 		if e.Name == "" {
 			return fmt.Errorf("entry %d: empty name", i)
@@ -445,6 +562,9 @@ func validate(path string) error {
 			return fmt.Errorf("entry %q: negative allocation counts", e.Name)
 		}
 		if e.Ranks >= 1 {
+			if e.ScalingEff != 0 {
+				return fmt.Errorf("entry %q: distributed entry carries scaling_efficiency", e.Name)
+			}
 			if e.Halo != "slim" && e.Halo != "wide" {
 				return fmt.Errorf("entry %q: halo %q, want slim or wide", e.Name, e.Halo)
 			}
@@ -474,6 +594,28 @@ func validate(path string) error {
 		} else {
 			if e.Halo != "" || e.Coalesce || e.CommBytes != nil {
 				return fmt.Errorf("entry %q: intra-node entry carries distributed fields", e.Name)
+			}
+			// Every intra entry must carry its scaling efficiency, it
+			// must agree with the sweep's own workers=1 baseline, and
+			// on paper-size grids multi-worker configurations must
+			// clear the 0.7 gate: MLUPS(w) >= 0.7 * min(w, GOMAXPROCS)
+			// * MLUPS(1). Sub-gate entries are the regression this
+			// validator exists to catch — a scheduler whose extra
+			// workers don't multiply.
+			if e.ScalingEff <= 0 {
+				return fmt.Errorf("entry %q: missing scaling_efficiency", e.Name)
+			}
+			base, ok := intraBase[intraKey(e)]
+			if !ok {
+				return fmt.Errorf("entry %q: no workers=1 baseline in report", e.Name)
+			}
+			want := scalingEfficiency(e.MLUPS, base, e.Workers, rep.GOMAXPROCS)
+			if diff := e.ScalingEff - want; diff < -1e-6*want || diff > 1e-6*want {
+				return fmt.Errorf("entry %q: scaling_efficiency %v, recomputed %v", e.Name, e.ScalingEff, want)
+			}
+			if e.Workers > 1 && cellsOf(e.Grid) >= paperCells && e.ScalingEff < minScalingEfficiency {
+				return fmt.Errorf("entry %q: scaling_efficiency %.3f below the %.1f gate on a paper-size grid (workers=%d, gomaxprocs=%d)",
+					e.Name, e.ScalingEff, minScalingEfficiency, e.Workers, rep.GOMAXPROCS)
 			}
 		}
 	}

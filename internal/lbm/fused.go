@@ -14,19 +14,24 @@ import (
 // one plane, it computes that plane's densities, collides the plane
 // behind the front, and streams the plane behind that — the three
 // kernels consume each plane while it is still cache-hot. Densities
-// and post-collision values live in per-worker rings of three plane
+// and post-collision values live in per-band rings of three plane
 // sets (the dependency depth of the D3Q19 stencil along x), so the
 // full-size fPost array is only touched once, as the stream
 // destination, and the step allocates nothing in the steady state.
 //
-// With multiple workers each worker sweeps a contiguous chunk of
-// planes and recomputes the densities and post-collision values of the
-// chunk-boundary planes redundantly into its private rings (identical
-// arithmetic on read-only inputs, hence identical bits), so chunks
-// never share written state and the result is bit-equal to Step for
-// any worker count.
+// With multiple workers each worker persistently owns a contiguous
+// band of planes and recomputes the densities and post-collision
+// values of the band-boundary planes redundantly into its private
+// rings (identical arithmetic on read-only inputs, hence identical
+// bits — the same redundant ghost collision the coalesced halo
+// protocol uses across ranks), so bands never share written state and
+// the result is bit-equal to Step for any band count. Steps
+// synchronize through the boundary token mesh only: a band starts its
+// next sweep as soon as the owners of the planes within its stencil
+// reach (two on each side) have finished the previous one.
 
-// fusedScratch is one worker's rolling rings plus collision scratch.
+// fusedScratch is one band's rolling rings plus collision scratch; it
+// lives with the band for the lifetime of the plan.
 type fusedScratch[T num.Float] struct {
 	sc   *ScratchOf[T]
 	n    [3][][]T // n[slot][c]: density plane ring
@@ -61,37 +66,37 @@ func wrapX(x, nx int) int {
 	return x
 }
 
-// stepFusedChunk runs the fused sweep for the plane chunk [lo, hi). It
-// reads s.f (read-only during the step) and writes streamed
-// populations into s.fPost planes lo..hi-1 only; the caller swaps f
-// and fPost once every chunk has finished.
-func (s *SimOf[T]) stepFusedChunk(lo, hi int, fs *fusedScratch[T]) {
+// stepFusedChunk runs the fused sweep for the plane band [lo, hi). It
+// reads the src views (read-only during the step) and writes streamed
+// populations into dst planes lo..hi-1 only; the caller (or the band
+// worker) swaps the f/fPost roles once the sweep has finished.
+func (s *SimOf[T]) stepFusedChunk(lo, hi int, fs *fusedScratch[T], src, dst [][][]T) {
 	nx := s.P.NX
 	// Prime the density ring behind the sweep front.
-	s.K.Densities(s.fView[wrapX(lo-2, nx)], fs.n[slot3(lo-2)])
-	s.K.Densities(s.fView[wrapX(lo-1, nx)], fs.n[slot3(lo-1)])
+	s.K.Densities(src[wrapX(lo-2, nx)], fs.n[slot3(lo-2)])
+	s.K.Densities(src[wrapX(lo-1, nx)], fs.n[slot3(lo-1)])
 	for x := lo - 1; x <= hi; x++ {
 		// Advance the front: densities one plane ahead, so the stencil
 		// window n(x-1), n(x), n(x+1) is complete for the collision.
-		s.K.Densities(s.fView[wrapX(x+1, nx)], fs.n[slot3(x+1)])
+		s.K.Densities(src[wrapX(x+1, nx)], fs.n[slot3(x+1)])
 		s.K.CollideScratch(fs.sc, fs.n[slot3(x-1)], fs.n[slot3(x)], fs.n[slot3(x+1)],
-			s.fView[wrapX(x, nx)], fs.post[slot3(x)])
+			src[wrapX(x, nx)], fs.post[slot3(x)])
 		// Stream two planes behind the front, where post(x-2), post(x-1)
 		// and post(x) are all available. x-1 stays inside [lo, hi):
 		// the boundary collisions at lo-1 and hi are the redundant ones.
 		if x >= lo+1 {
 			s.K.Stream(fs.post[slot3(x-2)], fs.post[slot3(x-1)], fs.post[slot3(x)],
-				s.postView[wrapX(x-1, nx)])
+				dst[wrapX(x-1, nx)])
 		}
 	}
 }
 
-// stepPool is the persistent goroutine pool of the fused path:
-// spawning goroutines every step would allocate, parked workers woken
-// over channels do not. Workers reference only their channels — never
-// the Sim or the pool — so when the owning Sim becomes unreachable the
-// pool's finalizer closes quit and the workers exit instead of
-// leaking.
+// stepPool is the persistent goroutine pool of the ownership
+// schedulers: spawning goroutines every run would allocate, parked
+// workers woken over channels do not. Workers reference only their
+// channels — never the Sim or the pool — so when the owning Sim
+// becomes unreachable the pool's finalizer closes quit and the workers
+// exit instead of leaking.
 type stepPool struct {
 	start []chan func(int)
 	done  chan struct{}
@@ -139,28 +144,32 @@ func (p *stepPool) run(fn func(int)) {
 // stop terminates the pool workers; safe to call more than once.
 func (p *stepPool) stop() { p.once.Do(func() { close(p.quit) }) }
 
-// fusedState is the lazily built per-Sim state of the fused path.
+// fusedState is the lazily built per-Sim state of the fused path: the
+// band scheduler plus the band-owned rings and the two view sets the
+// workers alternate between. va/vb are the f-side and post-side plane
+// views at build time; flip records that the current distributions
+// live in vb (the sim-level views are swapped after every odd-length
+// run so s.fView always names the current state for readers).
 type fusedState[T num.Float] struct {
-	chunks  [][2]int
+	bandRun
 	scratch []*fusedScratch[T]
-	pool    *stepPool // nil when a single chunk runs inline
-	work    func(int) // cached chunk closure handed to the pool
+	va, vb  [][][]T
+	flip    bool
 }
 
-// minFusedChunkPlanes is the smallest chunk worth a dedicated fused
-// worker. Every chunk pays a fixed redundancy tax — two boundary
-// collisions plus two boundary density passes recomputed into private
-// rings — so below ~16 planes the tax exceeds the parallel gain and
-// over-sharded small grids run *slower* than a single sweep (the
-// intra/32x48x16 fused workers=4 regression in BENCH_2026-08-06.json:
-// 8-plane chunks, ~25% redundant collide work, one physical CPU).
-const minFusedChunkPlanes = 16
+// views returns the (src, dst) view pair for the next step.
+func (fs *fusedState[T]) views() (src, dst [][][]T) {
+	if fs.flip {
+		return fs.vb, fs.va
+	}
+	return fs.va, fs.vb
+}
 
-// fusedChunkCount returns the number of chunks the fused sweep should
+// fusedChunkCount returns the number of bands the fused sweep should
 // use for w requested workers: capped by the scheduler's usable CPUs
-// (extra chunks cannot run anywhere and only add redundant boundary
-// work) and by NX/minFusedChunkPlanes so every chunk amortizes its
-// redundancy tax, floor 1. SetFusedChunks overrides the heuristic.
+// (extra bands cannot run anywhere and only add redundant boundary
+// work) and by NX/minBandPlanes so every band amortizes its redundancy
+// tax, floor 1. SetFusedChunks overrides the heuristic.
 func (s *SimOf[T]) fusedChunkCount() int {
 	if s.fusedChunks > 0 {
 		n := s.fusedChunks
@@ -169,22 +178,12 @@ func (s *SimOf[T]) fusedChunkCount() int {
 		}
 		return n
 	}
-	w := s.Workers()
-	if procs := runtime.GOMAXPROCS(0); w > procs {
-		w = procs
-	}
-	if byPlanes := s.P.NX / minFusedChunkPlanes; w > byPlanes {
-		w = byPlanes
-	}
-	if w < 1 {
-		w = 1
-	}
-	return w
+	return usableBands(s.Workers(), s.P.NX, runtime.GOMAXPROCS(0))
 }
 
-// SetFusedChunks pins the fused path to exactly n chunks (capped at
+// SetFusedChunks pins the fused path to exactly n bands (capped at
 // NX), bypassing the minimum-planes heuristic; n <= 0 restores the
-// heuristic. Correctness tests use it to force multi-chunk sweeps that
+// heuristic. Correctness tests use it to force multi-band sweeps that
 // the heuristic would (rightly) refuse on small grids or few CPUs.
 func (s *SimOf[T]) SetFusedChunks(n int) {
 	if n < 0 {
@@ -193,49 +192,76 @@ func (s *SimOf[T]) SetFusedChunks(n int) {
 	s.fusedChunks = n
 }
 
-// ensureFused (re)builds the fused chunks, scratches, and pool for the
-// current chunk count; it is a no-op once built until SetWorkers or
-// SetFusedChunks changes the chunking.
+// ensureFused (re)builds the fused bands, rings, token mesh, and pool
+// for the current band count; it is a no-op once built until
+// SetWorkers or SetFusedChunks changes the banding.
 func (s *SimOf[T]) ensureFused(w int) {
-	chunk := (s.P.NX + w - 1) / w
-	n := (s.P.NX + chunk - 1) / chunk
-	if s.fused != nil && len(s.fused.chunks) == n {
+	if s.fused != nil && len(s.fused.plan.bands) == bandCountFor(s.P.NX, w) {
 		return
 	}
-	if s.fused != nil && s.fused.pool != nil {
-		s.fused.pool.stop()
+	if s.fused != nil {
+		s.fused.stop()
 	}
-	fs := &fusedState[T]{}
-	for lo := 0; lo < s.P.NX; lo += chunk {
-		hi := lo + chunk
-		if hi > s.P.NX {
-			hi = s.P.NX
-		}
-		fs.chunks = append(fs.chunks, [2]int{lo, hi})
+	plan := planBands(s.P.NX, w, 2)
+	fs := &fusedState[T]{va: s.fView, vb: s.postView}
+	fs.plan = plan
+	for range plan.bands {
 		fs.scratch = append(fs.scratch, newFusedScratch(s.K))
 	}
-	if len(fs.chunks) > 1 {
-		fs.pool = newStepPool(len(fs.chunks))
+	if len(plan.bands) > 1 {
+		fs.mesh = newTokenMesh(plan)
+		fs.pool = newStepPool(len(plan.bands))
+		// One band's whole run: sweep, signal the boundary owners, and
+		// wait for theirs before the next sweep. The wait covers both
+		// hazard directions at once — the planes this band reads two
+		// deep into its neighbors were written, and the planes it is
+		// about to overwrite are no longer being read — because a
+		// neighbor's token means its previous sweep finished entirely.
 		fs.work = func(i int) {
-			c := fs.chunks[i]
-			s.stepFusedChunk(c[0], c[1], fs.scratch[i])
+			lo, hi := fs.plan.bands[i][0], fs.plan.bands[i][1]
+			src, dst := fs.views()
+			for t := 0; t < fs.steps; t++ {
+				fs.mesh.wait(i)
+				s.stepFusedChunk(lo, hi, fs.scratch[i], src, dst)
+				fs.mesh.signal(i)
+				src, dst = dst, src
+			}
 		}
 	}
 	s.fused = fs
 }
 
-// stepFused advances one step on the fused path and swaps the f/fPost
-// roles (a pointer swap, not a copy), leaving the new state in s.f
-// exactly like the reference step.
-func (s *SimOf[T]) stepFused() {
+// runFused advances n steps on the fused path. A single band sweeps
+// inline, swapping the f/fPost roles per step (a pointer swap, not a
+// copy) exactly like the reference step; a multi-band plan wakes the
+// persistent workers once for the whole run, each worker alternating
+// the view roles privately, and the coordinator reconciles the
+// sim-level views once at the end.
+func (s *SimOf[T]) runFused(n int) {
 	s.ensureFused(s.fusedChunkCount())
-	if s.fused.pool == nil {
-		c := s.fused.chunks[0]
-		s.stepFusedChunk(c[0], c[1], s.fused.scratch[0])
-	} else {
-		s.fused.pool.run(s.fused.work)
+	fs := s.fused
+	if fs.pool == nil {
+		c := fs.plan.bands[0]
+		for i := 0; i < n; i++ {
+			src, dst := fs.views()
+			s.stepFusedChunk(c[0], c[1], fs.scratch[0], src, dst)
+			s.swapFused()
+			s.step++
+		}
+		return
 	}
+	fs.steps = n
+	fs.pool.run(fs.work)
+	if n%2 == 1 {
+		s.swapFused()
+	}
+	s.step += n
+}
+
+// swapFused exchanges the f/fPost roles after an odd number of fused
+// sweeps, keeping s.f and s.fView naming the current state.
+func (s *SimOf[T]) swapFused() {
 	s.f, s.fPost = s.fPost, s.f
 	s.fView, s.postView = s.postView, s.fView
-	s.step++
+	s.fused.flip = !s.fused.flip
 }

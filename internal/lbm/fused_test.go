@@ -76,10 +76,13 @@ func TestFusedWorkerResize(t *testing.T) {
 }
 
 // The steady-state step must not allocate: the per-plane component
-// views, phase closures, and collision scratches are all built at
-// NewSim (or on the first step), never per step. Pinned for both the
-// reference parallel path (serial worker) and the fused path with a
-// multi-worker pool.
+// views, phase closures, collision scratches, band plans, and the
+// boundary token mesh are all built at NewSim (or on the first step
+// after a banding change), never per step. Pinned for the serial
+// path, for the plane-ownership scheduler at workers=8 on both
+// stepping paths (degenerate one-plane bands, the densest token
+// traffic), and for multi-step runs, whose boundary-plane exchange
+// must reuse the prefilled token channels rather than grow buffers.
 func TestStepParallelZeroAllocs(t *testing.T) {
 	p := WaterAir(8, 10, 6)
 	s, err := NewSim(p)
@@ -90,6 +93,15 @@ func TestStepParallelZeroAllocs(t *testing.T) {
 	if allocs := testing.AllocsPerRun(5, s.StepParallel); allocs != 0 {
 		t.Errorf("StepParallel(workers=1): %v allocs/op, want 0", allocs)
 	}
+	s.SetWorkers(8)
+	s.SetBands(8)
+	s.StepParallel() // build bands, mesh, pool
+	if allocs := testing.AllocsPerRun(5, s.StepParallel); allocs != 0 {
+		t.Errorf("StepParallel(bands=8): %v allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(5, func() { s.RunParallelSteps(3) }); allocs != 0 {
+		t.Errorf("RunParallelSteps(3, bands=8): %v allocs/op, want 0 (boundary exchange grew)", allocs)
+	}
 
 	fp := WaterAir(8, 10, 6)
 	fp.Fused = true
@@ -97,7 +109,7 @@ func TestStepParallelZeroAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f.StepParallel() // single-chunk fused
+	f.StepParallel() // single-band fused
 	if allocs := testing.AllocsPerRun(5, f.StepParallel); allocs != 0 {
 		t.Errorf("fused StepParallel(workers=1): %v allocs/op, want 0", allocs)
 	}
@@ -105,6 +117,14 @@ func TestStepParallelZeroAllocs(t *testing.T) {
 	f.StepParallel() // build pool + scratches
 	if allocs := testing.AllocsPerRun(5, f.StepParallel); allocs != 0 {
 		t.Errorf("fused StepParallel(chunks=4): %v allocs/op, want 0", allocs)
+	}
+	f.SetFusedChunks(8)
+	f.StepParallel() // rebuild at one-plane bands
+	if allocs := testing.AllocsPerRun(5, f.StepParallel); allocs != 0 {
+		t.Errorf("fused StepParallel(chunks=8): %v allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(5, func() { f.RunParallelSteps(3) }); allocs != 0 {
+		t.Errorf("fused RunParallelSteps(3, chunks=8): %v allocs/op, want 0 (boundary exchange grew)", allocs)
 	}
 }
 

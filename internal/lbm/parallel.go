@@ -2,14 +2,15 @@ package lbm
 
 import (
 	"runtime"
-	"sync"
 )
 
 // SetWorkers sets the number of goroutines used to update planes within
 // a step; n <= 1 means serial. Plane updates are independent given the
 // previous phase's data, so parallel and serial stepping produce
 // identical results bit for bit. This is intra-node parallelism, the
-// complement of the inter-node decomposition in package parlbm.
+// complement of the inter-node decomposition in package parlbm. The
+// effective band count is capped by usable CPUs and the minBandPlanes
+// floor (see usableBands); SetBands pins it exactly for tests.
 func (s *SimOf[T]) SetWorkers(n int) {
 	if n < 1 {
 		n = 1
@@ -35,44 +36,115 @@ func (s *SimOf[T]) Workers() int {
 	return s.workers
 }
 
-// ensureScratch grows the per-worker collision scratch pool to at least
-// n entries; steady-state steps then never allocate.
+// SetBands pins the three-phase ownership scheduler to exactly n bands
+// (capped at NX), bypassing the usable-CPU cap and the minimum-planes
+// floor; n <= 0 restores the heuristic. Correctness tests use it to
+// force degenerate one- and two-plane bands that the heuristic would
+// (rightly) refuse on small grids or few CPUs. The fused path has its
+// own override, SetFusedChunks.
+func (s *SimOf[T]) SetBands(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.bandsOverride = n
+}
+
+// bandCount returns the number of bands the three-phase path should
+// use for the configured worker count.
+func (s *SimOf[T]) bandCount() int {
+	if s.bandsOverride > 0 {
+		n := s.bandsOverride
+		if n > s.P.NX {
+			n = s.P.NX
+		}
+		return n
+	}
+	return usableBands(s.Workers(), s.P.NX, runtime.GOMAXPROCS(0))
+}
+
+// ensureScratch grows the per-band collision scratch pool to at least
+// n entries; steady-state steps then never allocate. Scratch index w
+// belongs to band w for the lifetime of the plan, so its cache lines
+// stay with the band's planes.
 func (s *SimOf[T]) ensureScratch(n int) {
 	for len(s.parScratch) < n {
 		s.parScratch = append(s.parScratch, s.K.NewScratch())
 	}
 }
 
-// forEachPlane runs fn(x, wkr) for every plane, in parallel when
-// workers > 1; wkr identifies the calling worker so fn can use
-// per-worker scratch. fn must only write to plane x of its output
-// fields.
-func (s *SimOf[T]) forEachPlane(fn func(x, wkr int)) {
-	w := s.Workers()
-	if w <= 1 {
-		for x := 0; x < s.P.NX; x++ {
-			fn(x, 0)
+// ensurePhaseBands (re)builds the three-phase ownership scheduler for
+// the requested band count; a no-op once built until SetWorkers or
+// SetBands changes the effective count.
+func (s *SimOf[T]) ensurePhaseBands(n int) {
+	if s.phaseBands != nil && len(s.phaseBands.plan.bands) == bandCountFor(s.P.NX, n) {
+		return
+	}
+	s.phaseBands.stop()
+	plan := planBands(s.P.NX, n, 1)
+	if len(plan.bands) == 1 {
+		s.phaseBands = &bandRun{plan: plan}
+		return
+	}
+	s.ensureScratch(len(plan.bands))
+	br := &bandRun{plan: plan, mesh: newTokenMesh(plan), pool: newStepPool(len(plan.bands))}
+	// One worker's whole run: for each step, three waves over the owned
+	// band — densities, collide, stream — each preceded by a wait for
+	// the boundary neighbors' previous wave and followed by a ready
+	// signal. The FIFO alignment of the mesh makes wave k's wait land
+	// exactly on the neighbors' wave k-1 tokens: collide reads the
+	// neighbor boundary densities only after the neighbor computed
+	// them, stream reads the neighbor boundary post-collision planes
+	// only after the neighbor collided, and the next step's densities
+	// overwrite nothing a neighbor still needs, because its stream
+	// (which consumed this band's collide token) has already finished.
+	br.work = func(w int) {
+		lo, hi := br.plan.bands[w][0], br.plan.bands[w][1]
+		for t := 0; t < br.steps; t++ {
+			br.mesh.wait(w) // neighbors streamed step t-1
+			for x := lo; x < hi; x++ {
+				s.densPhase(x, w)
+			}
+			br.mesh.signal(w)
+			br.mesh.wait(w) // neighbors' densities of step t are ready
+			for x := lo; x < hi; x++ {
+				s.collidePhase(x, w)
+			}
+			br.mesh.signal(w)
+			br.mesh.wait(w) // neighbors' post-collision planes are ready
+			for x := lo; x < hi; x++ {
+				s.streamPhase(x, w)
+			}
+			br.mesh.signal(w)
+		}
+	}
+	s.phaseBands = br
+}
+
+// runPhases advances n steps on the three-phase path. A single band
+// runs the phases inline; a multi-band plan wakes the persistent
+// workers once for the whole run.
+func (s *SimOf[T]) runPhases(n int) {
+	s.ensurePhaseBands(s.bandCount())
+	br := s.phaseBands
+	if br.pool == nil {
+		s.ensureScratch(1)
+		for i := 0; i < n; i++ {
+			for x := 0; x < s.P.NX; x++ {
+				s.densPhase(x, 0)
+			}
+			for x := 0; x < s.P.NX; x++ {
+				s.collidePhase(x, 0)
+			}
+			for x := 0; x < s.P.NX; x++ {
+				s.streamPhase(x, 0)
+			}
+			s.step++
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	chunk := (s.P.NX + w - 1) / w
-	wkr := 0
-	for lo := 0; lo < s.P.NX; lo += chunk {
-		hi := lo + chunk
-		if hi > s.P.NX {
-			hi = s.P.NX
-		}
-		wg.Add(1)
-		go func(lo, hi, wkr int) {
-			defer wg.Done()
-			for x := lo; x < hi; x++ {
-				fn(x, wkr)
-			}
-		}(lo, hi, wkr)
-		wkr++
-	}
-	wg.Wait()
+	br.steps = n
+	br.pool.run(br.work)
+	s.step += n
 }
 
 // StepParallel is Step with the configured intra-node parallelism. Sim
@@ -83,20 +155,21 @@ func (s *SimOf[T]) forEachPlane(fn func(x, wkr int)) {
 // and allocates nothing in the steady state; both paths are bit-equal
 // to Step.
 func (s *SimOf[T]) StepParallel() {
-	if s.P.Fused {
-		s.stepFused()
-		return
-	}
-	s.ensureScratch(s.Workers())
-	s.forEachPlane(s.densPhase)
-	s.forEachPlane(s.collidePhase)
-	s.forEachPlane(s.streamPhase)
-	s.step++
+	s.RunParallelSteps(1)
 }
 
-// RunParallelSteps advances n steps with StepParallel.
+// RunParallelSteps advances n steps with the configured intra-node
+// parallelism. Multi-step runs hand the whole loop to the persistent
+// band workers: the caller rendezvouses with the pool once per run
+// instead of once per step, and between steps the workers synchronize
+// only with their boundary neighbors through the token mesh.
 func (s *SimOf[T]) RunParallelSteps(n int) {
-	for i := 0; i < n; i++ {
-		s.StepParallel()
+	if n < 1 {
+		return
 	}
+	if s.P.Fused {
+		s.runFused(n)
+		return
+	}
+	s.runPhases(n)
 }

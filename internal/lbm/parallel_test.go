@@ -6,8 +6,12 @@ import (
 )
 
 // Intra-node parallel stepping must match serial stepping bit for bit.
+// The band count is pinned so the ownership scheduler actually shards
+// a 12-plane grid (the heuristic would rightly refuse on small grids
+// or few CPUs); bands=8 ceils down to 6 two-plane bands and bands=12
+// is the fully degenerate one-plane-per-band case.
 func TestStepParallelMatchesStep(t *testing.T) {
-	for _, workers := range []int{1, 2, 3, 8} {
+	for _, bands := range []int{1, 2, 3, 8, 12} {
 		p := WaterAir(12, 10, 6)
 		serial, err := NewSim(p)
 		if err != nil {
@@ -17,7 +21,8 @@ func TestStepParallelMatchesStep(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		par.SetWorkers(workers)
+		par.SetWorkers(bands)
+		par.SetBands(bands)
 		for step := 0; step < 6; step++ {
 			serial.Step()
 			par.StepParallel()
@@ -27,8 +32,57 @@ func TestStepParallelMatchesStep(t *testing.T) {
 				a, b := serial.Plane(c, x), par.Plane(c, x)
 				for i := range a {
 					if a[i] != b[i] {
-						t.Fatalf("workers=%d: diverged at comp %d plane %d index %d: %v != %v",
-							workers, c, x, i, a[i], b[i])
+						t.Fatalf("bands=%d: diverged at comp %d plane %d index %d: %v != %v",
+							bands, c, x, i, a[i], b[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// A multi-step run (the one-rendezvous path where workers pace each
+// other through boundary tokens alone) must be bit-identical to the
+// same number of single steps, for odd and even lengths and across a
+// mid-run band-count change.
+func TestRunParallelStepsMatchesStepwise(t *testing.T) {
+	for _, fused := range []bool{false, true} {
+		p := WaterAir(12, 10, 6)
+		p.Fused = fused
+		serial, err := NewSim(WaterAir(12, 10, 6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := NewSim(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fused {
+			batch.SetFusedChunks(4)
+		} else {
+			batch.SetBands(4)
+		}
+		// 3 (odd) + 4 (even) steps batched, then a resharding to
+		// degenerate one-plane bands, then 5 more.
+		batch.RunParallelSteps(3)
+		batch.RunParallelSteps(4)
+		if fused {
+			batch.SetFusedChunks(12)
+		} else {
+			batch.SetBands(12)
+		}
+		batch.RunParallelSteps(5)
+		serial.Run(12)
+		if batch.StepCount() != 12 {
+			t.Fatalf("fused=%v: step count %d, want 12", fused, batch.StepCount())
+		}
+		for c := 0; c < 2; c++ {
+			for x := 0; x < p.NX; x++ {
+				a, b := serial.Plane(c, x), batch.Plane(c, x)
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("fused=%v: diverged at comp %d plane %d index %d: %v != %v",
+							fused, c, x, i, a[i], b[i])
 					}
 				}
 			}

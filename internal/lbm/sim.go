@@ -34,13 +34,23 @@ type SimOf[T num.Float] struct {
 	// closures of StepParallel; allocating them per step would defeat
 	// the zero-alloc hot path.
 	densPhase, collidePhase, streamPhase func(x, wkr int)
-	// parScratch[wkr] is the collision scratch of intra-node worker wkr.
+	// parScratch[w] is the collision scratch owned by band w of the
+	// three-phase ownership scheduler (index 0 doubles as the serial
+	// path's scratch).
 	parScratch []*ScratchOf[T]
+	// phaseBands is the lazily built plane-ownership scheduler of the
+	// three-phase path.
+	phaseBands *bandRun
+	// bandsOverride, when positive, pins the three-phase path to
+	// exactly that many bands, bypassing the usable-CPU cap and the
+	// minimum-planes floor; tests use it to exercise degenerate bands
+	// on any machine.
+	bandsOverride int
 	// fused is the lazily built state of the fused collide+stream path.
 	fused *fusedState[T]
 	// fusedChunks, when positive, pins the fused path to exactly that
-	// many chunks, bypassing the minimum-planes-per-chunk heuristic;
-	// tests use it to exercise multi-chunk sweeps on any machine.
+	// many bands, bypassing the minimum-planes-per-band heuristic;
+	// tests use it to exercise multi-band sweeps on any machine.
 	fusedChunks int
 }
 

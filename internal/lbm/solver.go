@@ -26,7 +26,9 @@ type Solver interface {
 	AutoWorkers()
 	// Workers returns the configured worker count.
 	Workers() int
-	// SetFusedChunks pins the fused path's chunk count (tests only).
+	// SetBands pins the three-phase path's band count (tests only).
+	SetBands(n int)
+	// SetFusedChunks pins the fused path's band count (tests only).
 	SetFusedChunks(n int)
 	// RunToSteady advances until the velocity field stops changing.
 	RunToSteady(maxSteps, checkEvery int, tol float64) SteadyResult

@@ -19,6 +19,13 @@ func waveParams(nx, ny, nz int) *lbm.Params {
 	return p
 }
 
+// wave32Params is waveParams at single precision.
+func wave32Params(nx, ny, nz int) *lbm.Params {
+	p := waveParams(nx, ny, nz)
+	p.Precision = lbm.F32
+	return p
+}
+
 // haloModes enumerates the halo-exchange wire configurations of the
 // distributed solver.
 var haloModes = []struct {
@@ -65,26 +72,57 @@ func TestBitIdentityMatrix(t *testing.T) {
 		}
 	}
 
-	for _, workers := range []int{1, 2, 8} {
-		for _, fused := range []bool{false, true} {
-			label := fmt.Sprintf("intra/workers=%d/fused=%v", workers, fused)
-			t.Run(label, func(t *testing.T) {
-				p := waveParams(nx, ny, nz)
-				p.Fused = fused
-				s, err := lbm.NewSim(p)
-				if err != nil {
-					t.Fatal(err)
-				}
-				s.SetWorkers(workers)
-				if fused {
-					// Pin the chunk count: the production heuristic
-					// would refuse to shard a grid this small, and the
-					// matrix's point is multi-chunk bit-identity.
-					s.SetFusedChunks(workers)
-				}
-				s.RunParallelSteps(steps)
-				check(t, label, s.Plane)
-			})
+	// The plane-ownership scheduler rows: workers 1/2/3/8 across both
+	// stepping paths and both scalar precisions, plus the degenerate
+	// bandings (two-plane and one-plane bands on the 12-plane grid).
+	// The band count is pinned: the production heuristic would refuse
+	// to shard a grid this small, and the matrix's point is
+	// multi-band bit-identity, including the boundary token exchange
+	// under the densest dependency graphs. Each precision is compared
+	// against its own serial reference through the exactly-widening
+	// State snapshot.
+	ref32, err := lbm.NewSolver(wave32Params(nx, ny, nz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref32.Run(steps)
+	refState := map[lbm.Precision]*lbm.State{
+		lbm.F64: ref.State(),
+		lbm.F32: ref32.State(),
+	}
+	for _, prec := range []lbm.Precision{lbm.F64, lbm.F32} {
+		for _, bands := range []int{1, 2, 3, 8, 6, 12} {
+			for _, fused := range []bool{false, true} {
+				label := fmt.Sprintf("intra/prec=%v/bands=%d/fused=%v", prec, bands, fused)
+				t.Run(label, func(t *testing.T) {
+					p := waveParams(nx, ny, nz)
+					p.Precision = prec
+					p.Fused = fused
+					s, err := lbm.NewSolver(p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					s.SetWorkers(bands)
+					if fused {
+						s.SetFusedChunks(bands)
+					} else {
+						s.SetBands(bands)
+					}
+					s.RunParallelSteps(steps)
+					want := refState[prec]
+					got := s.State()
+					for c := 0; c < nc; c++ {
+						for x := 0; x < nx; x++ {
+							for i := range want.F[c][x] {
+								if math.Float64bits(want.F[c][x][i]) != math.Float64bits(got.F[c][x][i]) {
+									t.Fatalf("%s: diverged at comp %d plane %d index %d: %v != %v",
+										label, c, x, i, got.F[c][x][i], want.F[c][x][i])
+								}
+							}
+						}
+					}
+				})
+			}
 		}
 	}
 
