@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race race-lbm chaos chaos-kill bench bench-json bench-paper bench-smoke fuzz
+.PHONY: check build vet test race race-lbm chaos chaos-kill chaos-abort bench bench-json bench-paper bench-smoke fuzz
 
 # The CI gate: compile everything, vet, run the full suite, the race
 # detector in short mode (the -short guard trims the long chaos and
@@ -37,6 +37,14 @@ chaos:
 # bit-identical final fields.
 chaos-kill:
 	$(GO) test -race -run 'KillChaos|Recoverable' -v ./internal/experiments/ ./internal/parlbm/
+
+# The abort-safety sweep under the race detector: seeded cancels, wall
+# limits, worker panics, and worker stalls against both the intra-node
+# band scheduler and the distributed phase loop — typed unwind, zero
+# leaked goroutines, committed interrupt checkpoints, bit-identical
+# resume.
+chaos-abort:
+	$(GO) test -race -run 'AbortChaos|RunParallelCancel|RunParallelWallLimit|RunParallelRankPanic|RunSupervised' -v ./internal/experiments/ ./internal/parlbm/ ./internal/lbm/
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...

@@ -12,14 +12,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"microslip/internal/config"
+	"microslip/internal/runctl"
 	"microslip/internal/vcluster"
 )
 
@@ -88,9 +93,19 @@ func main() {
 	if err := cfg.Costs.Validate(); err != nil {
 		log.Fatal(err)
 	}
+	// SIGINT/SIGTERM interrupt the phase loop at the next boundary; the
+	// partial trajectory simulated so far is still reported and written.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	cfg.Ctx = ctx
 	res, err := vcluster.Run(cfg)
-	if err != nil {
+	interrupted := errors.Is(err, runctl.ErrCanceled)
+	if err != nil && !interrupted {
 		log.Fatal(err)
+	}
+	if interrupted {
+		fmt.Printf("interrupted: %d of %d phases simulated; partial trajectory follows\n",
+			res.CompletedPhases, exp.Phases)
 	}
 
 	fmt.Printf("scheme %s, workload %s, %d nodes, %d phases\n",

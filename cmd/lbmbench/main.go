@@ -42,16 +42,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"microslip/internal/lbm"
@@ -146,22 +149,31 @@ type Report struct {
 	// GOMAXPROCS is what the runtime will actually schedule on — on
 	// cgroup-limited CI boxes it can sit far below CPUs, and the
 	// worker-scaling numbers only make sense against it.
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	Entries    []Entry `json:"entries"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Interrupted marks a report flushed early by SIGINT/SIGTERM: the
+	// entries measured before the signal are valid, the sweep is not
+	// complete.
+	Interrupted bool    `json:"interrupted,omitempty"`
+	Entries     []Entry `json:"entries"`
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lbmbench: ")
+	// SIGINT/SIGTERM end the sweep at the next entry boundary and flush
+	// the partial report (marked "interrupted") instead of dying with
+	// nothing written.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopSignals()
 	var (
-		grids    = flag.String("grid", "32x48x16", "comma-separated NXxNYxNZ grids")
-		steps    = flag.Int("steps", 120, "timed steps per configuration")
-		warmup   = flag.Int("warmup", 20, "untimed warmup steps (intra-node sweeps)")
-		workers  = flag.String("workers", "1,2,4", "comma-separated intra-node worker counts")
-		ranks    = flag.String("ranks", "1,2,4", "comma-separated distributed rank counts")
-		fused    = flag.String("fused", "both", "fused collide+stream: both, on, or off")
-		overlap  = flag.String("overlap", "both", "comm/compute overlap: both, on, or off")
-		halo     = flag.String("halo", "both", "halo wire format: both, slim, or wide")
+		grids     = flag.String("grid", "32x48x16", "comma-separated NXxNYxNZ grids")
+		steps     = flag.Int("steps", 120, "timed steps per configuration")
+		warmup    = flag.Int("warmup", 20, "untimed warmup steps (intra-node sweeps)")
+		workers   = flag.String("workers", "1,2,4", "comma-separated intra-node worker counts")
+		ranks     = flag.String("ranks", "1,2,4", "comma-separated distributed rank counts")
+		fused     = flag.String("fused", "both", "fused collide+stream: both, on, or off")
+		overlap   = flag.String("overlap", "both", "comm/compute overlap: both, on, or off")
+		halo      = flag.String("halo", "both", "halo wire format: both, slim, or wide")
 		coalesce  = flag.String("coalesce", "off", "coalesced phase frames: both, on, or off")
 		precision = flag.String("precision", "f64", "comma-separated scalar precisions: f64, f32")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to FILE")
@@ -265,6 +277,8 @@ func main() {
 		CPUs:       runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
+	interrupted := false
+sweep:
 	for _, g := range gridList {
 		gSteps, gWarmup := *steps, *warmup
 		if *paper {
@@ -274,6 +288,10 @@ func main() {
 			for _, f := range fusedModes {
 				base := 0.0 // MLUPS of this (grid, prec, fused) at workers=1
 				for _, w := range workerList {
+					if ctx.Err() != nil {
+						interrupted = true
+						break sweep
+					}
 					e, err := benchIntra(g, w, f, prec, gSteps, gWarmup)
 					if err != nil {
 						log.Fatal(err)
@@ -299,6 +317,10 @@ func main() {
 						for _, cz := range coalesceModes {
 							if cz && ov {
 								continue // the coalesced phase has its own schedule; overlap is ignored
+							}
+							if ctx.Err() != nil {
+								interrupted = true
+								break sweep
 							}
 							e, err := benchRanks(g, r, ov, wide, cz, prec, gSteps)
 							if err != nil {
@@ -329,12 +351,17 @@ func main() {
 	if path == "" {
 		path = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
 	}
+	rep.Interrupted = interrupted
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
 		log.Fatal(err)
+	}
+	if interrupted {
+		fmt.Printf("interrupted: wrote partial %s (%d entries, marked interrupted)\n", path, len(rep.Entries))
+		return
 	}
 	fmt.Printf("wrote %s (%d entries)\n", path, len(rep.Entries))
 }

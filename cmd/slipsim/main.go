@@ -19,15 +19,21 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"microslip/internal/checkpoint"
 	"microslip/internal/experiments"
 	"microslip/internal/lbm"
 	"microslip/internal/parlbm"
+	"microslip/internal/runctl"
 )
 
 func main() {
@@ -48,8 +54,17 @@ func main() {
 		ranks    = flag.Int("ranks", 4, "simulated ranks for the distributed run (-checkpoint-dir/-resume-dir)")
 		precFlag = flag.String("precision", "f64", "scalar precision of the solver core: f64 or f32")
 		cmpPrec  = flag.Bool("compare-precision", false, "run the slip case at both precisions and print the accuracy comparison")
+		wallLim  = flag.Duration("wall-limit", 0, "stop the run after this wall-clock budget, checkpointing what completed (0 = unlimited)")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM stop the run at the next step/phase boundary
+	// instead of killing it mid-write: distributed runs commit a
+	// coordinated interrupt checkpoint, sequential runs with -checkpoint
+	// persist the partial state, and the exit message names the resume
+	// flag. A second signal kills the process the usual way.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopSignals()
 	prec, err := lbm.ParsePrecision(*precFlag)
 	if err != nil {
 		log.Fatalf("-precision: %v", err)
@@ -66,21 +81,25 @@ func main() {
 	}
 
 	if *ckptDir != "" || *resumeD != "" {
-		if err := runDistributed(*ckptDir, *resumeD, *nx, *ny, *nz, *steps, *ranks, *ckptInt); err != nil {
+		if err := runDistributed(ctx, *wallLim, *ckptDir, *resumeD, *nx, *ny, *nz, *steps, *ranks, *ckptInt); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 
 	if *resume != "" {
-		if err := runResumed(*resume, *steps, *ckptPath); err != nil {
+		if err := runResumed(ctx, *wallLim, *resume, *steps, *ckptPath); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 
-	setup := experiments.PhysicsSetup{NX: *nx, NY: *ny, NZ: *nz, Steps: *steps, SampleZ: *nz / 2, SteadyTol: *steady, Precision: prec}
+	setup := experiments.PhysicsSetup{NX: *nx, NY: *ny, NZ: *nz, Steps: *steps, SampleZ: *nz / 2, SteadyTol: *steady, Precision: prec,
+		Sup: runctl.NewSupervisor(ctx, *wallLim)}
 	res, err := experiments.RunSlipPhysics(setup)
+	if runctl.IsInterrupt(err) {
+		log.Fatalf("interrupted before the profiles were sampled: %v", err)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,9 +118,17 @@ func main() {
 			log.Fatal(err)
 		}
 		s.AutoWorkers()
-		s.RunParallelSteps(*steps)
-		if err := checkpoint.SaveFile(*ckptPath, s.State()); err != nil {
+		done, err := s.RunSupervised(*steps, runctl.NewSupervisor(ctx, *wallLim))
+		if err != nil && !runctl.IsInterrupt(err) {
 			log.Fatal(err)
+		}
+		if saveErr := checkpoint.SaveFile(*ckptPath, s.State()); saveErr != nil {
+			log.Fatal(saveErr)
+		}
+		if err != nil {
+			fmt.Printf("interrupted at step %d of %d (%v); partial checkpoint written to %s (resume with -resume %s)\n",
+				done, *steps, err, *ckptPath, *ckptPath)
+			return
 		}
 		fmt.Printf("checkpoint written to %s\n", *ckptPath)
 	}
@@ -113,7 +140,7 @@ func main() {
 // parameters, so no geometry flags are needed) and runs -steps more
 // phases; new checkpoints land in -checkpoint-dir, defaulting to the
 // resume directory.
-func runDistributed(ckptDir, resumeDir string, nx, ny, nz, steps, ranks, interval int) error {
+func runDistributed(ctx context.Context, wallLim time.Duration, ckptDir, resumeDir string, nx, ny, nz, steps, ranks, interval int) error {
 	p := lbm.WaterAir(nx, ny, nz)
 	phases := steps
 	var snap *checkpoint.RunSnapshot
@@ -136,9 +163,27 @@ func runDistributed(ckptDir, resumeDir string, nx, ny, nz, steps, ranks, interva
 	}
 	fields, results, err := parlbm.RunParallel(p, ranks, parlbm.Options{
 		Phases:     phases,
+		Ctx:        ctx,
+		WallLimit:  wallLim,
 		Checkpoint: &parlbm.CheckpointSpec{Dir: ckptDir, Interval: interval, Snapshot: snap},
 	})
 	if err != nil {
+		var re *parlbm.RankError
+		if runctl.IsInterrupt(err) && errors.As(err, &re) {
+			// Orderly interrupt: the group agreed on a stop boundary and
+			// committed a coordinated checkpoint there.
+			stop := -1
+			for _, r := range results {
+				if r != nil && r.Interrupted != nil {
+					stop = r.Interrupted.Phase
+				}
+			}
+			fmt.Printf("interrupted at phase %d of %d\n", stop, phases)
+			if m, cerr := checkpoint.LatestCommitted(ckptDir); cerr == nil {
+				fmt.Printf("committed checkpoint at phase %d (resume with -resume-dir %s)\n", m.Phase, ckptDir)
+			}
+			return nil
+		}
 		return err
 	}
 	written := 0
@@ -156,7 +201,7 @@ func runDistributed(ckptDir, resumeDir string, nx, ny, nz, steps, ranks, interva
 	return nil
 }
 
-func runResumed(path string, steps int, ckptPath string) error {
+func runResumed(ctx context.Context, wallLim time.Duration, path string, steps int, ckptPath string) error {
 	st, err := checkpoint.LoadFile(path)
 	if err != nil {
 		return err
@@ -170,9 +215,22 @@ func runResumed(path string, steps int, ckptPath string) error {
 	fmt.Printf("resumed %dx%dx%d at step %d (%s); running %d more steps\n",
 		st.Params.NX, st.Params.NY, st.Params.NZ, s.StepCount(), st.Params.Precision, steps)
 	s.AutoWorkers()
-	s.RunParallelSteps(steps)
+	done, runErr := s.RunSupervised(steps, runctl.NewSupervisor(ctx, wallLim))
+	if runErr != nil && !runctl.IsInterrupt(runErr) {
+		return runErr
+	}
 	if err := s.CheckFinite(); err != nil {
 		return err
+	}
+	if runErr != nil {
+		fmt.Printf("interrupted at step %d of %d (%v)\n", done, steps, runErr)
+		if ckptPath != "" {
+			if err := checkpoint.SaveFile(ckptPath, s.State()); err != nil {
+				return err
+			}
+			fmt.Printf("partial checkpoint written to %s (resume with -resume %s)\n", ckptPath, ckptPath)
+		}
+		return nil
 	}
 	fmt.Printf("now at step %d; total water mass %.6g\n", s.StepCount(), s.TotalMass(0))
 	if ckptPath != "" {

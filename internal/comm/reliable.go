@@ -321,7 +321,30 @@ func (c *ReliableComm) Recv(from, tag int) ([]float64, error) {
 	return c.recvReliable(from, tag)
 }
 
+// RecvDeadline is the reliable receive bounded by an overall deadline:
+// per-attempt waits shrink to the remaining budget and an expired
+// budget surfaces as an error wrapping ErrTimeout. The sequence and
+// stash state persists across calls, so a timed-out receive can be
+// reissued later (a supervised poll loop does exactly that) without
+// desynchronizing the framing; frames that arrived during an expired
+// call are stashed, not lost.
+func (c *ReliableComm) RecvDeadline(from, tag int, timeout time.Duration) ([]float64, error) {
+	if tag < 0 || tag >= MaxUserTag {
+		return nil, fmt.Errorf("comm: user tag %d out of [0,%d)", tag, MaxUserTag)
+	}
+	if timeout <= 0 {
+		return c.recvReliable(from, tag)
+	}
+	return c.recvDeadline(from, tag, time.Now().Add(timeout))
+}
+
 func (c *ReliableComm) recvReliable(from, tag int) ([]float64, error) {
+	return c.recvDeadline(from, tag, time.Time{})
+}
+
+// recvDeadline is the shared reliable-receive loop; a zero deadline
+// means no overall bound (per-attempt OpTimeout still applies).
+func (c *ReliableComm) recvDeadline(from, tag int, deadline time.Time) ([]float64, error) {
 	key := peerTag{from, tag}
 	want := c.recvSeq[key]
 	if pend := c.stash[key]; pend != nil {
@@ -335,11 +358,27 @@ func (c *ReliableComm) recvReliable(from, tag int) ([]float64, error) {
 	backoff := c.res.BaseBackoff
 	attempt := 0
 	for {
-		frame, err := RecvDeadline(c.inner, from, tag, c.res.OpTimeout)
+		wait := c.res.OpTimeout
+		if !deadline.IsZero() {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				return nil, fmt.Errorf("comm: recv from %d tag %d: deadline expired: %w", from, tag, ErrTimeout)
+			}
+			if wait <= 0 || remaining < wait {
+				wait = remaining
+			}
+		}
+		frame, err := RecvDeadline(c.inner, from, tag, wait)
 		if err != nil {
 			isTimeout := errTimeout(err)
 			if isTimeout {
 				c.cells.timeouts.Add(1)
+				if !deadline.IsZero() {
+					// Deadline-bounded receives are governed by the overall
+					// budget, not the per-attempt retry count: loop back and
+					// let the remaining-time check decide.
+					continue
+				}
 			}
 			if !IsTransient(err) || attempt >= c.res.MaxRetries {
 				return nil, fmt.Errorf("comm: recv from %d tag %d failed after %d attempts: %w",

@@ -1,0 +1,282 @@
+package comm
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// plainComm hides every optional capability of a wrapped endpoint, so
+// tests can exercise the DeadlineRecver-less fallback paths.
+type plainComm struct {
+	inner Comm
+}
+
+func (p *plainComm) Rank() int { return p.inner.Rank() }
+func (p *plainComm) Size() int { return p.inner.Size() }
+func (p *plainComm) Send(to, tag int, data []float64) error {
+	return p.inner.Send(to, tag, data)
+}
+func (p *plainComm) Recv(from, tag int) ([]float64, error) {
+	return p.inner.Recv(from, tag)
+}
+func (p *plainComm) SendRecv(to int, send []float64, from, tag int) ([]float64, error) {
+	return p.inner.SendRecv(to, send, from, tag)
+}
+func (p *plainComm) Barrier() error                             { return p.inner.Barrier() }
+func (p *plainComm) AllGather(l []float64) ([][]float64, error) { return p.inner.AllGather(l) }
+func (p *plainComm) Close() error                               { return p.inner.Close() }
+
+// The free RecvDeadline must fall back to a plain blocking receive when
+// the transport lacks DeadlineRecver, delivering data rather than
+// erroring on the missing capability.
+func TestRecvDeadlineFallbackWithoutCapability(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	eps := f.Endpoints()
+	bare := &plainComm{inner: eps[1]}
+	if _, ok := Comm(bare).(DeadlineRecver); ok {
+		t.Fatal("plainComm must not implement DeadlineRecver")
+	}
+	want := []float64{4, 5, 6}
+	go eps[0].Send(1, 3, want)
+	got, err := RecvDeadline(bare, 0, 3, time.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || got[0] != want[0] {
+		t.Fatalf("fallback recv got %v, want %v", got, want)
+	}
+}
+
+func TestReliableRecvDeadlineExpiry(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	eps := f.Endpoints()
+	res := Resilience{MaxRetries: 2, OpTimeout: 5 * time.Millisecond, Sleep: func(time.Duration) {}}
+	rc := WithResilience(eps[1], res)
+
+	start := time.Now()
+	_, err := rc.RecvDeadline(0, 1, 30*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("RecvDeadline on silence = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline did not bound the wait: %v", elapsed)
+	}
+
+	// The deadline-bounded wait is governed by the overall budget, not
+	// the per-attempt retry count: with OpTimeout 5ms and MaxRetries 2,
+	// a 30ms budget needs ~6 attempts and must still report a timeout,
+	// not a retries-exhausted failure.
+	stats := rc.Stats()
+	if stats.Timeouts < 3 {
+		t.Fatalf("expected several per-attempt timeouts inside the budget, got %d", stats.Timeouts)
+	}
+
+	// The framing state survives an expired call: a later message is
+	// received normally by a reissued bounded receive.
+	reliableSender := WithResilience(eps[0], res)
+	want := []float64{7, 8}
+	go reliableSender.Send(1, 1, want)
+	got, err := rc.RecvDeadline(0, 1, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 7 || got[1] != 8 {
+		t.Fatalf("reissued recv got %v, want %v", got, want)
+	}
+}
+
+func TestReliableRecvDeadlineZeroTimeoutBlocks(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	eps := f.Endpoints()
+	res := Resilience{MaxRetries: 100, OpTimeout: 5 * time.Millisecond, Sleep: func(time.Duration) {}}
+	rc := WithResilience(eps[1], res)
+	sender := WithResilience(eps[0], res)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		sender.Send(1, 2, []float64{1})
+	}()
+	got, err := rc.RecvDeadline(0, 2, 0) // zero = plain reliable recv
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// A prober must emit no beats after its stop function returns — the
+// detector reads post-run silence as death, so a leaked beat would mask
+// a dead rank.
+func TestProberSilentAfterStop(t *testing.T) {
+	h, err := NewHealth(2, HeartbeatOptions{Interval: time.Millisecond, DeadAfter: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := h.StartProber(1)
+	time.Sleep(5 * time.Millisecond)
+	if !h.Alive(1) {
+		t.Fatal("prober not beating while running")
+	}
+	stop()
+	stop() // idempotent
+	// Allow an in-flight tick to land, then require monotonic silence.
+	time.Sleep(2 * time.Millisecond)
+	silence := h.SinceBeat(1)
+	deadline := time.Now().Add(50 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+		now := h.SinceBeat(1)
+		if now < silence {
+			t.Fatalf("beat after stop: silence went %v -> %v", silence, now)
+		}
+		silence = now
+	}
+	if h.Alive(1) {
+		t.Fatal("rank still alive long after prober stop")
+	}
+}
+
+// A supervised receive parked on a silent peer must fail promptly when
+// the check trips, returning the check's error.
+func TestSupervisedRecvUnblocksOnCheck(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	eps := f.Endpoints()
+	cause := errors.New("abort: test cause")
+	var tripped atomic.Bool
+	check := func() error {
+		if tripped.Load() {
+			return cause
+		}
+		return nil
+	}
+	sc := WithSupervision(eps[1], check, time.Millisecond)
+	done := make(chan error, 1)
+	go func() {
+		_, err := sc.Recv(0, 4) // nothing will ever arrive
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	tripped.Store(true)
+	select {
+	case err := <-done:
+		if !errors.Is(err, cause) {
+			t.Fatalf("supervised recv error = %v, want wrapped cause", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("supervised recv did not unblock on check trip")
+	}
+}
+
+// Supervised collectives run over their own reserved tags and complete
+// normally while the check stays nil-error; a tripped check unwinds a
+// rank parked in the barrier.
+func TestSupervisedCollectives(t *testing.T) {
+	f := NewFabric(3)
+	defer f.Close()
+	var tripped atomic.Bool
+	cause := errors.New("abort: barrier test")
+	check := func() error {
+		if tripped.Load() {
+			return cause
+		}
+		return nil
+	}
+	eps := WithSupervisionAll(f.Endpoints(), check, time.Millisecond)
+
+	// Healthy path: barrier + allgather across all ranks.
+	type gatherOut struct {
+		rank int
+		rows [][]float64
+		err  error
+	}
+	outs := make(chan gatherOut, len(eps))
+	for r, ep := range eps {
+		go func(r int, ep Comm) {
+			if err := ep.Barrier(); err != nil {
+				outs <- gatherOut{r, nil, err}
+				return
+			}
+			rows, err := ep.AllGather([]float64{float64(r) * 10})
+			outs <- gatherOut{r, rows, err}
+		}(r, ep)
+	}
+	for range eps {
+		o := <-outs
+		if o.err != nil {
+			t.Fatalf("rank %d collective: %v", o.rank, o.err)
+		}
+		for q := range eps {
+			if len(o.rows[q]) != 1 || o.rows[q][0] != float64(q)*10 {
+				t.Fatalf("rank %d gathered %v", o.rank, o.rows)
+			}
+		}
+	}
+
+	// Abort path: rank 1 parks in the barrier alone, then the check
+	// trips and it must unwind with the cause.
+	done := make(chan error, 1)
+	go func() { done <- eps[1].Barrier() }()
+	time.Sleep(5 * time.Millisecond)
+	tripped.Store(true)
+	select {
+	case err := <-done:
+		if !errors.Is(err, cause) {
+			t.Fatalf("aborted barrier error = %v, want wrapped cause", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("barrier did not unwind on check trip")
+	}
+	// The other ranks' endpoints also fail fast now.
+	if err := eps[0].Send(1, 5, nil); !errors.Is(err, cause) {
+		t.Fatalf("supervised send after trip = %v, want cause", err)
+	}
+}
+
+// Supervision must not hide the resilience counters from result
+// reporting, and must reject tags in its reserved range.
+func TestSupervisedStatsAndTagGuard(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	eps := f.Endpoints()
+	res := Resilience{MaxRetries: 1, OpTimeout: 50 * time.Millisecond, Sleep: func(time.Duration) {}}
+	r0 := WithResilience(eps[0], res)
+	r1 := WithResilience(eps[1], res)
+	s0 := WithSupervision(r0, nil, 0)
+	s1 := WithSupervision(r1, nil, 0)
+	go s0.Send(1, 6, []float64{1, 2})
+	if _, err := s1.Recv(0, 6); err != nil {
+		t.Fatal(err)
+	}
+	if got := s1.Stats().Recvs; got != 1 {
+		t.Fatalf("Stats().Recvs through supervision = %d, want 1", got)
+	}
+	if err := s0.Send(1, supTagBase, nil); err == nil {
+		t.Fatal("reserved tag accepted by supervised Send")
+	}
+	if _, err := s1.Recv(0, MaxUserTag); err == nil {
+		t.Fatal("out-of-range tag accepted by supervised Recv")
+	}
+}
+
+// A supervised deadline receive still honors the overall bound when the
+// check never trips.
+func TestSupervisedRecvDeadlineTimesOut(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	eps := f.Endpoints()
+	sc := WithSupervision(eps[1], func() error { return nil }, time.Millisecond)
+	start := time.Now()
+	_, err := sc.RecvDeadline(0, 7, 20*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline unbounded: %v", elapsed)
+	}
+}

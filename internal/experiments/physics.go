@@ -7,6 +7,7 @@ import (
 	"microslip/internal/geometry"
 	"microslip/internal/lbm"
 	"microslip/internal/measure"
+	"microslip/internal/runctl"
 	"microslip/internal/units"
 )
 
@@ -27,6 +28,10 @@ type PhysicsSetup struct {
 	// Precision selects the solver's scalar type (lbm.F64 default);
 	// RunPrecisionAccuracy compares the two on this setup.
 	Precision lbm.Precision
+	// Sup, when non-nil, supervises the runs: cancellation or wall-limit
+	// expiry stops them at the next step boundary with the typed cause
+	// (slipsim's SIGINT path).
+	Sup *runctl.Supervisor
 }
 
 // DefaultPhysics returns the reduced-scale configuration.
@@ -83,7 +88,17 @@ func RunSlipPhysics(setup PhysicsSetup) (*PhysicsResult, error) {
 			if check < 1 {
 				check = 1
 			}
-			s.RunToSteady(setup.Steps, check, setup.SteadyTol)
+			if setup.Sup != nil {
+				if _, err := s.RunToSteadySupervised(setup.Sup, setup.Steps, check, setup.SteadyTol); err != nil {
+					return nil, err
+				}
+			} else {
+				s.RunToSteady(setup.Steps, check, setup.SteadyTol)
+			}
+		} else if setup.Sup != nil {
+			if _, err := s.RunSupervised(setup.Steps, setup.Sup); err != nil {
+				return nil, err
+			}
 		} else {
 			s.RunParallelSteps(setup.Steps)
 		}

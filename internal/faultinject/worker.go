@@ -1,0 +1,180 @@
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Worker faults perturb the compute side of the stack the way the
+// message rules perturb the transport: a WorkerInjector wraps a
+// rank/band hook (parlbm's Options.PhaseHook, lbm's SetBandHook — both
+// are func(id, step int)) and fires panics or stalls at scheduled
+// points. A panic exercises the hard-abort path (runctl.PanicError,
+// supervised unwind); a stall exercises the soft paths (token-mesh
+// pacing intra-node, wall-clock escalation distributed).
+
+// WorkerFaultKind is a compute-side fault kind.
+type WorkerFaultKind int
+
+const (
+	// PanicAt panics inside the hook, as if the worker's own step code
+	// faulted.
+	PanicAt WorkerFaultKind = iota
+	// StallFor sleeps inside the hook, modeling a compute hiccup (page
+	// fault storm, noisy neighbor) rather than a crash.
+	StallFor
+)
+
+func (k WorkerFaultKind) String() string {
+	switch k {
+	case PanicAt:
+		return "panic"
+	case StallFor:
+		return "stall"
+	default:
+		return fmt.Sprintf("WorkerFaultKind(%d)", int(k))
+	}
+}
+
+// WorkerRule fires a compute fault when the wrapped hook is called with
+// a matching (id, step) pair. Id is a rank for distributed hooks and a
+// band for intra-node hooks; Any matches every id.
+type WorkerRule struct {
+	Kind WorkerFaultKind
+	// Id is the rank (parlbm) or band (lbm) the fault targets; Any
+	// matches all.
+	Id int
+	// Step is the phase/step the fault fires at; Any matches all.
+	Step int
+	// Stall is the sleep for StallFor rules.
+	Stall time.Duration
+	// Count bounds firings; below 1 means exactly 1.
+	Count int
+}
+
+// WorkerCounters reports what a WorkerInjector actually did.
+type WorkerCounters struct {
+	Panics, Stalls int
+}
+
+// WorkerInjector applies WorkerRules from inside a wrapped hook. Safe
+// for concurrent use: distributed hooks run on every rank goroutine.
+type WorkerInjector struct {
+	mu    sync.Mutex
+	rules []WorkerRule
+	fired []int
+	ctr   WorkerCounters
+}
+
+// NewWorkerInjector builds an injector over the given rules.
+func NewWorkerInjector(rules []WorkerRule) *WorkerInjector {
+	return &WorkerInjector{rules: rules, fired: make([]int, len(rules))}
+}
+
+// Counters returns a snapshot of the firing counts.
+func (w *WorkerInjector) Counters() WorkerCounters {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.ctr
+}
+
+// Hook wraps next (which may be nil) with the injector. The returned
+// function matches both parlbm.Options.PhaseHook and the lbm band hook.
+// A matching StallFor rule sleeps, then next runs; a matching PanicAt
+// rule runs next first (so the step is otherwise normal up to the
+// fault) and then panics.
+func (w *WorkerInjector) Hook(next func(id, step int)) func(id, step int) {
+	return func(id, step int) {
+		var stall time.Duration
+		boom := false
+		w.mu.Lock()
+		for i := range w.rules {
+			r := &w.rules[i]
+			max := r.Count
+			if max < 1 {
+				max = 1
+			}
+			if w.fired[i] >= max {
+				continue
+			}
+			if r.Id != Any && r.Id != id {
+				continue
+			}
+			if r.Step != Any && r.Step != step {
+				continue
+			}
+			w.fired[i]++
+			switch r.Kind {
+			case PanicAt:
+				boom = true
+				w.ctr.Panics++
+			case StallFor:
+				stall += r.Stall
+				w.ctr.Stalls++
+			}
+		}
+		w.mu.Unlock()
+		if stall > 0 {
+			time.Sleep(stall)
+		}
+		if next != nil {
+			next(id, step)
+		}
+		if boom {
+			panic(fmt.Sprintf("faultinject: worker fault at id %d step %d", id, step))
+		}
+	}
+}
+
+// AbortSchedule is one seeded abort-chaos scenario: a compute fault
+// plan plus where the external interrupt (cancel) lands, if anywhere.
+type AbortSchedule struct {
+	Seed int64
+	// CancelAtPhase is the phase whose hook triggers context
+	// cancellation; negative means no cancel (the fault itself ends the
+	// run).
+	CancelAtPhase int
+	// Rules is the compute-fault plan (may be empty: pure-cancel
+	// schedules).
+	Rules []WorkerRule
+}
+
+// AbortSchedules builds n seeded abort scenarios for a group of the
+// given size running the given number of phases. The mix always covers
+// the required shapes: pure cancel, worker panic, and worker stall +
+// cancel; extra schedules vary placement. minPhase keeps every event
+// late enough that at least one periodic checkpoint (interval ≤
+// minPhase) has committed first.
+func AbortSchedules(seed int64, n, ranks, phases, minPhase int) []AbortSchedule {
+	rng := rand.New(rand.NewSource(seed))
+	if minPhase < 1 {
+		minPhase = 1
+	}
+	span := phases - minPhase
+	if span < 1 {
+		span = 1
+	}
+	at := func() int { return minPhase + rng.Intn(span) }
+	out := make([]AbortSchedule, 0, n)
+	for i := 0; i < n; i++ {
+		s := AbortSchedule{Seed: seed + int64(i)}
+		switch i % 3 {
+		case 0: // pure cancel
+			s.CancelAtPhase = at()
+		case 1: // worker panic, no cancel
+			s.CancelAtPhase = -1
+			s.Rules = []WorkerRule{{Kind: PanicAt, Id: rng.Intn(ranks), Step: at()}}
+		default: // stall then cancel
+			p := at()
+			s.Rules = []WorkerRule{{
+				Kind: StallFor, Id: rng.Intn(ranks), Step: p,
+				Stall: time.Duration(1+rng.Intn(5)) * time.Millisecond,
+			}}
+			s.CancelAtPhase = p
+		}
+		out = append(out, s)
+	}
+	return out
+}

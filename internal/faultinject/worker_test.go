@@ -1,0 +1,85 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWorkerInjectorPanicAt(t *testing.T) {
+	inj := NewWorkerInjector([]WorkerRule{{Kind: PanicAt, Id: 1, Step: 3}})
+	var calls []int
+	hook := inj.Hook(func(id, step int) { calls = append(calls, id*100+step) })
+
+	hook(0, 3) // wrong id
+	hook(1, 2) // wrong step
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("matching (id, step) did not panic")
+			}
+		}()
+		hook(1, 3)
+	}()
+	hook(1, 3) // count exhausted: no second panic
+	if got := inj.Counters(); got.Panics != 1 {
+		t.Fatalf("counters = %+v, want 1 panic", got)
+	}
+	// next ran on every call, including the panicking one.
+	if len(calls) != 4 || calls[2] != 103 {
+		t.Fatalf("next hook calls = %v", calls)
+	}
+}
+
+func TestWorkerInjectorStallAndAny(t *testing.T) {
+	inj := NewWorkerInjector([]WorkerRule{
+		{Kind: StallFor, Id: Any, Step: 1, Stall: 20 * time.Millisecond, Count: 2},
+	})
+	hook := inj.Hook(nil)
+	start := time.Now()
+	hook(0, 1)
+	hook(5, 1)
+	hook(9, 1) // budget spent
+	if el := time.Since(start); el < 40*time.Millisecond {
+		t.Fatalf("two stalls took %v, want >= 40ms", el)
+	}
+	if got := inj.Counters(); got.Stalls != 2 {
+		t.Fatalf("counters = %+v, want 2 stalls", got)
+	}
+}
+
+func TestAbortSchedulesCoverShapes(t *testing.T) {
+	scheds := AbortSchedules(7, 5, 4, 20, 6)
+	if len(scheds) != 5 {
+		t.Fatalf("got %d schedules, want 5", len(scheds))
+	}
+	var cancels, panics, stalls int
+	for i, s := range scheds {
+		for _, r := range s.Rules {
+			if r.Step < 6 || r.Step >= 20 {
+				t.Fatalf("schedule %d rule fires at %d, outside [6, 20)", i, r.Step)
+			}
+			switch r.Kind {
+			case PanicAt:
+				panics++
+			case StallFor:
+				stalls++
+			}
+		}
+		if s.CancelAtPhase >= 0 {
+			cancels++
+			if s.CancelAtPhase < 6 || s.CancelAtPhase >= 20 {
+				t.Fatalf("schedule %d cancels at %d, outside [6, 20)", i, s.CancelAtPhase)
+			}
+		}
+	}
+	if cancels == 0 || panics == 0 || stalls == 0 {
+		t.Fatalf("shape coverage: cancels=%d panics=%d stalls=%d, want all > 0", cancels, panics, stalls)
+	}
+	// Seeded: the same seed reproduces the same plan.
+	again := AbortSchedules(7, 5, 4, 20, 6)
+	for i := range scheds {
+		if scheds[i].CancelAtPhase != again[i].CancelAtPhase || len(scheds[i].Rules) != len(again[i].Rules) {
+			t.Fatalf("schedule %d not reproducible", i)
+		}
+	}
+}

@@ -25,6 +25,8 @@ package lbm
 // boundary tokens, so a fast band can sweep ahead of a slow distant
 // band by a step instead of idling at a barrier.
 
+import "microslip/internal/runctl"
+
 // bandPlan is the persistent partition of the x-planes into contiguous
 // worker bands, plus each band's dependency set: the distinct owners of
 // every plane within the stencil reach of its boundaries. The reach is
@@ -157,19 +159,42 @@ func newTokenMesh(p bandPlan) *tokenMesh {
 // wait consumes one token from every dependency of worker w: its
 // neighbors have finished the previous wave over their whole bands, so
 // every plane within reach is ready to read and none of w's planes are
-// still being read.
-func (m *tokenMesh) wait(w int) {
+// still being read. It returns false when abort fires first — a
+// panicked neighbor will never send its token, so waiting workers must
+// unwind through the abort channel instead of hanging. The fast path
+// (token already queued) costs one non-blocking receive.
+func (m *tokenMesh) wait(w int, abort <-chan struct{}) bool {
 	for _, ch := range m.in[w] {
-		<-ch
+		select {
+		case <-ch:
+		default:
+			select {
+			case <-ch:
+			case <-abort:
+				return false
+			}
+		}
 	}
+	return true
 }
 
 // signal hands one token to every dependency of worker w: w's wave
-// over its band is complete.
-func (m *tokenMesh) signal(w int) {
+// over its band is complete. It returns false when abort fires while a
+// token channel is full — an aborted neighbor has stopped consuming, so
+// a blocked send must unwind too.
+func (m *tokenMesh) signal(w int, abort <-chan struct{}) bool {
 	for _, ch := range m.out[w] {
-		ch <- struct{}{}
+		select {
+		case ch <- struct{}{}:
+		default:
+			select {
+			case ch <- struct{}{}:
+			case <-abort:
+				return false
+			}
+		}
 	}
+	return true
 }
 
 // bandRun is the built state of one ownership scheduler instance: the
@@ -177,12 +202,16 @@ func (m *tokenMesh) signal(w int) {
 // per-worker closure. steps is the length of the current run; the
 // coordinator writes it before waking the pool (the channel send
 // publishes it to the workers) and the workers loop that many steps,
-// pacing each other through the mesh.
+// pacing each other through the mesh. abort lives with the build (a
+// trip poisons the whole scheduler): the first worker to recover a
+// panic trips it so every peer blocked on the mesh unwinds instead of
+// waiting for a token that will never come.
 type bandRun struct {
 	plan  bandPlan
 	mesh  *tokenMesh
 	pool  *stepPool
 	steps int
+	abort *runctl.Abort
 	work  func(int)
 }
 

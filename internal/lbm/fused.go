@@ -2,9 +2,11 @@ package lbm
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"microslip/internal/num"
+	"microslip/internal/runctl"
 )
 
 // The fused collide+stream stepping path. The reference step makes
@@ -211,19 +213,39 @@ func (s *SimOf[T]) ensureFused(w int) {
 	if len(plan.bands) > 1 {
 		fs.mesh = newTokenMesh(plan)
 		fs.pool = newStepPool(len(plan.bands))
+		// Build-time abort, like the three-phase scheduler: a trip
+		// poisons the build, so the per-run hot path allocates nothing.
+		fs.abort = runctl.NewAbort()
 		// One band's whole run: sweep, signal the boundary owners, and
 		// wait for theirs before the next sweep. The wait covers both
 		// hazard directions at once — the planes this band reads two
 		// deep into its neighbors were written, and the planes it is
 		// about to overwrite are no longer being read — because a
 		// neighbor's token means its previous sweep finished entirely.
+		// A recovered panic trips the run's abort so peers blocked on the
+		// mesh unwind; see the three-phase closure in parallel.go.
 		fs.work = func(i int) {
+			abort := fs.abort
+			defer func() {
+				if r := recover(); r != nil {
+					abort.Trip(&runctl.PanicError{Rank: -1, Band: i, Value: r, Stack: debug.Stack()})
+				}
+			}()
+			hook := s.bandHook
+			base := s.step
 			lo, hi := fs.plan.bands[i][0], fs.plan.bands[i][1]
 			src, dst := fs.views()
 			for t := 0; t < fs.steps; t++ {
-				fs.mesh.wait(i)
+				if hook != nil {
+					hook(i, base+t)
+				}
+				if !fs.mesh.wait(i, abort.Done()) {
+					return
+				}
 				s.stepFusedChunk(lo, hi, fs.scratch[i], src, dst)
-				fs.mesh.signal(i)
+				if !fs.mesh.signal(i, abort.Done()) {
+					return
+				}
 				src, dst = dst, src
 			}
 		}
@@ -237,25 +259,38 @@ func (s *SimOf[T]) ensureFused(w int) {
 // persistent workers once for the whole run, each worker alternating
 // the view roles privately, and the coordinator reconciles the
 // sim-level views once at the end.
-func (s *SimOf[T]) runFused(n int) {
+// A worker panic surfaces as a *runctl.PanicError after every worker
+// has unwound, and the fused state is poisoned for rebuild (its rings
+// and view roles are no longer trustworthy).
+func (s *SimOf[T]) runFused(n int) error {
 	s.ensureFused(s.fusedChunkCount())
 	fs := s.fused
 	if fs.pool == nil {
 		c := fs.plan.bands[0]
+		hook := s.bandHook
 		for i := 0; i < n; i++ {
+			if hook != nil {
+				hook(0, s.step)
+			}
 			src, dst := fs.views()
 			s.stepFusedChunk(c[0], c[1], fs.scratch[0], src, dst)
 			s.swapFused()
 			s.step++
 		}
-		return
+		return nil
 	}
 	fs.steps = n
 	fs.pool.run(fs.work)
+	if err := fs.abort.Err(); err != nil {
+		fs.stop()
+		s.fused = nil
+		return err
+	}
 	if n%2 == 1 {
 		s.swapFused()
 	}
 	s.step += n
+	return nil
 }
 
 // swapFused exchanges the f/fPost roles after an odd number of fused

@@ -1,0 +1,11 @@
+package lbm
+
+import (
+	"testing"
+
+	"microslip/internal/testutil/leakcheck"
+)
+
+// The whole suite runs under a goroutine-leak gate: any worker pool,
+// prober, or rank goroutine that outlives its run fails the binary.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

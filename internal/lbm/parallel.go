@@ -2,6 +2,9 @@ package lbm
 
 import (
 	"runtime"
+	"runtime/debug"
+
+	"microslip/internal/runctl"
 )
 
 // SetWorkers sets the number of goroutines used to update planes within
@@ -86,7 +89,10 @@ func (s *SimOf[T]) ensurePhaseBands(n int) {
 		return
 	}
 	s.ensureScratch(len(plan.bands))
-	br := &bandRun{plan: plan, mesh: newTokenMesh(plan), pool: newStepPool(len(plan.bands))}
+	// The abort flag lives with the build, not the run, keeping the
+	// steady-state step allocation-free: a tripped abort always poisons
+	// the scheduler, so a rebuilt scheduler always carries a fresh one.
+	br := &bandRun{plan: plan, mesh: newTokenMesh(plan), pool: newStepPool(len(plan.bands)), abort: runctl.NewAbort()}
 	// One worker's whole run: for each step, three waves over the owned
 	// band — densities, collide, stream — each preceded by a wait for
 	// the boundary neighbors' previous wave and followed by a ready
@@ -97,24 +103,51 @@ func (s *SimOf[T]) ensurePhaseBands(n int) {
 	// only after the neighbor collided, and the next step's densities
 	// overwrite nothing a neighbor still needs, because its stream
 	// (which consumed this band's collide token) has already finished.
+	// The closure additionally contains panics: a recovered panic trips
+	// the run's abort (first cause wins) and every peer's mesh wait or
+	// signal unwinds through the abort channel, so the pool rendezvous
+	// completes and no worker outlives the run.
 	br.work = func(w int) {
+		abort := br.abort
+		defer func() {
+			if r := recover(); r != nil {
+				abort.Trip(&runctl.PanicError{Rank: -1, Band: w, Value: r, Stack: debug.Stack()})
+			}
+		}()
+		hook := s.bandHook
+		base := s.step
 		lo, hi := br.plan.bands[w][0], br.plan.bands[w][1]
 		for t := 0; t < br.steps; t++ {
-			br.mesh.wait(w) // neighbors streamed step t-1
+			if hook != nil {
+				hook(w, base+t)
+			}
+			if !br.mesh.wait(w, abort.Done()) { // neighbors streamed step t-1
+				return
+			}
 			for x := lo; x < hi; x++ {
 				s.densPhase(x, w)
 			}
-			br.mesh.signal(w)
-			br.mesh.wait(w) // neighbors' densities of step t are ready
+			if !br.mesh.signal(w, abort.Done()) {
+				return
+			}
+			if !br.mesh.wait(w, abort.Done()) { // neighbors' densities of step t are ready
+				return
+			}
 			for x := lo; x < hi; x++ {
 				s.collidePhase(x, w)
 			}
-			br.mesh.signal(w)
-			br.mesh.wait(w) // neighbors' post-collision planes are ready
+			if !br.mesh.signal(w, abort.Done()) {
+				return
+			}
+			if !br.mesh.wait(w, abort.Done()) { // neighbors' post-collision planes are ready
+				return
+			}
 			for x := lo; x < hi; x++ {
 				s.streamPhase(x, w)
 			}
-			br.mesh.signal(w)
+			if !br.mesh.signal(w, abort.Done()) {
+				return
+			}
 		}
 	}
 	s.phaseBands = br
@@ -122,13 +155,20 @@ func (s *SimOf[T]) ensurePhaseBands(n int) {
 
 // runPhases advances n steps on the three-phase path. A single band
 // runs the phases inline; a multi-band plan wakes the persistent
-// workers once for the whole run.
-func (s *SimOf[T]) runPhases(n int) {
+// workers once for the whole run. A worker panic comes back as a
+// *runctl.PanicError after every worker has unwound; the scheduler is
+// then poisoned (stopped and dropped for rebuild) because the
+// half-stepped arrays behind it are not trustworthy.
+func (s *SimOf[T]) runPhases(n int) error {
 	s.ensurePhaseBands(s.bandCount())
 	br := s.phaseBands
 	if br.pool == nil {
 		s.ensureScratch(1)
+		hook := s.bandHook
 		for i := 0; i < n; i++ {
+			if hook != nil {
+				hook(0, s.step)
+			}
 			for x := 0; x < s.P.NX; x++ {
 				s.densPhase(x, 0)
 			}
@@ -140,11 +180,17 @@ func (s *SimOf[T]) runPhases(n int) {
 			}
 			s.step++
 		}
-		return
+		return nil
 	}
 	br.steps = n
 	br.pool.run(br.work)
+	if err := br.abort.Err(); err != nil {
+		br.stop()
+		s.phaseBands = nil
+		return err
+	}
 	s.step += n
+	return nil
 }
 
 // StepParallel is Step with the configured intra-node parallelism. Sim
@@ -164,12 +210,56 @@ func (s *SimOf[T]) StepParallel() {
 // instead of once per step, and between steps the workers synchronize
 // only with their boundary neighbors through the token mesh.
 func (s *SimOf[T]) RunParallelSteps(n int) {
+	if err := s.runParallelErr(n); err != nil {
+		// A band worker panicked: every worker has already unwound (the
+		// abort flag drained the token mesh) and the scheduler has been
+		// poisoned for rebuild. Re-panic with the typed cause so the
+		// unsupervised interface keeps panic semantics; supervised loops
+		// use RunSupervised and get it as an error instead.
+		panic(err)
+	}
+}
+
+// runParallelErr is RunParallelSteps with the worker-panic cause as an
+// error value (a *runctl.PanicError) instead of a re-panic.
+func (s *SimOf[T]) runParallelErr(n int) error {
 	if n < 1 {
-		return
+		return nil
 	}
 	if s.P.Fused {
-		s.runFused(n)
-		return
+		return s.runFused(n)
 	}
-	s.runPhases(n)
+	return s.runPhases(n)
+}
+
+// SetBandHook installs a per-step observation hook: the ownership
+// schedulers call hook(band, step) once per band at the top of every
+// step (band 0 on the serial fast paths), concurrently from the band
+// workers. Chaos tests use it to inject panics and stalls into compute
+// workers and to trigger cancellation at exact steps; a nil hook (the
+// default) costs one predictable branch per band-step.
+func (s *SimOf[T]) SetBandHook(hook func(band, step int)) {
+	s.bandHook = hook
+}
+
+// RunSupervised advances up to n steps under a supervisor, checking for
+// cancellation, wall-clock expiry, or a hard abort at every step
+// boundary. It returns the number of steps actually completed and the
+// stop cause: a soft cause (wrapping runctl.ErrCanceled or
+// runctl.ErrWallLimit) leaves the simulation at a consistent step
+// boundary — checkpoint-and-resume reproduces the uninterrupted run bit
+// for bit — while a *runctl.PanicError means a worker panicked and the
+// in-memory state is not trustworthy. A nil supervisor degrades to
+// RunParallelSteps with error-valued panics.
+func (s *SimOf[T]) RunSupervised(n int, sup *runctl.Supervisor) (int, error) {
+	for done := 0; done < n; done++ {
+		if err := sup.Err(); err != nil {
+			return done, err
+		}
+		if err := s.runParallelErr(1); err != nil {
+			sup.Trip(err)
+			return done, err
+		}
+	}
+	return n, nil
 }

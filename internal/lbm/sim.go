@@ -52,6 +52,11 @@ type SimOf[T num.Float] struct {
 	// many bands, bypassing the minimum-planes-per-band heuristic;
 	// tests use it to exercise multi-band sweeps on any machine.
 	fusedChunks int
+	// bandHook, when set, is called (band, step) at the top of every
+	// band-step by the ownership schedulers — concurrently from the
+	// band workers — and with band 0 by the serial fast paths. Fault
+	// injection and supervision tests hang off it; see SetBandHook.
+	bandHook func(band, step int)
 }
 
 // Sim is the double-precision sequential solver used by the parallel

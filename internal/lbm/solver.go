@@ -1,5 +1,7 @@
 package lbm
 
+import "microslip/internal/runctl"
+
 // Solver is the precision-agnostic surface of the sequential solver:
 // everything a driver (benchmarks, the slip experiments, the CLI) needs
 // to step a simulation and read diagnostics, independent of whether the
@@ -30,8 +32,18 @@ type Solver interface {
 	SetBands(n int)
 	// SetFusedChunks pins the fused path's band count (tests only).
 	SetFusedChunks(n int)
+	// RunSupervised advances up to n steps under a supervisor, checking
+	// for cancellation, wall-clock expiry, or a worker abort at every
+	// step boundary; it returns the steps completed and the stop cause.
+	RunSupervised(n int, sup *runctl.Supervisor) (int, error)
+	// SetBandHook installs the per-band-step observation hook used by
+	// fault injection and supervision tests.
+	SetBandHook(hook func(band, step int))
 	// RunToSteady advances until the velocity field stops changing.
 	RunToSteady(maxSteps, checkEvery int, tol float64) SteadyResult
+	// RunToSteadySupervised is RunToSteady under a supervisor,
+	// returning the partial result alongside any stop cause.
+	RunToSteadySupervised(sup *runctl.Supervisor, maxSteps, checkEvery int, tol float64) (SteadyResult, error)
 	// Velocity returns the barycentric velocity at (x, y, z).
 	Velocity(x, y, z int) (ux, uy, uz float64)
 	// Density returns the mass density of component c at (x, y, z).

@@ -1,6 +1,10 @@
 package lbm
 
-import "math"
+import (
+	"math"
+
+	"microslip/internal/runctl"
+)
 
 // SteadyResult reports a run-to-steady-state outcome.
 type SteadyResult struct {
@@ -43,6 +47,39 @@ func (s *SimOf[T]) RunToSteady(maxSteps, checkEvery int, tol float64) SteadyResu
 		prev = cur
 	}
 	return res
+}
+
+// RunToSteadySupervised is RunToSteady under a supervisor: the run
+// stops at the next step boundary after a cancellation, wall-clock
+// expiry, or worker abort, returning the partial SteadyResult (steps
+// completed so far, last residual) alongside the stop cause. A nil
+// error means the criterion ran to its own conclusion (converged or
+// maxSteps), exactly like RunToSteady.
+func (s *SimOf[T]) RunToSteadySupervised(sup *runctl.Supervisor, maxSteps, checkEvery int, tol float64) (SteadyResult, error) {
+	if checkEvery < 1 {
+		checkEvery = 1
+	}
+	prev := s.velocitySnapshot()
+	res := SteadyResult{Residual: math.Inf(1)}
+	for res.Steps < maxSteps {
+		n := checkEvery
+		if res.Steps+n > maxSteps {
+			n = maxSteps - res.Steps
+		}
+		done, err := s.RunSupervised(n, sup)
+		res.Steps += done
+		if err != nil {
+			return res, err
+		}
+		cur := s.velocitySnapshot()
+		res.Residual = relativeChange(cur, prev)
+		if res.Residual < tol {
+			res.Converged = true
+			return res, nil
+		}
+		prev = cur
+	}
+	return res, nil
 }
 
 // velocitySnapshot samples the barycentric velocity at every fluid

@@ -1,0 +1,279 @@
+package lbm
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"microslip/internal/runctl"
+)
+
+// A panic in one band worker must abort the whole run with a typed
+// PanicError naming the band, unwind every other worker (the pool
+// rendezvous completes instead of deadlocking on the token mesh), and
+// leave the scheduler rebuildable: the next run works again.
+func TestBandWorkerPanicAborts(t *testing.T) {
+	for _, fused := range []bool{false, true} {
+		name := "phases"
+		if fused {
+			name = "fused"
+		}
+		t.Run(name, func(t *testing.T) {
+			p := WaterAir(12, 10, 6)
+			p.Fused = fused
+			s, err := NewSim(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.SetWorkers(4)
+			if fused {
+				s.SetFusedChunks(4)
+			} else {
+				s.SetBands(4)
+			}
+			s.SetBandHook(func(band, step int) {
+				if band == 2 && step == 3 {
+					panic("injected band fault")
+				}
+			})
+			done := make(chan any, 1)
+			go func() {
+				defer func() { done <- recover() }()
+				s.RunParallelSteps(8)
+				done <- nil
+			}()
+			select {
+			case r := <-done:
+				var pe *runctl.PanicError
+				err, ok := r.(error)
+				if !ok || !errors.As(err, &pe) {
+					t.Fatalf("RunParallelSteps panicked with %v, want *runctl.PanicError", r)
+				}
+				if pe.Band != 2 || pe.Rank != -1 {
+					t.Fatalf("PanicError identity = rank %d band %d, want rank -1 band 2", pe.Rank, pe.Band)
+				}
+				if len(pe.Stack) == 0 {
+					t.Fatal("PanicError carries no stack")
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("band panic deadlocked the token mesh")
+			}
+			// The poisoned scheduler rebuilds and the sim steps again.
+			s.SetBandHook(nil)
+			s.RunParallelSteps(2)
+			if err := s.CheckFinite(); err != nil {
+				t.Fatalf("after rebuild: %v", err)
+			}
+		})
+	}
+}
+
+// RunSupervised under a worker panic returns the PanicError as a value
+// and trips the supervisor for the rest of the stack.
+func TestRunSupervisedSurfacesPanic(t *testing.T) {
+	p := WaterAir(12, 10, 6)
+	s, err := NewSim(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetWorkers(3)
+	s.SetBands(3)
+	s.SetBandHook(func(band, step int) {
+		if band == 1 && step == 2 {
+			panic("kaboom")
+		}
+	})
+	sup := runctl.NewSupervisor(context.Background(), 0)
+	done, err := s.RunSupervised(10, sup)
+	var pe *runctl.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("RunSupervised error = %v, want PanicError", err)
+	}
+	if done != 2 {
+		t.Fatalf("completed %d steps before the step-3 panic, want 2", done)
+	}
+	if sup.HardErr() == nil {
+		t.Fatal("supervisor not tripped by the worker panic")
+	}
+}
+
+// Cancellation stops a supervised run at the next step boundary with
+// the typed cause, and checkpoint-resume from that boundary reproduces
+// the uninterrupted run bit for bit — the intra-node half of the
+// abort-safety story, for both stepping paths at both precisions.
+func TestRunSupervisedCancelResumeBitIdentical(t *testing.T) {
+	cases := []struct {
+		name  string
+		fused bool
+		f32   bool
+	}{
+		{"phases-f64", false, false},
+		{"fused-f64", true, false},
+		{"phases-f32", false, true},
+		{"fused-f32", true, true},
+	}
+	const total, cancelAt = 12, 5
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mk := func() *Params {
+				p := WaterAir(12, 10, 6)
+				p.Fused = tc.fused
+				if tc.f32 {
+					p.Precision = F32
+				}
+				return p
+			}
+			ref, err := NewSolver(mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.SetWorkers(4)
+			ref.RunParallelSteps(total)
+
+			run, err := NewSolver(mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			run.SetWorkers(4)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			run.SetBandHook(func(band, step int) {
+				if step == cancelAt {
+					cancel()
+				}
+			})
+			sup := runctl.NewSupervisor(ctx, 0)
+			done, err := run.RunSupervised(total, sup)
+			if !errors.Is(err, runctl.ErrCanceled) {
+				t.Fatalf("RunSupervised = %v, want ErrCanceled", err)
+			}
+			if done != run.StepCount() {
+				t.Fatalf("reported %d steps but sim is at %d", done, run.StepCount())
+			}
+			if done >= total || done < cancelAt {
+				t.Fatalf("cancelled run did %d/%d steps (cancel fired at %d)", done, total, cancelAt)
+			}
+
+			// Resume from a snapshot of the interrupted state.
+			resumed, err := SolverFromState(run.State())
+			if err != nil {
+				t.Fatal(err)
+			}
+			resumed.SetWorkers(4)
+			resumed.RunParallelSteps(total - done)
+			if resumed.StepCount() != total {
+				t.Fatalf("resume ended at step %d, want %d", resumed.StepCount(), total)
+			}
+			a, b := ref.State(), resumed.State()
+			for c := range a.F {
+				for x := range a.F[c] {
+					for i := range a.F[c][x] {
+						if a.F[c][x][i] != b.F[c][x][i] {
+							t.Fatalf("resume diverges at c=%d x=%d i=%d: %v vs %v",
+								c, x, i, a.F[c][x][i], b.F[c][x][i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// A wall-limited supervised run stops with ErrWallLimit once its budget
+// expires.
+func TestRunSupervisedWallLimit(t *testing.T) {
+	p := WaterAir(12, 10, 6)
+	s, err := NewSim(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := runctl.NewSupervisor(context.Background(), time.Millisecond)
+	time.Sleep(2 * time.Millisecond)
+	done, err := s.RunSupervised(1_000_000, sup)
+	if !errors.Is(err, runctl.ErrWallLimit) {
+		t.Fatalf("err = %v, want ErrWallLimit", err)
+	}
+	if done == 1_000_000 {
+		t.Fatal("wall limit never stopped the run")
+	}
+}
+
+// RunToSteadySupervised reports the partial step count on interruption
+// and completes like RunToSteady when unsupervised pressure is absent.
+func TestRunToSteadySupervised(t *testing.T) {
+	p := WaterAir(8, 10, 6)
+	s, err := NewSim(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.SetBandHook(func(band, step int) {
+		if step == 4 {
+			cancel()
+		}
+	})
+	sup := runctl.NewSupervisor(ctx, 0)
+	res, err := s.RunToSteadySupervised(sup, 50, 2, 0)
+	if !errors.Is(err, runctl.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if res.Steps != s.StepCount() {
+		t.Fatalf("partial result says %d steps, sim at %d", res.Steps, s.StepCount())
+	}
+	if res.Steps >= 50 {
+		t.Fatal("cancelled steady run ran to maxSteps")
+	}
+
+	s2, err := NewSim(WaterAir(8, 10, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s2.RunToSteady(6, 2, 0)
+	s3, err := NewSim(WaterAir(8, 10, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s3.RunToSteadySupervised(nil, 6, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("supervised steady result %+v != unsupervised %+v", got, want)
+	}
+}
+
+// The stall fault mode: a band worker sleeping in its hook must not
+// corrupt the run — the token mesh simply paces its neighbors — and the
+// result stays bit-identical to the unstalled run.
+func TestBandStallIsHarmless(t *testing.T) {
+	p := WaterAir(12, 10, 6)
+	ref, err := NewSim(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Run(6)
+
+	s, err := NewSim(WaterAir(12, 10, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetWorkers(4)
+	s.SetBands(4)
+	s.SetBandHook(func(band, step int) {
+		if band == 1 && step == 3 {
+			time.Sleep(20 * time.Millisecond)
+		}
+	})
+	s.RunParallelSteps(6)
+	a, b := ref.State(), s.State()
+	for c := range a.F {
+		for x := range a.F[c] {
+			for i := range a.F[c][x] {
+				if a.F[c][x][i] != b.F[c][x][i] {
+					t.Fatalf("stalled run diverges at c=%d x=%d i=%d", c, x, i)
+				}
+			}
+		}
+	}
+}

@@ -37,6 +37,7 @@
 package parlbm
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -50,6 +51,7 @@ import (
 	"microslip/internal/num"
 	"microslip/internal/predict"
 	"microslip/internal/profile"
+	"microslip/internal/runctl"
 )
 
 // Message tags. Halo payloads are tagged by the direction they travel:
@@ -83,6 +85,18 @@ const (
 type Options struct {
 	// Phases is the number of LBM phases to execute.
 	Phases int
+	// Ctx, when non-nil, supervises the run: cancelling it asks every
+	// rank to stop orderly at a common phase boundary (agreed through
+	// the group's shared stop-phase protocol), write a coordinated
+	// interrupt checkpoint when Checkpoint is configured, and return a
+	// typed error wrapping runctl.ErrCanceled with Result.Interrupted
+	// describing the stop. A nil Ctx (with zero WallLimit) runs
+	// unsupervised, exactly as before.
+	Ctx context.Context
+	// WallLimit, when positive, is the run's wall-clock budget counted
+	// from launch; exceeding it stops the run exactly like a
+	// cancellation, with the error wrapping runctl.ErrWallLimit.
+	WallLimit time.Duration
 	// Policy is the remapping scheme; nil means no remapping.
 	Policy balance.Policy
 	// PhaseTime, when non-nil, replaces wall-clock measurement of the
@@ -187,7 +201,43 @@ type Result struct {
 	// a comm.WithResilience endpoint (zero otherwise) and, always, the
 	// per-class wire byte counters in Comm.Bytes.
 	Comm profile.CommStats
+	// Interrupted is non-nil when the run stopped orderly before
+	// completing all phases (cancellation, wall limit); the fields are
+	// not gathered in that case, so Final stays nil on every rank.
+	Interrupted *Interruption
 }
+
+// Interruption summarizes an orderly early stop of a supervised run.
+type Interruption struct {
+	// Cause is the stop cause (wrapping runctl.ErrCanceled or
+	// runctl.ErrWallLimit).
+	Cause error
+	// Phase is the phase boundary the group agreed to stop at; a resume
+	// continues from here.
+	Phase int
+	// Checkpointed reports whether a coordinated checkpoint is
+	// committed at exactly Phase (false when the run had no
+	// CheckpointSpec, so the in-memory state was the only copy).
+	Checkpointed bool
+}
+
+// RankError attributes a rank goroutine's failure to its rank; group
+// runners wrap every failure in one before joining, so multi-rank
+// errors stay attributable (errors.As recovers the rank, Unwrap keeps
+// the chain — including runctl.PanicError and comm.DeadRankError
+// evidence — intact).
+type RankError struct {
+	// Rank is the failing rank within its group.
+	Rank int
+	// Err is the rank's failure.
+	Err error
+}
+
+func (e *RankError) Error() string {
+	return fmt.Sprintf("parlbm: rank %d failed: %v", e.Rank, e.Err)
+}
+
+func (e *RankError) Unwrap() error { return e.Err }
 
 // planeViews is a deque of per-plane component views mirroring
 // field.Slab's internal deque: win[i][c] is component c's plane at
@@ -302,6 +352,7 @@ type worker struct {
 	k     *lbm.Kernel
 	c     comm.Comm
 	opts  Options
+	sup   *runctl.Supervisor
 	rank  int
 	size  int
 	f     []*field.Slab // per component, Q = 19
@@ -397,8 +448,33 @@ func ghostOr(views [][][]float64, gx, start, end int, gL, gR lbm.Ghost) lbm.Ghos
 }
 
 // RunRank executes the phases for one rank. All ranks of the group must
-// call it with identical parameters and options.
+// call it with identical parameters and options. When opts carries a
+// Ctx or WallLimit, the rank builds its own supervisor — sound for a
+// single-rank group; a multi-rank group must instead share ONE
+// supervisor across all ranks (the RunParallel family does this
+// internally, custom stackers use RunRankSupervised), because the
+// orderly stop protocol agrees on a common boundary through shared
+// supervisor state.
 func RunRank(p *lbm.Params, c comm.Comm, opts Options) (*Result, error) {
+	var sup *runctl.Supervisor
+	if opts.Ctx != nil || opts.WallLimit > 0 {
+		sup = runctl.NewSupervisor(opts.Ctx, opts.WallLimit)
+	}
+	return runRank(p, c, opts, sup)
+}
+
+// RunRankSupervised is RunRank under an externally owned supervisor:
+// the entry point for group runners that stack their own wrappers. All
+// ranks of the group must share the same supervisor instance (its
+// stop-phase agreement lives there), and should also wrap their
+// endpoints with comm.WithSupervision(ep, sup.HardErr, sup.Poll()) so
+// blocked receives unwind on a hard abort. A nil supervisor runs
+// unsupervised.
+func RunRankSupervised(p *lbm.Params, c comm.Comm, opts Options, sup *runctl.Supervisor) (*Result, error) {
+	return runRank(p, c, opts, sup)
+}
+
+func runRank(p *lbm.Params, c comm.Comm, opts Options, sup *runctl.Supervisor) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -426,7 +502,7 @@ func RunRank(p *lbm.Params, c comm.Comm, opts Options) (*Result, error) {
 		}
 	}
 	w := &worker{
-		p: p, k: lbm.NewKernel(p), c: c, opts: opts,
+		p: p, k: lbm.NewKernel(p), c: c, opts: opts, sup: sup,
 		rank: c.Rank(), size: c.Size(),
 		res: &Result{Rank: c.Rank()},
 	}
@@ -475,6 +551,12 @@ func RunRank(p *lbm.Params, c comm.Comm, opts Options) (*Result, error) {
 		ckInterval = opts.Checkpoint.Interval
 	}
 	for phase := startPhase; phase < opts.Phases; phase++ {
+		// A hard abort (a peer's panic, an escalated stall) unwinds the
+		// rank immediately: the state behind it is not trusted, so no
+		// checkpoint is attempted.
+		if err := sup.HardErr(); err != nil {
+			return nil, fmt.Errorf("parlbm: rank %d aborted before phase %d: %w", w.rank, phase, err)
+		}
 		if err := w.phase(phase); err != nil {
 			return nil, fmt.Errorf("parlbm: rank %d phase %d: %w", w.rank, phase, err)
 		}
@@ -485,18 +567,52 @@ func RunRank(p *lbm.Params, c comm.Comm, opts Options) (*Result, error) {
 		}
 		// Checkpoint after the remap so the persisted ownership map is
 		// the one the next phase runs with.
+		ckHere := false
 		if ckInterval > 0 && (phase+1)%ckInterval == 0 && phase+1 < opts.Phases {
 			if err := w.checkpointPhase(phase + 1); err != nil {
 				return nil, fmt.Errorf("parlbm: rank %d checkpoint after phase %d: %w", w.rank, phase, err)
 			}
+			ckHere = true
+		}
+		// Orderly stop: a rank observing a soft cause (cancel, wall
+		// limit) proposes stopping `size` phases past its own boundary —
+		// provably ahead of every peer, since the ring's halo coupling
+		// bounds the phase skew below the group size — and the shared
+		// CAS-min picks one common boundary. Every rank keeps exchanging
+		// halos until it reaches that boundary, so the group arrives in
+		// lockstep, writes one coordinated interrupt checkpoint there,
+		// and unwinds with the typed cause.
+		completed := phase + 1
+		if err := sup.Err(); err != nil && runctl.IsInterrupt(err) {
+			sup.ProposeStop(completed + w.size)
+		}
+		if stop := sup.StopPhase(); completed >= stop && completed < opts.Phases {
+			cause := sup.Err()
+			checkpointed := ckHere
+			if !ckHere && w.opts.Checkpoint != nil {
+				if err := w.checkpointPhase(completed); err != nil {
+					return nil, fmt.Errorf("parlbm: rank %d interrupt checkpoint at phase %d: %w", w.rank, completed, err)
+				}
+				checkpointed = true
+			}
+			w.res.Interrupted = &Interruption{Cause: cause, Phase: completed, Checkpointed: checkpointed}
+			w.fillStats()
+			return w.res, fmt.Errorf("parlbm: rank %d interrupted after phase %d: %w", w.rank, completed, cause)
 		}
 	}
 	if err := w.gather(); err != nil {
 		return nil, fmt.Errorf("parlbm: rank %d gather: %w", w.rank, err)
 	}
+	w.fillStats()
+	return w.res, nil
+}
+
+// fillStats copies the rank's final slab range and comm counters into
+// its result (shared by the completion and orderly-interrupt paths).
+func (w *worker) fillStats() {
 	w.res.FinalStart = w.f[0].Start
 	w.res.FinalCount = w.f[0].Count()
-	if sc, ok := c.(interface{ Stats() comm.Stats }); ok {
+	if sc, ok := w.c.(interface{ Stats() comm.Stats }); ok {
 		s := sc.Stats()
 		w.res.Comm.Retries = s.Retries
 		w.res.Comm.Timeouts = s.Timeouts
@@ -505,7 +621,6 @@ func RunRank(p *lbm.Params, c comm.Comm, opts Options) (*Result, error) {
 		w.res.Comm.Corrupt = s.Corrupt
 	}
 	w.res.Comm.Bytes = w.res.Breakdown.Bytes
-	return w.res, nil
 }
 
 // neighbors returns the ring neighbors for halo exchange (the domain is

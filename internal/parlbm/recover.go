@@ -3,12 +3,15 @@ package parlbm
 import (
 	"errors"
 	"fmt"
+	"runtime/debug"
+	"time"
 
 	"microslip/internal/balance"
 	"microslip/internal/checkpoint"
 	"microslip/internal/comm"
 	"microslip/internal/field"
 	"microslip/internal/lbm"
+	"microslip/internal/runctl"
 )
 
 // This file is the shrink-to-survivors recovery driver: it runs a
@@ -109,6 +112,13 @@ func RunRecoverable(p *lbm.Params, opts Options, rec RecoveryOptions) ([]*field.
 	report := &RecoveryReport{}
 	var pendingRestart *RestartEvent
 
+	// The wall-clock budget spans the whole recoverable run, not each
+	// attempt: restarts inherit the remaining budget.
+	var wallDeadline time.Time
+	if opts.WallLimit > 0 {
+		wallDeadline = time.Now().Add(opts.WallLimit)
+	}
+
 	for {
 		report.Attempts++
 		// Shrink feasibility: the survivor set must still cover the
@@ -145,17 +155,34 @@ func RunRecoverable(p *lbm.Params, opts Options, rec RecoveryOptions) ([]*field.
 		}
 		attemptOpts := opts
 		attemptOpts.Checkpoint = spec
+		if !wallDeadline.IsZero() {
+			remaining := time.Until(wallDeadline)
+			if remaining <= 0 {
+				remaining = time.Nanosecond // already expired: stop at the first boundary
+			}
+			attemptOpts.WallLimit = remaining
+		}
 
 		results, errsByRank := runAttempt(p, attemptOpts, rec, report.Attempts-1, members)
 
 		var failures []error
+		interruptsOnly := true
 		for slot, err := range errsByRank {
 			if err != nil {
-				failures = append(failures, fmt.Errorf("parlbm: rank %d (member %d) failed: %w", slot, members[slot], err))
+				failures = append(failures, fmt.Errorf("parlbm: member %d: %w", members[slot], &RankError{Rank: slot, Err: err}))
+				if !runctl.IsInterrupt(err) {
+					interruptsOnly = false
+				}
 			}
 		}
 		if len(failures) == 0 {
 			return results[0].Final, results, report, nil
+		}
+		// An orderly interruption is not a failure to recover from: the
+		// group stopped at an agreed boundary (checkpointing there), so
+		// hand the partial results straight back.
+		if interruptsOnly {
+			return nil, results, report, errors.Join(failures...)
 		}
 
 		// Membership agreement: union every dead-slot claim across all
@@ -213,25 +240,37 @@ func runAttempt(p *lbm.Params, opts Options, rec RecoveryOptions, attempt int, m
 		eps = rec.Wrap(attempt, members, eps)
 	}
 	eps = comm.WithResilienceAll(comm.WithHeartbeatAll(eps, health), rec.Resilience)
+	// The attempt shares one supervisor (stop-phase agreement, panic
+	// abort), stacked outermost so supervised polling sees the full
+	// resilience/heartbeat behavior underneath.
+	sup := runctl.NewSupervisor(opts.Ctx, opts.WallLimit)
+	eps = comm.WithSupervisionAll(eps, sup.HardErr, sup.Poll())
 
 	results := make([]*Result, n)
 	errs := make([]error, n)
 	done := make(chan int, n)
 	for r := 0; r < n; r++ {
 		go func(r int) {
+			defer func() { done <- r }()
 			stop := health.StartProber(r)
-			results[r], errs[r] = RunRank(p, eps[r], opts)
-			stop() // a dead rank falls silent the moment it stops running
-			if d, ok := eps[r].(comm.Drainer); ok {
-				d.Drain()
-			}
-			done <- r
+			defer func() {
+				if rv := recover(); rv != nil {
+					pe := &runctl.PanicError{Rank: r, Band: -1, Value: rv, Stack: debug.Stack()}
+					sup.Trip(pe)
+					errs[r] = pe
+				}
+				stop() // a dead rank falls silent the moment it stops running
+				if d, ok := eps[r].(comm.Drainer); ok {
+					d.Drain()
+				}
+			}()
+			results[r], errs[r] = RunRankSupervised(p, eps[r], opts, sup)
 		}(r)
 	}
 	aborted := false
 	for i := 0; i < n; i++ {
 		r := <-done
-		if errs[r] == nil || aborted {
+		if errs[r] == nil || aborted || runctl.IsInterrupt(errs[r]) {
 			continue
 		}
 		if dead := comm.DeadRanks(errs[r]); len(dead) == 1 && dead[0] == r {

@@ -3,6 +3,7 @@ package parlbm
 import (
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"time"
 
 	"microslip/internal/balance"
@@ -11,6 +12,7 @@ import (
 	"microslip/internal/decomp"
 	"microslip/internal/field"
 	"microslip/internal/lbm"
+	"microslip/internal/runctl"
 )
 
 // remap runs one distributed remapping round (lines 19-32 of the
@@ -465,37 +467,69 @@ func RunOnEndpoints(p *lbm.Params, eps []comm.Comm, opts Options) ([]*field.Dist
 // teardowns are).
 func runGroup(p *lbm.Params, eps []comm.Comm, opts Options, abort func()) ([]*field.Dist3D, []*Result, error) {
 	ranks := len(eps)
+	// One supervisor for the whole group: the orderly stop-phase
+	// agreement and the panic abort flag live in its shared state. Every
+	// endpoint is wrapped so a blocked receive polls the hard-abort
+	// check; soft causes deliberately do NOT fail receives (HardErr
+	// stays nil during an orderly stop), so halo traffic keeps flowing
+	// until every rank reaches the agreed boundary.
+	sup := runctl.NewSupervisor(opts.Ctx, opts.WallLimit)
+	seps := comm.WithSupervisionAll(eps, sup.HardErr, sup.Poll())
 	results := make([]*Result, ranks)
 	errs := make([]error, ranks)
 	done := make(chan int, ranks)
 	for r := 0; r < ranks; r++ {
 		go func(r int) {
-			results[r], errs[r] = RunRank(p, eps[r], opts)
-			// A wrapper may still hold outbound frames (a fault injector's
-			// reordered messages); release them from the owning goroutine
-			// so peers blocked on this rank's terminal sends can finish.
-			if d, ok := eps[r].(comm.Drainer); ok {
-				d.Drain()
-			}
-			done <- r
+			defer func() { done <- r }()
+			defer func() {
+				if rec := recover(); rec != nil {
+					// A rank goroutine panic becomes a typed, attributable
+					// cause and trips the shared abort, so every peer
+					// blocked in a supervised receive unwinds instead of
+					// waiting for this rank's traffic forever.
+					pe := &runctl.PanicError{Rank: r, Band: -1, Value: rec, Stack: debug.Stack()}
+					sup.Trip(pe)
+					errs[r] = pe
+				}
+				// A wrapper may still hold outbound frames (a fault
+				// injector's reordered messages); release them from the
+				// owning goroutine so peers blocked on this rank's
+				// terminal sends can finish.
+				if d, ok := eps[r].(comm.Drainer); ok {
+					d.Drain()
+				}
+			}()
+			results[r], errs[r] = RunRankSupervised(p, seps[r], opts, sup)
 		}(r)
 	}
 	// Aggregate every rank failure, in completion order: the first is
 	// usually the root cause and later ones teardown casualties
 	// (ErrClosed) of the abort below, but a kill plus a secondary
-	// timeout must both be diagnosable from the returned error.
+	// timeout must both be diagnosable from the returned error. Orderly
+	// interruptions never tear the transport down — every rank stops at
+	// the agreed boundary on its own — and hand the per-rank results
+	// (carrying Result.Interrupted) back alongside the joined error.
 	var failures []error
+	aborted := false
+	interruptsOnly := true
 	for i := 0; i < ranks; i++ {
 		r := <-done
 		if errs[r] == nil {
 			continue
 		}
-		failures = append(failures, fmt.Errorf("parlbm: rank %d failed: %w", r, errs[r]))
-		if len(failures) == 1 && abort != nil {
-			abort()
+		failures = append(failures, &RankError{Rank: r, Err: errs[r]})
+		if !runctl.IsInterrupt(errs[r]) {
+			interruptsOnly = false
+			if !aborted && abort != nil {
+				aborted = true
+				abort()
+			}
 		}
 	}
 	if len(failures) > 0 {
+		if interruptsOnly {
+			return nil, results, errors.Join(failures...)
+		}
 		return nil, nil, errors.Join(failures...)
 	}
 	return results[0].Final, results, nil

@@ -1,0 +1,161 @@
+package runctl
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSupervisorIsInert(t *testing.T) {
+	var s *Supervisor
+	if err := s.Err(); err != nil {
+		t.Fatalf("nil Err() = %v", err)
+	}
+	if err := s.HardErr(); err != nil {
+		t.Fatalf("nil HardErr() = %v", err)
+	}
+	s.Trip(errors.New("boom"))
+	s.ProposeStop(3)
+	if sp := s.StopPhase(); sp < 1<<30 {
+		t.Fatalf("nil StopPhase() = %d, want unreachable", sp)
+	}
+	select {
+	case <-s.Done():
+		t.Fatal("nil Done() channel is ready")
+	default:
+	}
+	if s.Poll() <= 0 {
+		t.Fatal("nil Poll() not positive")
+	}
+}
+
+func TestSupervisorContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := NewSupervisor(ctx, 0)
+	if err := s.Err(); err != nil {
+		t.Fatalf("Err before cancel = %v", err)
+	}
+	cancel()
+	err := s.Err()
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Err after cancel = %v, want ErrCanceled", err)
+	}
+	if !IsInterrupt(err) {
+		t.Fatalf("IsInterrupt(%v) = false", err)
+	}
+	// The cause latches: identical on every later call.
+	if err2 := s.Err(); err2.Error() != err.Error() {
+		t.Fatalf("cause changed: %v vs %v", err, err2)
+	}
+}
+
+func TestSupervisorWallLimit(t *testing.T) {
+	s := NewSupervisor(context.Background(), time.Millisecond)
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if err := s.Err(); err != nil {
+			if !errors.Is(err, ErrWallLimit) {
+				t.Fatalf("Err = %v, want ErrWallLimit", err)
+			}
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	t.Fatal("wall limit never expired")
+}
+
+func TestHardErrSeverity(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := NewSupervisor(ctx, 0)
+	s.Grace = 50 * time.Millisecond
+	cancel()
+	if err := s.Err(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Err = %v", err)
+	}
+	// A fresh soft cause is not hard yet.
+	if err := s.HardErr(); err != nil {
+		t.Fatalf("HardErr within grace = %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := s.HardErr(); err != nil {
+			if !errors.Is(err, ErrCanceled) {
+				t.Fatalf("escalated HardErr = %v", err)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("soft cause never escalated past grace")
+}
+
+func TestTripBeatsSoftAndLatchesFirst(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s := NewSupervisor(ctx, 0)
+	boom := &PanicError{Rank: 2, Band: -1, Value: "boom"}
+	s.Trip(boom)
+	s.Trip(errors.New("second cause, ignored"))
+	if err := s.HardErr(); !errors.Is(err, ErrPanic) {
+		t.Fatalf("HardErr = %v, want the tripped PanicError", err)
+	}
+	var pe *PanicError
+	if !errors.As(s.Err(), &pe) || pe.Rank != 2 {
+		t.Fatalf("Err = %v, want PanicError rank 2", s.Err())
+	}
+	select {
+	case <-s.Done():
+	default:
+		t.Fatal("Done not released by Trip")
+	}
+}
+
+func TestProposeStopTakesMinimum(t *testing.T) {
+	s := NewSupervisor(context.Background(), 0)
+	var wg sync.WaitGroup
+	for _, p := range []int{40, 12, 19, 33, 12, 51} {
+		wg.Add(1)
+		go func(p int) { defer wg.Done(); s.ProposeStop(p) }(p)
+	}
+	wg.Wait()
+	if got := s.StopPhase(); got != 12 {
+		t.Fatalf("StopPhase = %d, want 12", got)
+	}
+	s.ProposeStop(99) // higher proposals never raise it
+	if got := s.StopPhase(); got != 12 {
+		t.Fatalf("StopPhase after higher proposal = %d, want 12", got)
+	}
+}
+
+func TestAbortSingleShot(t *testing.T) {
+	a := NewAbort()
+	if a.Err() != nil {
+		t.Fatal("fresh abort has a cause")
+	}
+	first := errors.New("first")
+	a.Trip(first)
+	a.Trip(errors.New("second"))
+	if a.Err() != first {
+		t.Fatalf("Err = %v, want first cause", a.Err())
+	}
+	<-a.Done() // must be released
+}
+
+func TestPanicErrorMessageAndUnwrap(t *testing.T) {
+	e := &PanicError{Rank: 3, Band: 1, Value: "kaboom", Stack: []byte("stack")}
+	if !errors.Is(e, ErrPanic) {
+		t.Fatal("PanicError does not wrap ErrPanic")
+	}
+	for _, e := range []*PanicError{
+		{Rank: 3, Band: 1, Value: "v"},
+		{Rank: 3, Band: -1, Value: "v"},
+		{Rank: -1, Band: 1, Value: "v"},
+		{Rank: -1, Band: -1, Value: "v"},
+	} {
+		if e.Error() == "" {
+			t.Fatalf("empty message for %+v", e)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package leakcheck asserts that a test (or a whole test binary) does
+// not leak goroutines. It is deliberately tiny: snapshot the goroutine
+// stacks, run the code under test, then diff against a fresh snapshot,
+// retrying for a grace window so goroutines that are merely *finishing*
+// (runtime-finalizer driven pool shutdown, prober tickers draining)
+// are not reported.
+//
+// Wire it into a package with a TestMain:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+//
+// or scope it to one test:
+//
+//	defer leakcheck.Check(t)()
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TB is the subset of testing.TB leakcheck needs; keeping the package
+// free of a "testing" import means non-test callers (the experiments
+// harness) can use it too.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// ignored matches goroutines that are part of the runtime or the test
+// harness itself, never a leak from the code under test.
+var ignored = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*M).",
+	"testing.(*T).Run(",
+	"runtime.goexit",
+	"runtime.MHeap_Scavenger",
+	"runtime.gc",
+	"created by runtime",
+	"signal.signal_recv",
+	"signal.loop",
+	"os/signal.NotifyContext",
+	"runtime.ensureSigM",
+	"leakcheck.interestingGoroutines",
+}
+
+// interestingGoroutines returns the normalized stack of every live
+// goroutine that is not runtime/harness noise, sorted.
+func interestingGoroutines() []string {
+	buf := make([]byte, 2<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	var out []string
+next:
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		stack := strings.TrimSpace(g)
+		if stack == "" {
+			continue
+		}
+		for _, skip := range ignored {
+			if strings.Contains(stack, skip) {
+				continue next
+			}
+		}
+		// Drop the header's goroutine id and state so two snapshots of
+		// the same parked goroutine compare equal.
+		if i := strings.Index(stack, "\n"); i >= 0 {
+			stack = stack[i+1:]
+		}
+		out = append(out, stack)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Leaked returns the goroutine stacks still alive after the grace
+// window that were not alive at baseline. Retries with GC each round so
+// finalizer-driven shutdowns (the band-step worker pool) get to run.
+func Leaked(baseline []string, grace time.Duration) []string {
+	base := map[string]int{}
+	for _, s := range baseline {
+		base[s]++
+	}
+	deadline := time.Now().Add(grace)
+	var extra []string
+	for {
+		extra = extra[:0]
+		seen := map[string]int{}
+		for _, s := range interestingGoroutines() {
+			seen[s]++
+			if seen[s] > base[s] {
+				extra = append(extra, s)
+			}
+		}
+		if len(extra) == 0 || time.Now().After(deadline) {
+			return append([]string(nil), extra...)
+		}
+		runtime.GC() // release pool finalizers
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Check snapshots the current goroutines and returns a function that
+// fails tb if extra goroutines survive a 2s grace window. Use as
+// `defer leakcheck.Check(t)()`.
+func Check(tb TB) func() {
+	base := interestingGoroutines()
+	return func() {
+		tb.Helper()
+		for _, stack := range Leaked(base, 2*time.Second) {
+			tb.Errorf("leaked goroutine:\n%s", stack)
+		}
+	}
+}
+
+// Count returns how many non-harness goroutines beyond the baseline are
+// still alive after the grace window — the experiments harness's
+// numeric form of Check.
+func Count(baseline []string, grace time.Duration) int {
+	return len(Leaked(baseline, grace))
+}
+
+// Snapshot records the current interesting goroutines for a later
+// Leaked/Count diff.
+func Snapshot() []string { return interestingGoroutines() }
+
+// mainRunner is the subset of *testing.M that Main needs.
+type mainRunner interface{ Run() int }
+
+// Main wraps a package's TestMain: run the tests, then fail the binary
+// if the whole run leaked goroutines past a 2s grace window.
+func Main(m mainRunner) {
+	base := interestingGoroutines()
+	code := m.Run()
+	if code == 0 {
+		if leaked := Leaked(base, 2*time.Second); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr, "leakcheck: %d goroutine(s) leaked by the test binary:\n\n%s\n",
+				len(leaked), strings.Join(leaked, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

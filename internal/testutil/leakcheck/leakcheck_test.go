@@ -1,0 +1,56 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+type recorder struct {
+	failures []string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.failures = append(r.failures, format)
+}
+
+func TestCheckCatchesLeak(t *testing.T) {
+	rec := &recorder{}
+	done := Check(rec)
+	stop := make(chan struct{})
+	go func() { <-stop }() // parked: a genuine leak during the grace window
+	start := time.Now()
+	done()
+	close(stop)
+	if len(rec.failures) == 0 {
+		t.Fatal("leaked goroutine not reported")
+	}
+	if time.Since(start) < 1900*time.Millisecond {
+		t.Fatal("grace window not honored before failing")
+	}
+}
+
+func TestCheckPassesOnTransientGoroutine(t *testing.T) {
+	rec := &recorder{}
+	done := Check(rec)
+	go func() { time.Sleep(100 * time.Millisecond) }() // finishes inside the grace window
+	done()
+	if len(rec.failures) != 0 {
+		t.Fatalf("transient goroutine flagged as leak: %v", rec.failures)
+	}
+}
+
+func TestSnapshotFiltersHarness(t *testing.T) {
+	for _, s := range Snapshot() {
+		if strings.Contains(s, "testing.tRunner") {
+			t.Fatalf("harness goroutine not filtered:\n%s", s)
+		}
+	}
+}
+
+func TestCountZeroWhenClean(t *testing.T) {
+	if n := Count(Snapshot(), 200*time.Millisecond); n != 0 {
+		t.Fatalf("clean baseline counts %d leaks", n)
+	}
+}

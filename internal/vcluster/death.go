@@ -49,10 +49,16 @@ func runWithDeaths(cfg Config) (*Result, error) {
 		if d.Phase > completed {
 			sub := epochConfig(cfg, active, d.Phase-completed, true)
 			r, err := runAlive(sub)
-			if err != nil {
-				return nil, err
+			if r != nil {
+				mergeEpoch(res, r, active, base)
 			}
-			mergeEpoch(res, r, active, base)
+			if err != nil {
+				// Interrupted mid-epoch: hand back the partial
+				// trajectory with the typed cause.
+				res.TotalTime = base + r.TotalTime
+				res.FinalPartition = r.FinalPartition
+				return res, err
+			}
 			base += r.TotalTime
 		}
 
@@ -90,13 +96,13 @@ func runWithDeaths(cfg Config) (*Result, error) {
 	// The final epoch: the remaining survivors finish the run.
 	sub := epochConfig(cfg, active, cfg.Phases-completed, false)
 	r, err := runAlive(sub)
-	if err != nil {
+	if r == nil {
 		return nil, err
 	}
 	mergeEpoch(res, r, active, base)
 	res.TotalTime = base + r.TotalTime
 	res.FinalPartition = r.FinalPartition
-	return res, nil
+	return res, err
 }
 
 // epochConfig derives the configuration of one epoch: the given nodes,
@@ -126,6 +132,7 @@ func mergeEpoch(res *Result, r *Result, active []int, base float64) {
 	res.PlanesMoved += r.PlanesMoved
 	res.RemapRounds += r.RemapRounds
 	res.ExchangeRetries += r.ExchangeRetries
+	res.CompletedPhases += r.CompletedPhases
 	if res.Timeline != nil && r.Timeline != nil {
 		for _, t := range r.Timeline.PhaseEnd {
 			res.Timeline.PhaseEnd = append(res.Timeline.PhaseEnd, base+t)

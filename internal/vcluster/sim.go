@@ -1,6 +1,7 @@
 package vcluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -8,6 +9,7 @@ import (
 	"microslip/internal/decomp"
 	"microslip/internal/predict"
 	"microslip/internal/profile"
+	"microslip/internal/runctl"
 )
 
 // Config describes one virtual-cluster run.
@@ -60,6 +62,10 @@ type Config struct {
 	// RecordTimeline enables per-phase makespan recording in
 	// Result.Timeline.
 	RecordTimeline bool
+	// Ctx, when non-nil, is checked at every phase boundary: once it is
+	// done, Run stops, returns the partial result (CompletedPhases
+	// phases of trajectory) and an error wrapping runctl.ErrCanceled.
+	Ctx context.Context
 	// CheckpointInterval takes a coordinated checkpoint every this many
 	// phases: each node persists its planes (CheckpointPerPlane work at
 	// its contended speed) and the commit barrier synchronizes the
@@ -172,6 +178,10 @@ type Result struct {
 	// Timeline is the per-phase makespan record; nil unless
 	// Config.RecordTimeline was set.
 	Timeline *Timeline
+	// CompletedPhases counts the phases actually simulated (death
+	// replays included) — at least Config.Phases unless Config.Ctx
+	// interrupted the run.
+	CompletedPhases int
 }
 
 // Speedup returns SequentialTime / TotalTime.
@@ -260,7 +270,12 @@ func runAlive(cfg Config) (*Result, error) {
 	}
 	interval := cfg.Policy.Interval()
 
+	interrupted := false
 	for phase := 0; phase < cfg.Phases; phase++ {
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		// Compute and push halos.
 		for i := 0; i < p; i++ {
 			planes := part.Count(i)
@@ -338,6 +353,7 @@ func runAlive(cfg Config) (*Result, error) {
 				clock[i] = tsync
 			}
 		}
+		res.CompletedPhases++
 	}
 
 	res.TotalTime = 0
@@ -347,6 +363,10 @@ func runAlive(cfg Config) (*Result, error) {
 		}
 	}
 	res.FinalPartition = part
+	if interrupted {
+		return res, fmt.Errorf("vcluster: interrupted after %d of %d phases: %w",
+			res.CompletedPhases, cfg.Phases, runctl.ErrCanceled)
+	}
 	return res, nil
 }
 
