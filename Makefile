@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race race-lbm chaos chaos-kill chaos-abort bench bench-json bench-paper bench-smoke fuzz
+.PHONY: check build vet test race race-lbm chaos chaos-kill chaos-abort bench bench-json bench-paper bench-smoke serve-smoke fuzz
 
 # The CI gate: compile everything, vet, run the full suite, the race
 # detector in short mode (the -short guard trims the long chaos and
@@ -78,6 +78,14 @@ BENCH_PRECISION ?= f64,f32
 bench-smoke:
 	$(GO) run ./cmd/lbmbench -quick -precision $(BENCH_PRECISION) -out bench_smoke.json
 	$(GO) run ./cmd/lbmbench -check bench_smoke.json
+
+# End-to-end smoke of the job server: boot slipd, push a loadgen burst
+# through it, leave long jobs in flight, SIGTERM, and assert the
+# graceful-drain contract — exit 0, every in-flight job persisted as
+# interrupted+resumable with its checkpoint on disk, and a restarted
+# server resuming one of them to completion.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Coverage-guided fuzzing beyond the committed seed corpora.
 fuzz:

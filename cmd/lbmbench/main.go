@@ -16,7 +16,11 @@
 //
 // -quick shrinks the sweep to a few seconds for CI smoke runs. -check
 // validates the JSON schema of an existing report and exits non-zero on
-// any violation; CI uses it to gate the emitted artifact.
+// any violation; CI uses it to gate the emitted artifact. A sweep cut
+// short by SIGINT/SIGTERM still flushes its partial report (marked
+// "interrupted") but exits 3, so automation never mistakes a partial
+// trajectory point for a complete one; -check likewise rejects
+// interrupted reports unless -allow-interrupted is passed.
 //
 // -precision sweeps the scalar precision: f64 is the historical core;
 // f32 runs the intra-node solver in single precision and switches the
@@ -160,6 +164,14 @@ type Report struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lbmbench: ")
+	os.Exit(run())
+}
+
+// run is main's body behind an exit code, so the pprof and signal
+// defers execute before the process exits. Exit codes: 0 complete,
+// 1 usage/validation error (via log.Fatal), 3 sweep interrupted by
+// SIGINT/SIGTERM (partial report written).
+func run() int {
 	// SIGINT/SIGTERM end the sweep at the next entry boundary and flush
 	// the partial report (marked "interrupted") instead of dying with
 	// nothing written.
@@ -182,15 +194,17 @@ func main() {
 		quick     = flag.Bool("quick", false, "tiny sweep for CI smoke runs")
 		paper     = flag.Bool("paper", false, "paper-size preset: 32x48x16 + 200x100x20 + 400x200x20 grids, worker sweep to 8")
 		check     = flag.String("check", "", "validate the schema of an existing report and exit")
+		allowIntr = flag.Bool("allow-interrupted", false, "-check: accept reports marked interrupted (partial sweeps)")
 	)
 	flag.Parse()
 
 	if *check != "" {
-		if err := validate(*check); err != nil {
-			log.Fatalf("%s: %v", *check, err)
+		if err := validate(*check, *allowIntr); err != nil {
+			log.Printf("%s: %v", *check, err)
+			return 1
 		}
 		fmt.Printf("ok: %s is valid %s\n", *check, Schema)
-		return
+		return 0
 	}
 
 	precSet := false
@@ -361,9 +375,10 @@ sweep:
 	}
 	if interrupted {
 		fmt.Printf("interrupted: wrote partial %s (%d entries, marked interrupted)\n", path, len(rep.Entries))
-		return
+		return 3
 	}
 	fmt.Printf("wrote %s (%d entries)\n", path, len(rep.Entries))
+	return 0
 }
 
 // benchIntra measures StepParallel on one grid/worker/fused/precision
@@ -523,8 +538,11 @@ func row(e Entry) string {
 }
 
 // validate checks an existing report against the schema; it is the CI
-// gate for the emitted artifact.
-func validate(path string) error {
+// gate for the emitted artifact. Interrupted (partial) reports are
+// rejected unless allowInterrupted: their entries are individually
+// valid but the sweep is incomplete, and a gate that accepted them
+// silently would let a half-measured trajectory point into the record.
+func validate(path string, allowInterrupted bool) error {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -537,6 +555,9 @@ func validate(path string) error {
 	}
 	if rep.Schema != Schema {
 		return fmt.Errorf("schema %q, want %q", rep.Schema, Schema)
+	}
+	if rep.Interrupted && !allowInterrupted {
+		return fmt.Errorf("report is marked interrupted (partial sweep); pass -allow-interrupted to accept it")
 	}
 	if _, err := time.Parse(time.RFC3339, rep.Generated); err != nil {
 		return fmt.Errorf("generated: %v", err)

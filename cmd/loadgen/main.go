@@ -1,0 +1,235 @@
+// Command loadgen drives a running slipd with many concurrent small
+// jobs and reports throughput and latency quantiles. It is the
+// measurement harness behind the service numbers in EXPERIMENTS.md and
+// the burst generator of the serve-smoke drain test.
+//
+// Two modes:
+//
+//   - default: submit -jobs jobs from -concurrency workers, long-poll
+//     each to its terminal state, and print a jobs/sec + p50/p95/p99
+//     table. Exits nonzero if any job fails (or ends in a state other
+//     than those allowed by -allow).
+//
+//   - -submit-only: submit the jobs and exit without waiting; used by
+//     the drain test to leave in-flight work behind a SIGTERM.
+//
+// Usage:
+//
+//	loadgen -addr 127.0.0.1:8080 -jobs 500 -concurrency 64
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"microslip/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+type outcome struct {
+	state   serve.State
+	latency time.Duration
+	err     error
+}
+
+func run() int {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "slipd address")
+		jobs        = flag.Int("jobs", 500, "total jobs to submit")
+		concurrency = flag.Int("concurrency", 64, "concurrent client workers")
+		kind        = flag.String("kind", serve.KindWallForce, "job kind: wallforce, steady, or distributed")
+		nx          = flag.Int("nx", 4, "lattice NX")
+		ny          = flag.Int("ny", 16, "lattice NY")
+		nz          = flag.Int("nz", 4, "lattice NZ")
+		steps       = flag.Int("steps", 50, "steps per job")
+		tol         = flag.Float64("tol", 1e-6, "steady tolerance (steady jobs)")
+		waitMS      = flag.Int("wait-ms", 120000, "per-job long-poll budget in ms")
+		submitOnly  = flag.Bool("submit-only", false, "submit jobs and exit without waiting for them")
+		allow       = flag.String("allow", "done", "comma-separated acceptable terminal states")
+		out         = flag.String("out", "", "append the result table to this file")
+	)
+	flag.Parse()
+	base := "http://" + strings.TrimPrefix(*addr, "http://")
+	allowed := map[serve.State]bool{}
+	for _, s := range strings.Split(*allow, ",") {
+		allowed[serve.State(strings.TrimSpace(s))] = true
+	}
+
+	spec := serve.JobSpec{Kind: *kind, NX: *nx, NY: *ny, NZ: *nz, Steps: *steps}
+	if *kind == serve.KindSteady {
+		spec.SteadyTol = *tol
+	}
+	body, _ := json.Marshal(spec)
+
+	client := &http.Client{Timeout: time.Duration(*waitMS)*time.Millisecond + 30*time.Second}
+	var (
+		submitFail atomic.Int64
+		next       atomic.Int64
+		mu         sync.Mutex
+		outcomes   []outcome
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if next.Add(1) > int64(*jobs) {
+					return
+				}
+				oc := runOne(client, base, body, *waitMS, *submitOnly)
+				if oc.err != nil && oc.state == "" {
+					submitFail.Add(1)
+				}
+				mu.Lock()
+				outcomes = append(outcomes, oc)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	if *submitOnly {
+		fails := submitFail.Load()
+		fmt.Printf("submitted %d jobs in %v (%d failed)\n", *jobs, wall.Round(time.Millisecond), fails)
+		if fails > 0 {
+			return 1
+		}
+		return 0
+	}
+
+	var lat []time.Duration
+	bad := 0
+	states := map[serve.State]int{}
+	for _, oc := range outcomes {
+		states[oc.state]++
+		if oc.err != nil || !allowed[oc.state] {
+			bad++
+			if oc.err != nil && bad <= 5 {
+				log.Printf("loadgen: %v", oc.err)
+			}
+			continue
+		}
+		lat = append(lat, oc.latency)
+	}
+
+	table := renderTable(*jobs, *concurrency, spec, wall, lat, states)
+	fmt.Print(table)
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			log.Printf("loadgen: %v", err)
+			return 1
+		}
+		f.WriteString(table)
+		f.Close()
+	}
+	if bad > 0 {
+		log.Printf("loadgen: %d/%d jobs unacceptable (allowed: %s)", bad, *jobs, *allow)
+		return 1
+	}
+	return 0
+}
+
+// runOne submits one job and (unless submitOnly) long-polls it to a
+// terminal state, returning the submit→terminal latency.
+func runOne(client *http.Client, base string, body []byte, waitMS int, submitOnly bool) outcome {
+	t0 := time.Now()
+	st, err := postJSON(client, base+"/jobs", body)
+	if err != nil {
+		return outcome{err: fmt.Errorf("submit: %w", err)}
+	}
+	if submitOnly {
+		return outcome{state: st.State, latency: time.Since(t0)}
+	}
+	deadline := time.Now().Add(time.Duration(waitMS) * time.Millisecond)
+	for {
+		st, err = getJSON(client, fmt.Sprintf("%s/jobs/%s/wait?timeout_ms=%d", base, st.ID, waitMS))
+		if err != nil {
+			return outcome{state: st.State, err: fmt.Errorf("wait %s: %w", st.ID, err)}
+		}
+		if st.State.Terminal() {
+			if st.State == serve.StateFailed {
+				return outcome{state: st.State, err: fmt.Errorf("job %s failed: %s", st.ID, st.Error)}
+			}
+			return outcome{state: st.State, latency: time.Since(t0)}
+		}
+		if time.Now().After(deadline) {
+			return outcome{state: st.State, err: fmt.Errorf("job %s still %s after %dms", st.ID, st.State, waitMS)}
+		}
+	}
+}
+
+func postJSON(client *http.Client, url string, body []byte) (serve.JobStatus, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	return decodeStatus(resp)
+}
+
+func getJSON(client *http.Client, url string) (serve.JobStatus, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	return decodeStatus(resp)
+}
+
+func decodeStatus(resp *http.Response) (serve.JobStatus, error) {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return serve.JobStatus{}, fmt.Errorf("http %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return serve.JobStatus{}, err
+	}
+	return st, nil
+}
+
+// renderTable formats the throughput + quantile summary.
+func renderTable(jobs, conc int, spec serve.JobSpec, wall time.Duration, lat []time.Duration, states map[serve.State]int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadgen: %d jobs (%s %dx%dx%d, %d steps) x %d clients\n",
+		jobs, spec.Kind, spec.NX, spec.NY, spec.NZ, spec.Steps, conc)
+	var parts []string
+	for _, s := range []serve.State{serve.StateDone, serve.StateInterrupted, serve.StateCanceled, serve.StateFailed, serve.StateQueued, serve.StateRunning} {
+		if n := states[s]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", s, n))
+		}
+	}
+	fmt.Fprintf(&b, "states: %s\n", strings.Join(parts, " "))
+	fmt.Fprintf(&b, "| metric | value |\n|---|---|\n")
+	fmt.Fprintf(&b, "| wall time | %v |\n", wall.Round(time.Millisecond))
+	fmt.Fprintf(&b, "| jobs/sec | %.1f |\n", float64(len(lat))/wall.Seconds())
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		q := func(p float64) time.Duration {
+			i := int(p * float64(len(lat)-1))
+			return lat[i].Round(time.Millisecond)
+		}
+		fmt.Fprintf(&b, "| p50 latency | %v |\n", q(0.50))
+		fmt.Fprintf(&b, "| p95 latency | %v |\n", q(0.95))
+		fmt.Fprintf(&b, "| p99 latency | %v |\n", q(0.99))
+		fmt.Fprintf(&b, "| max latency | %v |\n", lat[len(lat)-1].Round(time.Millisecond))
+	}
+	return b.String()
+}

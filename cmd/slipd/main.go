@@ -1,0 +1,104 @@
+// Command slipd is the slip-simulation job server: an HTTP/JSON
+// control plane (package serve) over the supervised LBM solver stack.
+// Clients submit wall-force, steady-state, and distributed water/air
+// jobs; slipd validates them, queues them, schedules them across a
+// bounded worker pool, streams live progress frames, and checkpoints
+// interrupted jobs so they can be resumed.
+//
+// SIGINT/SIGTERM triggers a graceful drain: submissions are refused,
+// running jobs are interrupted at their next safe boundary with their
+// state checkpointed, and the process exits 0 once the pool is idle.
+//
+// Usage:
+//
+//	slipd -addr :8080 -data /var/lib/slipd -pool 4
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"microslip/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		addrFile  = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts that use -addr :0)")
+		data      = flag.String("data", "", "storage root for job records and checkpoints (empty = in-memory, no resume)")
+		pool      = flag.Int("pool", 2, "concurrent jobs (worker pool size)")
+		queue     = flag.Int("queue", 1024, "bounded queue depth for accepted-but-not-running jobs")
+		stream    = flag.Int("stream-every", 200, "steps between streamed progress frames")
+		drainWait = flag.Duration("drain-timeout", 2*time.Minute, "max time to wait for in-flight jobs to reach a safe stop on shutdown")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{Pool: *pool, QueueDepth: *queue, StreamEvery: *stream}
+	if *data != "" {
+		st, err := serve.NewDirStorage(*data)
+		if err != nil {
+			log.Printf("slipd: %v", err)
+			return 1
+		}
+		cfg.Storage = st
+	}
+	srv, err := serve.NewServer(cfg)
+	if err != nil {
+		log.Printf("slipd: %v", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Printf("slipd: %v", err)
+		return 1
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			log.Printf("slipd: %v", err)
+			return 1
+		}
+	}
+	log.Printf("slipd: listening on %s (pool=%d queue=%d data=%q)", ln.Addr(), *pool, *queue, *data)
+
+	hs := &http.Server{Handler: serve.Handler(srv)}
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("slipd: %v: draining (in-flight jobs stop at their next safe boundary)", sig)
+	case err := <-httpDone:
+		log.Printf("slipd: http server: %v", err)
+		return 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	// Drain the job pool first so running jobs checkpoint, then close
+	// the HTTP side (clients polling /jobs/{id} during the drain still
+	// get answers).
+	drainErr := srv.Shutdown(ctx)
+	if err := hs.Shutdown(ctx); err != nil {
+		hs.Close()
+	}
+	if drainErr != nil {
+		log.Printf("slipd: %v", drainErr)
+		return 1
+	}
+	log.Printf("slipd: drained cleanly")
+	return 0
+}

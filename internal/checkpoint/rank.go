@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"microslip/internal/lbm"
 )
@@ -269,12 +270,31 @@ func LatestRun(dir string) (*RunSnapshot, error) {
 	return LoadRun(dir, m)
 }
 
+// DefaultPruneAge is Prune's grace window for uncommitted phase
+// directories: one younger than this is presumed to be a checkpoint in
+// progress and left alone even when a newer committed phase exists. A
+// run legitimately resumed from an older committed phase writes its
+// next checkpoint at a LOWER phase number than the newest commit on
+// disk, so phase ordering alone cannot distinguish "stale partial from
+// a killed attempt" from "set being written right now" — recency can.
+const DefaultPruneAge = 10 * time.Minute
+
 // Prune keeps the newest `keep` committed phase directories and removes
-// older ones, along with uncommitted directories older than the newest
-// committed phase (stale partials from crashed or killed attempts).
-// Uncommitted directories at or beyond the newest committed phase are
-// left alone: they may be a checkpoint in progress.
+// older ones, along with stale uncommitted directories (partials from
+// crashed or killed attempts). An uncommitted directory survives when
+// it is at or beyond the newest committed phase, or when any of its
+// files was modified within DefaultPruneAge — either way it may be a
+// checkpoint in progress, possibly from a run resumed at an older
+// phase. Committed means the COMMIT marker validates, the same test
+// restore applies: a corrupt marker must not anchor the stale line.
 func Prune(dir string, keep int) error {
+	return PruneAged(dir, keep, DefaultPruneAge)
+}
+
+// PruneAged is Prune with an explicit grace window for uncommitted
+// directories; minAge <= 0 disables the guard and removes every
+// uncommitted directory older (by phase) than the newest commit.
+func PruneAged(dir string, keep int, minAge time.Duration) error {
 	if keep < 1 {
 		keep = 1
 	}
@@ -294,16 +314,16 @@ func Prune(dir string, keep int) error {
 		if !e.IsDir() || len(e.Name()) <= 6 || e.Name()[:6] != "phase-" {
 			continue
 		}
-		_, err := os.Stat(filepath.Join(dir, e.Name(), CommitName))
-		phases = append(phases, phaseEnt{name: e.Name(), committed: err == nil})
+		phases = append(phases, phaseEnt{name: e.Name(), committed: commitValid(filepath.Join(dir, e.Name()))})
 	}
 	sort.Slice(phases, func(i, j int) bool { return phases[i].name > phases[j].name })
 	newestCommitted := ""
 	committedSeen := 0
 	for _, ph := range phases {
+		pd := filepath.Join(dir, ph.name)
 		if !ph.committed {
-			if newestCommitted != "" && ph.name < newestCommitted {
-				os.RemoveAll(filepath.Join(dir, ph.name))
+			if newestCommitted != "" && ph.name < newestCommitted && quiescentFor(pd, minAge) {
+				os.RemoveAll(pd)
 			}
 			continue
 		}
@@ -312,8 +332,48 @@ func Prune(dir string, keep int) error {
 		}
 		committedSeen++
 		if committedSeen > keep {
-			os.RemoveAll(filepath.Join(dir, ph.name))
+			os.RemoveAll(pd)
 		}
 	}
 	return nil
+}
+
+// commitValid reports whether the phase directory's COMMIT marker reads
+// back as a valid manifest — the same criterion LatestCommitted
+// restores by. Classifying by bare existence would let a corrupt marker
+// make the directory look committed to the pruner while restore
+// ignores it.
+func commitValid(phaseDir string) bool {
+	f, err := os.Open(filepath.Join(phaseDir, CommitName))
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var m Manifest
+	if err := readContainer(f, &m); err != nil {
+		return false
+	}
+	return m.Validate() == nil
+}
+
+// quiescentFor reports whether nothing under path (the directory itself
+// or any direct entry) was modified within minAge. minAge <= 0 means
+// always quiescent.
+func quiescentFor(path string, minAge time.Duration) bool {
+	if minAge <= 0 {
+		return true
+	}
+	cutoff := time.Now().Add(-minAge)
+	newest := time.Time{}
+	if fi, err := os.Stat(path); err == nil {
+		newest = fi.ModTime()
+	}
+	if entries, err := os.ReadDir(path); err == nil {
+		for _, e := range entries {
+			if fi, err := e.Info(); err == nil && fi.ModTime().After(newest) {
+				newest = fi.ModTime()
+			}
+		}
+	}
+	return newest.Before(cutoff)
 }

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 // makeRankState builds a rank snapshot with recognizable plane values:
@@ -180,10 +181,13 @@ func TestPrune(t *testing.T) {
 	writeSet(t, dir, 10, 6, 2, 1, 3)
 	writeSet(t, dir, 15, 6, 2, 1, 3)
 	// An old uncommitted partial (a killed attempt's leftovers) and a
-	// newer in-progress one.
+	// newer in-progress one. The stale partial is backdated past the
+	// grace window; a fresh one would be presumed in progress (see
+	// TestPruneSparesFreshUncommitted).
 	if err := SaveRank(dir, makeRankState(7, 0, 0, 6, 1, 3)); err != nil {
 		t.Fatal(err)
 	}
+	backdate(t, PhaseDir(dir, 7), 2*DefaultPruneAge)
 	if err := SaveRank(dir, makeRankState(20, 0, 0, 6, 1, 3)); err != nil {
 		t.Fatal(err)
 	}
@@ -213,5 +217,112 @@ func TestPrune(t *testing.T) {
 	// Prune of a missing directory is a no-op, not an error.
 	if err := Prune(filepath.Join(dir, "nope"), 1); err != nil {
 		t.Errorf("Prune(missing) = %v", err)
+	}
+}
+
+// backdate pushes the mtime of a phase directory and everything in it
+// `age` into the past, simulating a partial left by a long-dead run.
+func backdate(t *testing.T, dir string, age time.Duration) {
+	t.Helper()
+	old := time.Now().Add(-age)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := os.Chtimes(filepath.Join(dir, e.Name()), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Chtimes(dir, old, old); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A run resumed from an older committed phase writes its next
+// checkpoint at a LOWER phase number than the newest commit on disk.
+// Prune running concurrently (another rank's keep-pass, an operator
+// sweep) must not remove the set mid-write: freshly touched
+// uncommitted directories are presumed in progress.
+func TestPruneSparesFreshUncommitted(t *testing.T) {
+	dir := t.TempDir()
+	writeSet(t, dir, 30, 6, 2, 1, 3)
+
+	// Interleave the resumed run's rank saves at phase 20 with prune
+	// passes: every file it writes is fresh, so every pass must spare
+	// the set.
+	m := &Manifest{Phase: 20, NX: 6, NComp: 1, PlaneSize: 3,
+		Ranks: []RankRange{{Rank: 0, Start: 0, Count: 3}, {Rank: 1, Start: 3, Count: 3}}}
+	for r := 0; r < 2; r++ {
+		if err := SaveRank(dir, makeRankState(20, r, r*3, 3, 1, 3)); err != nil {
+			t.Fatal(err)
+		}
+		if err := Prune(dir, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(PhaseDir(dir, 20)); err != nil {
+		t.Fatalf("in-progress phase 20 removed by concurrent Prune: %v", err)
+	}
+	// The writer finishes its two-phase commit; the set must restore.
+	if err := Commit(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRun(dir, m); err != nil {
+		t.Fatalf("LoadRun after interleaved SaveRank/Prune: %v", err)
+	}
+
+	// Once the same set is long quiescent and still uncommitted, it is
+	// the stale partial Prune exists to collect.
+	os.Remove(filepath.Join(PhaseDir(dir, 20), CommitName))
+	backdate(t, PhaseDir(dir, 20), 2*DefaultPruneAge)
+	if err := Prune(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(PhaseDir(dir, 20)); !os.IsNotExist(err) {
+		t.Errorf("quiescent stale phase 20 not removed: %v", err)
+	}
+}
+
+// A corrupt COMMIT marker must not anchor the stale line: restore
+// ignores it, so the pruner must too, or a garbage marker at a high
+// phase would condemn every lower in-progress set once it quiesces —
+// while keeping itself forever.
+func TestPruneIgnoresCorruptCommit(t *testing.T) {
+	dir := t.TempDir()
+	writeSet(t, dir, 10, 6, 2, 1, 3)
+	// Phase 40: rank files plus a garbage COMMIT.
+	if err := SaveRank(dir, makeRankState(40, 0, 0, 6, 1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(PhaseDir(dir, 40), CommitName), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh: spared as possibly in progress, and phase 10 stays newest.
+	if err := Prune(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(PhaseDir(dir, 10)); err != nil {
+		t.Fatalf("valid committed phase 10 removed: %v", err)
+	}
+	if m, err := LatestCommitted(dir); err != nil || m.Phase != 10 {
+		t.Fatalf("LatestCommitted = %v, %v; want phase 10", m, err)
+	}
+	if _, err := os.Stat(PhaseDir(dir, 40)); err != nil {
+		t.Fatalf("fresh corrupt-commit phase 40 removed: %v", err)
+	}
+	// Quiescent: it is a stale partial like any other, even though it
+	// sits beyond the newest valid commit... which it does not anchor.
+	backdate(t, PhaseDir(dir, 40), 2*DefaultPruneAge)
+	if err := Prune(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(PhaseDir(dir, 40)); err == nil {
+		// Beyond the newest commit it is still spared by phase order;
+		// what matters is that it never counted as committed.
+		t.Log("phase 40 retained (beyond newest valid commit) — acceptable")
+	}
+	if m, err := LatestCommitted(dir); err != nil || m.Phase != 10 {
+		t.Fatalf("after prune: LatestCommitted = %v, %v; want phase 10", m, err)
 	}
 }

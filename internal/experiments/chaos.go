@@ -96,7 +96,9 @@ func (r *ChaosResult) MaskingEfficiency() float64 {
 			ok++
 		}
 	}
-	return metrics.MaskingEfficiency(ok, int64(len(r.Runs)))
+	// ok is bounded by len(Runs), so the metric cannot reject it; the
+	// NaN fallback just keeps this accessor total.
+	return orNaN(metrics.MaskingEfficiency(ok, int64(len(r.Runs))))
 }
 
 // String renders the sweep as a table.

@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"microslip/internal/balance"
@@ -14,6 +15,17 @@ import (
 	"microslip/internal/profile"
 	"microslip/internal/vcluster"
 )
+
+// orNaN adapts a metric inside a table renderer: a degenerate input
+// becomes a NaN cell instead of failing the whole render (the drivers
+// that build the results propagate the error properly; by render time
+// the value is display-only).
+func orNaN(v float64, err error) float64 {
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}
 
 // ClusterSetup fixes the virtual-cluster parameters shared by the
 // performance experiments (the paper's setup: 20 nodes, 400 x 200 x 20
@@ -69,7 +81,11 @@ func RunFig3(setup ClusterSetup, phases int, duties []float64) (*Fig3Result, err
 			return nil, err
 		}
 		res.Time = append(res.Time, r.TotalTime)
-		res.Overhead = append(res.Overhead, metrics.OverheadPercent(r.TotalTime, res.Dedicated))
+		ovh, err := metrics.OverheadPercent(r.TotalTime, res.Dedicated)
+		if err != nil {
+			return nil, err
+		}
+		res.Overhead = append(res.Overhead, ovh)
 	}
 	return res, nil
 }
@@ -109,13 +125,19 @@ func RunFig8(setup ClusterSetup, phases int, maxSlow int) (*Fig8Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		effFilt, err := metrics.NormalizedEfficiency(filt.Speedup(), setup.P, m, setup.BackgroundLoad)
+		if err != nil {
+			return nil, err
+		}
+		effNo, err := metrics.NormalizedEfficiency(none.Speedup(), setup.P, m, setup.BackgroundLoad)
+		if err != nil {
+			return nil, err
+		}
 		res.M = append(res.M, m)
 		res.SpeedupFilt = append(res.SpeedupFilt, filt.Speedup())
 		res.SpeedupNo = append(res.SpeedupNo, none.Speedup())
-		res.EffFilt = append(res.EffFilt,
-			metrics.NormalizedEfficiency(filt.Speedup(), setup.P, m, setup.BackgroundLoad))
-		res.EffNo = append(res.EffNo,
-			metrics.NormalizedEfficiency(none.Speedup(), setup.P, m, setup.BackgroundLoad))
+		res.EffFilt = append(res.EffFilt, effFilt)
+		res.EffNo = append(res.EffNo, effNo)
 	}
 	return res, nil
 }
@@ -185,7 +207,7 @@ func (r *Fig9Result) Table() string {
 	ded := r.Times["dedicated"]
 	for _, s := range r.Schemes {
 		fmt.Fprintf(&sb, "%-14s %8.1f s  (+%5.1f%%)  slow-node planes: %d\n",
-			s, r.Times[s], metrics.OverheadPercent(r.Times[s], ded), r.SlowNodePlanes[s])
+			s, r.Times[s], orNaN(metrics.OverheadPercent(r.Times[s], ded)), r.SlowNodePlanes[s])
 	}
 	for _, s := range r.Schemes {
 		fmt.Fprintf(&sb, "\n--- %s ---\n%s", s, r.Profiles[s].String())
@@ -279,8 +301,11 @@ func RunTable1(setup ClusterSetup, phases int, spikeLens []float64) (*Table1Resu
 			if err != nil {
 				return nil, err
 			}
-			res.Slowdown[pol.Name()] = append(res.Slowdown[pol.Name()],
-				metrics.OverheadPercent(r.TotalTime, ded.TotalTime))
+			ovh, err := metrics.OverheadPercent(r.TotalTime, ded.TotalTime)
+			if err != nil {
+				return nil, err
+			}
+			res.Slowdown[pol.Name()] = append(res.Slowdown[pol.Name()], ovh)
 		}
 	}
 	return res, nil

@@ -1,86 +1,124 @@
 // Package metrics computes the performance figures the paper reports:
 // speedup, the normalized efficiency of Section 4.2.1, and slowdown
 // ratios relative to a dedicated run.
+//
+// Degenerate inputs (a zero parallel time, a negative node count, an
+// effective capacity eaten entirely by background load) are reported as
+// typed errors wrapping ErrBadInput rather than panics: the callers are
+// experiment drivers and report renderers fed by measured — sometimes
+// garbage — data, and a bad sample must fail that sample, not the
+// process.
 package metrics
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadInput marks a metric evaluated on degenerate inputs; every
+// InputError wraps it.
+var ErrBadInput = errors.New("metrics: degenerate input")
+
+// InputError describes which metric rejected which input.
+type InputError struct {
+	// Metric is the rejecting function's name.
+	Metric string
+	// Reason says what was wrong with the input.
+	Reason string
+}
+
+func (e *InputError) Error() string {
+	return fmt.Sprintf("metrics: %s: %s", e.Metric, e.Reason)
+}
+
+func (e *InputError) Unwrap() error { return ErrBadInput }
+
+// badInput builds an InputError.
+func badInput(metric, format string, args ...any) error {
+	return &InputError{Metric: metric, Reason: fmt.Sprintf(format, args...)}
+}
 
 // Speedup is sequential time over parallel time.
-func Speedup(sequential, parallel float64) float64 {
+func Speedup(sequential, parallel float64) (float64, error) {
 	if parallel <= 0 {
-		panic(fmt.Sprintf("metrics: non-positive parallel time %v", parallel))
+		return 0, badInput("Speedup", "non-positive parallel time %v", parallel)
 	}
-	return sequential / parallel
+	return sequential / parallel, nil
 }
 
 // Efficiency is speedup over the node count.
-func Efficiency(speedup float64, p int) float64 {
+func Efficiency(speedup float64, p int) (float64, error) {
 	if p < 1 {
-		panic(fmt.Sprintf("metrics: invalid node count %d", p))
+		return 0, badInput("Efficiency", "invalid node count %d", p)
 	}
-	return speedup / float64(p)
+	return speedup / float64(p), nil
 }
 
 // NormalizedEfficiency is the paper's utilization metric for a
 // non-dedicated cluster: speedup / (P - load*m), where m nodes each
 // lose `load` of their CPU to a background job (the paper uses
 // speedup/(20 - 0.7m) for 70% background jobs).
-func NormalizedEfficiency(speedup float64, p, slowNodes int, load float64) float64 {
+func NormalizedEfficiency(speedup float64, p, slowNodes int, load float64) (float64, error) {
 	cap := float64(p) - load*float64(slowNodes)
 	if cap <= 0 {
-		panic(fmt.Sprintf("metrics: non-positive effective capacity %v", cap))
+		return 0, badInput("NormalizedEfficiency",
+			"non-positive effective capacity %v (p=%d, %d slow at %v)", cap, p, slowNodes, load)
 	}
-	return speedup / cap
+	return speedup / cap, nil
 }
 
 // SlowdownRatio is the fractional execution-time increase over the
 // dedicated baseline (Table 1 reports it in percent).
-func SlowdownRatio(t, dedicated float64) float64 {
+func SlowdownRatio(t, dedicated float64) (float64, error) {
 	if dedicated <= 0 {
-		panic(fmt.Sprintf("metrics: non-positive dedicated time %v", dedicated))
+		return 0, badInput("SlowdownRatio", "non-positive dedicated time %v", dedicated)
 	}
-	return (t - dedicated) / dedicated
+	return (t - dedicated) / dedicated, nil
 }
 
 // OverheadPercent is SlowdownRatio expressed in percent, the right-hand
 // axis of Figure 3.
-func OverheadPercent(t, dedicated float64) float64 {
-	return 100 * SlowdownRatio(t, dedicated)
+func OverheadPercent(t, dedicated float64) (float64, error) {
+	r, err := SlowdownRatio(t, dedicated)
+	if err != nil {
+		return 0, err
+	}
+	return 100 * r, nil
 }
 
 // RetryRate is the number of resilience-layer retries per completed
 // communication operation; 0 on a healthy run, and the first quantity
 // to watch when a non-dedicated cluster degrades.
-func RetryRate(retries, ops int64) float64 {
+func RetryRate(retries, ops int64) (float64, error) {
 	if ops <= 0 {
 		if retries > 0 {
-			panic(fmt.Sprintf("metrics: %d retries with no completed ops", retries))
+			return 0, badInput("RetryRate", "%d retries with no completed ops", retries)
 		}
-		return 0
+		return 0, nil
 	}
-	return float64(retries) / float64(ops)
+	return float64(retries) / float64(ops), nil
 }
 
 // TimeoutRate is expired receive deadlines per completed operation.
-func TimeoutRate(timeouts, ops int64) float64 {
+func TimeoutRate(timeouts, ops int64) (float64, error) {
 	if ops <= 0 {
 		if timeouts > 0 {
-			panic(fmt.Sprintf("metrics: %d timeouts with no completed ops", timeouts))
+			return 0, badInput("TimeoutRate", "%d timeouts with no completed ops", timeouts)
 		}
-		return 0
+		return 0, nil
 	}
-	return float64(timeouts) / float64(ops)
+	return float64(timeouts) / float64(ops), nil
 }
 
 // MaskingEfficiency is the fraction of injected (or observed) fault
 // events the resilience layer absorbed without surfacing an error: 1.0
 // means the run was fault-transparent.
-func MaskingEfficiency(masked, faults int64) float64 {
+func MaskingEfficiency(masked, faults int64) (float64, error) {
 	if faults <= 0 {
-		return 1
+		return 1, nil
 	}
 	if masked < 0 || masked > faults {
-		panic(fmt.Sprintf("metrics: masked %d out of %d faults", masked, faults))
+		return 0, badInput("MaskingEfficiency", "masked %d out of %d faults", masked, faults)
 	}
-	return float64(masked) / float64(faults)
+	return float64(masked) / float64(faults), nil
 }

@@ -1,54 +1,96 @@
 package metrics
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
 )
 
+// mustFn builds an unwrapper for metric values whose inputs are known
+// good.
+func mustFn(t *testing.T) func(float64, error) float64 {
+	return func(v float64, err error) float64 {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return v
+	}
+}
+
 func TestSpeedup(t *testing.T) {
-	if got := Speedup(100, 5); got != 20 {
+	must := mustFn(t)
+	if got := must(Speedup(100, 5)); got != 20 {
 		t.Errorf("Speedup = %v, want 20", got)
 	}
 }
 
 func TestNormalizedEfficiency(t *testing.T) {
+	must := mustFn(t)
 	// Paper's example: 20 nodes, m slow at 70%: speedup/(20-0.7m).
-	got := NormalizedEfficiency(13, 20, 5, 0.7)
+	got := must(NormalizedEfficiency(13, 20, 5, 0.7))
 	want := 13.0 / 16.5
 	if math.Abs(got-want) > 1e-12 {
 		t.Errorf("NormalizedEfficiency = %v, want %v", got, want)
 	}
 	// No slow nodes reduces to plain efficiency.
-	if NormalizedEfficiency(19, 20, 0, 0.7) != Efficiency(19, 20) {
+	if must(NormalizedEfficiency(19, 20, 0, 0.7)) != must(Efficiency(19, 20)) {
 		t.Error("m=0 does not reduce to plain efficiency")
 	}
 }
 
 func TestSlowdownRatio(t *testing.T) {
-	if got := SlowdownRatio(717, 251); math.Abs(got-1.8566) > 1e-3 {
+	must := mustFn(t)
+	if got := must(SlowdownRatio(717, 251)); math.Abs(got-1.8566) > 1e-3 {
 		t.Errorf("SlowdownRatio(717, 251) = %v, want ~1.856 (paper's 185.6%%)", got)
 	}
-	if got := OverheadPercent(313, 251); math.Abs(got-24.7) > 0.1 {
+	if got := must(OverheadPercent(313, 251)); math.Abs(got-24.7) > 0.1 {
 		t.Errorf("OverheadPercent(313, 251) = %v, want ~24.7", got)
 	}
 }
 
-func TestPanics(t *testing.T) {
-	for name, fn := range map[string]func(){
-		"speedup":    func() { Speedup(1, 0) },
-		"efficiency": func() { Efficiency(1, 0) },
-		"normeff":    func() { NormalizedEfficiency(1, 2, 3, 1) },
-		"slowdown":   func() { SlowdownRatio(1, 0) },
+// Degenerate inputs return a typed InputError wrapping ErrBadInput —
+// never a panic: the callers are fed measured data.
+func TestDegenerateInputs(t *testing.T) {
+	for name, fn := range map[string]func() (float64, error){
+		"speedup":     func() (float64, error) { return Speedup(1, 0) },
+		"efficiency":  func() (float64, error) { return Efficiency(1, 0) },
+		"normeff":     func() (float64, error) { return NormalizedEfficiency(1, 2, 3, 1) },
+		"slowdown":    func() (float64, error) { return SlowdownRatio(1, 0) },
+		"overhead":    func() (float64, error) { return OverheadPercent(1, 0) },
+		"retryrate":   func() (float64, error) { return RetryRate(3, 0) },
+		"timeoutrate": func() (float64, error) { return TimeoutRate(3, 0) },
+		"masking":     func() (float64, error) { return MaskingEfficiency(5, 3) },
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s: expected panic", name)
-				}
-			}()
-			fn()
-		}()
+		_, err := fn()
+		if err == nil {
+			t.Errorf("%s: expected an error on degenerate input", name)
+			continue
+		}
+		if !errors.Is(err, ErrBadInput) {
+			t.Errorf("%s: error %v does not wrap ErrBadInput", name, err)
+		}
+		var ie *InputError
+		if !errors.As(err, &ie) {
+			t.Errorf("%s: error %v is not an *InputError", name, err)
+		} else if ie.Metric == "" || ie.Reason == "" {
+			t.Errorf("%s: InputError incomplete: %+v", name, ie)
+		}
+	}
+}
+
+// Zero-op counters with zero events are well-defined, not degenerate.
+func TestZeroOpsOK(t *testing.T) {
+	must := mustFn(t)
+	if got := must(RetryRate(0, 0)); got != 0 {
+		t.Errorf("RetryRate(0,0) = %v, want 0", got)
+	}
+	if got := must(TimeoutRate(0, 0)); got != 0 {
+		t.Errorf("TimeoutRate(0,0) = %v, want 0", got)
+	}
+	if got := must(MaskingEfficiency(0, 0)); got != 1 {
+		t.Errorf("MaskingEfficiency(0,0) = %v, want 1", got)
 	}
 }
 
@@ -57,12 +99,17 @@ func TestMetricIdentities(t *testing.T) {
 	f := func(seqRaw, parRaw float64) bool {
 		seq := 1 + math.Abs(math.Mod(seqRaw, 1e4))
 		par := 0.1 + math.Abs(math.Mod(parRaw, 1e3))
-		s := Speedup(seq, par)
-		if math.Abs(Efficiency(s, 10)-s/10) > 1e-12 {
+		s, err := Speedup(seq, par)
+		if err != nil {
+			return false
+		}
+		eff, err := Efficiency(s, 10)
+		if err != nil || math.Abs(eff-s/10) > 1e-12 {
 			return false
 		}
 		// Slowdown of the baseline against itself is zero.
-		return SlowdownRatio(par, par) == 0
+		sd, err := SlowdownRatio(par, par)
+		return err == nil && sd == 0
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

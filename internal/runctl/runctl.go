@@ -42,6 +42,13 @@ var ErrWallLimit = errors.New("runctl: wall-clock limit exceeded")
 // PanicError wraps it.
 var ErrPanic = errors.New("runctl: worker panicked")
 
+// ErrShutdown is the conventional cancellation cause for a host
+// process draining on SIGTERM: supervised runs observe it through
+// their context (wrapped in ErrCanceled), and job-level callers use it
+// to distinguish a server-initiated interrupt — checkpoint and mark
+// resumable — from a client cancellation.
+var ErrShutdown = errors.New("runctl: shutting down")
+
 // IsInterrupt reports whether err is an orderly interruption — a
 // cancellation or wall-limit stop — as opposed to a genuine failure.
 // Group runners use it to skip the hard transport teardown for ranks

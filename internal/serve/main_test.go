@@ -1,0 +1,12 @@
+package serve
+
+import (
+	"testing"
+
+	"microslip/internal/testutil/leakcheck"
+)
+
+// The whole package's tests run under the goroutine-leak gate: a
+// control plane that leaks workers, stream fan-outs, or HTTP handlers
+// under churn is exactly the regression this package must never ship.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

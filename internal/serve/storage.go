@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// ErrNoJob is returned by Storage.LoadStatus for an unknown job.
+var ErrNoJob = errors.New("serve: no such job")
+
+// Storage is the durability backend behind the server: terminal job
+// statuses (with results) and per-job checkpoint directories. The
+// checkpoint payloads themselves go through package checkpoint's
+// container format — SaveRank/Commit/Prune for distributed jobs,
+// SaveFile for sequential interrupt states — so Storage only decides
+// *where* they live. A backend without durable directories (MemStorage)
+// returns "" from CheckpointDir; such jobs run fine but are not
+// resumable.
+type Storage interface {
+	// SaveStatus persists a job's status record.
+	SaveStatus(st *JobStatus) error
+	// LoadStatus retrieves a persisted status, or ErrNoJob.
+	LoadStatus(id string) (*JobStatus, error)
+	// List returns the ids of all persisted jobs.
+	List() ([]string, error)
+	// CheckpointDir returns the job's checkpoint directory, creating it
+	// if needed; "" when the backend offers no durable checkpoints.
+	CheckpointDir(id string) (string, error)
+}
+
+// DirStorage is the local-directory backend:
+//
+//	root/jobs/<id>/status.json
+//	root/jobs/<id>/ckpt/phase-XXXXXXXX/...   (distributed jobs)
+//	root/jobs/<id>/ckpt/state.ckpt           (sequential interrupts)
+type DirStorage struct {
+	root string
+}
+
+// NewDirStorage creates the backend rooted at dir.
+func NewDirStorage(dir string) (*DirStorage, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("serve: storage root: %w", err)
+	}
+	return &DirStorage{root: dir}, nil
+}
+
+func (d *DirStorage) jobDir(id string) string {
+	return filepath.Join(d.root, "jobs", id)
+}
+
+// SaveStatus writes status.json atomically (write temp, rename).
+func (d *DirStorage) SaveStatus(st *JobStatus) error {
+	dir := d.jobDir(st.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	buf, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".status-*")
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if _, err := tmp.Write(append(buf, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, "status.json")); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}
+
+// LoadStatus reads status.json.
+func (d *DirStorage) LoadStatus(id string) (*JobStatus, error) {
+	buf, err := os.ReadFile(filepath.Join(d.jobDir(id), "status.json"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNoJob, id)
+		}
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(buf, &st); err != nil {
+		return nil, fmt.Errorf("serve: corrupt status for %s: %w", id, err)
+	}
+	return &st, nil
+}
+
+// List returns every job directory holding a status.json.
+func (d *DirStorage) List() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(d.root, "jobs"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(d.jobDir(e.Name()), "status.json")); err == nil {
+			ids = append(ids, e.Name())
+		}
+	}
+	return ids, nil
+}
+
+// CheckpointDir creates and returns root/jobs/<id>/ckpt.
+func (d *DirStorage) CheckpointDir(id string) (string, error) {
+	dir := filepath.Join(d.jobDir(id), "ckpt")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("serve: %w", err)
+	}
+	return dir, nil
+}
+
+// MemStorage keeps statuses in memory and offers no checkpoint
+// directories: jobs run and report results but cannot be resumed. It
+// exists to prove the Storage seam (and for tests).
+type MemStorage struct {
+	mu     sync.Mutex
+	status map[string]*JobStatus
+}
+
+// NewMemStorage returns an empty in-memory backend.
+func NewMemStorage() *MemStorage {
+	return &MemStorage{status: map[string]*JobStatus{}}
+}
+
+// SaveStatus stores a deep-enough copy (the status is marshaled by the
+// caller afterwards; the server never mutates a saved record).
+func (m *MemStorage) SaveStatus(st *JobStatus) error {
+	cp := *st
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.status[st.ID] = &cp
+	return nil
+}
+
+// LoadStatus retrieves a stored status.
+func (m *MemStorage) LoadStatus(id string) (*JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.status[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoJob, id)
+	}
+	cp := *st
+	return &cp, nil
+}
+
+// List returns the stored ids.
+func (m *MemStorage) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]string, 0, len(m.status))
+	for id := range m.status {
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// CheckpointDir reports no durable checkpoint support.
+func (m *MemStorage) CheckpointDir(string) (string, error) { return "", nil }
