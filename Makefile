@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race race-lbm chaos chaos-kill chaos-abort bench bench-json bench-paper bench-smoke serve-smoke fuzz
+.PHONY: check build vet test race race-lbm race-layout chaos chaos-kill chaos-abort bench bench-json bench-paper bench-smoke bench-layout serve-smoke fuzz
 
 # The CI gate: compile everything, vet, run the full suite, the race
 # detector in short mode (the -short guard trims the long chaos and
@@ -24,8 +24,15 @@ race:
 # scheduler and the distributed pipeline: the band workers' boundary
 # token exchange and the halo protocols are the synchronization most
 # worth re-proving on every change.
-race-lbm:
+race-lbm: race-layout
 	$(GO) test -race -count=1 ./internal/lbm/... ./internal/parlbm/...
+
+# Targeted race pass over the layout matrix: the AoS x SoA bit-identity
+# rows (both stepping paths, both precisions, multi-band), the layout
+# run-artifact comparisons, and the SoA zero-alloc legs — the SoA
+# kernels' multi-band and distributed scheduling re-proved directly.
+race-layout:
+	$(GO) test -race -count=1 -run 'TestBitIdentityMatrix|TestLayout|TestPackBytesLayoutIndependent|TestStepParallelZeroAllocs|TestTranspose' ./internal/lbm/ ./internal/parlbm/ ./internal/field/
 
 # The full chaos suite under the race detector (several minutes): every
 # seeded fault schedule against the distributed pipeline.
@@ -75,9 +82,18 @@ bench-paper:
 # this as a matrix over BENCH_PRECISION; the default sweeps both
 # precisions in one report so the compression cross-check applies.
 BENCH_PRECISION ?= f64,f32
+BENCH_LAYOUT ?= both
 bench-smoke:
-	$(GO) run ./cmd/lbmbench -quick -precision $(BENCH_PRECISION) -out bench_smoke.json
+	$(GO) run ./cmd/lbmbench -quick -precision $(BENCH_PRECISION) -layout $(BENCH_LAYOUT) -out bench_smoke.json
 	$(GO) run ./cmd/lbmbench -check bench_smoke.json
+
+# The AoS-vs-SoA layout comparison on the smoke grid: both layouts,
+# both stepping paths, one precision — the quick answer to "did a
+# kernel change shift the layout tradeoff?" before paying for
+# bench-paper.
+bench-layout:
+	$(GO) run ./cmd/lbmbench -quick -precision f64 -layout both -out bench_layout.json
+	$(GO) run ./cmd/lbmbench -check bench_layout.json
 
 # End-to-end smoke of the job server: boot slipd, push a loadgen burst
 # through it, leave long jobs in flight, SIGTERM, and assert the

@@ -10,8 +10,11 @@
 //	lbmbench [-grid 32x48x16[,NXxNYxNZ...]] [-steps N] [-warmup N]
 //	         [-workers 1,2,4] [-ranks 1,2,4] [-fused both|on|off]
 //	         [-overlap both|on|off] [-halo both|slim|wide]
-//	         [-coalesce both|on|off] [-precision f64[,f32]]
-//	         [-cpuprofile FILE] [-memprofile FILE] [-out FILE] [-quick]
+//	         [-coalesce both|on|off] [-layout aos|soa|both]
+//	         [-precision f64[,f32]]
+//	         [-cpuprofile FILE] [-memprofile FILE]
+//	         [-blockprofile FILE] [-mutexprofile FILE]
+//	         [-out FILE] [-quick]
 //	lbmbench -check FILE
 //
 // -quick shrinks the sweep to a few seconds for CI smoke runs. -check
@@ -28,8 +31,16 @@
 // double). The validator cross-checks that f32 distributed entries ship
 // about half the distribution-halo bytes of their f64 twins.
 //
+// -layout sweeps the intra-node distribution memory layout: aos is the
+// canonical cell-major storage, soa the direction-major (plane
+// structure-of-arrays) storage of the same bits. Both evaluate the
+// identical expression tree per cell, so the sweep compares pure memory
+// behavior.
+//
 // -cpuprofile and -memprofile write pprof profiles covering the whole
-// sweep, for digging into regressions the report surfaces.
+// sweep, for digging into regressions the report surfaces; -blockprofile
+// and -mutexprofile add the scheduler-side views (where the band workers
+// wait, and on what they contend).
 //
 // Distributed entries carry a comm_bytes block with the per-class wire
 // volumes (density halo, distribution halo, coalesced frames,
@@ -73,8 +84,12 @@ import (
 // environment block record GOMAXPROCS next to the CPU count. v4 makes
 // every intra-node entry carry scaling_efficiency — MLUPS(w) divided by
 // MLUPS(1) times the usable parallelism min(w, GOMAXPROCS) — and the
-// validator gate entries on paper-size grids at 0.7.
-const Schema = "microslip-bench/v4"
+// validator gate entries on paper-size grids at 0.7. v5 makes every
+// intra-node entry carry its distribution memory layout ("aos"/"soa");
+// distributed entries stay layout-free (their wire format and gathered
+// artifacts are canonical order by construction, so layout is not an
+// observable of a distributed measurement).
+const Schema = "microslip-bench/v5"
 
 // paperCells is the cell count of the smaller paper-size preset grid
 // (200x100x20); the scaling-efficiency gate applies from there up,
@@ -130,6 +145,7 @@ type Entry struct {
 	Overlap       bool      `json:"overlap"`
 	Halo          string    `json:"halo,omitempty"`     // distributed: "slim" or "wide"
 	Coalesce      bool      `json:"coalesce,omitempty"` // distributed: one frame per neighbor per phase
+	Layout        string    `json:"layout,omitempty"`   // intra-node: "aos" or "soa"
 	Precision     string    `json:"precision"`          // "f64" or "f32" (distributed f32 = f32 wire)
 	Steps         int       `json:"steps"`
 	NsPerStep     float64   `json:"ns_per_step"`
@@ -187,9 +203,12 @@ func run() int {
 		overlap   = flag.String("overlap", "both", "comm/compute overlap: both, on, or off")
 		halo      = flag.String("halo", "both", "halo wire format: both, slim, or wide")
 		coalesce  = flag.String("coalesce", "off", "coalesced phase frames: both, on, or off")
+		layout    = flag.String("layout", "aos", "intra-node distribution layout: aos, soa, or both")
 		precision = flag.String("precision", "f64", "comma-separated scalar precisions: f64, f32")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to FILE")
 		memprof   = flag.String("memprofile", "", "write a heap profile after the sweep to FILE")
+		blockprof = flag.String("blockprofile", "", "write a goroutine-blocking profile of the sweep to FILE")
+		mutexprof = flag.String("mutexprofile", "", "write a mutex-contention profile of the sweep to FILE")
 		out       = flag.String("out", "", "output file (default BENCH_<date>.json)")
 		quick     = flag.Bool("quick", false, "tiny sweep for CI smoke runs")
 		paper     = flag.Bool("paper", false, "paper-size preset: 32x48x16 + 200x100x20 + 400x200x20 grids, worker sweep to 8")
@@ -207,10 +226,13 @@ func run() int {
 		return 0
 	}
 
-	precSet := false
+	precSet, layoutSet := false, false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "precision" {
+		switch f.Name {
+		case "precision":
 			precSet = true
+		case "layout":
+			layoutSet = true
 		}
 	})
 	if *quick {
@@ -219,6 +241,9 @@ func run() int {
 		*halo, *coalesce = "both", "both"
 		if !precSet { // an explicit -precision narrows the CI matrix leg
 			*precision = "f64,f32"
+		}
+		if !layoutSet {
+			*layout = "both"
 		}
 	}
 	if *paper {
@@ -232,6 +257,9 @@ func run() int {
 		*grids = "32x48x16,200x100x20,400x200x20"
 		*workers = "1,2,4,8"
 		*halo, *coalesce, *overlap = "slim", "off", "off"
+		if !layoutSet { // the AoS-vs-SoA comparison is a paper-preset deliverable
+			*layout = "both"
+		}
 	}
 	gridList, err := parseGrids(*grids)
 	if err != nil {
@@ -269,7 +297,19 @@ func run() int {
 	if err != nil {
 		log.Fatalf("-precision: %v", err)
 	}
+	layouts, err := parseLayouts(*layout)
+	if err != nil {
+		log.Fatalf("-layout: %v", err)
+	}
 
+	if *blockprof != "" {
+		runtime.SetBlockProfileRate(1)
+		defer writeLookupProfile("block", *blockprof)
+	}
+	if *mutexprof != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer writeLookupProfile("mutex", *mutexprof)
+	}
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
 		if err != nil {
@@ -300,22 +340,24 @@ sweep:
 		}
 		for _, prec := range precisions {
 			for _, f := range fusedModes {
-				base := 0.0 // MLUPS of this (grid, prec, fused) at workers=1
-				for _, w := range workerList {
-					if ctx.Err() != nil {
-						interrupted = true
-						break sweep
+				for _, lay := range layouts {
+					base := 0.0 // MLUPS of this (grid, prec, fused, layout) at workers=1
+					for _, w := range workerList {
+						if ctx.Err() != nil {
+							interrupted = true
+							break sweep
+						}
+						e, err := benchIntra(g, w, f, lay, prec, gSteps, gWarmup)
+						if err != nil {
+							log.Fatal(err)
+						}
+						if w == 1 {
+							base = e.MLUPS
+						}
+						e.ScalingEff = scalingEfficiency(e.MLUPS, base, w, rep.GOMAXPROCS)
+						rep.Entries = append(rep.Entries, e)
+						fmt.Println(row(e))
 					}
-					e, err := benchIntra(g, w, f, prec, gSteps, gWarmup)
-					if err != nil {
-						log.Fatal(err)
-					}
-					if w == 1 {
-						base = e.MLUPS
-					}
-					e.ScalingEff = scalingEfficiency(e.MLUPS, base, w, rep.GOMAXPROCS)
-					rep.Entries = append(rep.Entries, e)
-					fmt.Println(row(e))
 				}
 			}
 			if *paper && cellsOf(g) >= paperCells {
@@ -381,11 +423,13 @@ sweep:
 	return 0
 }
 
-// benchIntra measures StepParallel on one grid/worker/fused/precision
-// configuration of the sequential solver.
-func benchIntra(g [3]int, workers int, fused bool, prec lbm.Precision, steps, warmup int) (Entry, error) {
+// benchIntra measures StepParallel on one
+// grid/worker/fused/layout/precision configuration of the sequential
+// solver.
+func benchIntra(g [3]int, workers int, fused bool, layout lbm.Layout, prec lbm.Precision, steps, warmup int) (Entry, error) {
 	p := lbm.WaterAir(g[0], g[1], g[2])
 	p.Fused = fused
+	p.Layout = layout
 	p.Precision = prec
 	s, err := lbm.NewSolver(p)
 	if err != nil {
@@ -405,11 +449,12 @@ func benchIntra(g [3]int, workers int, fused bool, prec lbm.Precision, steps, wa
 	el := time.Since(t0)
 	runtime.ReadMemStats(&m1)
 	e := Entry{
-		Name: fmt.Sprintf("intra/%dx%dx%d/fused=%v/workers=%d/prec=%s",
-			g[0], g[1], g[2], fused, workers, prec),
+		Name: fmt.Sprintf("intra/%dx%dx%d/fused=%v/layout=%s/workers=%d/prec=%s",
+			g[0], g[1], g[2], fused, layout, workers, prec),
 		Grid:      g,
 		Workers:   workers,
 		Fused:     fused,
+		Layout:    layout.String(),
 		Precision: prec.String(),
 		Steps:     steps,
 	}
@@ -576,10 +621,11 @@ func validate(path string, allowInterrupted bool) error {
 	// compression cross-check below.
 	haloSent := map[string]map[string]int64{}
 	// workers=1 MLUPS per intra configuration, for recomputing and
-	// gating scaling_efficiency. Key: grid/fused/precision.
+	// gating scaling_efficiency. Key: grid/fused/layout/precision.
 	intraBase := map[string]float64{}
 	intraKey := func(e Entry) string {
-		return fmt.Sprintf("%dx%dx%d/fused=%v/prec=%s", e.Grid[0], e.Grid[1], e.Grid[2], e.Fused, e.Precision)
+		return fmt.Sprintf("%dx%dx%d/fused=%v/layout=%s/prec=%s",
+			e.Grid[0], e.Grid[1], e.Grid[2], e.Fused, e.Layout, e.Precision)
 	}
 	for _, e := range rep.Entries {
 		if e.Workers == 1 {
@@ -613,6 +659,9 @@ func validate(path string, allowInterrupted bool) error {
 			if e.ScalingEff != 0 {
 				return fmt.Errorf("entry %q: distributed entry carries scaling_efficiency", e.Name)
 			}
+			if e.Layout != "" {
+				return fmt.Errorf("entry %q: distributed entry carries layout %q (wire and gather are canonical order; layout is not observable)", e.Name, e.Layout)
+			}
 			if e.Halo != "slim" && e.Halo != "wide" {
 				return fmt.Errorf("entry %q: halo %q, want slim or wide", e.Name, e.Halo)
 			}
@@ -642,6 +691,9 @@ func validate(path string, allowInterrupted bool) error {
 		} else {
 			if e.Halo != "" || e.Coalesce || e.CommBytes != nil {
 				return fmt.Errorf("entry %q: intra-node entry carries distributed fields", e.Name)
+			}
+			if e.Layout != "aos" && e.Layout != "soa" {
+				return fmt.Errorf("entry %q: layout %q, want aos or soa", e.Name, e.Layout)
 			}
 			// Every intra entry must carry its scaling efficiency, it
 			// must agree with the sweep's own workers=1 baseline, and
@@ -738,6 +790,38 @@ func parsePrecisions(s string) ([]lbm.Precision, error) {
 		return nil, fmt.Errorf("empty precision list")
 	}
 	return out, nil
+}
+
+// parseLayouts maps the -layout selector onto the layout sweep.
+func parseLayouts(s string) ([]lbm.Layout, error) {
+	switch s {
+	case "both":
+		return []lbm.Layout{lbm.AoS, lbm.SoA}, nil
+	case "aos":
+		return []lbm.Layout{lbm.AoS}, nil
+	case "soa":
+		return []lbm.Layout{lbm.SoA}, nil
+	}
+	return nil, fmt.Errorf("%q: want aos, soa, or both", s)
+}
+
+// writeLookupProfile flushes a named runtime profile (block, mutex) to
+// a file at the end of the sweep.
+func writeLookupProfile(name, path string) {
+	p := pprof.Lookup(name)
+	if p == nil {
+		log.Printf("-%sprofile: profile %q not found", name, name)
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("-%sprofile: %v", name, err)
+		return
+	}
+	defer f.Close()
+	if err := p.WriteTo(f, 0); err != nil {
+		log.Printf("-%sprofile: %v", name, err)
+	}
 }
 
 // parseHalo maps the wire-format selector onto the WideHalo option.

@@ -1,0 +1,68 @@
+package field
+
+import (
+	"fmt"
+
+	"microslip/internal/num"
+)
+
+// Layout selects the in-memory ordering of a distribution plane.
+//
+// The canonical (wire, checkpoint, State-snapshot) order is always AoS:
+// cell-major, velocity index fastest, value (y, z, i) at
+// (y*NZ+z)*Q + i. SoA stores the same plane direction-major — value
+// (y, z, i) at i*(NY*NZ) + (y*NZ+z) — so a kernel sweeping one
+// direction walks a contiguous lane instead of striding at Q-element
+// gaps. Everything that crosses a process or persistence boundary
+// (halo wire format, coalesced frames, migration payloads, checkpoint
+// container, gathered fields) stays in canonical order; SoA holders
+// transpose at the plane boundary.
+type Layout uint8
+
+const (
+	// AoS is cell-major storage, velocity index fastest (canonical).
+	AoS Layout = iota
+	// SoA is direction-major storage: one contiguous lane per velocity.
+	SoA
+)
+
+// String returns "aos" or "soa".
+func (l Layout) String() string {
+	switch l {
+	case AoS:
+		return "aos"
+	case SoA:
+		return "soa"
+	}
+	return fmt.Sprintf("Layout(%d)", uint8(l))
+}
+
+// TransposeToSoA rewrites a canonical cell-major plane of cells*q values
+// into direction-major order: dst[i*cells + cell] = src[cell*q + i].
+// dst and src must not alias.
+func TransposeToSoA[T num.Float](dst, src []T, cells, q int) {
+	if len(dst) < cells*q || len(src) < cells*q {
+		panic(fmt.Sprintf("field: transpose needs %d values, have dst %d src %d", cells*q, len(dst), len(src)))
+	}
+	for i := 0; i < q; i++ {
+		lane := dst[i*cells : (i+1)*cells]
+		for cell := 0; cell < cells; cell++ {
+			lane[cell] = src[cell*q+i]
+		}
+	}
+}
+
+// TransposeToAoS rewrites a direction-major plane of cells*q values into
+// canonical cell-major order: dst[cell*q + i] = src[i*cells + cell].
+// dst and src must not alias.
+func TransposeToAoS[T num.Float](dst, src []T, cells, q int) {
+	if len(dst) < cells*q || len(src) < cells*q {
+		panic(fmt.Sprintf("field: transpose needs %d values, have dst %d src %d", cells*q, len(dst), len(src)))
+	}
+	for i := 0; i < q; i++ {
+		lane := src[i*cells : (i+1)*cells]
+		for cell := 0; cell < cells; cell++ {
+			dst[cell*q+i] = lane[cell]
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package field
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Transposing a random canonical plane to direction-major and back (and
+// the reverse round trip) must restore every value bit-for-bit at both
+// precisions — the property the solver's layout-boundary conversions
+// (halo pack, checkpoint, gather, state snapshot) rely on for
+// byte-identical artifacts.
+func TestTransposeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shapes := []struct{ cells, q int }{
+		{1, 19}, {6, 19}, {50, 19}, {77, 19}, {200, 19}, {12, 5}, {30, 1},
+	}
+	for _, sh := range shapes {
+		n := sh.cells * sh.q
+
+		aos := make([]float64, n)
+		for i := range aos {
+			// Full-range bit patterns, not just uniform values, so a lossy
+			// conversion (or an index mix-up on a symmetric pattern) cannot
+			// hide.
+			aos[i] = math.Ldexp(rng.Float64()-0.5, rng.Intn(60)-30)
+		}
+		soa := make([]float64, n)
+		back := make([]float64, n)
+		TransposeToSoA(soa, aos, sh.cells, sh.q)
+		TransposeToAoS(back, soa, sh.cells, sh.q)
+		for i := range aos {
+			if math.Float64bits(aos[i]) != math.Float64bits(back[i]) {
+				t.Fatalf("f64 cells=%d q=%d: index %d: %v != %v", sh.cells, sh.q, i, back[i], aos[i])
+			}
+		}
+		// Spot-check the forward map itself, not only the round trip.
+		for cell := 0; cell < sh.cells; cell++ {
+			for i := 0; i < sh.q; i++ {
+				if soa[i*sh.cells+cell] != aos[cell*sh.q+i] {
+					t.Fatalf("f64 cells=%d q=%d: soa[%d,%d] != aos[%d,%d]", sh.cells, sh.q, i, cell, cell, i)
+				}
+			}
+		}
+
+		aos32 := make([]float32, n)
+		for i := range aos32 {
+			aos32[i] = float32(math.Ldexp(rng.Float64()-0.5, rng.Intn(30)-15))
+		}
+		soa32 := make([]float32, n)
+		back32 := make([]float32, n)
+		TransposeToSoA(soa32, aos32, sh.cells, sh.q)
+		TransposeToAoS(back32, soa32, sh.cells, sh.q)
+		for i := range aos32 {
+			if math.Float32bits(aos32[i]) != math.Float32bits(back32[i]) {
+				t.Fatalf("f32 cells=%d q=%d: index %d: %v != %v", sh.cells, sh.q, i, back32[i], aos32[i])
+			}
+		}
+	}
+}
+
+// The transpose helpers must reject mismatched slice lengths rather
+// than silently truncate.
+func TestTransposeLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short dst: expected panic")
+		}
+	}()
+	TransposeToSoA(make([]float64, 18), make([]float64, 19), 1, 19)
+}
+
+// Layout-aware indexing: a SoA Dist3D and Slab must agree with their
+// AoS twins through At/Set for every (x, y, z, i).
+func TestLayoutIndexing(t *testing.T) {
+	const nx, ny, nz, q = 3, 4, 5, 19
+	a := NewDist3DLayoutOf[float64](nx, ny, nz, q, AoS)
+	s := NewDist3DLayoutOf[float64](nx, ny, nz, q, SoA)
+	v := 0.0
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			for z := 0; z < nz; z++ {
+				for i := 0; i < q; i++ {
+					v++
+					a.Set(x, y, z, i, v)
+					s.Set(x, y, z, i, v)
+				}
+			}
+		}
+	}
+	for x := 0; x < nx; x++ {
+		// Per plane, the SoA storage is the exact transpose of the AoS
+		// storage.
+		want := make([]float64, ny*nz*q)
+		TransposeToSoA(want, a.Plane(x), ny*nz, q)
+		got := s.Plane(x)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("plane %d index %d: %v != %v", x, i, got[i], want[i])
+			}
+		}
+		for y := 0; y < ny; y++ {
+			for z := 0; z < nz; z++ {
+				for i := 0; i < q; i++ {
+					if a.At(x, y, z, i) != s.At(x, y, z, i) {
+						t.Fatalf("At(%d,%d,%d,%d): %v != %v", x, y, z, i, s.At(x, y, z, i), a.At(x, y, z, i))
+					}
+				}
+			}
+		}
+	}
+
+	sa := NewSlabLayoutOf[float64](ny, nz, q, 0, nx, AoS)
+	ss := NewSlabLayoutOf[float64](ny, nz, q, 0, nx, SoA)
+	for x := 0; x < nx; x++ {
+		copy(sa.Plane(x), a.Plane(x))
+		copy(ss.Plane(x), s.Plane(x))
+	}
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			for z := 0; z < nz; z++ {
+				for i := 0; i < q; i++ {
+					if sa.At(x, y, z, i) != ss.At(x, y, z, i) {
+						t.Fatalf("slab At(%d,%d,%d,%d): %v != %v", x, y, z, i, ss.At(x, y, z, i), sa.At(x, y, z, i))
+					}
+				}
+			}
+		}
+	}
+}

@@ -36,11 +36,12 @@ import (
 // lives with the band for the lifetime of the plan.
 type fusedScratch[T num.Float] struct {
 	sc   *ScratchOf[T]
-	n    [3][][]T // n[slot][c]: density plane ring
-	post [3][][]T // post[slot][c]: post-collision plane ring
+	n    [3][][]T    // n[slot][c]: density plane ring
+	post [3][][]T    // post[slot][c]: post-collision plane ring
+	mom  [3][][3][]T // mom[slot][c][a]: SoA momentum lane ring (nil for AoS)
 }
 
-func newFusedScratch[T num.Float](k *KernelOf[T]) *fusedScratch[T] {
+func newFusedScratch[T num.Float](k *KernelOf[T], soa bool) *fusedScratch[T] {
 	fs := &fusedScratch[T]{sc: k.NewScratch()}
 	for s := 0; s < 3; s++ {
 		fs.n[s] = make([][]T, k.NComp)
@@ -48,6 +49,18 @@ func newFusedScratch[T num.Float](k *KernelOf[T]) *fusedScratch[T] {
 		for c := 0; c < k.NComp; c++ {
 			fs.n[s][c] = make([]T, k.PlaneCells())
 			fs.post[s][c] = make([]T, k.PlaneLen())
+		}
+		if soa {
+			// The SoA sweep computes each plane's momentum lanes
+			// together with its densities (one read of the
+			// distribution lanes); the ring carries them from the
+			// density front back to the collision, exactly like n.
+			fs.mom[s] = make([][3][]T, k.NComp)
+			for c := 0; c < k.NComp; c++ {
+				for a := 0; a < 3; a++ {
+					fs.mom[s][c][a] = make([]T, k.PlaneCells())
+				}
+			}
 		}
 	}
 	return fs
@@ -74,20 +87,36 @@ func wrapX(x, nx int) int {
 // worker) swaps the f/fPost roles once the sweep has finished.
 func (s *SimOf[T]) stepFusedChunk(lo, hi int, fs *fusedScratch[T], src, dst [][][]T) {
 	nx := s.P.NX
+	// Density-front advance: the SoA sweep also harvests each plane's
+	// momentum lanes from the same lane walk, so the collision below
+	// can skip its own momentum pass (and with it a second full read
+	// of the distribution lanes).
+	dens := func(x int) {
+		if s.soa {
+			s.K.DensitiesMomentsSoA(src[wrapX(x, nx)], fs.n[slot3(x)], fs.mom[slot3(x)])
+			return
+		}
+		s.K.Densities(src[wrapX(x, nx)], fs.n[slot3(x)])
+	}
 	// Prime the density ring behind the sweep front.
-	s.K.Densities(src[wrapX(lo-2, nx)], fs.n[slot3(lo-2)])
-	s.K.Densities(src[wrapX(lo-1, nx)], fs.n[slot3(lo-1)])
+	dens(lo - 2)
+	dens(lo - 1)
 	for x := lo - 1; x <= hi; x++ {
 		// Advance the front: densities one plane ahead, so the stencil
 		// window n(x-1), n(x), n(x+1) is complete for the collision.
-		s.K.Densities(src[wrapX(x+1, nx)], fs.n[slot3(x+1)])
-		s.K.CollideScratch(fs.sc, fs.n[slot3(x-1)], fs.n[slot3(x)], fs.n[slot3(x+1)],
-			src[wrapX(x, nx)], fs.post[slot3(x)])
+		dens(x + 1)
+		if s.soa {
+			s.K.collideScratchSoA(fs.sc, fs.n[slot3(x-1)], fs.n[slot3(x)], fs.n[slot3(x+1)],
+				src[wrapX(x, nx)], fs.post[slot3(x)], fs.mom[slot3(x)])
+		} else {
+			s.K.CollideScratch(fs.sc, fs.n[slot3(x-1)], fs.n[slot3(x)], fs.n[slot3(x+1)],
+				src[wrapX(x, nx)], fs.post[slot3(x)])
+		}
 		// Stream two planes behind the front, where post(x-2), post(x-1)
 		// and post(x) are all available. x-1 stays inside [lo, hi):
 		// the boundary collisions at lo-1 and hi are the redundant ones.
 		if x >= lo+1 {
-			s.K.Stream(fs.post[slot3(x-2)], fs.post[slot3(x-1)], fs.post[slot3(x)],
+			s.kStream(fs.post[slot3(x-2)], fs.post[slot3(x-1)], fs.post[slot3(x)],
 				dst[wrapX(x-1, nx)])
 		}
 	}
@@ -208,7 +237,7 @@ func (s *SimOf[T]) ensureFused(w int) {
 	fs := &fusedState[T]{va: s.fView, vb: s.postView}
 	fs.plan = plan
 	for range plan.bands {
-		fs.scratch = append(fs.scratch, newFusedScratch(s.K))
+		fs.scratch = append(fs.scratch, newFusedScratch(s.K, s.soa))
 	}
 	if len(plan.bands) > 1 {
 		fs.mesh = newTokenMesh(plan)

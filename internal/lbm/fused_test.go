@@ -126,6 +126,43 @@ func TestStepParallelZeroAllocs(t *testing.T) {
 	if allocs := testing.AllocsPerRun(5, func() { f.RunParallelSteps(3) }); allocs != 0 {
 		t.Errorf("fused RunParallelSteps(3, chunks=8): %v allocs/op, want 0 (boundary exchange grew)", allocs)
 	}
+
+	// The SoA layout must preserve the guarantee on both stepping paths:
+	// the lane views are stack-built arrays and the lane-shift stream
+	// writes in place, so direction-major storage adds no per-step heap
+	// traffic.
+	sp := WaterAir(8, 10, 6)
+	sp.Layout = SoA
+	ss, err := NewSim(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss.StepParallel()
+	if allocs := testing.AllocsPerRun(5, ss.StepParallel); allocs != 0 {
+		t.Errorf("SoA StepParallel(workers=1): %v allocs/op, want 0", allocs)
+	}
+	ss.SetWorkers(8)
+	ss.SetBands(8)
+	ss.StepParallel()
+	if allocs := testing.AllocsPerRun(5, ss.StepParallel); allocs != 0 {
+		t.Errorf("SoA StepParallel(bands=8): %v allocs/op, want 0", allocs)
+	}
+
+	sfp := WaterAir(8, 10, 6)
+	sfp.Layout = SoA
+	sfp.Fused = true
+	sf, err := NewSim(sfp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf.SetFusedChunks(4)
+	sf.StepParallel()
+	if allocs := testing.AllocsPerRun(5, sf.StepParallel); allocs != 0 {
+		t.Errorf("SoA fused StepParallel(chunks=4): %v allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(5, func() { sf.RunParallelSteps(3) }); allocs != 0 {
+		t.Errorf("SoA fused RunParallelSteps(3, chunks=4): %v allocs/op, want 0", allocs)
+	}
 }
 
 // The chunking heuristic: requested workers are capped by usable CPUs

@@ -1,0 +1,37 @@
+package lbm
+
+import (
+	"testing"
+)
+
+// benchFusedLayout measures the fused stepping path on the paper's
+// 200x100x20 preset in one layout, reporting MLUPS alongside ns/op.
+// Running the AoS and SoA benchmarks back to back is the quickest
+// kernel-level answer to "did a change shift the layout tradeoff?"
+// without paying for the cmd/lbmbench sweep.
+func benchFusedLayout[T interface{ float32 | float64 }](b *testing.B, layout Layout) {
+	p := WaterAir(200, 100, 20)
+	p.Fused = true
+	p.Layout = layout
+	if _, ok := any(*new(T)).(float32); ok {
+		p.Precision = F32
+	}
+	s, err := NewSimOf[T](p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.SetWorkers(1)
+	s.RunParallelSteps(4)
+	cells := float64(p.NX*p.NY*p.NZ) / 1e6
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunParallelSteps(1)
+	}
+	b.StopTimer()
+	b.ReportMetric(cells/(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1e9), "MLUPS")
+}
+
+func BenchmarkFusedStepAoS(b *testing.B)    { benchFusedLayout[float64](b, AoS) }
+func BenchmarkFusedStepSoA(b *testing.B)    { benchFusedLayout[float64](b, SoA) }
+func BenchmarkFusedStepAoSF32(b *testing.B) { benchFusedLayout[float32](b, AoS) }
+func BenchmarkFusedStepSoAF32(b *testing.B) { benchFusedLayout[float32](b, SoA) }

@@ -57,6 +57,10 @@ type SimOf[T num.Float] struct {
 	// band workers — and with band 0 by the serial fast paths. Fault
 	// injection and supervision tests hang off it; see SetBandHook.
 	bandHook func(band, step int)
+	// soa mirrors P.Layout == SoA: the distribution planes are stored
+	// direction-major and every kernel call dispatches to the *SoA
+	// variants. Density planes stay in the scalar layout either way.
+	soa bool
 }
 
 // Sim is the double-precision sequential solver used by the parallel
@@ -76,7 +80,7 @@ func NewSimOf[T num.Float](p *Params) (*SimOf[T], error) {
 		return nil, fmt.Errorf("lbm: solver type %T does not match Params.Precision %v", zero, p.Precision)
 	}
 	k := NewKernelOf[T](p)
-	s := &SimOf[T]{P: p, K: k}
+	s := &SimOf[T]{P: p, K: k, soa: p.Layout == SoA}
 	nc := p.NComp()
 	s.f = make([][][]T, nc)
 	s.fPost = make([][][]T, nc)
@@ -89,14 +93,14 @@ func NewSimOf[T num.Float](p *Params) (*SimOf[T], error) {
 			s.f[c][x] = make([]T, k.PlaneLen())
 			s.fPost[c][x] = make([]T, k.PlaneLen())
 			s.n[c][x] = make([]T, k.PlaneCells())
-			k.InitEquilibrium(s.f[c][x], p.InitDensityAt(c, x))
+			s.kInitEquilibrium(s.f[c][x], p.InitDensityAt(c, x))
 		}
 	}
 	s.fView = transposeViews(s.f, p.NX, nc)
 	s.postView = transposeViews(s.fPost, p.NX, nc)
 	s.nView = transposeViews(s.n, p.NX, nc)
 	s.densPhase = func(x, wkr int) {
-		s.K.Densities(s.fView[x], s.nView[x])
+		s.kDensities(s.fView[x], s.nView[x])
 	}
 	s.collidePhase = func(x, wkr int) {
 		l := x - 1
@@ -107,7 +111,7 @@ func NewSimOf[T num.Float](p *Params) (*SimOf[T], error) {
 		if r == s.P.NX {
 			r = 0
 		}
-		s.K.CollideScratch(s.parScratch[wkr], s.nView[l], s.nView[x], s.nView[r], s.fView[x], s.postView[x])
+		s.kCollideScratch(s.parScratch[wkr], s.nView[l], s.nView[x], s.nView[r], s.fView[x], s.postView[x])
 	}
 	s.streamPhase = func(x, wkr int) {
 		l := x - 1
@@ -118,9 +122,46 @@ func NewSimOf[T num.Float](p *Params) (*SimOf[T], error) {
 		if r == s.P.NX {
 			r = 0
 		}
-		s.K.Stream(s.postView[l], s.postView[x], s.postView[r], s.fView[x])
+		s.kStream(s.postView[l], s.postView[x], s.postView[r], s.fView[x])
 	}
 	return s, nil
+}
+
+// kDensities, kCollideScratch, kStream, and kInitEquilibrium dispatch
+// each kernel phase to the AoS or SoA variant according to the layout
+// chosen at construction. Both variants evaluate the same expression
+// tree per cell, so the dispatch never affects results — only memory
+// access order.
+func (s *SimOf[T]) kDensities(f, n [][]T) {
+	if s.soa {
+		s.K.DensitiesSoA(f, n)
+		return
+	}
+	s.K.Densities(f, n)
+}
+
+func (s *SimOf[T]) kCollideScratch(sc *ScratchOf[T], nL, nC, nR, fC, out [][]T) {
+	if s.soa {
+		s.K.CollideScratchSoA(sc, nL, nC, nR, fC, out)
+		return
+	}
+	s.K.CollideScratch(sc, nL, nC, nR, fC, out)
+}
+
+func (s *SimOf[T]) kStream(fL, fC, fR, out [][]T) {
+	if s.soa {
+		s.K.StreamSoA(fL, fC, fR, out)
+		return
+	}
+	s.K.Stream(fL, fC, fR, out)
+}
+
+func (s *SimOf[T]) kInitEquilibrium(plane []T, n0 float64) {
+	if s.soa {
+		s.K.InitEquilibriumSoA(plane, n0)
+		return
+	}
+	s.K.InitEquilibrium(plane, n0)
 }
 
 // isSingle reports whether T is single precision, by probing whether it
@@ -180,17 +221,21 @@ func (s *SimOf[T]) Step() {
 	}
 
 	for x := 0; x < p.NX; x++ {
-		s.K.Densities(fAt(x), nAt(x))
+		s.kDensities(fAt(x), nAt(x))
 	}
 	for x := 0; x < p.NX; x++ {
 		l := (x - 1 + p.NX) % p.NX
 		r := (x + 1) % p.NX
-		s.K.Collide(nAt(l), nAt(x), nAt(r), fAt(x), postAt(x))
+		if s.soa {
+			s.K.CollideSoA(nAt(l), nAt(x), nAt(r), fAt(x), postAt(x))
+		} else {
+			s.K.Collide(nAt(l), nAt(x), nAt(r), fAt(x), postAt(x))
+		}
 	}
 	for x := 0; x < p.NX; x++ {
 		l := (x - 1 + p.NX) % p.NX
 		r := (x + 1) % p.NX
-		s.K.Stream(postAt(l), postAt(x), postAt(r), fAt(x))
+		s.kStream(postAt(l), postAt(x), postAt(r), fAt(x))
 	}
 	s.step++
 }
@@ -205,22 +250,37 @@ func (s *SimOf[T]) Run(n int) {
 // StepCount returns the number of completed steps.
 func (s *SimOf[T]) StepCount() int { return s.step }
 
-// Plane returns the current distribution plane of component c at x.
+// Plane returns the current distribution plane of component c at x, in
+// the sim's in-memory layout (AoS unless Params.Layout is SoA; use
+// State for a canonical-order snapshot).
 func (s *SimOf[T]) Plane(c, x int) []T { return s.f[c][x] }
 
-// Density returns the mass density of component c at (x, y, z).
+// Density returns the mass density of component c at (x, y, z). The
+// accumulation order over the 19 populations is identical in both
+// layouts.
 func (s *SimOf[T]) Density(c, x, y, z int) float64 {
-	base := (y*s.P.NZ + z) * lattice.Q19
+	cell := y*s.P.NZ + z
 	var sum T
 	plane := s.f[c][x]
-	for i := 0; i < lattice.Q19; i++ {
-		sum += plane[base+i]
+	if s.soa {
+		cells := s.K.PlaneCells()
+		for i := 0; i < lattice.Q19; i++ {
+			sum += plane[i*cells+cell]
+		}
+	} else {
+		base := cell * lattice.Q19
+		for i := 0; i < lattice.Q19; i++ {
+			sum += plane[base+i]
+		}
 	}
 	return float64(sum) * s.P.Components[c].Mass
 }
 
 // Velocity returns the barycentric velocity at (x, y, z).
 func (s *SimOf[T]) Velocity(x, y, z int) (ux, uy, uz float64) {
+	if s.soa {
+		return s.K.CellVelocitySoA(s.fView[x], y, z)
+	}
 	return s.K.CellVelocity(s.fView[x], y, z)
 }
 

@@ -90,69 +90,90 @@ func TestBitIdentityMatrix(t *testing.T) {
 		lbm.F64: ref.State(),
 		lbm.F32: ref32.State(),
 	}
-	for _, prec := range []lbm.Precision{lbm.F64, lbm.F32} {
-		for _, bands := range []int{1, 2, 3, 8, 6, 12} {
-			for _, fused := range []bool{false, true} {
-				label := fmt.Sprintf("intra/prec=%v/bands=%d/fused=%v", prec, bands, fused)
-				t.Run(label, func(t *testing.T) {
-					p := waveParams(nx, ny, nz)
-					p.Precision = prec
-					p.Fused = fused
-					s, err := lbm.NewSolver(p)
-					if err != nil {
-						t.Fatal(err)
-					}
-					s.SetWorkers(bands)
-					if fused {
-						s.SetFusedChunks(bands)
-					} else {
-						s.SetBands(bands)
-					}
-					s.RunParallelSteps(steps)
-					want := refState[prec]
-					got := s.State()
-					for c := 0; c < nc; c++ {
-						for x := 0; x < nx; x++ {
-							for i := range want.F[c][x] {
-								if math.Float64bits(want.F[c][x][i]) != math.Float64bits(got.F[c][x][i]) {
-									t.Fatalf("%s: diverged at comp %d plane %d index %d: %v != %v",
-										label, c, x, i, got.F[c][x][i], want.F[c][x][i])
+	// The SoA rows hold the tentpole guarantee of the direction-major
+	// layout: it evaluates the same per-cell expression tree as the
+	// canonical layout, so the State snapshot (canonical by
+	// construction) must be byte-equal, not merely close. AoS keeps the
+	// degenerate bandings (6/12 → two-/one-plane bands); SoA covers the
+	// representative 1/2/8 band counts.
+	for _, layout := range []lbm.Layout{lbm.AoS, lbm.SoA} {
+		bandCounts := []int{1, 2, 3, 8, 6, 12}
+		if layout == lbm.SoA {
+			bandCounts = []int{1, 2, 8}
+		}
+		for _, prec := range []lbm.Precision{lbm.F64, lbm.F32} {
+			for _, bands := range bandCounts {
+				for _, fused := range []bool{false, true} {
+					label := fmt.Sprintf("intra/layout=%s/prec=%v/bands=%d/fused=%v", layout, prec, bands, fused)
+					t.Run(label, func(t *testing.T) {
+						p := waveParams(nx, ny, nz)
+						p.Precision = prec
+						p.Fused = fused
+						p.Layout = layout
+						s, err := lbm.NewSolver(p)
+						if err != nil {
+							t.Fatal(err)
+						}
+						s.SetWorkers(bands)
+						if fused {
+							s.SetFusedChunks(bands)
+						} else {
+							s.SetBands(bands)
+						}
+						s.RunParallelSteps(steps)
+						want := refState[prec]
+						got := s.State()
+						for c := 0; c < nc; c++ {
+							for x := 0; x < nx; x++ {
+								for i := range want.F[c][x] {
+									if math.Float64bits(want.F[c][x][i]) != math.Float64bits(got.F[c][x][i]) {
+										t.Fatalf("%s: diverged at comp %d plane %d index %d: %v != %v",
+											label, c, x, i, got.F[c][x][i], want.F[c][x][i])
+									}
 								}
 							}
 						}
-					}
-				})
+					})
+				}
 			}
 		}
 	}
 
-	for _, ranks := range []int{1, 2, 3} {
-		for _, overlap := range []bool{false, true} {
-			for _, mode := range haloModes {
-				label := fmt.Sprintf("parlbm/ranks=%d/overlap=%v/%s", ranks, overlap, mode.name)
-				t.Run(label, func(t *testing.T) {
-					opts := mode.opts
-					opts.Phases = steps
-					opts.Overlap = overlap
-					final, results, err := RunParallel(waveParams(nx, ny, nz), ranks, opts)
-					if err != nil {
-						t.Fatal(err)
-					}
-					check(t, label, func(c, x int) []float64 { return final[c].Plane(x) })
-					if overlap && !opts.Coalesce && ranks > 1 {
-						// The overlapped phases must attribute a nonzero
-						// overlap window on every rank.
-						for _, r := range results {
-							if r.Breakdown.Overlap <= 0 {
-								t.Errorf("rank %d: overlap window %v, want > 0", r.Rank, r.Breakdown.Overlap)
-							}
-							if r.Breakdown.Overlap > r.Breakdown.Computation {
-								t.Errorf("rank %d: overlap %v exceeds computation %v",
-									r.Rank, r.Breakdown.Overlap, r.Breakdown.Computation)
+	// The distributed rows also carry the layout dimension: the gathered
+	// fields are canonical regardless of layout, so SoA ranks must
+	// reproduce the serial reference byte-for-byte through every halo
+	// wire format (the pack/unpack transposes are on the identity path).
+	for _, layout := range []lbm.Layout{lbm.AoS, lbm.SoA} {
+		for _, ranks := range []int{1, 2, 3} {
+			for _, overlap := range []bool{false, true} {
+				for _, mode := range haloModes {
+					label := fmt.Sprintf("parlbm/layout=%s/ranks=%d/overlap=%v/%s", layout, ranks, overlap, mode.name)
+					t.Run(label, func(t *testing.T) {
+						opts := mode.opts
+						opts.Phases = steps
+						opts.Overlap = overlap
+						p := waveParams(nx, ny, nz)
+						p.Layout = layout
+						final, results, err := RunParallel(p, ranks, opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						check(t, label, func(c, x int) []float64 { return final[c].Plane(x) })
+						if overlap && !opts.Coalesce && ranks > 1 {
+							// The overlapped phases must attribute a nonzero
+							// overlap window on every rank.
+							for _, r := range results {
+								if r.Breakdown.Overlap <= 0 {
+									t.Errorf("rank %d: overlap window %v, want > 0", r.Rank, r.Breakdown.Overlap)
+								}
+								if r.Breakdown.Overlap > r.Breakdown.Computation {
+									t.Errorf("rank %d: overlap %v exceeds computation %v",
+										r.Rank, r.Breakdown.Overlap, r.Breakdown.Computation)
+								}
 							}
 						}
-					}
-				})
+					})
+				}
 			}
 		}
 	}

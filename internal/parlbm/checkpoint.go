@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"microslip/internal/checkpoint"
+	"microslip/internal/field"
 )
 
 // checkpointPhase runs one coordinated checkpoint round after
@@ -30,11 +31,21 @@ func (w *worker) checkpointPhase(completed int) error {
 		Planes:  make([][][]float64, nc),
 		Density: make([][][]float64, nc),
 	}
+	cells := w.k.PlaneCells()
 	for c := 0; c < nc; c++ {
 		rs.Planes[c] = make([][]float64, count)
 		rs.Density[c] = make([][]float64, count)
 		for i := 0; i < count; i++ {
-			rs.Planes[c][i] = w.f[c].Plane(start + i)
+			if w.soa {
+				// Checkpoint payloads are canonical order regardless of
+				// the in-memory layout, so AoS and SoA runs commit
+				// byte-identical files and a resume may pick either.
+				plane := make([]float64, w.f[c].PlaneSize())
+				field.TransposeToAoS(plane, w.f[c].Plane(start+i), cells, 19)
+				rs.Planes[c][i] = plane
+			} else {
+				rs.Planes[c][i] = w.f[c].Plane(start + i)
+			}
 			rs.Density[c][i] = w.n[c].Plane(start + i)
 		}
 	}
@@ -49,7 +60,7 @@ func (w *worker) checkpointPhase(completed int) error {
 	if w.rank == 0 {
 		m := &checkpoint.Manifest{
 			Phase: completed, NX: w.p.NX, NComp: nc,
-			PlaneSize: w.f[0].PlaneSize(), Params: w.p,
+			PlaneSize: w.f[0].PlaneSize(), Params: w.p.Canonical(),
 			Ranks: make([]checkpoint.RankRange, len(all)),
 		}
 		for r, data := range all {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"microslip/internal/field"
 	"microslip/internal/lattice"
 	"microslip/internal/lbm"
 	"microslip/internal/num"
@@ -75,9 +76,9 @@ func (w *worker) phaseCoalesced(phase int) error {
 		farL, farR = start, start
 	}
 	t := time.Now()
-	w.k.Densities(w.fAt(farL), w.nAt(farL))
+	w.densities(w.fAt(farL), w.nAt(farL))
 	if farR != farL {
-		w.k.Densities(w.fAt(farR), w.nAt(farR))
+		w.densities(w.fAt(farR), w.nAt(farR))
 	}
 	compDur += time.Since(t).Seconds()
 
@@ -94,7 +95,7 @@ func (w *worker) phaseCoalesced(phase int) error {
 		if gx == farL || gx == farR {
 			continue
 		}
-		w.k.Densities(w.fAt(gx), w.nAt(gx))
+		w.densities(w.fAt(gx), w.nAt(gx))
 	}
 	d := time.Since(t).Seconds()
 	compDur += d
@@ -113,7 +114,7 @@ func (w *worker) phaseCoalesced(phase int) error {
 	for gx := start; gx < end; gx++ {
 		nL := viewOrGhost(w.nView.win, gx-1, start, end, w.ghostNViewL, w.ghostNViewR)
 		nR := viewOrGhost(w.nView.win, gx+1, start, end, w.ghostNViewL, w.ghostNViewR)
-		w.k.CollideScratch(w.sc, nL, w.nAt(gx), nR, w.fAt(gx), w.postAt(gx))
+		w.collide(nL, w.nAt(gx), nR, w.fAt(gx), w.postAt(gx))
 	}
 	compDur += time.Since(t).Seconds()
 
@@ -163,9 +164,9 @@ func (w *worker) phaseCoalesced(phase int) error {
 
 	t = time.Now()
 	for gx := start; gx < end; gx++ {
-		fL := ghostOr(w.postView.win, gx-1, start, end, gL, gR)
-		fR := ghostOr(w.postView.win, gx+1, start, end, gL, gR)
-		w.k.StreamGhost(fL, w.postAt(gx), fR, w.fAt(gx))
+		fL := ghostOr(w.postView.win, gx-1, start, end, gL, gR, w.soa)
+		fR := ghostOr(w.postView.win, gx+1, start, end, gL, gR, w.soa)
+		w.stream(fL, w.postAt(gx), fR, w.fAt(gx))
 	}
 	compDur += time.Since(t).Seconds()
 
@@ -186,7 +187,13 @@ func (w *worker) packFrameInto(buf []float64, edge, far int) []float64 {
 	buf = buf[:need]
 	buf[0] = frameWide
 	for c := 0; c < nc; c++ {
-		copy(buf[1+c*sz:1+(c+1)*sz], w.f[c].Plane(edge))
+		if w.soa {
+			// Frames are canonical on the wire; transpose the SoA edge
+			// plane during the pack copy.
+			field.TransposeToAoS(buf[1+c*sz:1+(c+1)*sz], w.f[c].Plane(edge), cells, lattice.Q19)
+		} else {
+			copy(buf[1+c*sz:1+(c+1)*sz], w.f[c].Plane(edge))
+		}
 		copy(buf[1+nc*sz+c*cells:1+nc*sz+(c+1)*cells], w.n[c].Plane(far))
 	}
 	return buf

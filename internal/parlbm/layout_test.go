@@ -1,0 +1,236 @@
+package parlbm
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"microslip/internal/balance"
+	"microslip/internal/checkpoint"
+	"microslip/internal/field"
+	"microslip/internal/lattice"
+	"microslip/internal/lbm"
+)
+
+// randSlabs builds one AoS slab set and one SoA slab set holding the
+// same logical field (the SoA planes are exact transposes).
+func randSlabs(t *testing.T, ny, nz, start, count int, seed int64) (aos, soa []*field.Slab) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cells := ny * nz
+	aos = make([]*field.Slab, 2)
+	soa = make([]*field.Slab, 2)
+	for c := range aos {
+		aos[c] = field.NewSlabLayout(ny, nz, 19, start, count, field.AoS)
+		soa[c] = field.NewSlabLayout(ny, nz, 19, start, count, field.SoA)
+		for gx := start; gx < start+count; gx++ {
+			plane := aos[c].Plane(gx)
+			for i := range plane {
+				plane[i] = rng.NormFloat64()
+			}
+			field.TransposeToSoA(soa[c].Plane(gx), plane, cells, 19)
+		}
+	}
+	return aos, soa
+}
+
+// The halo wire format is canonical order regardless of the in-memory
+// layout: packing the same logical field from an AoS slab and from its
+// SoA transpose must produce byte-identical buffers, for both the slim
+// crossing pack (both faces) and the full-plane pack. This is the
+// invariant that keeps f32 wire compression, coalesced frames, and
+// mixed-layout clusters working unchanged.
+func TestPackBytesLayoutIndependent(t *testing.T) {
+	const ny, nz, start, count = 7, 5, 3, 2
+	aos, soa := randSlabs(t, ny, nz, start, count, 7)
+
+	bitEq := func(name string, a, b []float64) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d floats vs %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				t.Fatalf("%s: index %d: %v != %v", name, i, b[i], a[i])
+			}
+		}
+	}
+	for gx := start; gx < start+count; gx++ {
+		bitEq("slim right-going", packCrossing(nil, aos, gx, &lattice.RightGoing),
+			packCrossing(nil, soa, gx, &lattice.RightGoing))
+		bitEq("slim left-going", packCrossing(nil, aos, gx, &lattice.LeftGoing),
+			packCrossing(nil, soa, gx, &lattice.LeftGoing))
+		bitEq("wide planes", packPlanes(nil, aos, gx), packPlanes(nil, soa, gx))
+	}
+}
+
+// A distributed SoA run must be indistinguishable from an AoS run in
+// every externally observable artifact: the gathered final fields
+// (bit-equal), the per-class comm byte counters (the wire protocol
+// carries canonical order, so not one byte moves differently), and the
+// committed checkpoint files (byte-identical on disk, so a resume may
+// freely switch layouts).
+func TestLayoutRunArtifactsIdentical(t *testing.T) {
+	const nx, ny, nz, ranks, phases = 12, 8, 5, 3, 6
+	run := func(layout lbm.Layout, dir string) ([]*field.Dist3D, []*Result) {
+		p := waveParams(nx, ny, nz)
+		p.Layout = layout
+		opts := Options{
+			Phases:     phases,
+			Checkpoint: &CheckpointSpec{Dir: dir, Interval: 2, Keep: 16},
+		}
+		final, results, err := RunParallel(p, ranks, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return final, results
+	}
+	dirA, dirS := t.TempDir(), t.TempDir()
+	finalA, resA := run(lbm.AoS, dirA)
+	finalS, resS := run(lbm.SoA, dirS)
+
+	for c := range finalA {
+		for x := 0; x < nx; x++ {
+			pa, ps := finalA[c].Plane(x), finalS[c].Plane(x)
+			for i := range pa {
+				if math.Float64bits(pa[i]) != math.Float64bits(ps[i]) {
+					t.Fatalf("final field comp %d plane %d index %d: %v != %v", c, x, i, ps[i], pa[i])
+				}
+			}
+		}
+	}
+
+	for r := range resA {
+		a, s := resA[r].Breakdown.Bytes, resS[r].Breakdown.Bytes
+		if a != s {
+			t.Errorf("rank %d comm byte counters differ between layouts:\naos: %+v\nsoa: %+v", r, a, s)
+		}
+	}
+
+	// Every committed checkpoint file must match byte for byte.
+	files := func(dir string) map[string][]byte {
+		m := map[string][]byte{}
+		err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+			if err != nil || info.IsDir() {
+				return err
+			}
+			rel, err := filepath.Rel(dir, path)
+			if err != nil {
+				return err
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			m[rel] = data
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	fa, fs := files(dirA), files(dirS)
+	if len(fa) == 0 {
+		t.Fatal("no checkpoint files written")
+	}
+	if len(fa) != len(fs) {
+		t.Fatalf("checkpoint sets differ: %d files (aos) vs %d (soa)", len(fa), len(fs))
+	}
+	for rel, da := range fa {
+		ds, ok := fs[rel]
+		if !ok {
+			t.Errorf("checkpoint file %s missing from SoA run", rel)
+			continue
+		}
+		if len(da) != len(ds) {
+			t.Errorf("checkpoint file %s: %d bytes (aos) vs %d (soa)", rel, len(da), len(ds))
+			continue
+		}
+		for i := range da {
+			if da[i] != ds[i] {
+				t.Errorf("checkpoint file %s differs at byte %d", rel, i)
+				break
+			}
+		}
+	}
+}
+
+// Migration and restart must also hold layout transparency: a SoA run
+// with dynamic remapping (planes migrating between ranks) and a resume
+// from an AoS-written checkpoint into SoA ranks both reproduce the
+// serial reference bits.
+func TestLayoutMigrationAndResume(t *testing.T) {
+	const nx, ny, nz, ranks, phases = 12, 8, 5, 3, 6
+	ref, err := lbm.NewSim(waveParams(nx, ny, nz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Run(phases)
+	checkRef := func(label string, final []*field.Dist3D) {
+		t.Helper()
+		for c := 0; c < ref.P.NComp(); c++ {
+			for x := 0; x < nx; x++ {
+				want, got := ref.Plane(c, x), final[c].Plane(x)
+				for i := range want {
+					if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+						t.Fatalf("%s: comp %d plane %d index %d: %v != %v", label, c, x, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+
+	// Forced plane traffic: a synthetic slow rank drives remapping, so
+	// planes migrate across both boundaries while the slabs are SoA
+	// (the migration wire is canonical, the endpoints transpose).
+	p := waveParams(nx, ny, nz)
+	p.Layout = lbm.SoA
+	pol := balance.NewFiltered(p.NY * p.NZ)
+	pol.Cfg.Interval = 2
+	pol.Cfg.HistoryK = 2
+	final, results, err := RunParallel(p, ranks, Options{
+		Phases:    phases,
+		Policy:    pol,
+		PhaseTime: slowRankTime(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRef("soa migration", final)
+	moved := 0
+	for _, r := range results {
+		moved += r.PlanesSent
+	}
+	if moved == 0 {
+		t.Error("no planes migrated; the SoA migration path was not exercised")
+	}
+
+	// Cross-layout resume: checkpoint under AoS mid-run, restore into
+	// SoA ranks (a checkpoint at the final phase is elided, so the
+	// interval must land strictly inside the run).
+	dir := t.TempDir()
+	pa := waveParams(nx, ny, nz)
+	if _, _, err := RunParallel(pa, ranks, Options{
+		Phases:     phases,
+		Checkpoint: &CheckpointSpec{Dir: dir, Interval: phases / 2, Keep: 4},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := checkpoint.LatestRun(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := waveParams(nx, ny, nz)
+	ps.Layout = lbm.SoA
+	final2, _, err := RunParallel(ps, ranks, Options{
+		Phases:     phases,
+		Checkpoint: &CheckpointSpec{Dir: t.TempDir(), Interval: phases, Keep: 4, Snapshot: snap},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRef("aos-to-soa resume", final2)
+}

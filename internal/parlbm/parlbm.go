@@ -348,13 +348,20 @@ func (v *planeViews) grow(needL, needR int) {
 
 // worker is the per-rank state.
 type worker struct {
-	p     *lbm.Params
-	k     *lbm.Kernel
-	c     comm.Comm
-	opts  Options
-	sup   *runctl.Supervisor
-	rank  int
-	size  int
+	p    *lbm.Params
+	k    *lbm.Kernel
+	c    comm.Comm
+	opts Options
+	sup  *runctl.Supervisor
+	rank int
+	size int
+	// soa mirrors p.Layout == SoA: owned distribution planes are stored
+	// direction-major and the owned-plane kernel calls dispatch to the
+	// *SoA variants. Everything that crosses the wire or persists —
+	// halos, frames, migration payloads, checkpoints, gather — stays in
+	// canonical cell-major order; the pack/unpack paths transpose at the
+	// plane boundary, so byte counts and artifacts are layout-invariant.
+	soa   bool
 	f     []*field.Slab // per component, Q = 19
 	n     []*field.Slab // per component, Q = 1
 	fPost []*field.Slab
@@ -435,16 +442,47 @@ func viewOrGhost(views [][][]float64, gx, start, end int, ghostL, ghostR [][]flo
 }
 
 // ghostOr is viewOrGhost for streaming inputs: owned planes become full
-// descriptors, out-of-range planes the given (possibly slim) ghosts.
-func ghostOr(views [][][]float64, gx, start, end int, gL, gR lbm.Ghost) lbm.Ghost {
+// descriptors (marked SoA when the rank stores them direction-major),
+// out-of-range planes the given (possibly slim, always canonical)
+// ghosts.
+func ghostOr(views [][][]float64, gx, start, end int, gL, gR lbm.Ghost, soa bool) lbm.Ghost {
 	switch {
 	case gx < start:
 		return gL
 	case gx >= end:
 		return gR
 	default:
-		return lbm.Ghost{Planes: views[gx-start]}
+		return lbm.Ghost{Planes: views[gx-start], SoA: soa}
 	}
+}
+
+// densities, collide, and stream dispatch the owned-plane kernel calls
+// to the AoS or SoA variant according to the rank's layout. Ghost-plane
+// work (the coalesced protocol's redundant ghost collide) deliberately
+// does NOT go through these: wire data is canonical, so it runs the
+// plain AoS kernels regardless of layout.
+func (w *worker) densities(f, n [][]float64) {
+	if w.soa {
+		w.k.DensitiesSoA(f, n)
+		return
+	}
+	w.k.Densities(f, n)
+}
+
+func (w *worker) collide(nL, nC, nR, fC, out [][]float64) {
+	if w.soa {
+		w.k.CollideScratchSoA(w.sc, nL, nC, nR, fC, out)
+		return
+	}
+	w.k.CollideScratch(w.sc, nL, nC, nR, fC, out)
+}
+
+func (w *worker) stream(fL lbm.Ghost, fC [][]float64, fR lbm.Ghost, out [][]float64) {
+	if w.soa {
+		w.k.StreamGhostSoA(fL, fC, fR, out)
+		return
+	}
+	w.k.StreamGhost(fL, fC, fR, out)
 }
 
 // RunRank executes the phases for one rank. All ranks of the group must
@@ -503,7 +541,7 @@ func runRank(p *lbm.Params, c comm.Comm, opts Options, sup *runctl.Supervisor) (
 	}
 	w := &worker{
 		p: p, k: lbm.NewKernel(p), c: c, opts: opts, sup: sup,
-		rank: c.Rank(), size: c.Size(),
+		rank: c.Rank(), size: c.Size(), soa: p.Layout == lbm.SoA,
 		res: &Result{Rank: c.Rank()},
 	}
 	w.sc = w.k.NewScratch()
@@ -527,14 +565,26 @@ func runRank(p *lbm.Params, c comm.Comm, opts Options, sup *runctl.Supervisor) (
 		snap = opts.Checkpoint.Snapshot
 		startPhase = snap.Phase
 	}
+	layout := field.AoS
+	if w.soa {
+		layout = field.SoA
+	}
+	cells := p.NY * p.NZ
 	for comp := 0; comp < nc; comp++ {
-		w.f[comp] = field.NewSlab(p.NY, p.NZ, 19, start, end-start)
-		w.fPost[comp] = field.NewSlab(p.NY, p.NZ, 19, start, end-start)
+		w.f[comp] = field.NewSlabLayout(p.NY, p.NZ, 19, start, end-start, layout)
+		w.fPost[comp] = field.NewSlabLayout(p.NY, p.NZ, 19, start, end-start, layout)
 		w.n[comp] = field.NewSlab(p.NY, p.NZ, 1, start, end-start)
 		for gx := start; gx < end; gx++ {
-			if snap != nil {
+			switch {
+			case snap != nil && w.soa:
+				// Snapshot planes are canonical; transpose into the
+				// rank's direction-major storage.
+				field.TransposeToSoA(w.f[comp].Plane(gx), snap.Plane(comp, gx), cells, 19)
+			case snap != nil:
 				copy(w.f[comp].Plane(gx), snap.Plane(comp, gx))
-			} else {
+			case w.soa:
+				w.k.InitEquilibriumSoA(w.f[comp].Plane(gx), p.InitDensityAt(comp, gx))
+			default:
 				w.k.InitEquilibrium(w.f[comp].Plane(gx), p.InitDensityAt(comp, gx))
 			}
 		}
@@ -676,7 +726,9 @@ func (w *worker) recvWire(from, tag, n int, what string, staging *[]float64, cla
 // of the slabs into buf, reusing its capacity when possible, and
 // returns the (possibly grown) buffer. The steady-state halo exchange
 // therefore sends from two per-worker buffers instead of allocating a
-// fresh one per exchange.
+// fresh one per exchange. SoA distribution planes are transposed into
+// the canonical cell-major wire order during the copy, so the payload
+// bytes are identical between layouts.
 func packPlanes(buf []float64, slabs []*field.Slab, gx int) []float64 {
 	sz := slabs[0].PlaneSize()
 	need := sz * len(slabs)
@@ -684,6 +736,13 @@ func packPlanes(buf []float64, slabs []*field.Slab, gx int) []float64 {
 		buf = make([]float64, need)
 	}
 	buf = buf[:need]
+	if slabs[0].Layout == field.SoA && slabs[0].Q > 1 {
+		cells := slabs[0].NY * slabs[0].NZ
+		for c, s := range slabs {
+			field.TransposeToAoS(buf[c*sz:(c+1)*sz], s.Plane(gx), cells, s.Q)
+		}
+		return buf
+	}
 	for c, s := range slabs {
 		copy(buf[c*sz:(c+1)*sz], s.Plane(gx))
 	}
@@ -704,6 +763,29 @@ func packCrossing(buf []float64, slabs []*field.Slab, gx int, dirs *[5]int) []fl
 		buf = make([]float64, need)
 	}
 	buf = buf[:need]
+	if slabs[0].Layout == field.SoA {
+		// Direction-major source: gather each crossing population from
+		// its contiguous lane. The wire bytes are identical to the AoS
+		// gather below — slim order is canonical either way.
+		for c, s := range slabs {
+			plane := s.Plane(gx)
+			out := buf[c*per : (c+1)*per]
+			l0 := plane[dirs[0]*cells : (dirs[0]+1)*cells]
+			l1 := plane[dirs[1]*cells : (dirs[1]+1)*cells]
+			l2 := plane[dirs[2]*cells : (dirs[2]+1)*cells]
+			l3 := plane[dirs[3]*cells : (dirs[3]+1)*cells]
+			l4 := plane[dirs[4]*cells : (dirs[4]+1)*cells]
+			for cell := 0; cell < cells; cell++ {
+				o := cell * lattice.CrossQ
+				out[o] = l0[cell]
+				out[o+1] = l1[cell]
+				out[o+2] = l2[cell]
+				out[o+3] = l3[cell]
+				out[o+4] = l4[cell]
+			}
+		}
+		return buf
+	}
 	for c, s := range slabs {
 		plane := s.Plane(gx)
 		out := buf[c*per : (c+1)*per]
@@ -793,12 +875,14 @@ func (w *worker) recvDensityHalos() ([][]float64, [][]float64, error) {
 // consumed in place by the kernel.
 func (w *worker) exchangeDistHalos() (ghostL, ghostR lbm.Ghost, err error) {
 	if w.size == 1 {
+		// The wrap points at the rank's own post-collision planes, so
+		// the ghost layout follows the rank's storage layout.
 		start, end := w.fPost[0].Start, w.fPost[0].End()
 		for c := range w.fPost {
 			w.ghostHdrL[c] = w.fPost[c].Plane(end - 1)
 			w.ghostHdrR[c] = w.fPost[c].Plane(start)
 		}
-		return lbm.Ghost{Planes: w.ghostHdrL}, lbm.Ghost{Planes: w.ghostHdrR}, nil
+		return lbm.Ghost{Planes: w.ghostHdrL, SoA: w.soa}, lbm.Ghost{Planes: w.ghostHdrR, SoA: w.soa}, nil
 	}
 	if err := w.postDistHalos(); err != nil {
 		return lbm.Ghost{}, lbm.Ghost{}, err
@@ -841,7 +925,7 @@ func (w *worker) phase(phase int) error {
 	tComp := time.Now()
 	// Densities for owned planes.
 	for gx := start; gx < end; gx++ {
-		w.k.Densities(w.fAt(gx), w.nAt(gx))
+		w.densities(w.fAt(gx), w.nAt(gx))
 	}
 	compDur := time.Since(tComp).Seconds()
 
@@ -856,7 +940,7 @@ func (w *worker) phase(phase int) error {
 	for gx := start; gx < end; gx++ {
 		nL := viewOrGhost(w.nView.win, gx-1, start, end, nGhostL, nGhostR)
 		nR := viewOrGhost(w.nView.win, gx+1, start, end, nGhostL, nGhostR)
-		w.k.CollideScratch(w.sc, nL, w.nAt(gx), nR, w.fAt(gx), w.postAt(gx))
+		w.collide(nL, w.nAt(gx), nR, w.fAt(gx), w.postAt(gx))
 	}
 	compDur += time.Since(tComp).Seconds()
 
@@ -869,9 +953,9 @@ func (w *worker) phase(phase int) error {
 
 	tComp = time.Now()
 	for gx := start; gx < end; gx++ {
-		fL := ghostOr(w.postView.win, gx-1, start, end, fGhostL, fGhostR)
-		fR := ghostOr(w.postView.win, gx+1, start, end, fGhostL, fGhostR)
-		w.k.StreamGhost(fL, w.postAt(gx), fR, w.fAt(gx))
+		fL := ghostOr(w.postView.win, gx-1, start, end, fGhostL, fGhostR, w.soa)
+		fR := ghostOr(w.postView.win, gx+1, start, end, fGhostL, fGhostR, w.soa)
+		w.stream(fL, w.postAt(gx), fR, w.fAt(gx))
 	}
 	compDur += time.Since(tComp).Seconds()
 
@@ -891,9 +975,9 @@ func (w *worker) phaseOverlap(phase int) error {
 
 	// Densities: edges first, halos on the wire, interior overlapped.
 	t := time.Now()
-	w.k.Densities(w.fAt(start), w.nAt(start))
+	w.densities(w.fAt(start), w.nAt(start))
 	if end-1 > start {
-		w.k.Densities(w.fAt(end-1), w.nAt(end-1))
+		w.densities(w.fAt(end-1), w.nAt(end-1))
 	}
 	compDur += time.Since(t).Seconds()
 	t = time.Now()
@@ -903,7 +987,7 @@ func (w *worker) phaseOverlap(phase int) error {
 	commDur += time.Since(t).Seconds()
 	t = time.Now()
 	for gx := start + 1; gx < end-1; gx++ {
-		w.k.Densities(w.fAt(gx), w.nAt(gx))
+		w.densities(w.fAt(gx), w.nAt(gx))
 	}
 	d := time.Since(t).Seconds()
 	compDur += d
@@ -919,11 +1003,11 @@ func (w *worker) phaseOverlap(phase int) error {
 	// exchange's boundary data, so they go first; the interior
 	// overlaps the distribution-halo exchange.
 	t = time.Now()
-	w.k.CollideScratch(w.sc, nGhostL, w.nAt(start),
+	w.collide(nGhostL, w.nAt(start),
 		viewOrGhost(w.nView.win, start+1, start, end, nGhostL, nGhostR),
 		w.fAt(start), w.postAt(start))
 	if end-1 > start {
-		w.k.CollideScratch(w.sc,
+		w.collide(
 			viewOrGhost(w.nView.win, end-2, start, end, nGhostL, nGhostR),
 			w.nAt(end-1), nGhostR, w.fAt(end-1), w.postAt(end-1))
 	}
@@ -935,7 +1019,7 @@ func (w *worker) phaseOverlap(phase int) error {
 	commDur += time.Since(t).Seconds()
 	t = time.Now()
 	for gx := start + 1; gx < end-1; gx++ {
-		w.k.CollideScratch(w.sc, w.nAt(gx-1), w.nAt(gx), w.nAt(gx+1), w.fAt(gx), w.postAt(gx))
+		w.collide(w.nAt(gx-1), w.nAt(gx), w.nAt(gx+1), w.fAt(gx), w.postAt(gx))
 	}
 	d = time.Since(t).Seconds()
 	compDur += d
@@ -950,9 +1034,9 @@ func (w *worker) phaseOverlap(phase int) error {
 	// Stream: no further exchange to overlap; sweep every plane.
 	t = time.Now()
 	for gx := start; gx < end; gx++ {
-		fL := ghostOr(w.postView.win, gx-1, start, end, fGhostL, fGhostR)
-		fR := ghostOr(w.postView.win, gx+1, start, end, fGhostL, fGhostR)
-		w.k.StreamGhost(fL, w.postAt(gx), fR, w.fAt(gx))
+		fL := ghostOr(w.postView.win, gx-1, start, end, fGhostL, fGhostR, w.soa)
+		fR := ghostOr(w.postView.win, gx+1, start, end, fGhostL, fGhostR, w.soa)
+		w.stream(fL, w.postAt(gx), fR, w.fAt(gx))
 	}
 	compDur += time.Since(t).Seconds()
 

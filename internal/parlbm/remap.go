@@ -177,7 +177,9 @@ func (w *worker) moveBoundary(neighbor, net int) error {
 		}
 		w.migBuf = w.migBuf[:need]
 		// Message layout: per plane (ascending global x), the
-		// per-component planes concatenated.
+		// per-component planes concatenated — always canonical order, so
+		// the wire bytes are layout-independent.
+		cells := w.k.PlaneCells()
 		for c := 0; c < nc; c++ {
 			var pl [][]float64
 			if fromLeft {
@@ -186,7 +188,11 @@ func (w *worker) moveBoundary(neighbor, net int) error {
 				pl = w.f[c].PopRight(count)
 			}
 			for i, p := range pl {
-				copy(w.migBuf[(i*nc+c)*sz:(i*nc+c+1)*sz], p)
+				if w.soa {
+					field.TransposeToAoS(w.migBuf[(i*nc+c)*sz:(i*nc+c+1)*sz], p, cells, 19)
+				} else {
+					copy(w.migBuf[(i*nc+c)*sz:(i*nc+c+1)*sz], p)
+				}
 				w.poolDist = append(w.poolDist, p)
 			}
 		}
@@ -224,10 +230,15 @@ func (w *worker) moveBoundary(neighbor, net int) error {
 		w.migHdr = make([][]float64, count)
 	}
 	hdr := w.migHdr[:count]
+	cells := w.k.PlaneCells()
 	for c := 0; c < nc; c++ {
 		for i := 0; i < count; i++ {
 			p := w.grabDist()
-			copy(p, msg[(i*nc+c)*sz:(i*nc+c+1)*sz])
+			if w.soa {
+				field.TransposeToSoA(p, msg[(i*nc+c)*sz:(i*nc+c+1)*sz], cells, 19)
+			} else {
+				copy(p, msg[(i*nc+c)*sz:(i*nc+c+1)*sz])
+			}
 			hdr[i] = p
 		}
 		if atLeft {
@@ -369,13 +380,25 @@ func orderTransfers(ts []decomp.Transfer, counts []int) ([]decomp.Transfer, erro
 func (w *worker) gather() error {
 	nc := w.p.NComp()
 	sz := w.f[0].PlaneSize()
+	cells := w.k.PlaneCells()
 	if w.rank != 0 {
 		start, count := w.f[0].Start, w.f[0].Count()
 		msg := make([]float64, 0, 2+count*nc*sz)
 		msg = append(msg, float64(start), float64(count))
+		// Wire planes are canonical order regardless of the in-memory
+		// layout, so rank 0 never needs to know the senders' layouts.
+		var scratch []float64
+		if w.soa {
+			scratch = make([]float64, sz)
+		}
 		for gx := start; gx < start+count; gx++ {
 			for c := 0; c < nc; c++ {
-				msg = append(msg, w.f[c].Plane(gx)...)
+				if w.soa {
+					field.TransposeToAoS(scratch, w.f[c].Plane(gx), cells, 19)
+					msg = append(msg, scratch...)
+				} else {
+					msg = append(msg, w.f[c].Plane(gx)...)
+				}
 			}
 		}
 		w.res.Breakdown.Bytes.Gather.CountSend(8 * len(msg))
@@ -390,7 +413,11 @@ func (w *worker) gather() error {
 	}
 	for gx := w.f[0].Start; gx < w.f[0].End(); gx++ {
 		for c := 0; c < nc; c++ {
-			place(gx, c, w.f[c].Plane(gx))
+			if w.soa {
+				field.TransposeToAoS(final[c].Plane(gx), w.f[c].Plane(gx), cells, 19)
+			} else {
+				place(gx, c, w.f[c].Plane(gx))
+			}
 		}
 	}
 	for r := 1; r < w.size; r++ {
