@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race race-lbm race-layout chaos chaos-kill chaos-abort bench bench-json bench-paper bench-smoke bench-layout serve-smoke fuzz
+.PHONY: check build vet test race race-lbm race-layout chaos chaos-kill chaos-abort bench bench-json bench-paper bench-smoke bench-layout bench-refine serve-smoke fuzz
 
 # The CI gate: compile everything, vet, run the full suite, the race
 # detector in short mode (the -short guard trims the long chaos and
@@ -83,9 +83,21 @@ bench-paper:
 # precisions in one report so the compression cross-check applies.
 BENCH_PRECISION ?= f64,f32
 BENCH_LAYOUT ?= both
+BENCH_REFINE ?= both
 bench-smoke:
-	$(GO) run ./cmd/lbmbench -quick -precision $(BENCH_PRECISION) -layout $(BENCH_LAYOUT) -out bench_smoke.json
+	$(GO) run ./cmd/lbmbench -quick -precision $(BENCH_PRECISION) -layout $(BENCH_LAYOUT) -refine $(BENCH_REFINE) -out bench_smoke.json
 	$(GO) run ./cmd/lbmbench -check bench_smoke.json
+
+# The refined-vs-uniform comparison at paper size: the 200x100x20 slip
+# grid on the fused intra-node solver, uniform and two-level refined
+# (12 fine rows per wall slab), one precision. The -check pass gates
+# the refined entry's effective MLUPS against its uniform twin — the
+# committed number behind the README's refinement speedup claim.
+bench-refine:
+	$(GO) run ./cmd/lbmbench -grid 200x100x20 -steps 40 -warmup 8 -workers 1 -ranks 1 \
+		-fused on -overlap off -halo slim -coalesce off -layout aos -refine both \
+		-precision f64 -out bench_refine.json
+	$(GO) run ./cmd/lbmbench -check bench_refine.json
 
 # The AoS-vs-SoA layout comparison on the smoke grid: both layouts,
 # both stepping paths, one precision — the quick answer to "did a

@@ -11,6 +11,7 @@
 //	         [-workers 1,2,4] [-ranks 1,2,4] [-fused both|on|off]
 //	         [-overlap both|on|off] [-halo both|slim|wide]
 //	         [-coalesce both|on|off] [-layout aos|soa|both]
+//	         [-refine both|on|off] [-wall-layers N]
 //	         [-precision f64[,f32]]
 //	         [-cpuprofile FILE] [-memprofile FILE]
 //	         [-blockprofile FILE] [-mutexprofile FILE]
@@ -36,6 +37,13 @@
 // structure-of-arrays) storage of the same bits. Both evaluate the
 // identical expression tree per cell, so the sweep compares pure memory
 // behavior.
+//
+// -refine adds intra-node rows on the two-level near-wall refined
+// solver (-wall-layers fine rows per wall slab, default 12, 4 with
+// -quick). Refined entries report MLUPS over actual site updates and
+// effective_mlups over the uniform-equivalent updates; effective
+// divided by the uniform twin's MLUPS is the refinement's end-to-end
+// speedup, which the validator gates at paper size.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the whole
 // sweep, for digging into regressions the report surfaces; -blockprofile
@@ -88,8 +96,16 @@ import (
 // intra-node entry carry its distribution memory layout ("aos"/"soa");
 // distributed entries stay layout-free (their wire format and gathered
 // artifacts are canonical order by construction, so layout is not an
-// observable of a distributed measurement).
-const Schema = "microslip-bench/v5"
+// observable of a distributed measurement). v6 makes every intra-node
+// entry carry a refine field — "none" for the uniform solver, "wl<N>"
+// for the two-level near-wall refined solver with N fine rows per wall
+// slab — and refined entries additionally carry effective_mlups: the
+// uniform-equivalent site-update rate (fine-equivalent sites per
+// composite step over wall time), the number a refined run's speedup
+// over its uniform twin is read from. The validator recomputes the
+// effective/actual ratio from the descriptor and gates paper-size
+// fused-AoS refined entries on beating their uniform twin.
+const Schema = "microslip-bench/v6"
 
 // paperCells is the cell count of the smaller paper-size preset grid
 // (200x100x20); the scaling-efficiency gate applies from there up,
@@ -156,6 +172,18 @@ type Entry struct {
 	// ScalingEff is MLUPS / (MLUPS of the same sweep's workers=1 twin
 	// times min(workers, GOMAXPROCS)); intra-node entries only.
 	ScalingEff float64 `json:"scaling_efficiency,omitempty"`
+	// Refine marks the grid hierarchy of an intra-node entry: "none"
+	// for the uniform solver, "wl<N>" for the two-level near-wall
+	// refined solver with N fine rows per wall slab. Refined entries'
+	// MLUPS counts actual site updates (fine sub-steps + coarse step
+	// per composite step); distributed entries omit the field.
+	Refine string `json:"refine,omitempty"`
+	// EffectiveMLUPS is a refined entry's uniform-equivalent rate:
+	// the site updates the uniform fine solver would need for the same
+	// physical time (every global fine site, twice per composite step)
+	// over wall time. EffectiveMLUPS / the uniform twin's MLUPS is the
+	// refinement's end-to-end speedup.
+	EffectiveMLUPS float64 `json:"effective_mlups,omitempty"`
 }
 
 // Report is the emitted JSON document.
@@ -204,6 +232,8 @@ func run() int {
 		halo      = flag.String("halo", "both", "halo wire format: both, slim, or wide")
 		coalesce  = flag.String("coalesce", "off", "coalesced phase frames: both, on, or off")
 		layout    = flag.String("layout", "aos", "intra-node distribution layout: aos, soa, or both")
+		refine    = flag.String("refine", "off", "two-level near-wall refinement: both, on, or off")
+		wallLay   = flag.Int("wall-layers", 0, "fine rows per wall slab for refined entries (0 = 12, or 4 with -quick)")
 		precision = flag.String("precision", "f64", "comma-separated scalar precisions: f64, f32")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to FILE")
 		memprof   = flag.String("memprofile", "", "write a heap profile after the sweep to FILE")
@@ -226,17 +256,22 @@ func run() int {
 		return 0
 	}
 
-	precSet, layoutSet := false, false
+	precSet, layoutSet, refineSet := false, false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "precision":
 			precSet = true
 		case "layout":
 			layoutSet = true
+		case "refine":
+			refineSet = true
 		}
 	})
 	if *quick {
-		*grids, *steps, *warmup = "8x16x8", 40, 8
+		// 8x18x8: the smallest channel that can host a refined row
+		// (4 wall layers need NY >= 18); through schema v5 the smoke
+		// grid was 8x16x8.
+		*grids, *steps, *warmup = "8x18x8", 40, 8
 		*workers, *ranks = "1,2", "2"
 		*halo, *coalesce = "both", "both"
 		if !precSet { // an explicit -precision narrows the CI matrix leg
@@ -244,6 +279,9 @@ func run() int {
 		}
 		if !layoutSet {
 			*layout = "both"
+		}
+		if !refineSet { // uniform + refined rows by default, like layout
+			*refine = "both"
 		}
 	}
 	if *paper {
@@ -259,6 +297,9 @@ func run() int {
 		*halo, *coalesce, *overlap = "slim", "off", "off"
 		if !layoutSet { // the AoS-vs-SoA comparison is a paper-preset deliverable
 			*layout = "both"
+		}
+		if !refineSet { // refined-vs-uniform at paper size is the other one
+			*refine = "both"
 		}
 	}
 	gridList, err := parseGrids(*grids)
@@ -301,6 +342,27 @@ func run() int {
 	if err != nil {
 		log.Fatalf("-layout: %v", err)
 	}
+	refineOn, err := parseToggle(*refine)
+	if err != nil {
+		log.Fatalf("-refine: %v", err)
+	}
+	// Refined rows are keyed by wall-layer count; 0 stays uniform. The
+	// default descriptor is the paper preset's 12 fine rows per slab,
+	// shrunk to 4 on the quick grid (whose channel cannot hold 12).
+	if *wallLay == 0 {
+		*wallLay = 12
+		if *quick {
+			*wallLay = 4
+		}
+	}
+	var refineModes []int
+	for _, on := range refineOn {
+		if on {
+			refineModes = append(refineModes, *wallLay)
+		} else {
+			refineModes = append(refineModes, 0)
+		}
+	}
 
 	if *blockprof != "" {
 		runtime.SetBlockProfileRate(1)
@@ -341,22 +403,31 @@ sweep:
 		for _, prec := range precisions {
 			for _, f := range fusedModes {
 				for _, lay := range layouts {
-					base := 0.0 // MLUPS of this (grid, prec, fused, layout) at workers=1
-					for _, w := range workerList {
-						if ctx.Err() != nil {
-							interrupted = true
-							break sweep
+					for _, wl := range refineModes {
+						if wl > 0 {
+							spec := lbm.RefineSpec{Levels: 2, WallLayers: wl}
+							if err := spec.Validate(lbm.WaterAir(g[0], g[1], g[2])); err != nil {
+								log.Printf("skipping refined rows on %dx%dx%d: %v", g[0], g[1], g[2], err)
+								continue
+							}
 						}
-						e, err := benchIntra(g, w, f, lay, prec, gSteps, gWarmup)
-						if err != nil {
-							log.Fatal(err)
+						base := 0.0 // MLUPS of this (grid, prec, fused, layout, refine) at workers=1
+						for _, w := range workerList {
+							if ctx.Err() != nil {
+								interrupted = true
+								break sweep
+							}
+							e, err := benchIntra(g, w, f, lay, prec, gSteps, gWarmup, wl)
+							if err != nil {
+								log.Fatal(err)
+							}
+							if w == 1 {
+								base = e.MLUPS
+							}
+							e.ScalingEff = scalingEfficiency(e.MLUPS, base, w, rep.GOMAXPROCS)
+							rep.Entries = append(rep.Entries, e)
+							fmt.Println(row(e))
 						}
-						if w == 1 {
-							base = e.MLUPS
-						}
-						e.ScalingEff = scalingEfficiency(e.MLUPS, base, w, rep.GOMAXPROCS)
-						rep.Entries = append(rep.Entries, e)
-						fmt.Println(row(e))
 					}
 				}
 			}
@@ -425,17 +496,37 @@ sweep:
 
 // benchIntra measures StepParallel on one
 // grid/worker/fused/layout/precision configuration of the sequential
-// solver.
-func benchIntra(g [3]int, workers int, fused bool, layout lbm.Layout, prec lbm.Precision, steps, warmup int) (Entry, error) {
+// solver; wallLayers > 0 selects the two-level near-wall refined
+// solver with that many fine rows per wall slab, whose steps are
+// composite (two fine time units) and whose MLUPS counts actual site
+// updates with effective_mlups carrying the uniform-equivalent rate.
+func benchIntra(g [3]int, workers int, fused bool, layout lbm.Layout, prec lbm.Precision, steps, warmup, wallLayers int) (Entry, error) {
 	p := lbm.WaterAir(g[0], g[1], g[2])
 	p.Fused = fused
 	p.Layout = layout
 	p.Precision = prec
-	s, err := lbm.NewSolver(p)
+	var (
+		s   interface{ StepParallel() }
+		ref lbm.RefinedSolver
+		err error
+	)
+	if wallLayers > 0 {
+		ref, err = lbm.NewRefined(p, lbm.RefineSpec{Levels: 2, WallLayers: wallLayers})
+		if err == nil {
+			ref.SetWorkers(workers)
+			s = ref
+		}
+	} else {
+		var u lbm.Solver
+		u, err = lbm.NewSolver(p)
+		if err == nil {
+			u.SetWorkers(workers)
+			s = u
+		}
+	}
 	if err != nil {
 		return Entry{}, err
 	}
-	s.SetWorkers(workers)
 	for i := 0; i < warmup; i++ {
 		s.StepParallel()
 	}
@@ -448,17 +539,27 @@ func benchIntra(g [3]int, workers int, fused bool, layout lbm.Layout, prec lbm.P
 	}
 	el := time.Since(t0)
 	runtime.ReadMemStats(&m1)
+	refName := "none"
+	if wallLayers > 0 {
+		refName = fmt.Sprintf("wl%d", wallLayers)
+	}
 	e := Entry{
-		Name: fmt.Sprintf("intra/%dx%dx%d/fused=%v/layout=%s/workers=%d/prec=%s",
-			g[0], g[1], g[2], fused, layout, workers, prec),
+		Name: fmt.Sprintf("intra/%dx%dx%d/fused=%v/layout=%s/refine=%s/workers=%d/prec=%s",
+			g[0], g[1], g[2], fused, layout, refName, workers, prec),
 		Grid:      g,
 		Workers:   workers,
 		Fused:     fused,
 		Layout:    layout.String(),
 		Precision: prec.String(),
+		Refine:    refName,
 		Steps:     steps,
 	}
 	fill(&e, el, steps, &m0, &m1)
+	if ref != nil {
+		refined, fineEq := ref.SiteUpdatesPerStep()
+		e.MLUPS = refined * float64(steps) / el.Seconds() / 1e6
+		e.EffectiveMLUPS = fineEq * float64(steps) / el.Seconds() / 1e6
+	}
 	return e, nil
 }
 
@@ -579,6 +680,9 @@ func row(e Entry) string {
 	if e.Workers >= 1 {
 		s += fmt.Sprintf(" %5.2f eff", e.ScalingEff)
 	}
+	if e.EffectiveMLUPS > 0 {
+		s += fmt.Sprintf(" %8.2f eff-MLUPS", e.EffectiveMLUPS)
+	}
 	return s
 }
 
@@ -621,15 +725,26 @@ func validate(path string, allowInterrupted bool) error {
 	// compression cross-check below.
 	haloSent := map[string]map[string]int64{}
 	// workers=1 MLUPS per intra configuration, for recomputing and
-	// gating scaling_efficiency. Key: grid/fused/layout/precision.
+	// gating scaling_efficiency. Key: grid/fused/layout/refine/precision.
 	intraBase := map[string]float64{}
 	intraKey := func(e Entry) string {
-		return fmt.Sprintf("%dx%dx%d/fused=%v/layout=%s/prec=%s",
-			e.Grid[0], e.Grid[1], e.Grid[2], e.Fused, e.Layout, e.Precision)
+		return fmt.Sprintf("%dx%dx%d/fused=%v/layout=%s/refine=%s/prec=%s",
+			e.Grid[0], e.Grid[1], e.Grid[2], e.Fused, e.Layout, e.Refine, e.Precision)
+	}
+	// Uniform-twin MLUPS per refined configuration (same grid, fused,
+	// layout, workers, precision), for the paper-size effective-speedup
+	// gate below.
+	uniformTwin := map[string]float64{}
+	twinKey := func(e Entry) string {
+		return fmt.Sprintf("%dx%dx%d/fused=%v/layout=%s/workers=%d/prec=%s",
+			e.Grid[0], e.Grid[1], e.Grid[2], e.Fused, e.Layout, e.Workers, e.Precision)
 	}
 	for _, e := range rep.Entries {
 		if e.Workers == 1 {
 			intraBase[intraKey(e)] = e.MLUPS
+		}
+		if e.Workers >= 1 && e.Refine == "none" {
+			uniformTwin[twinKey(e)] = e.MLUPS
 		}
 	}
 	for i, e := range rep.Entries {
@@ -661,6 +776,9 @@ func validate(path string, allowInterrupted bool) error {
 			}
 			if e.Layout != "" {
 				return fmt.Errorf("entry %q: distributed entry carries layout %q (wire and gather are canonical order; layout is not observable)", e.Name, e.Layout)
+			}
+			if e.Refine != "" || e.EffectiveMLUPS != 0 {
+				return fmt.Errorf("entry %q: distributed entry carries refinement fields (refinement is intra-node only)", e.Name)
 			}
 			if e.Halo != "slim" && e.Halo != "wide" {
 				return fmt.Errorf("entry %q: halo %q, want slim or wide", e.Name, e.Halo)
@@ -694,6 +812,25 @@ func validate(path string, allowInterrupted bool) error {
 			}
 			if e.Layout != "aos" && e.Layout != "soa" {
 				return fmt.Errorf("entry %q: layout %q, want aos or soa", e.Name, e.Layout)
+			}
+			if err := checkRefine(e); err != nil {
+				return err
+			}
+			if e.Refine != "none" && cellsOf(e.Grid) >= paperCells && e.Fused && e.Layout == "aos" {
+				// The paper-size speedup gate: a refined entry must beat
+				// its uniform twin end to end. The descriptor's update
+				// ratio is ~2.4 at the preset geometry, so 1.5x leaves
+				// headroom for the refined path's per-site overhead and
+				// CI noise while still catching a refinement that stopped
+				// paying for itself. The gate applies on the fused AoS
+				// path — the headline configuration the README quotes.
+				// The slabs' small planes magnify SoA's fixed per-plane
+				// costs (lane-shift fix-ups, pass-split tiling) and the
+				// reference path's separate sweeps, so those rows record
+				// their measured effective MLUPS without a floor.
+				if twin, ok := uniformTwin[twinKey(e)]; ok && e.EffectiveMLUPS < 1.5*twin {
+					return fmt.Errorf("entry %q: effective %.2f MLUPS under 1.5x the uniform twin's %.2f", e.Name, e.EffectiveMLUPS, twin)
+				}
 			}
 			// Every intra entry must carry its scaling efficiency, it
 			// must agree with the sweep's own workers=1 baseline, and
@@ -733,6 +870,46 @@ func validate(path string, allowInterrupted bool) error {
 			return fmt.Errorf("%s: f32 halo bytes %d are %.3fx the f64 bytes %d, want ~0.5",
 				base, b32, ratio, b64)
 		}
+	}
+	return nil
+}
+
+// checkRefine validates an intra entry's refinement fields: the refine
+// tag must be "none" (with no effective rate) or "wl<N>", and a refined
+// entry's effective/actual MLUPS ratio must equal the descriptor's
+// fine-equivalent/refined site-update ratio — both rates divide the
+// same wall time, so the quotient is exact arithmetic, independent of
+// machine noise, and catches a writer whose two rates drifted apart.
+func checkRefine(e Entry) error {
+	if e.Refine == "" {
+		return fmt.Errorf("entry %q: intra-node entry missing refine (want \"none\" or \"wl<N>\")", e.Name)
+	}
+	if e.Refine == "none" {
+		if e.EffectiveMLUPS != 0 {
+			return fmt.Errorf("entry %q: uniform entry carries effective_mlups", e.Name)
+		}
+		return nil
+	}
+	wl, err := strconv.Atoi(strings.TrimPrefix(e.Refine, "wl"))
+	if err != nil || !strings.HasPrefix(e.Refine, "wl") || wl < 1 {
+		return fmt.Errorf("entry %q: refine %q, want \"none\" or \"wl<N>\"", e.Name, e.Refine)
+	}
+	if e.EffectiveMLUPS <= 0 {
+		return fmt.Errorf("entry %q: refined entry missing effective_mlups", e.Name)
+	}
+	// Effective may sit BELOW actual on tiny grids: the slabs' ghost
+	// rows and the coarse block's padding are real work the
+	// fine-equivalent count doesn't credit, and on a channel barely
+	// deep enough to refine they dominate. The ratio check below is
+	// exact either way; the speedup gate applies at paper size only.
+	spec := lbm.RefineSpec{Levels: 2, WallLayers: wl}
+	refined, fineEq, err := spec.SiteUpdatesPerStep(lbm.WaterAir(e.Grid[0], e.Grid[1], e.Grid[2]))
+	if err != nil {
+		return fmt.Errorf("entry %q: refine %q impossible on grid %v: %v", e.Name, e.Refine, e.Grid, err)
+	}
+	want, got := fineEq/refined, e.EffectiveMLUPS/e.MLUPS
+	if diff := got - want; diff < -1e-6*want || diff > 1e-6*want {
+		return fmt.Errorf("entry %q: effective/actual ratio %v, descriptor says %v", e.Name, got, want)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@
 //	slipsim [-nx 32] [-ny 48] [-nz 12] [-steps 3000] [-csv out.csv]
 //	        [-precision f64|f32] [-checkpoint state.gob] [-resume state.gob]
 //	slipsim -compare-precision [-nx ...] [-steps ...]
+//	slipsim -compare-refined [-wall-layers 12] [-nx ...] [-steps ...]
 //	slipsim -checkpoint-dir ckpt -checkpoint-interval 500 -ranks 4
 //	slipsim -resume-dir ckpt -steps 1000
 //
@@ -15,7 +16,8 @@
 // memory; checkpoints store float32 payloads and resume at their
 // recorded precision). -compare-precision runs the slip case at both
 // precisions and prints the accuracy comparison backing the
-// EXPERIMENTS.md table.
+// EXPERIMENTS.md table. -compare-refined does the same for the
+// two-level near-wall refined solver against the uniform-fine one.
 package main
 
 import (
@@ -54,6 +56,8 @@ func main() {
 		ranks    = flag.Int("ranks", 4, "simulated ranks for the distributed run (-checkpoint-dir/-resume-dir)")
 		precFlag = flag.String("precision", "f64", "scalar precision of the solver core: f64 or f32")
 		cmpPrec  = flag.Bool("compare-precision", false, "run the slip case at both precisions and print the accuracy comparison")
+		cmpRef   = flag.Bool("compare-refined", false, "run the slip case uniform-fine and refined and print the accuracy comparison")
+		wallLay  = flag.Int("wall-layers", 12, "fine rows per wall slab for -compare-refined")
 		wallLim  = flag.Duration("wall-limit", 0, "stop the run after this wall-clock budget, checkpointing what completed (0 = unlimited)")
 	)
 	flag.Parse()
@@ -73,6 +77,16 @@ func main() {
 	if *cmpPrec {
 		setup := experiments.PhysicsSetup{NX: *nx, NY: *ny, NZ: *nz, Steps: *steps, SampleZ: *nz / 2, SteadyTol: *steady}
 		cmp, err := experiments.RunPrecisionAccuracy(setup)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(cmp.Table())
+		return
+	}
+
+	if *cmpRef {
+		setup := experiments.PhysicsSetup{NX: *nx, NY: *ny, NZ: *nz, Steps: *steps, SampleZ: *nz / 2, SteadyTol: *steady, Precision: prec}
+		cmp, err := experiments.RunRefinedAccuracy(setup, lbm.RefineSpec{Levels: 2, WallLayers: *wallLay})
 		if err != nil {
 			log.Fatal(err)
 		}

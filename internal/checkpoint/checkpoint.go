@@ -22,6 +22,18 @@
 // Rank files of coordinated checkpoints stay double precision
 // regardless: the distributed solver computes in float64 even when it
 // compresses its wire traffic, and a resumed run must stay bit-stable.
+//
+// Version 3 adds refined snapshots: a two-level near-wall refined run
+// (lbm.RefinedSolver) persists its refinement descriptor, the
+// renormalization anchor, and all three block states in one container.
+// The version bump exists for old readers: a version-2 loader would
+// gob-skip the unknown refined payload and resurrect an empty uniform
+// state, so refined files carry version 3 and fail old loaders with
+// ErrVersion instead. Uniform snapshots are unchanged on disk, and
+// version-1/2 files keep loading. Loading a refined file through the
+// uniform Load — or a uniform file through LoadRefined, or a refined
+// file whose descriptor differs from the resume's — fails with a typed
+// ErrRefineMismatch.
 package checkpoint
 
 import (
@@ -51,11 +63,17 @@ var ErrVersion = errors.New("checkpoint: unsupported version")
 // the one the loader required.
 var ErrPrecision = errors.New("checkpoint: precision mismatch")
 
+// ErrRefineMismatch marks a refinement disagreement between a snapshot
+// and its loader: a refined file read by the uniform Load, a uniform
+// file read by LoadRefined, or a refined file whose descriptor differs
+// from the one the resume requires.
+var ErrRefineMismatch = errors.New("checkpoint: refinement mismatch")
+
 var magic = [4]byte{'M', 'S', 'C', 'K'}
 
 // Version is the current container format version; readContainer
 // accepts every version from 1 through Version.
-const Version = 2
+const Version = 3
 
 // writeContainer frames a gob-encoded value with the magic/version
 // header and CRC32 trailer.
@@ -124,6 +142,19 @@ type fileState struct {
 	// size; fixed 4-byte words actually halve the payload.
 	F   [][][]float64
 	F32 [][][]byte
+	// Refined, when non-nil, marks a refined snapshot (version 3):
+	// Params and Step mirror the global run, F/F32 stay empty, and the
+	// block states live inside the payload.
+	Refined *refinedExtra
+}
+
+// refinedExtra is the refined part of a version-3 snapshot payload.
+type refinedExtra struct {
+	Spec         lbm.RefineSpec
+	M0, RawDrift []float64
+	// Levels holds the bottom slab, top slab, and coarse block in
+	// RefinedState order, each narrowed per its own precision rules.
+	Levels [3]*fileState
 }
 
 // encodeState converts a snapshot to its on-disk envelope, narrowing
@@ -155,6 +186,9 @@ func encodeState(st *lbm.State) *fileState {
 // (float32 -> float64 widening is exact, so an F32 save/load round-trip
 // is bit-stable).
 func (fs *fileState) state() (*lbm.State, error) {
+	if fs.Refined != nil {
+		return nil, fmt.Errorf("checkpoint: snapshot is refined, load with LoadRefined: %w", ErrRefineMismatch)
+	}
 	st := &lbm.State{Params: fs.Params, Step: fs.Step, F: fs.F}
 	if len(fs.F32) == 0 {
 		return st, nil
@@ -299,4 +333,118 @@ func LoadFileFor(path string, want lbm.Precision) (*lbm.State, error) {
 	}
 	defer f.Close()
 	return LoadFor(f, want)
+}
+
+// encodeRefined converts a refined snapshot to its on-disk envelope.
+// Each block narrows by its own parameters' precision, so a float32
+// refined run persists float32 planes for all three blocks.
+func encodeRefined(st *lbm.RefinedState) (*fileState, error) {
+	if st == nil || st.Params == nil {
+		return nil, fmt.Errorf("checkpoint: nil refined state")
+	}
+	fs := &fileState{Params: st.Params, Step: st.Step, Refined: &refinedExtra{
+		Spec:     st.Spec,
+		M0:       st.M0,
+		RawDrift: st.RawDrift,
+	}}
+	for i, ls := range st.Levels {
+		if ls == nil {
+			return nil, fmt.Errorf("checkpoint: refined state missing level %d", i)
+		}
+		fs.Refined.Levels[i] = encodeState(ls)
+	}
+	return fs, nil
+}
+
+// refined widens the envelope back to the in-memory refined snapshot;
+// a uniform envelope fails with ErrRefineMismatch.
+func (fs *fileState) refined() (*lbm.RefinedState, error) {
+	if fs.Refined == nil {
+		return nil, fmt.Errorf("checkpoint: snapshot is uniform, load with Load: %w", ErrRefineMismatch)
+	}
+	st := &lbm.RefinedState{
+		Params:   fs.Params,
+		Spec:     fs.Refined.Spec,
+		Step:     fs.Step,
+		M0:       fs.Refined.M0,
+		RawDrift: fs.Refined.RawDrift,
+	}
+	for i, lfs := range fs.Refined.Levels {
+		if lfs == nil {
+			return nil, fmt.Errorf("checkpoint: refined payload missing level %d: %w", i, ErrCorrupt)
+		}
+		ls, err := lfs.state()
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: refined level %d: %w", i, err)
+		}
+		st.Levels[i] = ls
+	}
+	return st, nil
+}
+
+// SaveRefined writes a refined-run snapshot container to w. Refined
+// files always carry the current (version 3) format; version-2 loaders
+// reject them with ErrVersion instead of misreading the payload.
+func SaveRefined(w io.Writer, st *lbm.RefinedState) error {
+	fs, err := encodeRefined(st)
+	if err != nil {
+		return err
+	}
+	return writeContainer(w, fs)
+}
+
+// LoadRefined reads and validates a refined snapshot from r. A uniform
+// snapshot fails with ErrRefineMismatch; resume the result through
+// lbm.RefinedFromState, which re-derives the block geometry from the
+// recorded parameters and descriptor.
+func LoadRefined(r io.Reader) (*lbm.RefinedState, error) {
+	var fs fileState
+	if err := readContainer(r, &fs); err != nil {
+		return nil, err
+	}
+	return fs.refined()
+}
+
+// LoadRefinedFor is LoadRefined restricted to snapshots recorded with
+// the refinement descriptor want: a resume that pins its refinement
+// fails with ErrRefineMismatch instead of silently continuing on a
+// different grid hierarchy.
+func LoadRefinedFor(r io.Reader, want lbm.RefineSpec) (*lbm.RefinedState, error) {
+	st, err := LoadRefined(r)
+	if err != nil {
+		return nil, err
+	}
+	if st.Spec != want {
+		return nil, fmt.Errorf("checkpoint: snapshot refinement %+v, loader requires %+v: %w", st.Spec, want, ErrRefineMismatch)
+	}
+	return st, nil
+}
+
+// SaveRefinedFile atomically writes a refined snapshot to path.
+func SaveRefinedFile(path string, st *lbm.RefinedState) error {
+	fs, err := encodeRefined(st)
+	if err != nil {
+		return err
+	}
+	return saveFileAtomic(path, fs)
+}
+
+// LoadRefinedFile reads a refined snapshot from path.
+func LoadRefinedFile(path string) (*lbm.RefinedState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	return LoadRefined(f)
+}
+
+// LoadRefinedFileFor is LoadRefinedFor against a file.
+func LoadRefinedFileFor(path string, want lbm.RefineSpec) (*lbm.RefinedState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	return LoadRefinedFor(f, want)
 }

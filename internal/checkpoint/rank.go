@@ -76,6 +76,13 @@ type Manifest struct {
 	// Params, when non-nil, carries the run parameters so a checkpoint
 	// directory is self-describing (cmd/slipsim -resume-dir).
 	Params *lbm.Params
+	// Refine, when non-nil, records that the run stepped the two-level
+	// near-wall refined solver with this descriptor. A resume must
+	// reconstruct the same grid hierarchy — restoring a refined run
+	// onto a uniform solver (or a differently-refined one) would change
+	// the trajectory silently, so resumers compare this against their
+	// own descriptor and fail with ErrRefineMismatch on disagreement.
+	Refine *lbm.RefineSpec
 	// Ranks lists the per-rank files and their plane ranges.
 	Ranks []RankRange
 }
@@ -196,6 +203,9 @@ type RunSnapshot struct {
 	NX, NComp, PlaneSize int
 	// Params carries the manifest's run parameters (may be nil).
 	Params *lbm.Params
+	// Refine carries the manifest's refinement descriptor (nil for
+	// uniform runs).
+	Refine *lbm.RefineSpec
 
 	planes  [][][]float64 // [comp][gx][]
 	density [][][]float64 // [comp][gx][]; entries may be nil on old files
@@ -220,6 +230,7 @@ func LoadRun(dir string, m *Manifest) (*RunSnapshot, error) {
 	snap := &RunSnapshot{
 		Phase: m.Phase, NX: m.NX, NComp: m.NComp, PlaneSize: m.PlaneSize,
 		Params:  m.Params,
+		Refine:  m.Refine,
 		planes:  make([][][]float64, m.NComp),
 		density: make([][][]float64, m.NComp),
 	}

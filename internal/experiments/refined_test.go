@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"testing"
+
+	"microslip/internal/lbm"
+)
+
+// The refined solver must reproduce the uniform-fine slip physics: the
+// near-wall rows live on the fine slabs at full resolution in both
+// runs, so the apparent slip — the paper's headline number — has to
+// agree closely, and the full normalized profile (including the
+// interpolated coarse bulk) must track the uniform one. The bounds are
+// pinned from measured values with headroom; a broken interface
+// coupling moves them by orders of magnitude.
+func TestRefinedAccuracySmallChannel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-thousand-step physics runs")
+	}
+	setup := PhysicsSetup{NX: 16, NY: 40, NZ: 10, Steps: 1500, SampleZ: 5}
+	cmp, err := RunRefinedAccuracy(setup, lbm.RefineSpec{Levels: 2, WallLayers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("max rel err %.3g, RMS %.3g, slip uniform %.4f%% refined %.4f%% (delta %.4f pp), raw drift %.3g, ratio %.2fx",
+		cmp.MaxRelErr, cmp.RMSRelErr, cmp.Uniform.SlipPercent, cmp.Refined.SlipPercent,
+		cmp.SlipDeltaPP, cmp.RawMassDrift, cmp.UpdateRatio)
+	if cmp.SlipDeltaPP > 0.5 {
+		t.Errorf("apparent slip moved %.4f percentage points (uniform %.4f%%, refined %.4f%%)",
+			cmp.SlipDeltaPP, cmp.Uniform.SlipPercent, cmp.Refined.SlipPercent)
+	}
+	if cmp.RMSRelErr > 2e-2 {
+		t.Errorf("velocity-profile RMS error %.3g vs uniform", cmp.RMSRelErr)
+	}
+	if cmp.UpdateRatio <= 1 {
+		t.Errorf("refinement saves no work at this geometry: ratio %.2f", cmp.UpdateRatio)
+	}
+}

@@ -106,6 +106,55 @@ func (p *WallForceProfile) At(y, z int) (fy, fz float64) {
 	return p.Fy[i], p.Fz[i]
 }
 
+// WallForceWindow maps a sub-lattice (one level of a refined grid) onto
+// the global fine channel, so the hydrophobic wall force can be
+// evaluated at the node's true physical position rather than at its
+// local index. Local node (y, z) sits at global fine coordinates
+// (Y0 + Scale*y, Z0 + Scale*z); the wall planes are those of the global
+// GlobalNY x GlobalNZ channel (at 0.5 and N-1.5 in fine units), and the
+// decay length stays in fine units. Scale is also the acceleration
+// rescaling dt_l^2/dx_l between the level and the fine lattice (2 for a
+// factor-2 coarse level under acoustic scaling, 1 for a fine slab), so
+// the stored profile is directly the level-local acceleration.
+type WallForceWindow struct {
+	GlobalNY, GlobalNZ int
+	Y0, Z0             float64
+	Scale              float64
+}
+
+// NewWallForceProfileWindow builds the wall force profile for a
+// windowed sub-lattice c of the global channel described by w. With the
+// identity window (Y0 = Z0 = 0, Scale = 1, global dims equal to c's)
+// the computed distances match NewWallForceProfile's exactly, so the
+// profiles are bit-identical.
+func NewWallForceProfileWindow(c Channel, amp, decay float64, w WallForceWindow) *WallForceProfile {
+	if decay <= 0 {
+		panic(fmt.Sprintf("geometry: non-positive wall force decay %v", decay))
+	}
+	if w.Scale <= 0 || w.GlobalNY < 3 || w.GlobalNZ < 3 {
+		panic(fmt.Sprintf("geometry: invalid wall force window %+v", w))
+	}
+	p := &WallForceProfile{NY: c.NY, NZ: c.NZ,
+		Fy: make([]float64, c.NY*c.NZ), Fz: make([]float64, c.NY*c.NZ)}
+	for y := 0; y < c.NY; y++ {
+		for z := 0; z < c.NZ; z++ {
+			if c.IsSolid(y, z) {
+				continue
+			}
+			ypos := w.Y0 + w.Scale*float64(y)
+			zpos := w.Z0 + w.Scale*float64(z)
+			dyLow := ypos - 0.5
+			dyHigh := float64(w.GlobalNY-1) - 0.5 - ypos
+			dzLow := zpos - 0.5
+			dzHigh := float64(w.GlobalNZ-1) - 0.5 - zpos
+			i := y*c.NZ + z
+			p.Fy[i] = w.Scale * amp * (math.Exp(-dyLow/decay) - math.Exp(-dyHigh/decay))
+			p.Fz[i] = w.Scale * amp * (math.Exp(-dzLow/decay) - math.Exp(-dzHigh/decay))
+		}
+	}
+	return p
+}
+
 // Mask is a general solid mask over (y, z) for obstacle geometries that
 // remain x-independent (so that slice decomposition and plane migration
 // stay valid). The channel walls are always solid; additional solids can

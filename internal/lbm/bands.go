@@ -248,3 +248,36 @@ func usableBands(requested, nx, procs int) int {
 	}
 	return w
 }
+
+// splitWorkersByCost apportions total workers across the groups in
+// costs so the predicted makespan max(costs[i]/out[i]) is minimized:
+// every group gets one worker, then each remaining worker goes to the
+// group that is currently the bottleneck. The greedy rule is exactly
+// optimal for this min-max objective (giving a worker anywhere else
+// leaves the bottleneck unchanged), and — unlike proportional
+// largest-remainder apportionment — it does not shave workers off a
+// dominant group to flatter the small ones. A total below len(costs)
+// is raised to it: each group needs a worker to make progress.
+// Alloc-free; the linear bottleneck scan runs over three groups in
+// practice.
+func splitWorkersByCost(total int, costs []float64, out []int) {
+	n := len(costs)
+	if total < n {
+		total = n
+	}
+	for i := range out {
+		out[i] = 1
+	}
+	for spare := total - n; spare > 0; spare-- {
+		best, bestLoad := 0, -1.0
+		for i, c := range costs {
+			if c < 0 {
+				c = 0
+			}
+			if load := c / float64(out[i]); load > bestLoad {
+				best, bestLoad = i, load
+			}
+		}
+		out[best]++
+	}
+}

@@ -209,7 +209,15 @@ func NewKernelOf[T num.Float](p *Params) *KernelOf[T] {
 		k.pullLGSlim[j] = j - (lattice.Ey[l]*p.NZ+lattice.Ez[l])*lattice.CrossQ
 	}
 	if p.WallForceComp >= 0 {
-		prof := geometry.NewWallForceProfile(ch, p.WallForceAmp, p.WallForceDecay)
+		var prof *geometry.WallForceProfile
+		if p.WallWindow != nil {
+			// A refined-grid level: wall distances and decay are
+			// evaluated in global fine units, and Scale converts the
+			// acceleration to the level's own lattice units.
+			prof = geometry.NewWallForceProfileWindow(ch, p.WallForceAmp, p.WallForceDecay, *p.WallWindow)
+		} else {
+			prof = geometry.NewWallForceProfile(ch, p.WallForceAmp, p.WallForceDecay)
+		}
 		k.wallFy, k.wallFz = toScalars[T](prof.Fy), toScalars[T](prof.Fz)
 	}
 	if hasAdhesion(p.WallAdhesion) {

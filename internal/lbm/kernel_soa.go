@@ -325,18 +325,14 @@ func (k *KernelOf[T]) collideScratchSoA(sc *ScratchOf[T], nL, nC, nR, fC, out []
 			lane := func(i int) []T { o := i*cells + lo; return fc[o : o+span : o+span] }
 			olane := func(i int) []T { o := i*cells + lo; return oc[o : o+span : o+span] }
 
-			// Rest population: feq[0] = rho/3*(1-usq), as EquilibriumOf.
-			src0, dst0 := lane(0), olane(0)
-			for j := 0; j < span; j++ {
-				f := nv[j] * (1.0 / 3.0) * (1 - usq[j])
-				v := src0[j]
-				dst0[j] = v - (v-f)*it
-			}
-			// Axis pairs (±x, ±y, ±z) and diagonal pairs, in
-			// EquilibriumOf's lane order.
-			relaxAxisPair(olane(1), olane(2), lane(1), lane(2), nv, ux, usq, it)
-			relaxAxisPair(olane(3), olane(4), lane(3), lane(4), nv, uy, usq, it)
-			relaxAxisPair(olane(5), olane(6), lane(5), lane(6), nv, uz, usq, it)
+			// Rest population and the three axis pairs fused into one
+			// 19-stream walk (7 src + 7 dst lanes plus the five input
+			// lanes): the equilibrium-input lanes are read once here
+			// instead of once per pair, in EquilibriumOf's lane order.
+			relaxRestAxes(olane(0), olane(1), olane(2), olane(3), olane(4), olane(5), olane(6),
+				lane(0), lane(1), lane(2), lane(3), lane(4), lane(5), lane(6),
+				nv, ux, uy, uz, usq, it)
+			// Diagonal pairs, in EquilibriumOf's lane order.
 			relaxDiagQuad(olane(7), olane(8), olane(9), olane(10),
 				lane(7), lane(8), lane(9), lane(10), nv, ux, uy, usq, it)
 			relaxDiagQuad(olane(11), olane(12), olane(13), olane(14),
@@ -361,27 +357,56 @@ func (k *KernelOf[T]) collideScratchSoA(sc *ScratchOf[T], nL, nC, nR, fC, out []
 	k.zeroSolidBoundarySoA(out)
 }
 
-// relaxAxisPair applies the BGK relaxation for one ± axis direction
-// pair over a full plane of SoA lanes: feq± = rho/18*(1 ± 3u + 4.5*u*u
-// - usq), dst = v - (v-feq)*invTau. The weight rho*(1/18) and the tail
-// are term for term EquilibriumOf's axis-lane expressions, so the
-// result is bit-equal to relaxing against a per-cell EquilibriumOf
-// call.
-func relaxAxisPair[T num.Float](dstP, dstM, srcP, srcM, nv, u, usq []T, it T) {
-	n := len(dstP)
-	dstM, srcP, srcM = dstM[:n:n], srcP[:n:n], srcM[:n:n]
-	nv, u, usq = nv[:n:n], u[:n:n], usq[:n:n]
+// relaxRestAxes applies the BGK relaxation for the rest population and
+// the three ± axis direction pairs over a block of SoA lanes in one
+// walk: feq0 = rho/3*(1 - usq), feq± = rho/18*(1 ± 3u + 4.5*u*u -
+// usq), dst = v - (v-feq)*invTau. The weights and tails are term for
+// term EquilibriumOf's lane expressions, so the result is bit-equal to
+// relaxing against a per-cell EquilibriumOf call; fusing the four
+// loops reads the shared equilibrium-input lanes once instead of once
+// per pair while staying within the ~20-stream prefetcher budget.
+func relaxRestAxes[T num.Float](dst0, dstXP, dstXM, dstYP, dstYM, dstZP, dstZM,
+	src0, srcXP, srcXM, srcYP, srcYM, srcZP, srcZM, nv, ux, uy, uz, usq []T, it T) {
+	n := len(dst0)
+	dstXP, dstXM = dstXP[:n:n], dstXM[:n:n]
+	dstYP, dstYM = dstYP[:n:n], dstYM[:n:n]
+	dstZP, dstZM = dstZP[:n:n], dstZM[:n:n]
+	src0, srcXP, srcXM = src0[:n:n], srcXP[:n:n], srcXM[:n:n]
+	srcYP, srcYM = srcYP[:n:n], srcYM[:n:n]
+	srcZP, srcZM = srcZP[:n:n], srcZM[:n:n]
+	nv, usq = nv[:n:n], usq[:n:n]
+	ux, uy, uz = ux[:n:n], uy[:n:n], uz[:n:n]
 	for j := 0; j < n; j++ {
-		e := u[j]
-		w := nv[j] * (1.0 / 18.0)
-		q := 4.5 * e * e
+		rho := nv[j]
 		s := usq[j]
+		f := rho * (1.0 / 3.0) * (1 - s)
+		v := src0[j]
+		dst0[j] = v - (v-f)*it
+		w := rho * (1.0 / 18.0)
+		e := ux[j]
+		q := 4.5 * e * e
 		fP := w * (1 + 3*e + q - s)
 		fM := w * (1 - 3*e + q - s)
-		vP := srcP[j]
-		vM := srcM[j]
-		dstP[j] = vP - (vP-fP)*it
-		dstM[j] = vM - (vM-fM)*it
+		v = srcXP[j]
+		dstXP[j] = v - (v-fP)*it
+		v = srcXM[j]
+		dstXM[j] = v - (v-fM)*it
+		e = uy[j]
+		q = 4.5 * e * e
+		fP = w * (1 + 3*e + q - s)
+		fM = w * (1 - 3*e + q - s)
+		v = srcYP[j]
+		dstYP[j] = v - (v-fP)*it
+		v = srcYM[j]
+		dstYM[j] = v - (v-fM)*it
+		e = uz[j]
+		q = 4.5 * e * e
+		fP = w * (1 + 3*e + q - s)
+		fM = w * (1 - 3*e + q - s)
+		v = srcZP[j]
+		dstZP[j] = v - (v-fP)*it
+		v = srcZM[j]
+		dstZM[j] = v - (v-fM)*it
 	}
 }
 

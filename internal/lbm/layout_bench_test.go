@@ -35,3 +35,39 @@ func BenchmarkFusedStepAoS(b *testing.B)    { benchFusedLayout[float64](b, AoS) 
 func BenchmarkFusedStepSoA(b *testing.B)    { benchFusedLayout[float64](b, SoA) }
 func BenchmarkFusedStepAoSF32(b *testing.B) { benchFusedLayout[float32](b, AoS) }
 func BenchmarkFusedStepSoAF32(b *testing.B) { benchFusedLayout[float32](b, SoA) }
+
+// benchCollideLayout isolates the collision phase on the paper-sized
+// plane: densities are computed once, then the collide phase alone is
+// timed over every x-plane. The AoS/SoA pairs bound the layout cost of
+// collision without streaming in the picture — the number the float32
+// pass-fusion in collideScratchSoA is accountable to.
+func benchCollideLayout[T interface{ float32 | float64 }](b *testing.B, layout Layout) {
+	p := WaterAir(200, 100, 20)
+	p.Layout = layout
+	if _, ok := any(*new(T)).(float32); ok {
+		p.Precision = F32
+	}
+	s, err := NewSimOf[T](p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.SetWorkers(1)
+	s.RunParallelSteps(2) // allocates the per-worker scratch, develops flow
+	for x := 0; x < p.NX; x++ {
+		s.densPhase(x, 0)
+	}
+	cells := float64(p.NX*p.NY*p.NZ) / 1e6
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for x := 0; x < p.NX; x++ {
+			s.collidePhase(x, 0)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(cells/(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1e9), "MLUPS")
+}
+
+func BenchmarkCollideAoS(b *testing.B)    { benchCollideLayout[float64](b, AoS) }
+func BenchmarkCollideSoA(b *testing.B)    { benchCollideLayout[float64](b, SoA) }
+func BenchmarkCollideAoSF32(b *testing.B) { benchCollideLayout[float32](b, AoS) }
+func BenchmarkCollideSoAF32(b *testing.B) { benchCollideLayout[float32](b, SoA) }

@@ -111,6 +111,14 @@ type Params struct {
 	WallForceAmp   float64
 	WallForceDecay float64
 	WallForceComp  int
+	// WallWindow, when non-nil, evaluates the wall force at global fine
+	// coordinates instead of local indices: the domain is one level of a
+	// refined grid (a fine wall slab or the coarse bulk), and its force
+	// profile must come from the true wall distances of the enclosing
+	// channel, with the window's Scale factor converting the fine-units
+	// acceleration to the level's own lattice units. Nil (the default)
+	// keeps the local profile; uniform grids never set it.
+	WallWindow *geometry.WallForceWindow
 	// BodyForce is the driving acceleration (gx, gy, gz) applied to all
 	// components; the paper's pressure-driven flow is equivalent to a
 	// uniform body force along x in a periodic channel.
@@ -205,6 +213,14 @@ func (p *Params) Validate() error {
 	}
 	if p.WallForceComp >= 0 && p.WallForceDecay <= 0 {
 		return fmt.Errorf("lbm: wall force decay %v must be positive", p.WallForceDecay)
+	}
+	if w := p.WallWindow; w != nil {
+		if w.Scale <= 0 {
+			return fmt.Errorf("lbm: wall window scale %v must be positive", w.Scale)
+		}
+		if w.GlobalNY < 3 || w.GlobalNZ < 3 {
+			return fmt.Errorf("lbm: wall window global dims %dx%d too small", w.GlobalNY, w.GlobalNZ)
+		}
 	}
 	for i, o := range p.Obstacles {
 		if o.Y1 < o.Y0 || o.Z1 < o.Z0 {

@@ -30,6 +30,12 @@ type SimOf[T num.Float] struct {
 	// once here (and swapped, never reallocated, by the fused path) so
 	// the steady-state step performs no allocations.
 	fView, postView, nView [][][]T
+	// mom[x][c][a] are the per-plane momentum lanes of the SoA
+	// three-phase path (nil for AoS): the densities phase fills them
+	// during its lane walk (DensitiesMomentsSoA, bit-equal to the
+	// collision's pass A), so the collide phase skips its full second
+	// read of the distribution lanes.
+	mom [][][3][]T
 	// densPhase/collidePhase/streamPhase are the cached per-plane phase
 	// closures of StepParallel; allocating them per step would defeat
 	// the zero-alloc hot path.
@@ -99,19 +105,46 @@ func NewSimOf[T num.Float](p *Params) (*SimOf[T], error) {
 	s.fView = transposeViews(s.f, p.NX, nc)
 	s.postView = transposeViews(s.fPost, p.NX, nc)
 	s.nView = transposeViews(s.n, p.NX, nc)
-	s.densPhase = func(x, wkr int) {
-		s.kDensities(s.fView[x], s.nView[x])
-	}
-	s.collidePhase = func(x, wkr int) {
-		l := x - 1
-		if l < 0 {
-			l = s.P.NX - 1
+	if s.soa {
+		s.mom = make([][][3][]T, p.NX)
+		cells := k.PlaneCells()
+		for x := 0; x < p.NX; x++ {
+			s.mom[x] = make([][3][]T, nc)
+			for c := 0; c < nc; c++ {
+				for a := 0; a < 3; a++ {
+					s.mom[x][c][a] = make([]T, cells)
+				}
+			}
 		}
-		r := x + 1
-		if r == s.P.NX {
-			r = 0
+		s.densPhase = func(x, wkr int) {
+			s.K.DensitiesMomentsSoA(s.fView[x], s.nView[x], s.mom[x])
 		}
-		s.kCollideScratch(s.parScratch[wkr], s.nView[l], s.nView[x], s.nView[r], s.fView[x], s.postView[x])
+		s.collidePhase = func(x, wkr int) {
+			l := x - 1
+			if l < 0 {
+				l = s.P.NX - 1
+			}
+			r := x + 1
+			if r == s.P.NX {
+				r = 0
+			}
+			s.K.collideScratchSoA(s.parScratch[wkr], s.nView[l], s.nView[x], s.nView[r], s.fView[x], s.postView[x], s.mom[x])
+		}
+	} else {
+		s.densPhase = func(x, wkr int) {
+			s.kDensities(s.fView[x], s.nView[x])
+		}
+		s.collidePhase = func(x, wkr int) {
+			l := x - 1
+			if l < 0 {
+				l = s.P.NX - 1
+			}
+			r := x + 1
+			if r == s.P.NX {
+				r = 0
+			}
+			s.kCollideScratch(s.parScratch[wkr], s.nView[l], s.nView[x], s.nView[r], s.fView[x], s.postView[x])
+		}
 	}
 	s.streamPhase = func(x, wkr int) {
 		l := x - 1

@@ -1,0 +1,29 @@
+package predict
+
+import "fmt"
+
+// Weighted wraps a predictor so observations are normalized by a
+// static cost weight before they enter the window and predictions are
+// scaled back on the way out. The refined-grid scheduler uses one per
+// refinement level with weight = the level's site updates per
+// composite step: the inner windows then track comparable per-site
+// times, so a worker re-split (which changes each level's absolute
+// phase time) perturbs every level's normalized history identically
+// instead of poisoning the windows with a mid-run regime change.
+type Weighted struct {
+	inner  Predictor
+	weight float64
+}
+
+// NewWeighted wraps inner with a positive cost weight.
+func NewWeighted(inner Predictor, weight float64) *Weighted {
+	if weight <= 0 {
+		panic(fmt.Sprintf("predict: weight %v must be positive", weight))
+	}
+	return &Weighted{inner: inner, weight: weight}
+}
+
+func (w *Weighted) Name() string      { return w.inner.Name() + "-weighted" }
+func (w *Weighted) Observe(t float64) { w.inner.Observe(t / w.weight) }
+func (w *Weighted) Predict() float64  { return w.weight * w.inner.Predict() }
+func (w *Weighted) Reset()            { w.inner.Reset() }

@@ -1,0 +1,65 @@
+package predict
+
+import (
+	"math"
+	"testing"
+)
+
+// A weighted predictor over a constant per-site rate must predict the
+// level's absolute time: observations divided by the weight on the way
+// in, predictions multiplied by it on the way out.
+func TestWeightedRoundTrip(t *testing.T) {
+	w := NewWeighted(NewLastValue(), 2560)
+	w.Observe(2560 * 3.5e-6)
+	if got, want := w.Predict(), 2560*3.5e-6; math.Abs(got-want) > 1e-12*want {
+		t.Errorf("Predict() = %v, want %v", got, want)
+	}
+	if got := w.Name(); got != "last-weighted" {
+		t.Errorf("Name() = %q", got)
+	}
+}
+
+// Two weighted predictors sharing one per-site rate but different
+// weights must predict times proportional to their weights — the
+// property the refined scheduler's cost split relies on.
+func TestWeightedProportionalPredictions(t *testing.T) {
+	a := NewWeighted(NewHarmonicMean(4), 100)
+	b := NewWeighted(NewHarmonicMean(4), 400)
+	for i := 0; i < 6; i++ {
+		rate := 2e-6
+		a.Observe(100 * rate)
+		b.Observe(400 * rate)
+	}
+	pa, pb := a.Predict(), b.Predict()
+	if pa <= 0 || math.Abs(pb/pa-4) > 1e-9 {
+		t.Errorf("predictions %v, %v not in 1:4 ratio", pa, pb)
+	}
+}
+
+// Reset must pass through to the inner predictor, and an empty
+// weighted predictor returns the inner's no-observation zero.
+func TestWeightedReset(t *testing.T) {
+	w := NewWeighted(NewLastValue(), 7)
+	if got := w.Predict(); got != 0 {
+		t.Errorf("empty Predict() = %v, want 0", got)
+	}
+	w.Observe(14)
+	w.Reset()
+	if got := w.Predict(); got != 0 {
+		t.Errorf("Predict() after Reset = %v, want 0", got)
+	}
+}
+
+// A non-positive weight is a construction bug.
+func TestWeightedInvalidWeightPanics(t *testing.T) {
+	for _, weight := range []float64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewWeighted(weight=%v) did not panic", weight)
+				}
+			}()
+			NewWeighted(NewLastValue(), weight)
+		}()
+	}
+}

@@ -103,6 +103,12 @@ type JobSpec struct {
 	// Steps more phases are run. Kind and dimensions in the spec are
 	// then ignored.
 	Resume string `json:"resume,omitempty"`
+	// Refine, when non-nil, runs the job on the two-level near-wall
+	// refined solver (wallforce and steady kinds only). Steps then
+	// counts composite steps, each worth two fine time units; the
+	// checkpoint of an interrupted refined job records the descriptor
+	// and a resume reconstructs the same hierarchy or fails.
+	Refine *lbm.RefineSpec `json:"refine,omitempty"`
 }
 
 // Limits bounds what a client may ask for; the zero value means the
@@ -186,6 +192,14 @@ func (sp *JobSpec) Validate(l Limits) error {
 	if cells := sp.NX * sp.NY * sp.NZ; cells > l.MaxCells {
 		return specErr("lattice %dx%dx%d has %d cells, above the limit %d", sp.NX, sp.NY, sp.NZ, cells, l.MaxCells)
 	}
+	if sp.Refine != nil {
+		if sp.Kind == KindDistributed {
+			return specErr("refine is not supported for distributed jobs")
+		}
+		if err := sp.Refine.Validate(lbm.WaterAir(sp.NX, sp.NY, sp.NZ)); err != nil {
+			return specErr("refine: %v", err)
+		}
+	}
 	if sp.Kind == KindDistributed {
 		if sp.Ranks < 0 || sp.Ranks > l.MaxRanks {
 			return specErr("ranks %d outside [0, %d]", sp.Ranks, l.MaxRanks)
@@ -239,10 +253,15 @@ type Result struct {
 	// CheckpointPhase is the newest committed coordinated checkpoint
 	// (distributed jobs), -1 when none.
 	CheckpointPhase int `json:"checkpoint_phase,omitempty"`
+	// UpdateRatio is the fine-equivalent over actual site updates per
+	// step — the refinement's work saving (refined jobs only).
+	UpdateRatio float64 `json:"update_ratio,omitempty"`
 
-	// pendingState is an interrupted sequential run's snapshot, handed
-	// from the compute stage to the persist stage; never marshaled.
-	pendingState *lbm.State
+	// pendingState / pendingRefined hold an interrupted sequential
+	// run's snapshot, handed from the compute stage to the persist
+	// stage; never marshaled. At most one is non-nil.
+	pendingState   *lbm.State
+	pendingRefined *lbm.RefinedState
 }
 
 // JobStatus is the externally visible record of one job; the storage

@@ -62,7 +62,7 @@ func (s *Server) runJob(j *job) {
 		case spec.Kind == KindDistributed:
 			res, schedule, runErr = s.runDistributed(j, spec, ckptDir, nil, 0)
 		default:
-			res, schedule, runErr = s.runSequential(j, spec, ckptDir, nil)
+			res, schedule, runErr = s.runSequential(j, spec, ckptDir, nil, nil)
 		}
 	}
 	s.metrics.Schedule.Observe(schedule)
@@ -87,6 +87,14 @@ func (s *Server) runJob(j *job) {
 			}
 		}
 		res.pendingState = nil
+	}
+	if res != nil && res.pendingRefined != nil {
+		if ckptDir != "" {
+			if saveErr := checkpoint.SaveRefinedFile(filepath.Join(ckptDir, stateFileName), res.pendingRefined); saveErr == nil {
+				resumable = true
+			}
+		}
+		res.pendingRefined = nil
 	}
 	j.mu.Lock()
 	j.status.Stages.ScheduleMS = ms(schedule)
@@ -125,24 +133,48 @@ func (s *Server) classify(j *job, runErr error) (State, error) {
 // ms converts a duration to float milliseconds.
 func ms(d time.Duration) float64 { return float64(d) / 1e6 }
 
+// seqSolver is the method set the sequential job loop drives — the
+// intersection of lbm.Solver and lbm.RefinedSolver (their State
+// snapshots differ in type, so neither interface embeds in the other;
+// the interrupt path type-switches to snapshot).
+type seqSolver interface {
+	Params() *lbm.Params
+	SetWorkers(n int)
+	StepCount() int
+	RunSupervised(n int, sup *runctl.Supervisor) (int, error)
+	RunToSteadySupervised(sup *runctl.Supervisor, maxSteps, checkEvery int, tol float64) (lbm.SteadyResult, error)
+	TotalMass(c int) float64
+	CheckFinite() error
+	Velocity(x, y, z int) (ux, uy, uz float64)
+	VelocityProfileY(x, z int) []float64
+}
+
 // runSequential executes a wallforce or steady job on the sequential
-// solver in StreamEvery-step chunks, publishing a progress frame per
-// chunk. A non-nil resume state continues a previous job's run. It
-// returns the (possibly partial) result, the schedule-stage duration,
-// and the run error.
-func (s *Server) runSequential(j *job, spec JobSpec, ckptDir string, resume *lbm.State) (*Result, time.Duration, error) {
+// solver — uniform, or two-level refined when the spec carries a
+// refinement descriptor — in StreamEvery-step chunks, publishing a
+// progress frame per chunk. A non-nil resume (or resumeRef) state
+// continues a previous job's run. It returns the (possibly partial)
+// result, the schedule-stage duration, and the run error.
+func (s *Server) runSequential(j *job, spec JobSpec, ckptDir string, resume *lbm.State, resumeRef *lbm.RefinedState) (*Result, time.Duration, error) {
 	scheduleStart := time.Now()
 	var (
-		solver lbm.Solver
+		solver seqSolver
 		err    error
 	)
-	if resume != nil {
+	switch {
+	case resumeRef != nil:
+		solver, err = lbm.RefinedFromState(resumeRef)
+	case resume != nil:
 		solver, err = lbm.SolverFromState(resume)
-	} else {
+	default:
 		p := lbm.WaterAir(spec.NX, spec.NY, spec.NZ)
 		p.Precision = spec.precision()
 		p.Fused = spec.Fused
-		solver, err = lbm.NewSolver(p)
+		if spec.Refine != nil {
+			solver, err = lbm.NewRefined(p, *spec.Refine)
+		} else {
+			solver, err = lbm.NewSolver(p)
+		}
 	}
 	if err != nil {
 		return nil, time.Since(scheduleStart), err
@@ -210,20 +242,31 @@ func (s *Server) runSequential(j *job, spec JobSpec, ckptDir string, resume *lbm
 	if spec.Kind == KindWallForce {
 		res.SlipLengthNM = slipLengthNM(solver)
 	}
+	if rs, ok := solver.(lbm.RefinedSolver); ok {
+		if refined, fineEq := rs.SiteUpdatesPerStep(); refined > 0 {
+			res.UpdateRatio = fineEq / refined
+		}
+	}
 
 	// Hand an interrupted run's state to runJob's persist stage, which
 	// writes it through the checkpoint container so a resume job can
 	// continue bit-identically.
 	if runErr != nil && runctl.IsInterrupt(runErr) && ckptDir != "" {
-		res.pendingState = solver.State()
+		switch sv := solver.(type) {
+		case lbm.Solver:
+			res.pendingState = sv.State()
+		case lbm.RefinedSolver:
+			res.pendingRefined = sv.State()
+		}
 	}
 	return res, schedule, runErr
 }
 
 // slipLengthNM fits the Navier slip length (nanometers) from the
 // near-wall half of the mid-channel velocity profile; 0 when the fit
-// is not possible (no developed flow yet).
-func slipLengthNM(solver lbm.Solver) float64 {
+// is not possible (no developed flow yet). Refined solvers report the
+// profile in global fine coordinates, so the fit is layout-agnostic.
+func slipLengthNM(solver seqSolver) float64 {
 	p := solver.Params()
 	u := solver.VelocityProfileY(p.NX/2, p.NZ/2)
 	ch := geometry.NewChannel(p.NX, p.NY, p.NZ)
@@ -347,15 +390,38 @@ func (s *Server) runResumed(j *job, spec JobSpec, ckptDir string) (*Result, time
 			return nil, 0, err
 		}
 	}
-	st, err := checkpoint.LoadFile(filepath.Join(srcDir, stateFileName))
-	if err != nil {
-		return nil, 0, fmt.Errorf("serve: job %s has no loadable checkpoint: %w", spec.Resume, err)
-	}
+	statePath := filepath.Join(srcDir, stateFileName)
 	run := srcSpec
 	if run.Kind == "" || run.Resume != "" {
 		run.Kind = KindWallForce
 	}
 	run.Steps = spec.Steps
 	run.WallLimitMS = spec.WallLimitMS
-	return s.runSequential(j, run, ckptDir, st)
+	st, err := checkpoint.LoadFile(statePath)
+	if errors.Is(err, checkpoint.ErrRefineMismatch) {
+		// The checkpoint is a refined snapshot. When the source spec
+		// still names its descriptor, pin the load to it — a descriptor
+		// disagreement must fail typed, not resume a different grid
+		// hierarchy; a chained resume (source spec is itself a resume)
+		// recovers the descriptor from the artifact.
+		var rst *lbm.RefinedState
+		var rerr error
+		if srcSpec.Refine != nil {
+			rst, rerr = checkpoint.LoadRefinedFileFor(statePath, *srcSpec.Refine)
+		} else {
+			rst, rerr = checkpoint.LoadRefinedFile(statePath)
+		}
+		if rerr != nil {
+			return nil, 0, fmt.Errorf("serve: job %s refined checkpoint: %w", spec.Resume, rerr)
+		}
+		run.Refine = &rst.Spec
+		return s.runSequential(j, run, ckptDir, nil, rst)
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: job %s has no loadable checkpoint: %w", spec.Resume, err)
+	}
+	if srcSpec.Refine != nil {
+		return nil, 0, fmt.Errorf("serve: job %s ran refined but checkpointed a uniform state: %w", spec.Resume, checkpoint.ErrRefineMismatch)
+	}
+	return s.runSequential(j, run, ckptDir, st, nil)
 }
